@@ -1,0 +1,88 @@
+// Shared instance sets and helpers for the experiment benches.
+//
+// Every bench prints a table whose rows are recorded in EXPERIMENTS.md;
+// instance sets are deterministic (fixed seeds) so reruns reproduce the
+// documented numbers exactly.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "exact/exact_mds.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "lp/lp_mds.hpp"
+
+namespace domset::bench {
+
+struct named_graph {
+  std::string name;
+  graph::graph g;
+};
+
+/// The standard instance set used across experiment tables: one
+/// representative per family, sized so that exact LP (simplex) and exact
+/// MDS (branch and bound) both succeed in seconds.
+inline std::vector<named_graph> standard_instances() {
+  common::rng gen(20030909);  // PODC 2003 submission date
+  std::vector<named_graph> out;
+  out.push_back({"star_50", graph::star_graph(50)});
+  out.push_back({"cycle_48", graph::cycle_graph(48)});
+  out.push_back({"grid_7x7", graph::grid_graph(7, 7)});
+  out.push_back({"tree_3_3", graph::balanced_tree(3, 3)});
+  out.push_back({"caterp_8x3", graph::caterpillar(8, 3)});
+  out.push_back({"gnp_60_.08", graph::gnp_random(60, 0.08, gen)});
+  out.push_back({"gnp_50_.2", graph::gnp_random(50, 0.2, gen)});
+  out.push_back({"udg_70_.18", graph::random_geometric(70, 0.18, gen).g});
+  out.push_back({"ba_60_2", graph::barabasi_albert(60, 2, gen)});
+  out.push_back({"reg_48_4", graph::random_regular(48, 4, gen)});
+  out.push_back({"cluster_6x8", graph::cluster_graph(6, 8, 6, gen)});
+  out.push_back({"advers_5", graph::greedy_adversarial(5)});
+  return out;
+}
+
+/// Larger instances for the complexity/scaling tables (no exact solving).
+inline std::vector<named_graph> large_instances() {
+  common::rng gen(17);
+  std::vector<named_graph> out;
+  out.push_back({"gnp_2k_.004", graph::gnp_random(2000, 0.004, gen)});
+  out.push_back({"udg_2k_.035", graph::random_geometric(2000, 0.035, gen).g});
+  out.push_back({"ba_2k_3", graph::barabasi_albert(2000, 3, gen)});
+  out.push_back({"grid_45x45", graph::grid_graph(45, 45)});
+  return out;
+}
+
+/// |DS_OPT| via branch and bound (the standard instances are sized so this
+/// always succeeds).
+inline std::size_t exact_optimum(const graph::graph& g) {
+  exact::exact_options opts;
+  opts.node_budget = 200'000'000;
+  const auto res = exact::solve_mds(g, opts);
+  if (!res.has_value())
+    throw std::runtime_error("exact optimum: budget exhausted");
+  return res->size;
+}
+
+/// LP_MDS optimum via simplex.
+inline double lp_optimum(const graph::graph& g) {
+  const auto res = lp::solve_lp_mds(g);
+  if (!res.has_value()) throw std::runtime_error("lp optimum: did not solve");
+  return res->value;
+}
+
+/// Prints the table with a title banner, in both aligned-text form.
+inline void print_table(const std::string& title, const std::string& note,
+                        const common::text_table& table) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << std::flush;
+}
+
+}  // namespace domset::bench

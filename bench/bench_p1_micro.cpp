@@ -1,0 +1,94 @@
+// Experiment P1 -- engineering micro-benchmarks (google-benchmark):
+// simulator round throughput, generator speed, simplex and exact-solver
+// latency.  These document the substrate's performance envelope, not a
+// paper claim.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/alg3.hpp"
+#include "core/pipeline.hpp"
+#include "exact/exact_mds.hpp"
+#include "graph/generators.hpp"
+#include "lp/lp_mds.hpp"
+
+namespace {
+
+using namespace domset;
+
+void BM_GeneratorGnp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::rng gen(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::gnp_random(n, 8.0 / static_cast<double>(n), gen));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GeneratorGnp)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GeneratorGeometric(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::rng gen(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::random_geometric(n, 0.5 / std::sqrt(static_cast<double>(n)), gen));
+  }
+}
+BENCHMARK(BM_GeneratorGeometric)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Alg3FullRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  common::rng gen(3);
+  const graph::graph g = graph::gnp_random(n, 8.0 / static_cast<double>(n), gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::approximate_lp(g, {.k = k}));
+  }
+  // Message throughput: the engine's core cost driver.
+  const auto res = core::approximate_lp(g, {.k = k});
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(res.metrics.messages_sent));
+  state.counters["rounds"] = static_cast<double>(res.metrics.rounds);
+}
+BENCHMARK(BM_Alg3FullRun)->Args({1000, 2})->Args({1000, 4})->Args({10000, 2});
+
+void BM_PipelineEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::rng gen(4);
+  const graph::graph g =
+      graph::random_geometric(n, 1.5 / std::sqrt(static_cast<double>(n)), gen).g;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    core::pipeline_params params;
+    params.k = 2;
+    params.seed = ++seed;
+    benchmark::DoNotOptimize(core::compute_dominating_set(g, params));
+  }
+}
+BENCHMARK(BM_PipelineEndToEnd)->Arg(1000)->Arg(5000);
+
+void BM_SimplexLpMds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::rng gen(5);
+  const graph::graph g = graph::gnp_random(n, 6.0 / static_cast<double>(n), gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve_lp_mds(g));
+  }
+}
+BENCHMARK(BM_SimplexLpMds)->Arg(30)->Arg(60)->Arg(120);
+
+void BM_ExactMds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::rng gen(6);
+  const graph::graph g = graph::gnp_random(n, 8.0 / static_cast<double>(n), gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::solve_mds(g));
+  }
+}
+BENCHMARK(BM_ExactMds)->Arg(20)->Arg(35)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Experiment R1 -- the remark after Theorem 6: choosing k = Theta(log
+// Delta) yields an O(log^2 Delta) approximation in O(log^2 Delta) rounds.
+//
+// We grow Delta through a family of complete bipartite graphs (Delta+1
+// doubles each step), set k = ceil(log2(Delta+1)), and report the measured
+// end-to-end ratio against log2^2(Delta+1) and against the Theorem 6 bound
+// evaluated at that k.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+constexpr std::uint64_t kSeeds = 40;
+
+}  // namespace
+
+int main() {
+  using namespace domset;
+  std::cout << "R1: k = Theta(log Delta) scaling of the full pipeline\n";
+
+  common::text_table table({"Delta", "k=ceil(log2(D+1))", "n", "OPT",
+                            "E[|DS|]", "ratio", "log2^2(D+1)",
+                            "Thm6 bound", "rounds"});
+  for (std::uint32_t half : {4U, 8U, 16U, 32U, 64U}) {
+    // K_{half,half}: Delta = half, OPT = 2.
+    const graph::graph g = graph::complete_bipartite(half, half);
+    const std::uint32_t delta = g.max_degree();
+    const auto k = static_cast<std::uint32_t>(
+        std::ceil(std::log2(static_cast<double>(delta) + 1.0)));
+    const std::size_t opt = 2;
+
+    common::running_stats sizes;
+    std::size_t rounds = 0;
+    double bound = 0.0;
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      core::pipeline_params params;
+      params.k = k;
+      params.seed = seed;
+      const auto res = core::compute_dominating_set(g, params);
+      if (!verify::is_dominating_set(g, res.in_set)) return 1;
+      sizes.add(static_cast<double>(res.size));
+      rounds = res.total_rounds;
+      bound = res.expected_ratio_bound;
+    }
+    const double log_d = std::log2(static_cast<double>(delta) + 1.0);
+    table.add_row(
+        {common::fmt_int(delta), common::fmt_int(k),
+         common::fmt_int(static_cast<long long>(g.node_count())),
+         common::fmt_int(static_cast<long long>(opt)),
+         common::fmt_double(sizes.mean(), 2),
+         common::fmt_double(sizes.mean() / static_cast<double>(opt), 2),
+         common::fmt_double(log_d * log_d, 1), common::fmt_double(bound, 1),
+         common::fmt_int(static_cast<long long>(rounds))});
+  }
+  bench::print_table(
+      "Remark after Theorem 6: k = Theta(log Delta) gives polylog quality in "
+      "polylog rounds (" + std::to_string(kSeeds) + " seeds)",
+      "Shape to verify: measured ratio grows (at most) polylogarithmically "
+      "with Delta and stays far below the Theorem 6 bound; rounds grow as "
+      "Theta(k^2) = Theta(log^2 Delta).",
+      table);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Experiment R3 -- the remark after Theorem 3: scaling the rounding
+// probabilities by ln(d) - ln(ln(d)) instead of ln(d) trades the additive
+// "+1" for a factor-2 bound: 2*alpha*(ln(Delta+1) - ln ln(Delta+1)).
+//
+// We compare both variants on the exact LP optimum (alpha = 1).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/rounding.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+constexpr std::uint64_t kSeeds = 150;
+
+}  // namespace
+
+int main() {
+  using namespace domset;
+  std::cout << "R3: plain vs ln-ln rounding variants\n";
+
+  common::text_table table({"instance", "Delta", "OPT", "plain E[|DS|]",
+                            "plain bound", "lnln E[|DS|]", "lnln bound",
+                            "lnln random%", "plain random%"});
+  for (const auto& instance : bench::standard_instances()) {
+    const std::size_t opt = bench::exact_optimum(instance.g);
+    const auto lp_exact = lp::solve_lp_mds(instance.g);
+    if (!lp_exact.has_value()) return 1;
+
+    common::running_stats plain_sizes;
+    common::running_stats lnln_sizes;
+    common::running_stats plain_random;
+    common::running_stats lnln_random;
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      core::rounding_params plain;
+      plain.seed = seed;
+      const auto res_p =
+          core::round_to_dominating_set(instance.g, lp_exact->x, plain);
+      if (!verify::is_dominating_set(instance.g, res_p.in_set)) return 1;
+      plain_sizes.add(static_cast<double>(res_p.size));
+      plain_random.add(static_cast<double>(res_p.selected_randomly));
+
+      core::rounding_params lnln;
+      lnln.seed = seed;
+      lnln.variant = core::rounding_variant::log_log;
+      const auto res_l =
+          core::round_to_dominating_set(instance.g, lp_exact->x, lnln);
+      if (!verify::is_dominating_set(instance.g, res_l.in_set)) return 1;
+      lnln_sizes.add(static_cast<double>(res_l.size));
+      lnln_random.add(static_cast<double>(res_l.selected_randomly));
+    }
+    const double d_opt = static_cast<double>(opt);
+    table.add_row(
+        {instance.name, common::fmt_int(instance.g.max_degree()),
+         common::fmt_int(static_cast<long long>(opt)),
+         common::fmt_double(plain_sizes.mean(), 2),
+         common::fmt_double(
+             core::rounding_ratio_bound(instance.g.max_degree(), 1.0) * d_opt, 1),
+         common::fmt_double(lnln_sizes.mean(), 2),
+         common::fmt_double(
+             core::rounding_ratio_bound_log_log(instance.g.max_degree(), 1.0) *
+                 d_opt, 1),
+         common::fmt_double(lnln_random.mean(), 1),
+         common::fmt_double(plain_random.mean(), 1)});
+  }
+  bench::print_table(
+      "Remark after Theorem 3: ln vs (ln - ln ln) scaling (" +
+          std::to_string(kSeeds) + " seeds, LP* input)",
+      "Shape to verify: both variants respect their bounds; the ln-ln "
+      "variant selects fewer nodes in the random phase on high-degree "
+      "instances (larger Delta => bigger gap).",
+      table);
+  return 0;
+}

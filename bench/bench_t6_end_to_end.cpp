@@ -1,0 +1,63 @@
+// Experiment T6 -- Theorem 6 (the headline result): Algorithm 3 composed
+// with Algorithm 1 yields an expected O(k * Delta^{2/k} * log Delta)
+// approximation of MDS in O(k^2) rounds.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+constexpr std::uint64_t kSeeds = 60;
+
+}  // namespace
+
+int main() {
+  using namespace domset;
+  std::cout << "T6: end-to-end distributed dominating set vs Theorem 6\n";
+
+  common::text_table table({"instance", "OPT", "k", "E[|DS|]", "+-ci95",
+                            "ratio", "bound", "rounds", "msgs/node"});
+  for (const auto& instance : bench::standard_instances()) {
+    const std::size_t opt = bench::exact_optimum(instance.g);
+    for (std::uint32_t k : {1U, 2U, 3U, 4U}) {
+      common::running_stats sizes;
+      std::size_t rounds = 0;
+      std::uint64_t max_msgs = 0;
+      double bound = 0.0;
+      for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        core::pipeline_params params;
+        params.k = k;
+        params.seed = seed;
+        const auto res = core::compute_dominating_set(instance.g, params);
+        if (!verify::is_dominating_set(instance.g, res.in_set)) {
+          std::cerr << "BUG: not dominating on " << instance.name << "\n";
+          return 1;
+        }
+        sizes.add(static_cast<double>(res.size));
+        rounds = res.total_rounds;
+        max_msgs = std::max(max_msgs,
+                            res.fractional.metrics.max_messages_per_node);
+        bound = res.expected_ratio_bound;
+      }
+      table.add_row(
+          {instance.name, common::fmt_int(opt), common::fmt_int(k),
+           common::fmt_double(sizes.mean(), 2),
+           common::fmt_double(sizes.ci95_halfwidth(), 2),
+           common::fmt_double(sizes.mean() / static_cast<double>(opt), 3),
+           common::fmt_double(bound, 1),
+           common::fmt_int(static_cast<long long>(rounds)),
+           common::fmt_int(static_cast<long long>(max_msgs))});
+    }
+  }
+  bench::print_table(
+      "Theorem 6: expected |DS| / |DS_OPT| of the full pipeline (" +
+          std::to_string(kSeeds) + " seeds)",
+      "Shape to verify: measured ratio <= bound everywhere; constant rounds "
+      "independent of n; quality improves with k at quadratic round cost.",
+      table);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Mobile topology churn: why constant-time matters.
+//
+// The paper's introduction argues that ad-hoc networks change so often
+// that recomputing a dominating set must be cheap.  This example simulates
+// epochs of node movement (random waypoint-ish jitter) and re-runs the
+// constant-round pipeline after each epoch, tracking how the head set and
+// its quality evolve.  The cost per epoch is O(k^2) rounds regardless of
+// network size -- the property that makes per-epoch recomputation viable.
+//
+//   ./dynamic_network [--n 300] [--radius 0.1] [--epochs 8] [--step 0.02]
+//                     [--k 2] [--seed 11]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace domset;
+
+/// Rebuilds the unit-disk graph from positions.
+graph::graph build_udg(const std::vector<double>& x,
+                       const std::vector<double>& y, double radius) {
+  graph::graph_builder b(x.size());
+  const double r2 = radius * radius;
+  for (graph::node_id i = 0; i < x.size(); ++i) {
+    for (graph::node_id j = i + 1; j < x.size(); ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx * dx + dy * dy <= r2) b.add_edge(i, j);
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::cli_parser cli("Recompute cluster heads under topology churn");
+  cli.add_flag("n", "300", "number of mobile nodes");
+  cli.add_flag("radius", "0.1", "radio range");
+  cli.add_flag("epochs", "8", "movement epochs to simulate");
+  cli.add_flag("step", "0.02", "max movement per epoch");
+  cli.add_flag("k", "2", "trade-off parameter");
+  cli.add_flag("seed", "11", "random seed");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const double radius = cli.get_double("radius");
+  const double step = cli.get_double("step");
+  common::rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = gen.next_double();
+    y[i] = gen.next_double();
+  }
+
+  std::printf("%6s %10s %8s %8s %10s %10s %9s\n", "epoch", "edges", "Delta",
+              "heads", "churn", "dual LB", "rounds");
+  std::vector<std::uint8_t> previous_heads;
+  for (int epoch = 0; epoch < cli.get_int("epochs"); ++epoch) {
+    const graph::graph g = build_udg(x, y, radius);
+
+    core::pipeline_params params;
+    params.k = static_cast<std::uint32_t>(cli.get_int("k"));
+    params.seed = static_cast<std::uint64_t>(epoch) + 100;
+    const auto res = core::compute_dominating_set(g, params);
+    if (!verify::is_dominating_set(g, res.in_set)) {
+      std::fprintf(stderr, "BUG: invalid head set at epoch %d\n", epoch);
+      return 1;
+    }
+
+    // Churn: heads that changed since the previous epoch.
+    std::size_t churn = 0;
+    if (!previous_heads.empty()) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (res.in_set[i] != previous_heads[i]) ++churn;
+    }
+    previous_heads = res.in_set;
+
+    std::printf("%6d %10zu %8u %8zu %10zu %10.1f %9zu\n", epoch,
+                g.edge_count(), g.max_degree(), res.size, churn,
+                graph::dual_lower_bound(g), res.total_rounds);
+
+    // Move nodes (reflecting at the borders).
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = std::fabs(x[i] + (gen.next_double() * 2.0 - 1.0) * step);
+      y[i] = std::fabs(y[i] + (gen.next_double() * 2.0 - 1.0) * step);
+      if (x[i] > 1.0) x[i] = 2.0 - x[i];
+      if (y[i] > 1.0) y[i] = 2.0 - y[i];
+    }
+  }
+  std::puts("\nrounds per epoch are constant in n -- recomputation stays "
+            "affordable at any scale (the paper's motivation).");
+  return 0;
+}

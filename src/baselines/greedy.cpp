@@ -1,0 +1,78 @@
+#include "baselines/greedy.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace domset::baselines {
+
+namespace {
+
+using graph::node_id;
+
+/// Core loop shared by both variants: `score` returns the figure of merit
+/// for picking v given its current span (higher is better); nodes with span
+/// 0 are never picked.
+template <typename ScoreFn>
+greedy_result greedy_impl(const graph::graph& g, ScoreFn&& score) {
+  const std::size_t n = g.node_count();
+  greedy_result res;
+  res.in_set.assign(n, 0);
+
+  std::vector<std::uint8_t> covered(n, 0);
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    node_id best = graph::invalid_node;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (node_id v = 0; v < n; ++v) {
+      if (res.in_set[v]) continue;
+      std::size_t span = covered[v] ? 0 : 1;
+      for (const node_id u : g.neighbors(v)) span += covered[u] ? 0 : 1;
+      if (span == 0) continue;
+      const double s = score(v, span);
+      if (s > best_score) {  // strict: ties go to the lowest id
+        best_score = s;
+        best = v;
+      }
+    }
+    if (best == graph::invalid_node)
+      throw std::logic_error("greedy_mds: no candidate covers anything");
+    res.in_set[best] = 1;
+    res.pick_order.push_back(best);
+    ++res.size;
+    g.for_closed_neighborhood(best, [&](node_id u) {
+      if (!covered[u]) {
+        covered[u] = 1;
+        --remaining;
+      }
+    });
+  }
+  return res;
+}
+
+}  // namespace
+
+greedy_result greedy_mds(const graph::graph& g) {
+  return greedy_impl(
+      g, [](node_id, std::size_t span) { return static_cast<double>(span); });
+}
+
+greedy_result greedy_weighted_mds(const graph::graph& g,
+                                  std::span<const double> cost) {
+  if (cost.size() != g.node_count())
+    throw std::invalid_argument("greedy_weighted_mds: cost size mismatch");
+  for (const double c : cost)
+    if (c <= 0.0)
+      throw std::invalid_argument("greedy_weighted_mds: costs must be > 0");
+  return greedy_impl(g, [&](node_id v, std::size_t span) {
+    return static_cast<double>(span) / cost[v];
+  });
+}
+
+double greedy_ratio_bound(std::uint32_t delta) {
+  double h = 0.0;
+  for (std::uint32_t i = 1; i <= delta + 1; ++i)
+    h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+}  // namespace domset::baselines

@@ -1,0 +1,35 @@
+// The classical sequential greedy dominating set algorithm
+// [Chvatal 79, Johnson 74, Lovasz 75, Slavik 96]: repeatedly pick the node
+// covering the most uncovered nodes.  Approximation ratio ln(Delta) + O(1)
+// (H_{Delta+1} exactly); the best possible for polynomial algorithms up to
+// lower-order terms [Feige 98].  Serves as the paper's quality yardstick
+// (Sect. 2) -- it is centralized, so its "rounds" are not comparable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace domset::baselines {
+
+struct greedy_result {
+  std::vector<std::uint8_t> in_set;
+  std::size_t size = 0;
+  /// Nodes in the order greedy picked them.
+  std::vector<graph::node_id> pick_order;
+};
+
+/// Unweighted greedy (ties broken by lowest node id, so fully
+/// deterministic).
+[[nodiscard]] greedy_result greedy_mds(const graph::graph& g);
+
+/// Weighted greedy: picks the node minimizing cost per newly covered node.
+[[nodiscard]] greedy_result greedy_weighted_mds(const graph::graph& g,
+                                                std::span<const double> cost);
+
+/// The greedy guarantee H_{Delta+1} = sum_{i=1}^{Delta+1} 1/i.
+[[nodiscard]] double greedy_ratio_bound(std::uint32_t delta);
+
+}  // namespace domset::baselines

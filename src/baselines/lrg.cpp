@@ -1,0 +1,167 @@
+#include "baselines/lrg.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace domset::baselines {
+
+namespace {
+
+using graph::node_id;
+
+enum lrg_tag : std::uint16_t {
+  tag_span = 1,
+  tag_max1 = 2,
+  tag_candidate = 3,
+  tag_support = 4,
+  tag_join = 5,
+  tag_color = 6,
+};
+
+[[nodiscard]] std::uint32_t value_bits(std::uint64_t v) noexcept {
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::bit_width(v)));
+}
+
+class lrg_program final : public sim::node_program {
+ public:
+  void on_round(sim::round_context& ctx,
+                std::span<const sim::message> inbox) override {
+    if (finished_) return;
+    switch (ctx.round() % 6) {
+      case 0: {  // span
+        if (ctx.round() == 0) {
+          // Initially everyone is white.
+          neighbor_white_.assign(ctx.neighbors().size(), 1);
+        } else {
+          // Colors announced at the end of the previous phase.
+          update_neighbor_colors(ctx, inbox);
+        }
+        span_ = white_ ? 1 : 0;
+        for (const std::uint8_t w : neighbor_white_) span_ += w;
+        ctx.broadcast(tag_span, span_, value_bits(span_));
+        break;
+      }
+      case 1: {  // max1
+        max1_ = span_;
+        for (const sim::message& msg : inbox)
+          if (msg.tag == tag_span)
+            max1_ = std::max(max1_, static_cast<std::uint32_t>(msg.payload));
+        ctx.broadcast(tag_max1, max1_, value_bits(max1_));
+        break;
+      }
+      case 2: {  // max2 + candidacy
+        std::uint32_t max2 = max1_;
+        for (const sim::message& msg : inbox)
+          if (msg.tag == tag_max1)
+            max2 = std::max(max2, static_cast<std::uint32_t>(msg.payload));
+        if (max2 == 0) {
+          // No white node within two hops: this node's part is done.
+          finished_ = true;
+          return;
+        }
+        candidate_ = span_ >= 1 && 2 * span_ >= max2;
+        if (candidate_) ctx.broadcast(tag_candidate, 1, 1);
+        break;
+      }
+      case 3: {  // support (white nodes only)
+        if (white_) {
+          std::uint32_t support = candidate_ ? 1 : 0;
+          for (const sim::message& msg : inbox)
+            if (msg.tag == tag_candidate) ++support;
+          ctx.broadcast(tag_support, support, value_bits(support));
+          own_support_ = support;
+        }
+        break;
+      }
+      case 4: {  // join decision (candidates only)
+        joined_now_ = false;
+        if (candidate_ && !in_set_) {
+          std::vector<std::uint32_t> supports;
+          if (white_) supports.push_back(own_support_);
+          for (const sim::message& msg : inbox)
+            if (msg.tag == tag_support)
+              supports.push_back(static_cast<std::uint32_t>(msg.payload));
+          if (!supports.empty()) {
+            std::sort(supports.begin(), supports.end());
+            const std::uint32_t med = supports[(supports.size() - 1) / 2];
+            const double p = med == 0 ? 1.0 : 1.0 / static_cast<double>(med);
+            if (ctx.random().next_bernoulli(p)) {
+              in_set_ = true;
+              joined_now_ = true;
+            }
+          }
+        }
+        if (joined_now_) ctx.broadcast(tag_join, 1, 1);
+        break;
+      }
+      case 5: {  // color update + announcement
+        bool covered_now = in_set_;
+        for (const sim::message& msg : inbox)
+          if (msg.tag == tag_join) covered_now = true;
+        if (covered_now) white_ = false;
+        ctx.broadcast(tag_color, white_ ? 0 : 1, 1);
+        break;
+      }
+      default: break;
+    }
+  }
+
+  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] bool in_set() const { return in_set_; }
+
+ private:
+  void update_neighbor_colors(sim::round_context& ctx,
+                              std::span<const sim::message> inbox) {
+    // Inbox is sorted by sender; neighbors() is sorted too, so walk both.
+    const auto nbrs = ctx.neighbors();
+    std::size_t idx = 0;
+    for (const sim::message& msg : inbox) {
+      if (msg.tag != tag_color) continue;
+      while (idx < nbrs.size() && nbrs[idx] < msg.from) ++idx;
+      if (idx < nbrs.size() && nbrs[idx] == msg.from)
+        neighbor_white_[idx] = msg.payload == 0 ? 1 : 0;
+    }
+  }
+
+  bool white_ = true;
+  bool in_set_ = false;
+  bool candidate_ = false;
+  bool joined_now_ = false;
+  bool finished_ = false;
+  std::uint32_t span_ = 0;
+  std::uint32_t max1_ = 0;
+  std::uint32_t own_support_ = 0;
+  std::vector<std::uint8_t> neighbor_white_;
+};
+
+}  // namespace
+
+lrg_result lrg_mds(const graph::graph& g, const lrg_params& params) {
+  const std::size_t n = g.node_count();
+  lrg_result result;
+  result.in_set.assign(n, 0);
+  if (n == 0) return result;
+
+  sim::engine_config cfg;
+  cfg.seed = params.seed;
+  cfg.max_rounds = params.max_rounds;
+  cfg.drop_probability = params.drop_probability;
+  sim::engine engine(g, cfg);
+  engine.load([](graph::node_id) { return std::make_unique<lrg_program>(); });
+  result.metrics = engine.run();
+  result.phases = (result.metrics.rounds + 5) / 6;
+
+  for (graph::node_id v = 0; v < n; ++v) {
+    if (engine.program_as<lrg_program>(v).in_set()) {
+      result.in_set[v] = 1;
+      ++result.size;
+    }
+  }
+  return result;
+}
+
+}  // namespace domset::baselines

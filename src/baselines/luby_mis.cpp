@@ -1,0 +1,98 @@
+#include "baselines/luby_mis.hpp"
+
+#include <bit>
+#include <memory>
+
+#include "sim/engine.hpp"
+
+namespace domset::baselines {
+
+namespace {
+
+enum luby_tag : std::uint16_t { tag_priority = 1, tag_join = 2 };
+
+/// Phase = 2 rounds: priorities out, then join decisions out.  Join
+/// announcements are consumed at the start of the next phase.
+class luby_program final : public sim::node_program {
+ public:
+  explicit luby_program(std::uint64_t priority_bound)
+      : priority_bound_(priority_bound) {}
+
+  void on_round(sim::round_context& ctx,
+                std::span<const sim::message> inbox) override {
+    if (finished_) return;
+    if (ctx.round() % 2 == 0) {
+      // Consume join announcements from the previous phase.
+      for (const sim::message& msg : inbox) {
+        if (msg.tag == tag_join) {
+          finished_ = true;  // covered by a new MIS neighbor
+          return;
+        }
+      }
+      // Draw and announce this phase's priority.
+      priority_ = ctx.random().next_below(priority_bound_);
+      ctx.broadcast(tag_priority, priority_,
+                    sim::bits_for_values(priority_bound_));
+    } else {
+      // Join iff strictly smaller (priority, id) than every undecided
+      // neighbor (only undecided neighbors sent priorities).
+      bool local_min = true;
+      for (const sim::message& msg : inbox) {
+        if (msg.tag != tag_priority) continue;
+        if (msg.payload < priority_ ||
+            (msg.payload == priority_ && msg.from < ctx.id())) {
+          local_min = false;
+          break;
+        }
+      }
+      if (local_min) {
+        in_set_ = true;
+        finished_ = true;
+        ctx.broadcast(tag_join, 1, 1);
+      }
+    }
+  }
+
+  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] bool in_set() const { return in_set_; }
+
+ private:
+  std::uint64_t priority_bound_;
+  std::uint64_t priority_ = 0;
+  bool in_set_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+luby_result luby_mis(const graph::graph& g, const luby_params& params) {
+  const std::size_t n = g.node_count();
+  luby_result result;
+  result.in_set.assign(n, 0);
+  if (n == 0) return result;
+
+  // O(log n)-bit priorities: collisions are broken by id, so n^3 head-room
+  // only keeps them rare.
+  const std::uint64_t bound =
+      n < 2'000'000 ? static_cast<std::uint64_t>(n) * n * n : ~0ULL;
+
+  sim::engine_config cfg;
+  cfg.seed = params.seed;
+  cfg.max_rounds = params.max_rounds;
+  sim::engine engine(g, cfg);
+  engine.load([bound](graph::node_id) {
+    return std::make_unique<luby_program>(bound);
+  });
+  result.metrics = engine.run();
+  result.phases = (result.metrics.rounds + 1) / 2;
+
+  for (graph::node_id v = 0; v < n; ++v) {
+    if (engine.program_as<luby_program>(v).in_set()) {
+      result.in_set[v] = 1;
+      ++result.size;
+    }
+  }
+  return result;
+}
+
+}  // namespace domset::baselines

@@ -1,0 +1,54 @@
+#include "baselines/simple.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "graph/properties.hpp"
+#include "lp/lp_mds.hpp"
+
+namespace domset::baselines {
+
+std::vector<std::uint8_t> trivial_all_nodes(const graph::graph& g) {
+  return std::vector<std::uint8_t>(g.node_count(), 1);
+}
+
+central_lp_rounding_result centralized_lp_rounding(const graph::graph& g,
+                                                   std::uint64_t seed) {
+  const std::size_t n = g.node_count();
+  central_lp_rounding_result res;
+  res.in_set.assign(n, 0);
+  if (n == 0) return res;
+
+  const auto lp_opt = lp::solve_lp_mds(g);
+  if (!lp_opt.has_value())
+    throw std::runtime_error("centralized_lp_rounding: simplex did not solve");
+  res.lp_value = lp_opt->value;
+
+  const auto d2 = graph::max_degree_2hop(g);
+  common::rng gen(seed);
+  for (graph::node_id v = 0; v < n; ++v) {
+    const double p = std::min(
+        1.0, lp_opt->x[v] * std::log(static_cast<double>(d2[v]) + 1.0));
+    if (gen.next_bernoulli(p)) res.in_set[v] = 1;
+  }
+  // Line 5-6 fix-up, applied centrally.
+  for (graph::node_id v = 0; v < n; ++v) {
+    bool covered = res.in_set[v] != 0;
+    if (!covered) {
+      for (const graph::node_id u : g.neighbors(v)) {
+        if (res.in_set[u] != 0) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (!covered) res.in_set[v] = 1;
+  }
+  res.size = static_cast<std::size_t>(
+      std::count(res.in_set.begin(), res.in_set.end(), 1));
+  return res;
+}
+
+}  // namespace domset::baselines

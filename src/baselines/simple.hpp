@@ -1,0 +1,28 @@
+// Trivial and centralized reference baselines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace domset::baselines {
+
+/// The trivial dominating set V (every node).  The paper's "O(Delta) is
+/// trivial" remark: |V| <= (Delta+1)*|DS_OPT|.
+[[nodiscard]] std::vector<std::uint8_t> trivial_all_nodes(
+    const graph::graph& g);
+
+/// Centralized LP + randomized rounding reference: solves LP_MDS exactly
+/// with simplex (alpha = 1) and applies the Algorithm 1 rounding formula
+/// centrally.  This is the quality ceiling of the paper's framework (what
+/// Algorithm 1 would produce given a perfect fractional solution).
+struct central_lp_rounding_result {
+  std::vector<std::uint8_t> in_set;
+  std::size_t size = 0;
+  double lp_value = 0.0;
+};
+[[nodiscard]] central_lp_rounding_result centralized_lp_rounding(
+    const graph::graph& g, std::uint64_t seed);
+
+}  // namespace domset::baselines

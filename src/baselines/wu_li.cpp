@@ -1,0 +1,213 @@
+#include "baselines/wu_li.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace domset::baselines {
+
+namespace {
+
+using graph::node_id;
+
+enum wu_li_tag : std::uint16_t {
+  tag_nbr = 1,
+  tag_marked = 2,
+  tag_dominator = 3,
+  tag_orphan = 4,
+  tag_join = 5,
+};
+
+[[nodiscard]] std::uint32_t value_bits(std::uint64_t v) noexcept {
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::bit_width(v)));
+}
+
+class wu_li_program final : public sim::node_program {
+ public:
+  void on_round(sim::round_context& ctx,
+                std::span<const sim::message> inbox) override {
+    if (finished_) return;
+    switch (ctx.round()) {
+      case 0: {  // announce the neighbor list, one entry per message
+        for (const node_id u : ctx.neighbors())
+          ctx.broadcast(tag_nbr, u, value_bits(u));
+        break;
+      }
+      case 1: {  // collect 2-hop topology; mark; exchange marked bits
+        collect_neighbor_lists(ctx, inbox);
+        marked_ = has_two_nonadjacent_neighbors(ctx);
+        ctx.broadcast(tag_marked, marked_ ? 1 : 0, 1);
+        break;
+      }
+      case 2: {  // pruning rules against the initial marking
+        std::vector<std::uint8_t> nbr_marked(ctx.neighbors().size(), 0);
+        fill_bits(ctx, inbox, tag_marked, nbr_marked);
+        dominator_ = marked_ && !pruned_by_rule1(ctx, nbr_marked) &&
+                     !pruned_by_rule2(ctx, nbr_marked);
+        ctx.broadcast(tag_dominator, dominator_ ? 1 : 0, 1);
+        break;
+      }
+      case 3: {  // orphan detection
+        bool dominated = dominator_;
+        for (const sim::message& msg : inbox)
+          if (msg.tag == tag_dominator && msg.payload == 1) dominated = true;
+        orphan_ = !dominated;
+        if (orphan_) ctx.broadcast(tag_orphan, 1, 1);
+        break;
+      }
+      case 4: {  // highest-id orphan of each closed neighborhood joins
+        if (orphan_) {
+          bool is_local_max = true;
+          for (const sim::message& msg : inbox)
+            if (msg.tag == tag_orphan && msg.from > ctx.id())
+              is_local_max = false;
+          if (is_local_max) {
+            orphan_join_ = true;
+            ctx.broadcast(tag_join, 1, 1);
+          }
+        }
+        finished_ = true;
+        break;
+      }
+      default:
+        finished_ = true;
+        break;
+    }
+  }
+
+  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] bool marked() const { return marked_; }
+  [[nodiscard]] bool in_set() const { return dominator_ || orphan_join_; }
+  [[nodiscard]] bool orphan_join() const { return orphan_join_; }
+
+ private:
+  /// neighbor_lists_[i] = sorted open neighborhood of ctx.neighbors()[i].
+  void collect_neighbor_lists(sim::round_context& ctx,
+                              std::span<const sim::message> inbox) {
+    const auto nbrs = ctx.neighbors();
+    neighbor_lists_.assign(nbrs.size(), {});
+    for (const sim::message& msg : inbox) {
+      if (msg.tag != tag_nbr) continue;
+      const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), msg.from);
+      if (it != nbrs.end() && *it == msg.from)
+        neighbor_lists_[static_cast<std::size_t>(it - nbrs.begin())]
+            .push_back(static_cast<node_id>(msg.payload));
+    }
+    for (auto& list : neighbor_lists_) std::sort(list.begin(), list.end());
+  }
+
+  [[nodiscard]] static bool contains(const std::vector<node_id>& sorted,
+                                     node_id v) {
+    return std::binary_search(sorted.begin(), sorted.end(), v);
+  }
+
+  [[nodiscard]] bool has_two_nonadjacent_neighbors(
+      sim::round_context& ctx) const {
+    const auto nbrs = ctx.neighbors();
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+        if (!contains(neighbor_lists_[i], nbrs[j])) return true;
+    return false;
+  }
+
+  /// Rule 1: exists marked u in N(v), id(u) > id(v), N[v] subseteq N[u].
+  [[nodiscard]] bool pruned_by_rule1(
+      sim::round_context& ctx,
+      const std::vector<std::uint8_t>& nbr_marked) const {
+    const auto nbrs = ctx.neighbors();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const node_id u = nbrs[i];
+      if (!nbr_marked[i] || u <= ctx.id()) continue;
+      // N[v] subseteq N[u]  <=>  every neighbor of v (other than u) is
+      // adjacent to u (v itself is adjacent to u by construction).
+      bool covered = true;
+      for (const node_id w : nbrs) {
+        if (w == u) continue;
+        if (!contains(neighbor_lists_[i], w)) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered) return true;
+    }
+    return false;
+  }
+
+  /// Rule 2: exist adjacent marked u,w in N(v) with higher ids such that
+  /// N(v) subseteq N(u) cup N(w).
+  [[nodiscard]] bool pruned_by_rule2(
+      sim::round_context& ctx,
+      const std::vector<std::uint8_t>& nbr_marked) const {
+    const auto nbrs = ctx.neighbors();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!nbr_marked[i] || nbrs[i] <= ctx.id()) continue;
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (!nbr_marked[j] || nbrs[j] <= ctx.id()) continue;
+        if (!contains(neighbor_lists_[i], nbrs[j])) continue;  // u-w edge
+        bool covered = true;
+        for (const node_id t : nbrs) {
+          if (t == nbrs[i] || t == nbrs[j]) continue;
+          if (!contains(neighbor_lists_[i], t) &&
+              !contains(neighbor_lists_[j], t)) {
+            covered = false;
+            break;
+          }
+        }
+        if (covered) return true;
+      }
+    }
+    return false;
+  }
+
+  void fill_bits(sim::round_context& ctx, std::span<const sim::message> inbox,
+                 std::uint16_t tag, std::vector<std::uint8_t>& out) const {
+    const auto nbrs = ctx.neighbors();
+    for (const sim::message& msg : inbox) {
+      if (msg.tag != tag) continue;
+      const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), msg.from);
+      if (it != nbrs.end() && *it == msg.from)
+        out[static_cast<std::size_t>(it - nbrs.begin())] =
+            msg.payload != 0 ? 1 : 0;
+    }
+  }
+
+  std::vector<std::vector<node_id>> neighbor_lists_;
+  bool marked_ = false;
+  bool dominator_ = false;
+  bool orphan_ = false;
+  bool orphan_join_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+wu_li_result wu_li_mds(const graph::graph& g, std::uint64_t seed) {
+  const std::size_t n = g.node_count();
+  wu_li_result result;
+  result.in_set.assign(n, 0);
+  if (n == 0) return result;
+
+  sim::engine_config cfg;
+  cfg.seed = seed;
+  cfg.max_rounds = 8;
+  sim::engine engine(g, cfg);
+  engine.load(
+      [](graph::node_id) { return std::make_unique<wu_li_program>(); });
+  result.metrics = engine.run();
+
+  for (graph::node_id v = 0; v < n; ++v) {
+    const auto& prog = engine.program_as<wu_li_program>(v);
+    if (prog.in_set()) {
+      result.in_set[v] = 1;
+      ++result.size;
+    }
+    if (prog.marked()) ++result.marked_initially;
+    if (prog.orphan_join()) ++result.orphan_joins;
+  }
+  return result;
+}
+
+}  // namespace domset::baselines

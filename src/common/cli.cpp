@@ -1,0 +1,96 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace domset::common {
+
+cli_parser::cli_parser(std::string description)
+    : description_(std::move(description)) {}
+
+void cli_parser::add_flag(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  specs_[name] = flag_spec{default_value, help, false};
+}
+
+void cli_parser::add_switch(const std::string& name, const std::string& help) {
+  specs_[name] = flag_spec{"false", help, true};
+}
+
+bool cli_parser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
+                   arg.c_str(), usage(argv[0]).c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      std::fprintf(stderr, "unknown flag '--%s'\n%s", name.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    if (it->second.is_switch) {
+      values_[name] = has_value ? value : "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag '--%s' expects a value\n%s", name.c_str(),
+                     usage(argv[0]).c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string cli_parser::get_string(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end())
+    return it->second;
+  if (const auto it = specs_.find(name); it != specs_.end())
+    return it->second.default_value;
+  throw std::invalid_argument("unregistered flag: " + name);
+}
+
+std::int64_t cli_parser::get_int(const std::string& name) const {
+  return std::strtoll(get_string(name).c_str(), nullptr, 10);
+}
+
+double cli_parser::get_double(const std::string& name) const {
+  return std::strtod(get_string(name).c_str(), nullptr);
+}
+
+bool cli_parser::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string cli_parser::usage(const std::string& program) const {
+  std::string out = description_ + "\n\nusage: " + program + " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    out += "  --" + name;
+    if (!spec.is_switch) out += " <value> (default: " + spec.default_value + ")";
+    out += "\n      " + spec.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace domset::common

@@ -1,0 +1,50 @@
+// Minimal command-line flag parsing for the examples and bench binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Unknown flags are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace domset::common {
+
+class cli_parser {
+ public:
+  /// `description` is printed by `usage()`.
+  explicit cli_parser(std::string description);
+
+  /// Registers a flag with a default value (rendered in usage).
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Registers a boolean switch (present => true).
+  void add_switch(const std::string& name, const std::string& help);
+
+  /// Parses argv.  Returns false (after printing usage) on error or --help.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Usage text listing all registered flags.
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct flag_spec {
+    std::string default_value;
+    std::string help;
+    bool is_switch = false;
+  };
+
+  std::string description_;
+  std::map<std::string, flag_spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace domset::common

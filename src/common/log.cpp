@@ -1,0 +1,37 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace domset::common {
+
+namespace {
+log_level g_level = log_level::warn;
+
+void vlog(log_level level, const char* tag, const char* fmt, va_list args) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] ", tag);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+}  // namespace
+
+void set_log_level(log_level level) noexcept { g_level = level; }
+log_level current_log_level() noexcept { return g_level; }
+
+#define DOMSET_DEFINE_LOG_FN(fn, level, tag)      \
+  void fn(const char* fmt, ...) {                 \
+    va_list args;                                 \
+    va_start(args, fmt);                          \
+    vlog(level, tag, fmt, args);                  \
+    va_end(args);                                 \
+  }
+
+DOMSET_DEFINE_LOG_FN(log_error, log_level::error, "error")
+DOMSET_DEFINE_LOG_FN(log_warn, log_level::warn, "warn")
+DOMSET_DEFINE_LOG_FN(log_info, log_level::info, "info")
+DOMSET_DEFINE_LOG_FN(log_debug, log_level::debug, "debug")
+
+#undef DOMSET_DEFINE_LOG_FN
+
+}  // namespace domset::common

@@ -1,0 +1,22 @@
+// Lightweight leveled logging.  Off by default; benches/examples turn on
+// `info` to narrate progress.  Not thread-safe by design: the simulator is
+// single-threaded (the synchronous model is deterministic round-lockstep).
+#pragma once
+
+#include <string>
+
+namespace domset::common {
+
+enum class log_level { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
+
+/// Sets the global level; messages above it are discarded.
+void set_log_level(log_level level) noexcept;
+[[nodiscard]] log_level current_log_level() noexcept;
+
+/// printf-style logging helpers.
+void log_error(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_warn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_info(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void log_debug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace domset::common

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// The simulator requires (a) deterministic replay given a global seed and
+// (b) statistically independent streams per network node.  We use
+// splitmix64 to derive stream seeds and xoshiro256** as the workhorse
+// generator; both are small, fast and well studied.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace domset::common {
+
+/// splitmix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seed derivation (its outputs are equidistributed and decorrelate
+/// even consecutive seeds).
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// Derives a well-mixed 64-bit seed from a (global seed, stream id) pair.
+/// Distinct (seed, stream) pairs map to decorrelated values.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t global_seed,
+                                        std::uint64_t stream_id) noexcept;
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, but we provide the handful of
+/// distributions the library needs directly (portable across standard
+/// library implementations, unlike std::uniform_real_distribution).
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Constructs the generator for stream `stream_id` of `global_seed`.
+  rng(std::uint64_t global_seed, std::uint64_t stream_id) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire rejection).
+  /// Precondition: bound > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial: true with probability `p` (clamped to [0, 1]).
+  [[nodiscard]] bool next_bernoulli(double p) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method).
+  [[nodiscard]] double next_normal() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Fisher–Yates shuffle of the index range [0, n) materialised as a vector.
+/// Lives here (not <algorithm>) so shuffles are reproducible across
+/// platforms: std::shuffle's use of the URBG is implementation-defined.
+template <typename T>
+void shuffle_span(T* data, std::size_t n, rng& gen) {
+  if (n < 2) return;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = gen.next_below(i + 1);
+    if (i != j) {
+      T tmp = data[i];
+      data[i] = data[j];
+      data[j] = tmp;
+    }
+  }
+}
+
+}  // namespace domset::common

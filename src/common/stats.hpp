@@ -1,0 +1,56 @@
+// Descriptive statistics for experiment harnesses and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace domset::common {
+
+/// Single-pass accumulator (Welford) for mean / variance / extremes.
+class running_stats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Half-width of the ~95% normal-approximation confidence interval for the
+  /// mean (1.96 * stderr); 0 for fewer than two samples.
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Median of a sample (copies; does not reorder the input).
+[[nodiscard]] double median(std::span<const double> values);
+
+/// p-th percentile (0 <= p <= 100) by linear interpolation between order
+/// statistics.  Returns 0 for an empty sample.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Convenience: summarise a vector of doubles.
+struct summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double ci95 = 0.0;
+};
+
+[[nodiscard]] summary summarize(std::span<const double> values);
+
+}  // namespace domset::common

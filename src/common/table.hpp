@@ -1,0 +1,50 @@
+// Aligned plain-text tables and CSV output for the experiment harnesses.
+//
+// Every bench binary renders its results through this writer so tables in
+// EXPERIMENTS.md and on stdout share one format.
+#pragma once
+
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace domset::common {
+
+/// Column-aligned table: add a header once, then rows of cells; `print`
+/// pads columns to the widest cell.  Cells are preformatted strings; use
+/// the fmt_* helpers for numbers.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  /// Appends a row.  Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> row);
+
+  /// Renders to `out` with two-space column separation and a rule under the
+  /// header.
+  void print(std::ostream& out) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted).
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal rendering (no locale surprises).
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+
+/// Integer rendering.
+[[nodiscard]] std::string fmt_int(long long v);
+
+/// Renders "measured (<= bound)" pairs used by the experiment tables.
+[[nodiscard]] std::string fmt_vs_bound(double measured, double bound,
+                                       int precision = 3);
+
+}  // namespace domset::common

@@ -1,0 +1,102 @@
+#include "common/wide_uint.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace domset::common {
+
+wide_uint::wide_uint(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void wide_uint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+std::size_t wide_uint::bit_width() const noexcept {
+  if (limbs_.empty()) return 0;
+  return (limbs_.size() - 1) * 64 +
+         static_cast<std::size_t>(std::bit_width(limbs_.back()));
+}
+
+wide_uint& wide_uint::operator*=(const wide_uint& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint64_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      const __uint128_t cur = static_cast<__uint128_t>(limbs_[i]) *
+                                  rhs.limbs_[j] +
+                              out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    std::size_t pos = i + rhs.limbs_.size();
+    while (carry != 0) {
+      const __uint128_t cur = static_cast<__uint128_t>(out[pos]) + carry;
+      out[pos] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+      ++pos;
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const wide_uint& lhs,
+                                 const wide_uint& rhs) noexcept {
+  if (lhs.limbs_.size() != rhs.limbs_.size())
+    return lhs.limbs_.size() <=> rhs.limbs_.size();
+  for (std::size_t i = lhs.limbs_.size(); i-- > 0;) {
+    if (lhs.limbs_[i] != rhs.limbs_[i]) return lhs.limbs_[i] <=> rhs.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+wide_uint wide_uint::pow(std::uint64_t base, std::uint32_t exp) {
+  wide_uint result(1);
+  wide_uint acc(base);
+  while (exp != 0) {
+    if ((exp & 1U) != 0) result *= acc;
+    exp >>= 1U;
+    if (exp != 0) acc *= acc;
+  }
+  return result;
+}
+
+std::string wide_uint::to_hex() const {
+  if (limbs_.empty()) return "0x0";
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out = "0x";
+  bool leading = true;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      const auto nibble = static_cast<unsigned>((limbs_[i] >> shift) & 0xF);
+      if (leading && nibble == 0) continue;
+      leading = false;
+      out.push_back(digits[nibble]);
+    }
+  }
+  return out;
+}
+
+std::strong_ordering compare_pow(std::uint64_t a, std::uint32_t p,
+                                 std::uint64_t b, std::uint32_t q) {
+  // Fast path: both products fit comfortably in long double heuristics is
+  // tempting but incorrect at boundaries, so always use exact arithmetic.
+  // The exponents in our algorithms are <= k (tens), bases <= n, so the
+  // bignums stay small (a few hundred bytes) and this is never a hot path.
+  return wide_uint::pow(a, p) <=> wide_uint::pow(b, q);
+}
+
+bool geq_rational_power(std::uint64_t a, std::uint64_t b, std::uint32_t num,
+                        std::uint32_t den) {
+  assert(den > 0);
+  return compare_pow(a, den, b, num) >= 0;
+}
+
+}  // namespace domset::common

@@ -1,0 +1,72 @@
+// Arbitrary-precision unsigned integers for exact threshold arithmetic.
+//
+// Algorithms 2 and 3 of the paper gate node activity on conditions of the
+// form  delta >= (Delta+1)^{l/k}  and  delta >= gamma^{l/(l+1)}.  Deciding
+// these with floating point risks flipping a node's activity at exact
+// boundary cases (e.g. Delta+1 = 16, k = 4, threshold 16^{2/4} = 4), which
+// would silently break the Lemma 2/3/5/6 invariants the correctness proof
+// rests on.  Both conditions are equivalent to integer comparisons
+//   delta^k >= (Delta+1)^l     and     delta^{l+1} >= gamma^l,
+// which we evaluate exactly with a small big-unsigned type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace domset::common {
+
+/// Unbounded unsigned integer with just the operations exact threshold
+/// comparison needs: construction from u64, multiplication, powering and
+/// three-way comparison.  Limbs are base-2^64, little-endian.
+class wide_uint {
+ public:
+  /// Zero.
+  wide_uint() = default;
+
+  /// Value `v`.
+  explicit wide_uint(std::uint64_t v);
+
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_width() const noexcept;
+
+  wide_uint& operator*=(const wide_uint& rhs);
+  [[nodiscard]] friend wide_uint operator*(wide_uint lhs,
+                                           const wide_uint& rhs) {
+    lhs *= rhs;
+    return lhs;
+  }
+
+  friend std::strong_ordering operator<=>(const wide_uint& lhs,
+                                          const wide_uint& rhs) noexcept;
+  friend bool operator==(const wide_uint& lhs,
+                         const wide_uint& rhs) noexcept = default;
+
+  /// base^exp via binary exponentiation.  pow(0, 0) == 1 by convention.
+  [[nodiscard]] static wide_uint pow(std::uint64_t base, std::uint32_t exp);
+
+  /// Hex rendering (for diagnostics / tests).
+  [[nodiscard]] std::string to_hex() const;
+
+ private:
+  void trim();
+
+  std::vector<std::uint64_t> limbs_;  // little-endian, no trailing zeros
+};
+
+/// Exactly compares a^p with b^q.  Returns <0, 0, >0 like a spaceship.
+/// Handles all zero corner cases (0^0 == 1).
+[[nodiscard]] std::strong_ordering compare_pow(std::uint64_t a,
+                                               std::uint32_t p,
+                                               std::uint64_t b,
+                                               std::uint32_t q);
+
+/// True iff a >= b^{num/den}, i.e. a^den >= b^num, decided exactly.
+/// Precondition: den > 0.
+[[nodiscard]] bool geq_rational_power(std::uint64_t a, std::uint64_t b,
+                                      std::uint32_t num, std::uint32_t den);
+
+}  // namespace domset::common

@@ -1,0 +1,160 @@
+#include "core/alg2.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "common/wide_uint.hpp"
+#include "lp/lp_mds.hpp"
+#include "sim/engine.hpp"
+
+namespace domset::core {
+
+namespace {
+
+enum alg2_tag : std::uint16_t { tag_color = 1, tag_x = 2 };
+
+/// x-values in Algorithm 2 are always of the form (Delta+1)^{-m/k} (or 0),
+/// so nodes exchange the exponent m instead of a floating point value:
+/// O(log k) bits.  Payload 0 encodes x = 0; payload m+1 encodes exponent m.
+class alg2_program final : public sim::node_program {
+ public:
+  alg2_program(std::uint32_t k, std::uint32_t delta, double eps)
+      : k_(k), delta_plus_1_(delta + 1), eps_(eps) {}
+
+  void on_round(sim::round_context& ctx,
+                std::span<const sim::message> inbox) override {
+    if (finished_) return;
+    if (ctx.round() == 0) dyn_degree_ = ctx.degree() + 1;  // line 1
+
+    const std::size_t iteration = ctx.round() / 2;
+    const bool phase_a = ctx.round() % 2 == 0;
+    if (phase_a) {
+      // Line 12 of the previous iteration: color update from x-messages.
+      if (iteration > 0) apply_color_update(inbox);
+      // Lines 6-8: activity test and x raise.  The comparison
+      //   dyn_degree >= (Delta+1)^{ell/k}
+      // is decided exactly as dyn_degree^k >= (Delta+1)^ell.
+      const std::uint32_t ell = k_ - 1 - static_cast<std::uint32_t>(iteration / k_);
+      const std::uint32_t m = k_ - 1 - static_cast<std::uint32_t>(iteration % k_);
+      active_ = common::geq_rational_power(dyn_degree_, delta_plus_1_, ell, k_);
+      if (active_ && (!has_x_ || m < x_exponent_)) {
+        has_x_ = true;
+        x_exponent_ = m;  // x := max(x, (Delta+1)^{-m/k})
+      }
+      // Line 9: broadcast color.
+      ctx.broadcast(tag_color, gray_ ? 1 : 0, 1);
+    } else {
+      // Line 10: dynamic degree from the colors just received plus own
+      // color (both reflect line 12 of the previous iteration).
+      std::uint32_t whites = gray_ ? 0 : 1;
+      for (const sim::message& msg : inbox)
+        if (msg.tag == tag_color && msg.payload == 0) ++whites;
+      dyn_degree_ = whites;
+      // Line 11: broadcast x (exponent encoding).
+      const std::uint64_t payload = has_x_ ? x_exponent_ + 1 : 0;
+      ctx.broadcast(tag_x, payload, sim::bits_for_values(k_ + 1));
+      if (iteration + 1 == static_cast<std::size_t>(k_) * k_) finished_ = true;
+    }
+  }
+
+  [[nodiscard]] bool finished() const override { return finished_; }
+
+  [[nodiscard]] double x() const {
+    return has_x_ ? decode_exponent(x_exponent_) : 0.0;
+  }
+  [[nodiscard]] bool gray() const { return gray_; }
+  [[nodiscard]] std::uint32_t dyn_degree() const { return dyn_degree_; }
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  [[nodiscard]] double decode_exponent(std::uint32_t m) const {
+    return std::pow(static_cast<double>(delta_plus_1_),
+                    -static_cast<double>(m) / static_cast<double>(k_));
+  }
+
+  void apply_color_update(std::span<const sim::message> inbox) {
+    if (gray_) return;
+    double sum = x();
+    for (const sim::message& msg : inbox) {
+      if (msg.tag != tag_x || msg.payload == 0) continue;
+      sum += decode_exponent(static_cast<std::uint32_t>(msg.payload - 1));
+    }
+    if (sum >= 1.0 - eps_) gray_ = true;
+  }
+
+  std::uint32_t k_;
+  std::uint32_t delta_plus_1_;
+  double eps_;
+
+  std::uint32_t dyn_degree_ = 0;
+  bool gray_ = false;
+  bool active_ = false;
+  bool has_x_ = false;
+  std::uint32_t x_exponent_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+double alg2_ratio_bound(std::uint32_t delta, std::uint32_t k) {
+  return static_cast<double>(k) *
+         std::pow(static_cast<double>(delta) + 1.0, 2.0 / static_cast<double>(k));
+}
+
+lp_approx_result approximate_lp_known_delta(const graph::graph& g,
+                                            const lp_approx_params& params,
+                                            const alg2_observer* observer) {
+  if (params.k < 1)
+    throw std::invalid_argument("approximate_lp_known_delta: k >= 1 required");
+  const std::size_t n = g.node_count();
+  const std::uint32_t delta = g.max_degree();
+  const std::uint32_t k = params.k;
+
+  lp_approx_result result;
+  result.delta = delta;
+  result.k = k;
+  result.ratio_bound = alg2_ratio_bound(delta, k);
+  if (n == 0) return result;
+
+  sim::engine_config cfg;
+  cfg.seed = params.seed;
+  cfg.drop_probability = params.drop_probability;
+  cfg.congest_bit_limit = params.congest_bit_limit;
+  cfg.max_rounds = alg2_round_count(k) + 2;
+  sim::engine engine(g, cfg);
+  engine.load([&](graph::node_id) {
+    return std::make_unique<alg2_program>(k, delta, lp::feasibility_epsilon);
+  });
+
+  if (observer != nullptr) {
+    engine.set_round_observer([&, k](std::size_t round) {
+      if (round % 2 != 0) return;  // views snapshot after round-A compute
+      const std::size_t iteration = round / 2;
+      alg2_iteration_view view;
+      view.ell = k - 1 - static_cast<std::uint32_t>(iteration / k);
+      view.m = k - 1 - static_cast<std::uint32_t>(iteration % k);
+      view.x.resize(n);
+      view.gray.resize(n);
+      view.dyn_degree.resize(n);
+      view.active.resize(n);
+      for (graph::node_id v = 0; v < n; ++v) {
+        const auto& prog = engine.program_as<alg2_program>(v);
+        view.x[v] = prog.x();
+        view.gray[v] = prog.gray() ? 1 : 0;
+        view.dyn_degree[v] = prog.dyn_degree();
+        view.active[v] = prog.active() ? 1 : 0;
+      }
+      (*observer)(view);
+    });
+  }
+
+  result.metrics = engine.run();
+  result.x.resize(n);
+  for (graph::node_id v = 0; v < n; ++v)
+    result.x[v] = engine.program_as<alg2_program>(v).x();
+  result.objective = lp::objective(result.x);
+  return result;
+}
+
+}  // namespace domset::core

@@ -1,0 +1,29 @@
+// Ablation variant of Algorithm 2: fresh dynamic degrees.
+//
+// The paper's Algorithm 2 executes lines 6-8 (activity test, x raise)
+// *before* the color exchange of lines 9-10, so the dynamic degree used by
+// the test is one inner iteration stale (see alg2.hpp).  Reordering the
+// loop body to
+//     9: send color;  10: refresh dyn degree;  6-8: test and raise x;
+//     11: send x;     12: update color
+// costs nothing -- still two rounds per inner iteration, still 2k^2 rounds
+// total -- but the activity decision now sees every color update, and the
+// Lemma 4 z-bound holds *exactly* (the tests assert it without slack).
+//
+// This variant quantifies a reproduction finding: the literal pseudo-code
+// schedule pays a small constant-factor in the dual accounting that a
+// one-line reordering removes.  Bench A1 measures both.
+#pragma once
+
+#include "core/alg2.hpp"
+
+namespace domset::core {
+
+/// Runs the reordered (fresh-degree) Algorithm 2.  Same parameters,
+/// metrics, view semantics and guarantees as approximate_lp_known_delta;
+/// the view's dyn_degree is the *fresh* value used by the activity test.
+[[nodiscard]] lp_approx_result approximate_lp_known_delta_fresh(
+    const graph::graph& g, const lp_approx_params& params,
+    const alg2_observer* observer = nullptr);
+
+}  // namespace domset::core

@@ -1,0 +1,311 @@
+#include "core/alg3.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "common/wide_uint.hpp"
+#include "lp/lp_mds.hpp"
+#include "sim/engine.hpp"
+
+namespace domset::core {
+
+namespace {
+
+enum alg3_tag : std::uint16_t {
+  tag_degree = 1,
+  tag_d1 = 2,
+  tag_active = 3,
+  tag_a = 4,
+  tag_x = 5,
+  tag_color = 6,
+  tag_dyn = 7,
+  tag_g1 = 8,
+};
+
+/// Honest wire width of an integer payload.
+[[nodiscard]] std::uint32_t value_bits(std::uint64_t v) noexcept {
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::bit_width(v)));
+}
+
+/// Stages within one inner iteration (4 rounds) and the outer boundary.
+enum class alg3_phase { act, a, x, color, dyn, g1 };
+
+struct alg3_position {
+  bool prelude0 = false;
+  bool prelude1 = false;
+  alg3_phase phase = alg3_phase::act;
+  std::uint32_t outer = 0;  // 0-based; ell = k-1-outer
+  std::uint32_t inner = 0;  // 0-based; m = k-1-inner
+};
+
+[[nodiscard]] alg3_position locate(std::size_t round, std::uint32_t k) {
+  alg3_position pos;
+  if (round == 0) {
+    pos.prelude0 = true;
+    return pos;
+  }
+  if (round == 1) {
+    pos.prelude1 = true;
+    return pos;
+  }
+  const std::size_t t = round - 2;
+  const std::size_t outer_len = 4ULL * k + 2ULL;
+  pos.outer = static_cast<std::uint32_t>(t / outer_len);
+  const std::size_t w = t % outer_len;
+  if (w < 4ULL * k) {
+    pos.inner = static_cast<std::uint32_t>(w / 4);
+    switch (w % 4) {
+      case 0: pos.phase = alg3_phase::act; break;
+      case 1: pos.phase = alg3_phase::a; break;
+      case 2: pos.phase = alg3_phase::x; break;
+      default: pos.phase = alg3_phase::color; break;
+    }
+  } else {
+    pos.phase = w == 4ULL * k ? alg3_phase::dyn : alg3_phase::g1;
+  }
+  return pos;
+}
+
+class alg3_program final : public sim::node_program {
+ public:
+  alg3_program(std::uint32_t k, double eps) : k_(k), eps_(eps) {}
+
+  void on_round(sim::round_context& ctx,
+                std::span<const sim::message> inbox) override {
+    if (finished_) return;
+    const alg3_position pos = locate(ctx.round(), k_);
+
+    if (pos.prelude0) {
+      // Line 2, first half: exchange degrees.
+      degree_ = ctx.degree();
+      dyn_degree_ = degree_ + 1;  // line 3 (delta_i + 1)
+      ctx.broadcast(tag_degree, degree_, value_bits(degree_));
+      return;
+    }
+    if (pos.prelude1) {
+      // Line 2, second half: delta^(1) = max degree in N_i.
+      d1_ = degree_;
+      for (const sim::message& msg : inbox)
+        d1_ = std::max(d1_, static_cast<std::uint32_t>(msg.payload));
+      ctx.broadcast(tag_d1, d1_, value_bits(d1_));
+      return;
+    }
+
+    const std::uint32_t ell = k_ - 1 - pos.outer;
+    const std::uint32_t m = k_ - 1 - pos.inner;
+    switch (pos.phase) {
+      case alg3_phase::act: {
+        if (pos.outer == 0 && pos.inner == 0) {
+          // Finish line 2 / line 3: delta^(2) and the initial gamma^(2).
+          d2_ = d1_;
+          for (const sim::message& msg : inbox)
+            d2_ = std::max(d2_, static_cast<std::uint32_t>(msg.payload));
+          gamma2_ = d2_ + 1;
+        } else if (pos.inner == 0) {
+          // Line 27: gamma^(2) from the gamma^(1) values just received.
+          gamma2_ = gamma1_;
+          for (const sim::message& msg : inbox)
+            gamma2_ = std::max(gamma2_, static_cast<std::uint32_t>(msg.payload));
+        } else {
+          // Line 21: refresh dynamic degree from the colors just received.
+          refresh_dyn_degree(inbox);
+        }
+        // Line 7 with the dyn >= 1 guard (see header): exact comparison
+        // dyn^{ell+1} >= (gamma^(2))^{ell}.
+        active_ = dyn_degree_ >= 1 &&
+                  common::geq_rational_power(dyn_degree_, gamma2_, ell, ell + 1);
+        if (active_) ctx.broadcast(tag_active, 1, 1);  // line 8
+        break;
+      }
+      case alg3_phase::a: {
+        // Lines 10-11: a(v_i) = number of active nodes in N_i (self
+        // included); gray nodes report 0.
+        std::uint32_t count = active_ ? 1 : 0;
+        for (const sim::message& msg : inbox)
+          if (msg.tag == tag_active) ++count;
+        a_ = gray_ ? 0 : count;
+        ctx.broadcast(tag_a, a_, value_bits(a_));  // line 12
+        break;
+      }
+      case alg3_phase::x: {
+        // Line 13: a^(1) maximum over the closed neighborhood.
+        a1_ = a_;
+        for (const sim::message& msg : inbox)
+          a1_ = std::max(a1_, static_cast<std::uint32_t>(msg.payload));
+        // Lines 15-17: raise x to a^(1)(v_i)^{-m/(m+1)}.  In the reliable
+        // model an active node always observes a^(1) >= 1 (itself if white,
+        // a white neighbor's count otherwise); under message loss the
+        // reports carrying that count can vanish, and 0^{-m/(m+1)} would be
+        // infinite -- skip the raise in that (loss-only) situation.
+        if (active_ && a1_ >= 1) {
+          const double candidate = decode_x(a1_, m);
+          if (candidate > x_) {
+            x_ = candidate;
+            x_payload_ = encode_x(a1_, m);
+          }
+        }
+        // Line 18: broadcast x as the (base, exponent) pair.
+        ctx.broadcast(tag_x, x_payload_, value_bits(x_payload_));
+        break;
+      }
+      case alg3_phase::color: {
+        // Line 19: coverage check with the x-values just received.
+        if (!gray_) {
+          double sum = x_;
+          for (const sim::message& msg : inbox) {
+            if (msg.tag != tag_x || msg.payload == 0) continue;
+            const auto [base, exp] = decode_payload(msg.payload);
+            sum += decode_x(base, exp);
+          }
+          if (sum >= 1.0 - eps_) gray_ = true;
+        }
+        ctx.broadcast(tag_color, gray_ ? 1 : 0, 1);  // line 20
+        break;
+      }
+      case alg3_phase::dyn: {
+        // Line 21 (final refresh of the outer iteration) + line 24.
+        refresh_dyn_degree(inbox);
+        ctx.broadcast(tag_dyn, dyn_degree_, value_bits(dyn_degree_));
+        break;
+      }
+      case alg3_phase::g1: {
+        // Lines 25-26: gamma^(1) maximum.
+        gamma1_ = dyn_degree_;
+        for (const sim::message& msg : inbox)
+          gamma1_ = std::max(gamma1_, static_cast<std::uint32_t>(msg.payload));
+        ctx.broadcast(tag_g1, gamma1_, value_bits(gamma1_));
+        if (pos.outer + 1 == k_) finished_ = true;
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool finished() const override { return finished_; }
+
+  [[nodiscard]] double x() const { return x_; }
+  [[nodiscard]] bool gray() const { return gray_; }
+  [[nodiscard]] std::uint32_t dyn_degree() const { return dyn_degree_; }
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] std::uint32_t a() const { return a_; }
+  [[nodiscard]] std::uint32_t a1() const { return a1_; }
+  [[nodiscard]] std::uint32_t gamma2() const { return gamma2_; }
+  [[nodiscard]] std::uint32_t gamma1() const { return gamma1_; }
+
+ private:
+  /// x = base^{-m/(m+1)}; m = 0 decodes to 1 regardless of base.
+  [[nodiscard]] static double decode_x(std::uint32_t base, std::uint32_t m) {
+    return std::pow(static_cast<double>(base),
+                    -static_cast<double>(m) / (static_cast<double>(m) + 1.0));
+  }
+
+  [[nodiscard]] std::uint64_t encode_x(std::uint32_t base,
+                                       std::uint32_t m) const {
+    return static_cast<std::uint64_t>(base) * k_ + m + 1;
+  }
+
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> decode_payload(
+      std::uint64_t payload) const {
+    const std::uint64_t raw = payload - 1;
+    return {static_cast<std::uint32_t>(raw / k_),
+            static_cast<std::uint32_t>(raw % k_)};
+  }
+
+  void refresh_dyn_degree(std::span<const sim::message> inbox) {
+    std::uint32_t whites = gray_ ? 0 : 1;
+    for (const sim::message& msg : inbox)
+      if (msg.tag == tag_color && msg.payload == 0) ++whites;
+    dyn_degree_ = whites;
+  }
+
+  std::uint32_t k_;
+  double eps_;
+
+  std::uint32_t degree_ = 0;
+  std::uint32_t d1_ = 0;
+  std::uint32_t d2_ = 0;
+  std::uint32_t gamma1_ = 0;
+  std::uint32_t gamma2_ = 0;
+  std::uint32_t dyn_degree_ = 0;
+  std::uint32_t a_ = 0;
+  std::uint32_t a1_ = 0;
+  bool active_ = false;
+  bool gray_ = false;
+  double x_ = 0.0;
+  std::uint64_t x_payload_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+double alg3_ratio_bound(std::uint32_t delta, std::uint32_t k) {
+  const double d1 = static_cast<double>(delta) + 1.0;
+  const double kk = static_cast<double>(k);
+  return kk * (std::pow(d1, 1.0 / kk) + std::pow(d1, 2.0 / kk));
+}
+
+lp_approx_result approximate_lp(const graph::graph& g,
+                                const lp_approx_params& params,
+                                const alg3_observer* observer) {
+  if (params.k < 1)
+    throw std::invalid_argument("approximate_lp: k >= 1 required");
+  const std::size_t n = g.node_count();
+  const std::uint32_t k = params.k;
+
+  lp_approx_result result;
+  result.delta = g.max_degree();
+  result.k = k;
+  result.ratio_bound = alg3_ratio_bound(result.delta, k);
+  if (n == 0) return result;
+
+  sim::engine_config cfg;
+  cfg.seed = params.seed;
+  cfg.drop_probability = params.drop_probability;
+  cfg.congest_bit_limit = params.congest_bit_limit;
+  cfg.max_rounds = alg3_round_count(k) + 2;
+  sim::engine engine(g, cfg);
+  engine.load([&](graph::node_id) {
+    return std::make_unique<alg3_program>(k, lp::feasibility_epsilon);
+  });
+
+  if (observer != nullptr) {
+    engine.set_round_observer([&, k](std::size_t round) {
+      if (round < 2) return;
+      const alg3_position pos = locate(round, k);
+      if (pos.prelude0 || pos.prelude1 || pos.phase != alg3_phase::x) return;
+      alg3_iteration_view view;
+      view.ell = k - 1 - pos.outer;
+      view.m = k - 1 - pos.inner;
+      view.x.resize(n);
+      view.gray.resize(n);
+      view.dyn_degree.resize(n);
+      view.active.resize(n);
+      view.a.resize(n);
+      view.a1.resize(n);
+      view.gamma2.resize(n);
+      for (graph::node_id v = 0; v < n; ++v) {
+        const auto& prog = engine.program_as<alg3_program>(v);
+        view.x[v] = prog.x();
+        view.gray[v] = prog.gray() ? 1 : 0;
+        view.dyn_degree[v] = prog.dyn_degree();
+        view.active[v] = prog.active() ? 1 : 0;
+        view.a[v] = prog.a();
+        view.a1[v] = prog.a1();
+        view.gamma2[v] = prog.gamma2();
+      }
+      (*observer)(view);
+    });
+  }
+
+  result.metrics = engine.run();
+  result.x.resize(n);
+  for (graph::node_id v = 0; v < n; ++v)
+    result.x[v] = engine.program_as<alg3_program>(v).x();
+  result.objective = lp::objective(result.x);
+  return result;
+}
+
+}  // namespace domset::core

@@ -1,0 +1,72 @@
+// Algorithm 3 of the paper: the uniform variant that needs no knowledge of
+// the global maximum degree Delta.  Computes a
+// k*((Delta+1)^{1/k} + (Delta+1)^{2/k})-approximation of the fractional
+// dominating set LP in 4k^2 + O(k) rounds (Theorem 5).
+//
+// Faithful round schedule:
+//   prelude (2 rounds):  broadcast degree; broadcast delta^(1)  (line 2)
+//   per inner iteration (4 rounds):
+//     ACT:   line 21 of prev iteration (refresh dynamic degree) or the
+//            outer-boundary line 27 (refresh gamma^(2)), then line 7
+//            (activity test, exact integer comparison
+//            dyn^{ell+1} >= (gamma^(2))^{ell}) and line 8 (actives
+//            announce themselves);
+//     A:     lines 10-12 (count active neighbors; gray nodes report 0);
+//     X:     lines 13-17 (a^(1) maximum; raise x to a^(1)(v)^{-m/(m+1)});
+//     COLOR: lines 19-20 (coverage check; broadcast color);
+//   per outer iteration (+2 rounds):
+//     DYN:   line 21 + line 24 (refresh and broadcast dynamic degree);
+//     G1:    lines 25-26 (gamma^(1) maximum, broadcast).
+//
+// Unlike Algorithm 2, every value used by an activity check here is fresh
+// (the schedule re-exchanges colors before each decision), so the Lemma
+// 5/6/7 invariants hold exactly; the tests assert them without slack.
+//
+// Edge-case guard documented in DESIGN.md: when gamma^(2) = 0 (no white
+// node within two hops) and ell >= 1, the literal test
+// "dyn >= (gamma^(2))^{ell/(ell+1)}" degenerates to 0 >= 0; such a node has
+// nothing left to cover, so activity additionally requires dyn >= 1.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/lp_params.hpp"
+#include "graph/graph.hpp"
+
+namespace domset::core {
+
+/// Snapshot after the X-phase compute of one inner iteration (post line
+/// 17).  gray/dyn_degree are fresh with respect to every earlier line-19
+/// update, matching the paper's analysis points.
+struct alg3_iteration_view {
+  std::uint32_t ell = 0;
+  std::uint32_t m = 0;
+  std::vector<double> x;
+  std::vector<std::uint8_t> gray;        // true colors (post line 19 of prev)
+  std::vector<std::uint32_t> dyn_degree; // value used in this line 7 test
+  std::vector<std::uint8_t> active;
+  std::vector<std::uint32_t> a;          // line 10 counts (0 for gray nodes)
+  std::vector<std::uint32_t> a1;         // line 13 maxima
+  std::vector<std::uint32_t> gamma2;     // gamma^(2) used in this iteration
+};
+
+using alg3_observer = std::function<void(const alg3_iteration_view&)>;
+
+/// Runs Algorithm 3 on `g`.  If `observer` is non-null it is invoked once
+/// per inner iteration (k^2 times).
+[[nodiscard]] lp_approx_result approximate_lp(
+    const graph::graph& g, const lp_approx_params& params,
+    const alg3_observer* observer = nullptr);
+
+/// The Theorem 5 guarantee k*((Delta+1)^{1/k} + (Delta+1)^{2/k}).
+[[nodiscard]] double alg3_ratio_bound(std::uint32_t delta, std::uint32_t k);
+
+/// Exact round count of this implementation: 2 prelude rounds, k outer
+/// iterations of (4k inner rounds + 2 boundary rounds).  This is the
+/// "4k^2 + O(k)" of Theorem 5.
+[[nodiscard]] constexpr std::size_t alg3_round_count(std::uint32_t k) {
+  return 2ULL + static_cast<std::size_t>(k) * (4ULL * k + 2ULL);
+}
+
+}  // namespace domset::core

@@ -1,0 +1,140 @@
+#include "core/cds.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/properties.hpp"
+#include "verify/verify.hpp"
+
+namespace domset::core {
+
+namespace {
+
+using graph::node_id;
+
+constexpr std::uint32_t unvisited = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+cds_result connect_dominating_set(const graph::graph& g,
+                                  std::span<const std::uint8_t> ds) {
+  if (!verify::is_dominating_set(g, ds))
+    throw std::invalid_argument(
+        "connect_dominating_set: input is not a dominating set");
+  const std::size_t n = g.node_count();
+
+  cds_result result;
+  result.in_set.assign(ds.begin(), ds.end());
+
+  const auto components = graph::connected_components(g);
+  // Dominators per component.
+  std::vector<std::vector<node_id>> dominators(components.count);
+  for (node_id v = 0; v < n; ++v)
+    if (ds[v]) dominators[components.component[v]].push_back(v);
+
+  std::vector<std::uint8_t> in_blob(n, 0);
+  std::vector<node_id> parent(n, graph::invalid_node);
+  std::vector<std::uint32_t> visit_mark(n, unvisited);
+  std::uint32_t epoch = 0;
+
+  for (std::uint32_t c = 0; c < components.count; ++c) {
+    const auto& doms = dominators[c];
+    if (doms.size() <= 1) continue;
+
+    // Grow a connected blob of selected nodes, absorbing the nearest
+    // outside dominator each step.  The dominator "cluster graph" with
+    // distance <= 3 edges is connected (every node on a path between two
+    // dominators is dominated), so the nearest outside dominator is at
+    // distance <= 3 and each absorption adds at most 2 connectors.
+    std::size_t absorbed = 1;
+    in_blob[doms.front()] = 1;
+    while (absorbed < doms.size()) {
+      ++epoch;
+      std::queue<node_id> frontier;
+      // Seed from every blob member (dominators and prior connectors): the
+      // nearest outside dominator is at distance <= 3 from a blob
+      // dominator, and connectors can only shorten paths.
+      for (node_id v = 0; v < n; ++v) {
+        if (in_blob[v] && components.component[v] == c) {
+          visit_mark[v] = epoch;
+          parent[v] = graph::invalid_node;
+          frontier.push(v);
+        }
+      }
+      node_id found = graph::invalid_node;
+      while (!frontier.empty() && found == graph::invalid_node) {
+        const node_id v = frontier.front();
+        frontier.pop();
+        for (const node_id u : g.neighbors(v)) {
+          if (visit_mark[u] == epoch) continue;
+          visit_mark[u] = epoch;
+          parent[u] = v;
+          if (ds[u] && !in_blob[u]) {
+            found = u;
+            break;
+          }
+          frontier.push(u);
+        }
+      }
+      if (found == graph::invalid_node)
+        throw std::logic_error(
+            "connect_dominating_set: component dominators unreachable");
+      // Absorb: walk the parent chain, selecting intermediate connectors.
+      in_blob[found] = 1;
+      ++absorbed;
+      for (node_id v = parent[found]; v != graph::invalid_node;
+           v = parent[v]) {
+        if (!result.in_set[v]) {
+          result.in_set[v] = 1;
+          ++result.connectors_added;
+        }
+        if (!in_blob[v]) {
+          in_blob[v] = 1;
+          if (ds[v]) ++absorbed;  // a dominator picked up along the path
+        }
+      }
+    }
+  }
+
+  result.size = verify::set_size(result.in_set);
+  return result;
+}
+
+bool is_connected_within_components(const graph::graph& g,
+                                    std::span<const std::uint8_t> in_set) {
+  const std::size_t n = g.node_count();
+  const auto components = graph::connected_components(g);
+
+  std::vector<std::size_t> members_per_component(components.count, 0);
+  for (node_id v = 0; v < n; ++v)
+    if (in_set[v]) ++members_per_component[components.component[v]];
+
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<node_id> stack;
+  for (std::uint32_t c = 0; c < components.count; ++c) {
+    if (members_per_component[c] <= 1) continue;
+    // BFS through the member-induced subgraph from one member.
+    node_id start = graph::invalid_node;
+    for (node_id v = 0; v < n && start == graph::invalid_node; ++v)
+      if (in_set[v] && components.component[v] == c) start = v;
+    std::size_t reached = 1;
+    seen[start] = 1;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const node_id v = stack.back();
+      stack.pop_back();
+      for (const node_id u : g.neighbors(v)) {
+        if (!in_set[u] || seen[u]) continue;
+        seen[u] = 1;
+        ++reached;
+        stack.push_back(u);
+      }
+    }
+    if (reached != members_per_component[c]) return false;
+  }
+  return true;
+}
+
+}  // namespace domset::core

@@ -1,0 +1,47 @@
+// Connected dominating set extension.
+//
+// The paper's related work (Sect. 2) and its ad-hoc-network motivation
+// revolve around *connected* dominating sets: a routing backbone must be
+// connected.  This module upgrades any dominating set to a connected one
+// (per connected component of G) with the classical guarantee
+// |CDS| <= 3*|DS|: in a connected graph, the "cluster graph" whose
+// vertices are dominators and whose edges are dominator pairs at distance
+// <= 3 is itself connected, so a spanning tree of it needs at most 2
+// connector nodes per tree edge.
+//
+// The augmentation is a network-wide post-processing pass (the paper does
+// not give a distributed connector election; [6] and [10] treat the
+// problem properly), so this runs centrally on the final membership --
+// the natural "sink side" computation of a deployment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace domset::core {
+
+struct cds_result {
+  /// The connected dominating set (superset of the input DS).
+  std::vector<std::uint8_t> in_set;
+  std::size_t size = 0;
+  /// Connector nodes added.
+  std::size_t connectors_added = 0;
+};
+
+/// Augments dominating set `ds` with connector nodes so that within every
+/// connected component of `g`, the selected nodes induce a connected
+/// subgraph.  Preconditions: `ds` is a dominating set of `g` (checked;
+/// throws std::invalid_argument otherwise).
+/// Guarantee: size <= 3 * |ds| per component (and never worse than |V|).
+[[nodiscard]] cds_result connect_dominating_set(
+    const graph::graph& g, std::span<const std::uint8_t> ds);
+
+/// True iff the members of `in_set` induce a connected subgraph within
+/// every connected component of `g` that contains at least one member.
+[[nodiscard]] bool is_connected_within_components(
+    const graph::graph& g, std::span<const std::uint8_t> in_set);
+
+}  // namespace domset::core

@@ -1,0 +1,53 @@
+// Shared parameter/result types of the fractional LP approximation
+// algorithms (Algorithm 2 and Algorithm 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace domset::core {
+
+struct lp_approx_params {
+  /// The paper's trade-off parameter k >= 1: quality k*(Delta+1)^{2/k} vs
+  /// time Theta(k^2).
+  std::uint32_t k = 2;
+
+  /// Engine seed.  Algorithms 2 and 3 are deterministic; the seed only
+  /// matters when message loss is injected.
+  std::uint64_t seed = 1;
+
+  /// Message-loss probability (robustness extension; 0 = paper model).
+  double drop_probability = 0.0;
+
+  /// If nonzero, the engine flags any message whose declared width exceeds
+  /// this many bits (run_metrics::congest_violation) -- used to assert the
+  /// paper's O(log Delta) message-size claim mechanically.
+  std::uint32_t congest_bit_limit = 0;
+};
+
+struct lp_approx_result {
+  /// The fractional dominating set solution (one value per node).
+  std::vector<double> x;
+
+  /// Objective sum(x).
+  double objective = 0.0;
+
+  /// Maximum degree Delta of the input graph (known a priori to Algorithm
+  /// 2; measured here for both so callers can evaluate the bounds).
+  std::uint32_t delta = 0;
+
+  /// The k the run used.
+  std::uint32_t k = 0;
+
+  /// Simulator metrics (rounds, messages, bits).
+  sim::run_metrics metrics;
+
+  /// The paper's approximation-ratio guarantee for this run:
+  /// k*(Delta+1)^{2/k} for Algorithm 2,
+  /// k*((Delta+1)^{1/k} + (Delta+1)^{2/k}) for Algorithm 3.
+  double ratio_bound = 0.0;
+};
+
+}  // namespace domset::core

@@ -1,0 +1,40 @@
+#include "core/pipeline.hpp"
+
+namespace domset::core {
+
+pipeline_result compute_dominating_set(const graph::graph& g,
+                                       const pipeline_params& params) {
+  lp_approx_params lp_params;
+  lp_params.k = params.k;
+  lp_params.seed = params.seed;
+  lp_params.drop_probability = params.drop_probability;
+
+  pipeline_result result;
+  result.fractional = params.assume_known_delta
+                          ? approximate_lp_known_delta(g, lp_params)
+                          : approximate_lp(g, lp_params);
+
+  rounding_params r_params;
+  r_params.seed = params.seed + 1;  // independent stream for the coin flips
+  r_params.variant = params.variant;
+  r_params.announce_final = params.announce_final;
+  r_params.drop_probability = params.drop_probability;
+  result.rounding =
+      round_to_dominating_set(g, result.fractional.x, r_params);
+
+  result.in_set = result.rounding.in_set;
+  result.size = result.rounding.size;
+  result.total_rounds =
+      result.fractional.metrics.rounds + result.rounding.metrics.rounds;
+  result.total_messages = result.fractional.metrics.messages_sent +
+                          result.rounding.metrics.messages_sent;
+  result.expected_ratio_bound =
+      params.variant == rounding_variant::plain
+          ? rounding_ratio_bound(result.fractional.delta,
+                                 result.fractional.ratio_bound)
+          : rounding_ratio_bound_log_log(result.fractional.delta,
+                                         result.fractional.ratio_bound);
+  return result;
+}
+
+}  // namespace domset::core

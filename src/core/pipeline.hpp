@@ -1,0 +1,52 @@
+// The Theorem 6 pipeline: Algorithm 3 (or 2) to approximate LP_MDS,
+// composed with Algorithm 1 to round the fractional solution into a
+// dominating set.  Expected size O(k * Delta^{2/k} * log Delta) * |DS_OPT|
+// in O(k^2) rounds -- the paper's headline result.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/alg2.hpp"
+#include "core/alg3.hpp"
+#include "core/rounding.hpp"
+#include "graph/graph.hpp"
+
+namespace domset::core {
+
+struct pipeline_params {
+  std::uint32_t k = 2;
+  std::uint64_t seed = 1;
+  /// If true, use Algorithm 2 (requires global knowledge of Delta; fewer
+  /// rounds).  Default is the uniform Algorithm 3.
+  bool assume_known_delta = false;
+  rounding_variant variant = rounding_variant::plain;
+  bool announce_final = false;
+  double drop_probability = 0.0;
+};
+
+struct pipeline_result {
+  /// The dominating set.
+  std::vector<std::uint8_t> in_set;
+  std::size_t size = 0;
+
+  /// Fractional stage outputs.
+  lp_approx_result fractional;
+  /// Rounding stage outputs.
+  rounding_result rounding;
+
+  /// Total rounds across both stages.
+  std::size_t total_rounds = 0;
+  /// Total messages across both stages.
+  std::uint64_t total_messages = 0;
+
+  /// Theorem 6 expected-size guarantee relative to |DS_OPT|:
+  /// 1 + alpha*ln(Delta+1) with alpha the fractional stage's ratio bound.
+  double expected_ratio_bound = 0.0;
+};
+
+/// Runs the full distributed dominating set computation of Theorem 6.
+[[nodiscard]] pipeline_result compute_dominating_set(
+    const graph::graph& g, const pipeline_params& params);
+
+}  // namespace domset::core

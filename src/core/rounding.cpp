@@ -1,0 +1,173 @@
+#include "core/rounding.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace domset::core {
+
+namespace {
+
+enum rounding_tag : std::uint16_t {
+  tag_degree = 1,
+  tag_d1 = 2,
+  tag_xds = 3,
+  tag_member = 4,
+};
+
+[[nodiscard]] std::uint32_t value_bits(std::uint64_t v) noexcept {
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::bit_width(v)));
+}
+
+/// Scaling factor applied to x_i (line 2 of Algorithm 1).
+[[nodiscard]] double scaling_factor(std::uint32_t d2, rounding_variant variant) {
+  const double d = static_cast<double>(d2) + 1.0;
+  const double log_d = std::log(d);
+  if (variant == rounding_variant::plain) return log_d;
+  if (log_d <= 0.0) return 0.0;  // d = 1: isolated node, fix-up handles it
+  return log_d - std::log(log_d);
+}
+
+class rounding_program final : public sim::node_program {
+ public:
+  rounding_program(double x, rounding_variant variant, bool announce)
+      : x_(x), variant_(variant), announce_(announce) {}
+
+  void on_round(sim::round_context& ctx,
+                std::span<const sim::message> inbox) override {
+    if (finished_) return;
+    switch (ctx.round()) {
+      case 0: {  // line 1, first exchange: degrees
+        degree_ = ctx.degree();
+        ctx.broadcast(tag_degree, degree_, value_bits(degree_));
+        break;
+      }
+      case 1: {  // line 1, second exchange: delta^(1)
+        d1_ = degree_;
+        for (const sim::message& msg : inbox)
+          d1_ = std::max(d1_, static_cast<std::uint32_t>(msg.payload));
+        ctx.broadcast(tag_d1, d1_, value_bits(d1_));
+        break;
+      }
+      case 2: {  // finish delta^(2); lines 2-4
+        d2_ = d1_;
+        for (const sim::message& msg : inbox)
+          d2_ = std::max(d2_, static_cast<std::uint32_t>(msg.payload));
+        const double p = std::min(1.0, x_ * scaling_factor(d2_, variant_));
+        selected_randomly_ = ctx.random().next_bernoulli(p);
+        in_set_ = selected_randomly_;
+        ctx.broadcast(tag_xds, in_set_ ? 1 : 0, 1);
+        break;
+      }
+      case 3: {  // lines 5-6: fix-up for uncovered nodes
+        bool covered = in_set_;
+        for (const sim::message& msg : inbox) {
+          if (msg.tag == tag_xds && msg.payload == 1) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) {
+          in_set_ = true;
+          selected_by_fixup_ = true;
+        }
+        if (!announce_) {
+          finished_ = true;
+        } else if (in_set_) {
+          ctx.broadcast(tag_member, 1, 1);
+        }
+        break;
+      }
+      case 4: {  // optional membership announcement consumption
+        if (in_set_) {
+          dominator_ = ctx.id();
+        } else {
+          for (const sim::message& msg : inbox) {
+            if (msg.tag == tag_member && msg.payload == 1) {
+              dominator_ = msg.from;
+              break;  // inbox is sorted by sender: lowest-id dominator
+            }
+          }
+        }
+        finished_ = true;
+        break;
+      }
+      default:
+        finished_ = true;
+        break;
+    }
+  }
+
+  [[nodiscard]] bool finished() const override { return finished_; }
+
+  [[nodiscard]] bool in_set() const { return in_set_; }
+  [[nodiscard]] bool selected_randomly() const { return selected_randomly_; }
+  [[nodiscard]] bool selected_by_fixup() const { return selected_by_fixup_; }
+  [[nodiscard]] graph::node_id dominator() const { return dominator_; }
+
+ private:
+  double x_;
+  rounding_variant variant_;
+  bool announce_;
+
+  std::uint32_t degree_ = 0;
+  std::uint32_t d1_ = 0;
+  std::uint32_t d2_ = 0;
+  bool in_set_ = false;
+  bool selected_randomly_ = false;
+  bool selected_by_fixup_ = false;
+  graph::node_id dominator_ = graph::invalid_node;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+double rounding_ratio_bound(std::uint32_t delta, double alpha) {
+  return 1.0 + alpha * std::log(static_cast<double>(delta) + 1.0);
+}
+
+double rounding_ratio_bound_log_log(std::uint32_t delta, double alpha) {
+  const double log_d = std::log(static_cast<double>(delta) + 1.0);
+  if (log_d <= 1.0) return rounding_ratio_bound(delta, alpha);
+  return 2.0 * alpha * (log_d - std::log(log_d));
+}
+
+rounding_result round_to_dominating_set(const graph::graph& g,
+                                        std::span<const double> x,
+                                        const rounding_params& params) {
+  if (x.size() != g.node_count())
+    throw std::invalid_argument("round_to_dominating_set: |x| != node count");
+  const std::size_t n = g.node_count();
+
+  rounding_result result;
+  result.in_set.assign(n, 0);
+  result.dominator.assign(n, graph::invalid_node);
+  if (n == 0) return result;
+
+  sim::engine_config cfg;
+  cfg.seed = params.seed;
+  cfg.drop_probability = params.drop_probability;
+  cfg.max_rounds = 8;
+  sim::engine engine(g, cfg);
+  engine.load([&](graph::node_id v) {
+    return std::make_unique<rounding_program>(x[v], params.variant,
+                                              params.announce_final);
+  });
+  result.metrics = engine.run();
+
+  for (graph::node_id v = 0; v < n; ++v) {
+    const auto& prog = engine.program_as<rounding_program>(v);
+    result.in_set[v] = prog.in_set() ? 1 : 0;
+    if (prog.in_set()) ++result.size;
+    if (prog.selected_randomly()) ++result.selected_randomly;
+    if (prog.selected_by_fixup()) ++result.selected_by_fixup;
+    result.dominator[v] = prog.dominator();
+  }
+  return result;
+}
+
+}  // namespace domset::core

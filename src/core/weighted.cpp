@@ -1,0 +1,152 @@
+#include "core/weighted.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "lp/lp_mds.hpp"
+#include "sim/engine.hpp"
+
+namespace domset::core {
+
+namespace {
+
+enum weighted_tag : std::uint16_t { tag_color = 1, tag_x = 2 };
+
+/// Weighted Algorithm 2 node: identical round schedule to alg2_program
+/// (2 rounds per inner iteration), with the cost-effectiveness activity
+/// test.  x-values still have the form (Delta+1)^{-m/k}, so the exponent
+/// encoding carries over.
+class weighted_alg2_program final : public sim::node_program {
+ public:
+  weighted_alg2_program(std::uint32_t k, std::uint32_t delta, double cost,
+                        double c_max, double eps)
+      : k_(k),
+        delta_plus_1_(delta + 1),
+        cost_(cost),
+        c_max_(c_max),
+        eps_(eps) {}
+
+  void on_round(sim::round_context& ctx,
+                std::span<const sim::message> inbox) override {
+    if (finished_) return;
+    if (ctx.round() == 0) dyn_degree_ = ctx.degree() + 1;
+
+    const std::size_t iteration = ctx.round() / 2;
+    const bool phase_a = ctx.round() % 2 == 0;
+    if (phase_a) {
+      if (iteration > 0) apply_color_update(inbox);
+      const std::uint32_t ell = k_ - 1 - static_cast<std::uint32_t>(iteration / k_);
+      const std::uint32_t m = k_ - 1 - static_cast<std::uint32_t>(iteration % k_);
+      // Activity: (c_max/c_i)*dyn >= [c_max*(Delta+1)]^{ell/k}.
+      const double effectiveness =
+          c_max_ / cost_ * static_cast<double>(dyn_degree_);
+      const double threshold =
+          std::pow(c_max_ * static_cast<double>(delta_plus_1_),
+                   static_cast<double>(ell) / static_cast<double>(k_));
+      active_ = effectiveness >= threshold - eps_;
+      if (active_ && (!has_x_ || m < x_exponent_)) {
+        has_x_ = true;
+        x_exponent_ = m;
+      }
+      ctx.broadcast(tag_color, gray_ ? 1 : 0, 1);
+    } else {
+      std::uint32_t whites = gray_ ? 0 : 1;
+      for (const sim::message& msg : inbox)
+        if (msg.tag == tag_color && msg.payload == 0) ++whites;
+      dyn_degree_ = whites;
+      const std::uint64_t payload = has_x_ ? x_exponent_ + 1 : 0;
+      ctx.broadcast(tag_x, payload, sim::bits_for_values(k_ + 1));
+      if (iteration + 1 == static_cast<std::size_t>(k_) * k_) finished_ = true;
+    }
+  }
+
+  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] double x() const {
+    return has_x_ ? decode_exponent(x_exponent_) : 0.0;
+  }
+
+ private:
+  [[nodiscard]] double decode_exponent(std::uint32_t m) const {
+    return std::pow(static_cast<double>(delta_plus_1_),
+                    -static_cast<double>(m) / static_cast<double>(k_));
+  }
+
+  void apply_color_update(std::span<const sim::message> inbox) {
+    if (gray_) return;
+    double sum = x();
+    for (const sim::message& msg : inbox) {
+      if (msg.tag != tag_x || msg.payload == 0) continue;
+      sum += decode_exponent(static_cast<std::uint32_t>(msg.payload - 1));
+    }
+    if (sum >= 1.0 - eps_) gray_ = true;
+  }
+
+  std::uint32_t k_;
+  std::uint32_t delta_plus_1_;
+  double cost_;
+  double c_max_;
+  double eps_;
+
+  std::uint32_t dyn_degree_ = 0;
+  bool gray_ = false;
+  bool active_ = false;
+  bool has_x_ = false;
+  std::uint32_t x_exponent_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+double weighted_ratio_bound(std::uint32_t delta, std::uint32_t k,
+                            double c_max) {
+  const double d1 = static_cast<double>(delta) + 1.0;
+  const double kk = static_cast<double>(k);
+  return kk * std::pow(d1, 1.0 / kk) * std::pow(c_max * d1, 1.0 / kk);
+}
+
+weighted_lp_result approximate_weighted_lp(const graph::graph& g,
+                                           std::span<const double> cost,
+                                           const lp_approx_params& params) {
+  if (params.k < 1)
+    throw std::invalid_argument("approximate_weighted_lp: k >= 1 required");
+  if (cost.size() != g.node_count())
+    throw std::invalid_argument("approximate_weighted_lp: cost size mismatch");
+  double c_max = 1.0;
+  for (const double c : cost) {
+    if (c < 1.0)
+      throw std::invalid_argument(
+          "approximate_weighted_lp: costs must be >= 1 (normalize first)");
+    c_max = std::max(c_max, c);
+  }
+
+  const std::size_t n = g.node_count();
+  weighted_lp_result result;
+  result.delta = g.max_degree();
+  result.k = params.k;
+  result.c_max = c_max;
+  result.ratio_bound = weighted_ratio_bound(result.delta, params.k, c_max);
+  if (n == 0) return result;
+
+  sim::engine_config cfg;
+  cfg.seed = params.seed;
+  cfg.drop_probability = params.drop_probability;
+  cfg.congest_bit_limit = params.congest_bit_limit;
+  cfg.max_rounds = 2ULL * params.k * params.k + 2;
+  sim::engine engine(g, cfg);
+  engine.load([&](graph::node_id v) {
+    return std::make_unique<weighted_alg2_program>(
+        params.k, result.delta, cost[v], c_max, lp::feasibility_epsilon);
+  });
+  result.metrics = engine.run();
+
+  result.x.resize(n);
+  result.objective = 0.0;
+  for (graph::node_id v = 0; v < n; ++v) {
+    result.x[v] = engine.program_as<weighted_alg2_program>(v).x();
+    result.objective += result.x[v] * cost[v];
+  }
+  return result;
+}
+
+}  // namespace domset::core

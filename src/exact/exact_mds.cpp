@@ -1,0 +1,257 @@
+#include "exact/exact_mds.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace domset::exact {
+
+namespace {
+
+using graph::node_id;
+
+/// Shared state of the branch-and-bound search.
+class bb_search {
+ public:
+  bb_search(const graph::graph& g, std::uint64_t budget)
+      : g_(g),
+        budget_(budget),
+        cover_count_(g.node_count(), 0),
+        in_set_(g.node_count(), 0),
+        banned_(g.node_count(), 0),
+        best_set_(g.node_count(), 0) {
+    uncovered_ = g.node_count();
+    seed_greedy_upper_bound();
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+  [[nodiscard]] std::uint64_t nodes_explored() const noexcept {
+    return explored_;
+  }
+  [[nodiscard]] std::size_t best_size() const noexcept { return best_size_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& best_set() const noexcept {
+    return best_set_;
+  }
+
+  void run() { recurse(0); }
+
+ private:
+  /// Greedy dominating set provides the initial incumbent.
+  void seed_greedy_upper_bound() {
+    const std::size_t n = g_.node_count();
+    std::vector<std::uint8_t> covered(n, 0);
+    std::vector<std::uint8_t> chosen(n, 0);
+    std::size_t remaining = n;
+    std::size_t size = 0;
+    while (remaining > 0) {
+      node_id best_v = graph::invalid_node;
+      std::size_t best_span = 0;
+      for (node_id v = 0; v < n; ++v) {
+        if (chosen[v]) continue;
+        std::size_t span = covered[v] ? 0 : 1;
+        for (const node_id u : g_.neighbors(v)) span += covered[u] ? 0 : 1;
+        if (span > best_span) {
+          best_span = span;
+          best_v = v;
+        }
+      }
+      if (best_v == graph::invalid_node) break;  // cannot happen: span >= 1
+      chosen[best_v] = 1;
+      ++size;
+      g_.for_closed_neighborhood(best_v, [&](node_id u) {
+        if (!covered[u]) {
+          covered[u] = 1;
+          --remaining;
+        }
+      });
+    }
+    best_size_ = size;
+    best_set_ = chosen;
+  }
+
+  /// Number of currently uncovered nodes in N[v].
+  [[nodiscard]] std::size_t span_of(node_id v) const {
+    std::size_t span = cover_count_[v] == 0 ? 1 : 0;
+    for (const node_id u : g_.neighbors(v))
+      if (cover_count_[u] == 0) ++span;
+    return span;
+  }
+
+  void choose(node_id v) {
+    in_set_[v] = 1;
+    ++current_size_;
+    g_.for_closed_neighborhood(v, [&](node_id u) {
+      if (cover_count_[u]++ == 0) --uncovered_;
+    });
+  }
+
+  void unchoose(node_id v) {
+    in_set_[v] = 0;
+    --current_size_;
+    g_.for_closed_neighborhood(v, [&](node_id u) {
+      if (--cover_count_[u] == 0) ++uncovered_;
+    });
+  }
+
+  /// Lower bound on additional dominators needed: a greedy packing of
+  /// uncovered nodes with pairwise disjoint closed neighborhoods (each
+  /// needs its own dominator), refined with a span-based covering bound.
+  [[nodiscard]] std::size_t lower_bound() {
+    const std::size_t n = g_.node_count();
+    // Disjoint-closed-neighborhood packing.
+    scratch_marked_.assign(n, 0);
+    std::size_t packing = 0;
+    std::size_t max_span = 1;
+    for (node_id v = 0; v < n; ++v) {
+      if (cover_count_[v] != 0 || scratch_marked_[v] != 0) continue;
+      // v is unmarked, i.e. at distance >= 3 from every node already in the
+      // packing, so N[v] is disjoint from their closed neighborhoods and v
+      // needs a dominator none of them can share.  Mark v's 2-ball so the
+      // next accepted node is again at distance >= 3.
+      ++packing;
+      g_.for_closed_neighborhood(v, [&](node_id u) {
+        scratch_marked_[u] = 1;
+        for (const node_id w : g_.neighbors(u)) scratch_marked_[w] = 1;
+      });
+    }
+    // Covering bound: every chosen node dominates at most max_span
+    // uncovered nodes.
+    for (node_id v = 0; v < n; ++v) {
+      if (banned_[v] || in_set_[v]) continue;
+      max_span = std::max(max_span, span_of(v));
+    }
+    const std::size_t covering =
+        (uncovered_ + max_span - 1) / max_span;
+    return std::max(packing, covering);
+  }
+
+  void recurse(std::size_t depth) {
+    if (exhausted_) return;
+    if (++explored_ > budget_) {
+      exhausted_ = true;
+      return;
+    }
+    if (uncovered_ == 0) {
+      if (current_size_ < best_size_) {
+        best_size_ = current_size_;
+        best_set_ = in_set_;
+      }
+      return;
+    }
+    if (current_size_ + 1 >= best_size_) return;  // need >= 1 more node
+    if (current_size_ + lower_bound() >= best_size_) return;
+
+    // Branch vertex: uncovered node with the fewest allowed dominators.
+    const std::size_t n = g_.node_count();
+    node_id branch = graph::invalid_node;
+    std::size_t fewest = std::numeric_limits<std::size_t>::max();
+    for (node_id v = 0; v < n; ++v) {
+      if (cover_count_[v] != 0) continue;
+      std::size_t allowed = banned_[v] ? 0 : 1;
+      for (const node_id u : g_.neighbors(v)) allowed += banned_[u] ? 0 : 1;
+      if (allowed < fewest) {
+        fewest = allowed;
+        branch = v;
+      }
+    }
+    if (branch == graph::invalid_node || fewest == 0) return;  // infeasible
+
+    // Candidates: allowed dominators of `branch`, best span first.
+    std::vector<node_id> candidates;
+    candidates.reserve(fewest);
+    if (!banned_[branch]) candidates.push_back(branch);
+    for (const node_id u : g_.neighbors(branch))
+      if (!banned_[u]) candidates.push_back(u);
+    std::sort(candidates.begin(), candidates.end(),
+              [&](node_id a, node_id b) { return span_of(a) > span_of(b); });
+
+    // Standard inclusion branching with incremental exclusion: once the
+    // subtree where w is chosen has been fully explored, ban w for the
+    // remaining branches (all solutions containing w were just covered).
+    std::vector<node_id> newly_banned;
+    for (const node_id w : candidates) {
+      choose(w);
+      recurse(depth + 1);
+      unchoose(w);
+      if (exhausted_) break;
+      banned_[w] = 1;
+      newly_banned.push_back(w);
+    }
+    for (const node_id w : newly_banned) banned_[w] = 0;
+  }
+
+  const graph::graph& g_;
+  std::uint64_t budget_;
+  std::uint64_t explored_ = 0;
+  bool exhausted_ = false;
+
+  std::vector<std::uint32_t> cover_count_;
+  std::vector<std::uint8_t> in_set_;
+  std::vector<std::uint8_t> banned_;
+  std::vector<std::uint8_t> scratch_marked_;
+  std::size_t uncovered_ = 0;
+  std::size_t current_size_ = 0;
+
+  std::size_t best_size_ = 0;
+  std::vector<std::uint8_t> best_set_;
+};
+
+}  // namespace
+
+std::optional<exact_result> solve_mds(const graph::graph& g,
+                                      const exact_options& options) {
+  if (g.node_count() == 0) return exact_result{};
+  bb_search search(g, options.node_budget);
+  search.run();
+  if (search.exhausted()) return std::nullopt;
+  exact_result res;
+  res.in_set = search.best_set();
+  res.size = search.best_size();
+  res.nodes_explored = search.nodes_explored();
+  return res;
+}
+
+exact_result brute_force_mds(const graph::graph& g) {
+  const std::size_t n = g.node_count();
+  if (n > 24)
+    throw std::invalid_argument("brute_force_mds: n must be <= 24");
+  exact_result res;
+  if (n == 0) return res;
+
+  std::vector<std::uint32_t> closed(n, 0);
+  for (node_id v = 0; v < n; ++v) {
+    std::uint32_t mask = 1U << v;
+    for (const node_id u : g.neighbors(v)) mask |= 1U << u;
+    closed[v] = mask;
+  }
+  const std::uint32_t full = (1U << n) - 1U;  // n <= 24 < 32
+
+  std::uint32_t best_mask = full;
+  std::size_t best_size = n;
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    const auto size = static_cast<std::size_t>(std::popcount(mask));
+    if (size >= best_size) continue;
+    std::uint32_t covered = 0;
+    std::uint64_t rest = mask;
+    while (rest != 0) {
+      const int v = std::countr_zero(rest);
+      rest &= rest - 1;
+      covered |= closed[static_cast<std::size_t>(v)];
+    }
+    if (covered == full) {
+      best_mask = static_cast<std::uint32_t>(mask);
+      best_size = size;
+    }
+    ++res.nodes_explored;
+  }
+
+  res.in_set.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    if ((best_mask >> v) & 1U) res.in_set[v] = 1;
+  res.size = best_size;
+  return res;
+}
+
+}  // namespace domset::exact

@@ -1,0 +1,45 @@
+// Exact minimum dominating set solvers.
+//
+// MDS is NP-hard [Garey-Johnson, Karp], but the experiment tables report
+// approximation ratios against the true optimum, so we need exact optima on
+// test-scale graphs.  Two solvers:
+//   * branch-and-bound (default): practical to n around 60-120 depending on
+//     density, with greedy upper bounds and covering lower bounds for
+//     pruning;
+//   * brute force: exhaustive subset scan for n <= 24, used to cross-check
+//     the branch-and-bound in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace domset::exact {
+
+struct exact_result {
+  /// Optimal dominating set as an indicator vector.
+  std::vector<std::uint8_t> in_set;
+  /// |DS_OPT|.
+  std::size_t size = 0;
+  /// Search nodes explored (diagnostic).
+  std::uint64_t nodes_explored = 0;
+};
+
+struct exact_options {
+  /// Abort after this many search nodes (returns nullopt).  The default is
+  /// generous for the graph sizes the tests and benches use.
+  std::uint64_t node_budget = 50'000'000;
+};
+
+/// Exact MDS via branch and bound.  Returns nullopt only on budget
+/// exhaustion.
+[[nodiscard]] std::optional<exact_result> solve_mds(
+    const graph::graph& g, const exact_options& options = {});
+
+/// Exhaustive search over all 2^n subsets.  Precondition: n <= 24
+/// (throws std::invalid_argument beyond that).
+[[nodiscard]] exact_result brute_force_mds(const graph::graph& g);
+
+}  // namespace domset::exact

@@ -1,0 +1,346 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace domset::graph {
+
+namespace {
+
+/// Encodes an unordered pair as a 64-bit key for dedup sets.
+[[nodiscard]] std::uint64_t pair_key(node_id u, node_id v) noexcept {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+graph empty_graph(std::size_t n) { return graph_builder(n).build(); }
+
+graph complete_graph(std::size_t n) {
+  graph_builder b(n);
+  for (node_id u = 0; u < n; ++u)
+    for (node_id v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+graph path_graph(std::size_t n) {
+  graph_builder b(n);
+  for (node_id v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+graph cycle_graph(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("cycle_graph: n must be >= 3");
+  graph_builder b(n);
+  for (node_id v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(static_cast<node_id>(n - 1), 0);
+  return std::move(b).build();
+}
+
+graph star_graph(std::size_t n) {
+  graph_builder b(n);
+  for (node_id v = 1; v < n; ++v) b.add_edge(0, v);
+  return std::move(b).build();
+}
+
+graph complete_bipartite(std::size_t a, std::size_t b_count) {
+  graph_builder b(a + b_count);
+  for (node_id u = 0; u < a; ++u)
+    for (std::size_t v = 0; v < b_count; ++v)
+      b.add_edge(u, static_cast<node_id>(a + v));
+  return std::move(b).build();
+}
+
+graph grid_graph(std::size_t width, std::size_t height) {
+  graph_builder b(width * height);
+  const auto at = [width](std::size_t x, std::size_t y) {
+    return static_cast<node_id>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) b.add_edge(at(x, y), at(x + 1, y));
+      if (y + 1 < height) b.add_edge(at(x, y), at(x, y + 1));
+    }
+  }
+  return std::move(b).build();
+}
+
+graph torus_graph(std::size_t width, std::size_t height) {
+  if (width < 3 || height < 3)
+    throw std::invalid_argument("torus_graph: dimensions must be >= 3");
+  graph_builder b(width * height);
+  const auto at = [width](std::size_t x, std::size_t y) {
+    return static_cast<node_id>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      b.add_edge(at(x, y), at((x + 1) % width, y));
+      b.add_edge(at(x, y), at(x, (y + 1) % height));
+    }
+  }
+  return std::move(b).build();
+}
+
+graph balanced_tree(std::size_t arity, std::size_t depth) {
+  if (arity < 1) throw std::invalid_argument("balanced_tree: arity >= 1");
+  // Count nodes level by level to avoid overflow surprises.
+  std::size_t total = 0;
+  std::size_t level_size = 1;
+  for (std::size_t d = 0; d <= depth; ++d) {
+    total += level_size;
+    level_size *= arity;
+  }
+  graph_builder b(total);
+  // Children of node v (BFS labeling) are v*arity+1 .. v*arity+arity.
+  for (node_id v = 0; v < total; ++v) {
+    for (std::size_t c = 1; c <= arity; ++c) {
+      const std::size_t child = static_cast<std::size_t>(v) * arity + c;
+      if (child < total) b.add_edge(v, static_cast<node_id>(child));
+    }
+  }
+  return std::move(b).build();
+}
+
+graph caterpillar(std::size_t spine, std::size_t legs) {
+  graph_builder b(spine + spine * legs);
+  for (node_id s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
+  for (std::size_t s = 0; s < spine; ++s)
+    for (std::size_t l = 0; l < legs; ++l)
+      b.add_edge(static_cast<node_id>(s),
+                 static_cast<node_id>(spine + s * legs + l));
+  return std::move(b).build();
+}
+
+graph greedy_adversarial(std::size_t t) {
+  if (t < 1) throw std::invalid_argument("greedy_adversarial: t >= 1");
+  // Elements: for each i in 1..t a block of 2^i nodes.  Set nodes: S_1..S_t
+  // (covering their block) then T_1, T_2 (covering the first/second half of
+  // every block).  Set nodes form a clique so any one of them dominates all
+  // of them; this keeps OPT = {T_1, T_2} while preserving greedy's bait
+  // ordering (the clique contribution to the span is identical across set
+  // nodes in the first round and zero afterwards).
+  std::size_t element_count = 0;
+  for (std::size_t i = 1; i <= t; ++i) element_count += (1ULL << i);
+  const std::size_t set_count = t + 2;
+  graph_builder b(element_count + set_count);
+
+  const auto set_node = [&](std::size_t idx) {
+    return static_cast<node_id>(element_count + idx);
+  };
+  const node_id t1 = set_node(t);
+  const node_id t2 = set_node(t + 1);
+
+  std::size_t next_element = 0;
+  for (std::size_t i = 1; i <= t; ++i) {
+    const std::size_t block = 1ULL << i;
+    const node_id s_i = set_node(i - 1);
+    for (std::size_t e = 0; e < block; ++e) {
+      const auto elem = static_cast<node_id>(next_element + e);
+      b.add_edge(s_i, elem);
+      b.add_edge(e < block / 2 ? t1 : t2, elem);
+    }
+    next_element += block;
+  }
+  for (std::size_t i = 0; i < set_count; ++i)
+    for (std::size_t j = i + 1; j < set_count; ++j)
+      b.add_edge(set_node(i), set_node(j));
+  return std::move(b).build();
+}
+
+graph gnp_random(std::size_t n, double p, common::rng& gen) {
+  graph_builder b(n);
+  if (n < 2 || p <= 0.0) return std::move(b).build();
+  if (p >= 1.0) return complete_graph(n);
+  // Batagelj-Brandes skipping: walk the (implicitly linearised) pair list
+  // with geometric jumps; O(n + m) instead of O(n^2).
+  const double log_1mp = std::log(1.0 - p);
+  std::size_t v = 1;
+  std::ptrdiff_t w = -1;
+  while (v < n) {
+    const double r = gen.next_double();
+    w += 1 + static_cast<std::ptrdiff_t>(
+                 std::floor(std::log(1.0 - r) / log_1mp));
+    while (w >= static_cast<std::ptrdiff_t>(v) && v < n) {
+      w -= static_cast<std::ptrdiff_t>(v);
+      ++v;
+    }
+    if (v < n)
+      b.add_edge(static_cast<node_id>(v), static_cast<node_id>(w));
+  }
+  return std::move(b).build();
+}
+
+graph gnm_random(std::size_t n, std::size_t m, common::rng& gen) {
+  const std::size_t max_edges = n < 2 ? 0 : n * (n - 1) / 2;
+  if (m > max_edges)
+    throw std::invalid_argument("gnm_random: m exceeds n*(n-1)/2");
+  graph_builder b(n);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  while (chosen.size() < m) {
+    const auto u = static_cast<node_id>(gen.next_below(n));
+    const auto v = static_cast<node_id>(gen.next_below(n));
+    if (u == v) continue;
+    if (chosen.insert(pair_key(u, v)).second) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+geometric_graph random_geometric(std::size_t n, double radius,
+                                 common::rng& gen) {
+  geometric_graph out;
+  out.x.resize(n);
+  out.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.x[i] = gen.next_double();
+    out.y[i] = gen.next_double();
+  }
+  graph_builder b(n);
+  if (n > 0 && radius > 0.0) {
+    // Bucket grid with cell size >= radius: each node only checks the
+    // 3x3 cell neighborhood.
+    const auto cells =
+        static_cast<std::size_t>(std::max(1.0, std::floor(1.0 / radius)));
+    std::vector<std::vector<node_id>> grid(cells * cells);
+    const auto cell_of = [&](double coord) {
+      auto c = static_cast<std::size_t>(coord * static_cast<double>(cells));
+      return std::min(c, cells - 1);
+    };
+    for (std::size_t i = 0; i < n; ++i)
+      grid[cell_of(out.y[i]) * cells + cell_of(out.x[i])].push_back(
+          static_cast<node_id>(i));
+    const double r2 = radius * radius;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t cx = cell_of(out.x[i]);
+      const std::size_t cy = cell_of(out.y[i]);
+      for (std::size_t dy = cy == 0 ? 0 : cy - 1;
+           dy <= std::min(cy + 1, cells - 1); ++dy) {
+        for (std::size_t dx = cx == 0 ? 0 : cx - 1;
+             dx <= std::min(cx + 1, cells - 1); ++dx) {
+          for (const node_id j : grid[dy * cells + dx]) {
+            if (j <= i) continue;
+            const double ddx = out.x[i] - out.x[j];
+            const double ddy = out.y[i] - out.y[j];
+            if (ddx * ddx + ddy * ddy <= r2)
+              b.add_edge(static_cast<node_id>(i), j);
+          }
+        }
+      }
+    }
+  }
+  out.g = std::move(b).build();
+  return out;
+}
+
+graph barabasi_albert(std::size_t n, std::size_t m, common::rng& gen) {
+  if (m < 1) throw std::invalid_argument("barabasi_albert: m >= 1");
+  const std::size_t seed_nodes = m + 1;
+  if (n < seed_nodes)
+    throw std::invalid_argument("barabasi_albert: n must be > m");
+  graph_builder b(n);
+  // Repeated-node list: sampling uniformly from it is sampling proportional
+  // to degree.
+  std::vector<node_id> endpoint_pool;
+  endpoint_pool.reserve(2 * n * m);
+  for (node_id u = 0; u < seed_nodes; ++u)
+    for (node_id v = u + 1; v < seed_nodes; ++v) {
+      b.add_edge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  for (node_id v = static_cast<node_id>(seed_nodes); v < n; ++v) {
+    std::unordered_set<node_id> targets;
+    while (targets.size() < m) {
+      const node_id t =
+          endpoint_pool[gen.next_below(endpoint_pool.size())];
+      targets.insert(t);
+    }
+    for (const node_id t : targets) {
+      b.add_edge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return std::move(b).build();
+}
+
+graph random_regular(std::size_t n, std::size_t d, common::rng& gen) {
+  if (d >= n) throw std::invalid_argument("random_regular: need d < n");
+  if ((n * d) % 2 != 0)
+    throw std::invalid_argument("random_regular: n*d must be even");
+  if (d == 0) return empty_graph(n);
+
+  constexpr int max_attempts = 2000;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Configuration model: pair up n*d stubs uniformly; reject the matching
+    // if it creates a loop or parallel edge.
+    std::vector<node_id> stubs;
+    stubs.reserve(n * d);
+    for (node_id v = 0; v < n; ++v)
+      for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+    common::shuffle_span(stubs.data(), stubs.size(), gen);
+
+    std::unordered_set<std::uint64_t> seen;
+    bool ok = true;
+    graph_builder b(n);
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      const node_id u = stubs[i];
+      const node_id v = stubs[i + 1];
+      if (u == v || !seen.insert(pair_key(u, v)).second) {
+        ok = false;
+        break;
+      }
+      b.add_edge(u, v);
+    }
+    if (ok) return std::move(b).build();
+  }
+  throw std::runtime_error(
+      "random_regular: failed to sample a simple matching");
+}
+
+graph cluster_graph(std::size_t clusters, std::size_t cluster_size,
+                    std::size_t bridges, common::rng& gen) {
+  if (clusters == 0 || cluster_size == 0)
+    throw std::invalid_argument("cluster_graph: empty dimensions");
+  const std::size_t n = clusters * cluster_size;
+  graph_builder b(n);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const std::size_t base = c * cluster_size;
+    for (std::size_t i = 0; i < cluster_size; ++i)
+      for (std::size_t j = i + 1; j < cluster_size; ++j)
+        b.add_edge(static_cast<node_id>(base + i),
+                   static_cast<node_id>(base + j));
+  }
+  // Ring of bridges guarantees connectivity, then extra random bridges.
+  if (clusters > 1) {
+    for (std::size_t c = 0; c < clusters; ++c) {
+      const std::size_t next = (c + 1) % clusters;
+      b.add_edge(static_cast<node_id>(c * cluster_size),
+                 static_cast<node_id>(next * cluster_size + cluster_size / 2));
+    }
+    for (std::size_t e = 0; e < bridges; ++e) {
+      const std::size_t c1 = gen.next_below(clusters);
+      std::size_t c2 = gen.next_below(clusters);
+      if (c1 == c2) c2 = (c2 + 1) % clusters;
+      const auto u = static_cast<node_id>(c1 * cluster_size +
+                                          gen.next_below(cluster_size));
+      const auto v = static_cast<node_id>(c2 * cluster_size +
+                                          gen.next_below(cluster_size));
+      if (u != v) b.add_edge(u, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+std::vector<double> uniform_costs(std::size_t n, double c_max,
+                                  common::rng& gen) {
+  if (c_max < 1.0)
+    throw std::invalid_argument("uniform_costs: c_max must be >= 1");
+  std::vector<double> costs(n);
+  for (auto& c : costs) c = 1.0 + gen.next_double() * (c_max - 1.0);
+  return costs;
+}
+
+}  // namespace domset::graph

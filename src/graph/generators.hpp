@@ -1,0 +1,111 @@
+// Graph generators: the workload families the experiments sweep over.
+//
+// The paper targets arbitrary topologies with its general bounds and
+// motivates the work with wireless ad-hoc networks (unit-disk graphs).
+// We provide deterministic structured families (exact optima known in
+// closed form -> strong test oracles), classical random families, and
+// adversarial instances (the greedy lower-bound construction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace domset::graph {
+
+// ---------------------------------------------------------------------------
+// Deterministic families (closed-form optima; see tests/graph_generators_test)
+// ---------------------------------------------------------------------------
+
+/// n isolated nodes (every node must dominate itself: MDS = n).
+[[nodiscard]] graph empty_graph(std::size_t n);
+
+/// Complete graph K_n (MDS = 1 for n >= 1).
+[[nodiscard]] graph complete_graph(std::size_t n);
+
+/// Path P_n (MDS = ceil(n/3)).
+[[nodiscard]] graph path_graph(std::size_t n);
+
+/// Cycle C_n, n >= 3 (MDS = ceil(n/3)).
+[[nodiscard]] graph cycle_graph(std::size_t n);
+
+/// Star S_n: node 0 is the hub, nodes 1..n-1 leaves (MDS = 1 for n >= 1).
+[[nodiscard]] graph star_graph(std::size_t n);
+
+/// Complete bipartite K_{a,b} (MDS = 2 for a,b >= 2; 1 if a or b == 1).
+[[nodiscard]] graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// w x h grid, 4-neighborhood.
+[[nodiscard]] graph grid_graph(std::size_t width, std::size_t height);
+
+/// w x h torus (grid with wraparound); every node has degree 4 for w,h >= 3.
+[[nodiscard]] graph torus_graph(std::size_t width, std::size_t height);
+
+/// Complete `arity`-ary tree of the given depth (depth 0 = single root).
+[[nodiscard]] graph balanced_tree(std::size_t arity, std::size_t depth);
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` leaves
+/// (MDS = spine for legs >= 1: every spine node must be picked... see tests).
+[[nodiscard]] graph caterpillar(std::size_t spine, std::size_t legs);
+
+/// The classical greedy lower-bound instance mapped to dominating set.
+/// Universe of 2^{t+1}-2 element nodes; disjoint "greedy bait" sets
+/// S_1..S_t with |S_i| = 2^i; two "good" sets T_1, T_2 each covering half
+/// of every S_i.  Set nodes form a clique so they dominate each other.
+/// OPT = 2 (the T nodes) while greedy picks ~t sets: ratio Theta(log n).
+[[nodiscard]] graph greedy_adversarial(std::size_t t);
+
+// ---------------------------------------------------------------------------
+// Random families
+// ---------------------------------------------------------------------------
+
+/// Erdos-Renyi G(n, p).
+[[nodiscard]] graph gnp_random(std::size_t n, double p, common::rng& gen);
+
+/// Uniform random graph with exactly m distinct edges (G(n, m)).
+[[nodiscard]] graph gnm_random(std::size_t n, std::size_t m, common::rng& gen);
+
+/// Result of a geometric graph generation: the graph plus node positions
+/// (positions feed the ad-hoc-network examples).
+struct geometric_graph {
+  graph g;
+  std::vector<double> x;  // in [0,1]
+  std::vector<double> y;  // in [0,1]
+};
+
+/// Random geometric graph (unit-disk model): n points uniform in the unit
+/// square, edge iff Euclidean distance <= radius.  This is the standard
+/// formalisation of the ad-hoc networks in the paper's introduction.
+[[nodiscard]] geometric_graph random_geometric(std::size_t n, double radius,
+                                               common::rng& gen);
+
+/// Barabasi-Albert preferential attachment: starts from a small clique,
+/// each new node attaches to `m` existing nodes with probability
+/// proportional to degree.  Produces the heavy-tailed degree distributions
+/// where Delta-dependent bounds are stressed.
+[[nodiscard]] graph barabasi_albert(std::size_t n, std::size_t m,
+                                    common::rng& gen);
+
+/// Random d-regular graph via the configuration model with rejection of
+/// self-loops/multi-edges (retries whole matchings; requires n*d even,
+/// d < n).  Throws std::invalid_argument on infeasible parameters.
+[[nodiscard]] graph random_regular(std::size_t n, std::size_t d,
+                                   common::rng& gen);
+
+/// `clusters` cliques of `cluster_size` nodes each, plus `bridges` random
+/// inter-cluster edges (connected cluster topology: MDS <= clusters).
+[[nodiscard]] graph cluster_graph(std::size_t clusters,
+                                  std::size_t cluster_size,
+                                  std::size_t bridges, common::rng& gen);
+
+// ---------------------------------------------------------------------------
+// Node weights (for the weighted dominating set remark)
+// ---------------------------------------------------------------------------
+
+/// Uniform random node costs in [1, c_max].
+[[nodiscard]] std::vector<double> uniform_costs(std::size_t n, double c_max,
+                                                common::rng& gen);
+
+}  // namespace domset::graph

@@ -1,0 +1,68 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace domset::graph {
+
+graph_builder::graph_builder(std::size_t node_count)
+    : node_count_(node_count) {}
+
+void graph_builder::add_edge(node_id u, node_id v) {
+  if (u >= node_count_ || v >= node_count_)
+    throw std::invalid_argument("graph_builder::add_edge: node out of range");
+  if (u == v)
+    throw std::invalid_argument("graph_builder::add_edge: self-loop");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+bool graph_builder::has_edge_slow(node_id u, node_id v) const noexcept {
+  if (u > v) std::swap(u, v);
+  for (const auto& [a, b] : edges_)
+    if (a == u && b == v) return true;
+  return false;
+}
+
+graph graph_builder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  graph g;
+  g.offsets_.assign(node_count_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= node_count_; ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // Edges were processed in sorted order, so each neighbor list is already
+  // sorted; assert-level check in debug builds only.
+  for (std::size_t v = 0; v < node_count_; ++v) {
+    g.max_degree_ = std::max(
+        g.max_degree_,
+        static_cast<std::uint32_t>(g.offsets_[v + 1] - g.offsets_[v]));
+  }
+  edges_.clear();
+  return g;
+}
+
+bool graph::has_edge(node_id u, node_id v) const noexcept {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::string graph::summary() const {
+  return "n=" + std::to_string(node_count()) +
+         " m=" + std::to_string(edge_count()) +
+         " maxdeg=" + std::to_string(max_degree());
+}
+
+}  // namespace domset::graph

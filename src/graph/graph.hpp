@@ -1,0 +1,113 @@
+// Immutable undirected simple graph in compressed sparse row form.
+//
+// This is the network topology substrate every other module builds on: the
+// simulator runs node programs over it, the LP is defined by its closed
+// neighborhoods, and the generators in generators.hpp produce it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace domset::graph {
+
+/// Node identifier: dense indices 0..n-1.
+using node_id = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr node_id invalid_node = static_cast<node_id>(-1);
+
+class graph;
+
+/// Incremental edge-list builder.  Self-loops are rejected (the paper's
+/// closed neighborhoods N_i already include v_i); duplicate edges are
+/// deduplicated at build time so generators may add edges carelessly.
+class graph_builder {
+ public:
+  explicit graph_builder(std::size_t node_count);
+
+  /// Number of nodes the final graph will have.
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+
+  /// Adds the undirected edge {u, v}.  Precondition: u, v < node_count(),
+  /// u != v (violations throw std::invalid_argument).
+  void add_edge(node_id u, node_id v);
+
+  /// True if {u,v} was already added (linear scan; intended for generators
+  /// that need rejection sampling on small candidate sets).
+  [[nodiscard]] bool has_edge_slow(node_id u, node_id v) const noexcept;
+
+  /// Number of edges added so far (before dedup).
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  /// Finalises into an immutable graph.  The builder is left empty.
+  [[nodiscard]] graph build() &&;
+
+ private:
+  std::size_t node_count_;
+  std::vector<std::pair<node_id, node_id>> edges_;
+};
+
+/// Immutable undirected simple graph.  Neighbor lists are sorted, enabling
+/// O(log d) adjacency queries and cache-friendly traversal.
+class graph {
+ public:
+  /// Empty graph with zero nodes.
+  graph() = default;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return adjacency_.size() / 2;
+  }
+
+  /// Degree of v (excluding v itself; the paper's delta_i).
+  [[nodiscard]] std::uint32_t degree(node_id v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted open neighborhood of v.
+  [[nodiscard]] std::span<const node_id> neighbors(node_id v) const noexcept {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// O(log degree) adjacency test.
+  [[nodiscard]] bool has_edge(node_id u, node_id v) const noexcept;
+
+  /// Maximum degree Delta over all nodes (0 for the empty graph).
+  [[nodiscard]] std::uint32_t max_degree() const noexcept {
+    return max_degree_;
+  }
+
+  /// Calls f(u) for every u in the closed neighborhood N_v = {v} + nbrs(v).
+  /// v itself is visited first.
+  template <typename F>
+  void for_closed_neighborhood(node_id v, F&& f) const {
+    f(v);
+    for (const node_id u : neighbors(v)) f(u);
+  }
+
+  /// Size of the closed neighborhood |N_v| = degree(v) + 1.
+  [[nodiscard]] std::uint32_t closed_degree(node_id v) const noexcept {
+    return degree(v) + 1;
+  }
+
+  /// Human-readable one-line summary ("n=100 m=250 maxdeg=12").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  friend class graph_builder;
+
+  std::vector<std::size_t> offsets_;   // size n+1
+  std::vector<node_id> adjacency_;     // size 2m, sorted per node
+  std::uint32_t max_degree_ = 0;
+};
+
+}  // namespace domset::graph

@@ -1,0 +1,54 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace domset::graph {
+
+void write_edge_list(const graph& g, std::ostream& out) {
+  out << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    for (const node_id u : g.neighbors(v)) {
+      if (v < u) out << v << ' ' << u << '\n';
+    }
+  }
+}
+
+graph read_edge_list(std::istream& in) {
+  std::string line;
+  const auto next_data_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_data_line())
+    throw std::runtime_error("read_edge_list: missing header line");
+  std::istringstream header(line);
+  std::size_t n = 0;
+  std::size_t m = 0;
+  if (!(header >> n >> m))
+    throw std::runtime_error("read_edge_list: malformed header");
+
+  graph_builder b(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!next_data_line())
+      throw std::runtime_error("read_edge_list: truncated edge list");
+    std::istringstream edge(line);
+    std::size_t u = 0;
+    std::size_t v = 0;
+    if (!(edge >> u >> v))
+      throw std::runtime_error("read_edge_list: malformed edge line");
+    if (u >= n || v >= n)
+      throw std::runtime_error("read_edge_list: endpoint out of range");
+    if (u == v) throw std::runtime_error("read_edge_list: self-loop");
+    b.add_edge(static_cast<node_id>(u), static_cast<node_id>(v));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace domset::graph

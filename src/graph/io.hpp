@@ -1,0 +1,22 @@
+// Plain-text edge-list serialisation.
+//
+// Format:
+//   line 1:  "n m"            (node count, undirected edge count)
+//   lines 2..m+1:  "u v"      (0-based endpoints, u < v)
+// Comment lines starting with '#' are permitted anywhere and ignored.
+#pragma once
+
+#include <iosfwd>
+
+#include "graph/graph.hpp"
+
+namespace domset::graph {
+
+/// Writes `g` in edge-list format.
+void write_edge_list(const graph& g, std::ostream& out);
+
+/// Parses an edge-list stream.  Throws std::runtime_error on malformed
+/// input (bad counts, out-of-range endpoints, self-loops).
+[[nodiscard]] graph read_edge_list(std::istream& in);
+
+}  // namespace domset::graph

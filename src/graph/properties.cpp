@@ -1,0 +1,148 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace domset::graph {
+
+std::vector<std::uint32_t> max_degree_1hop(const graph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> out(n, 0);
+  for (node_id v = 0; v < n; ++v) {
+    std::uint32_t best = g.degree(v);
+    for (const node_id u : g.neighbors(v)) best = std::max(best, g.degree(u));
+    out[v] = best;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> max_degree_2hop(const graph& g) {
+  const std::size_t n = g.node_count();
+  const std::vector<std::uint32_t> one_hop = max_degree_1hop(g);
+  std::vector<std::uint32_t> out(n, 0);
+  for (node_id v = 0; v < n; ++v) {
+    std::uint32_t best = one_hop[v];
+    for (const node_id u : g.neighbors(v)) best = std::max(best, one_hop[u]);
+    out[v] = best;
+  }
+  return out;
+}
+
+double dual_lower_bound(const graph& g) {
+  const std::vector<std::uint32_t> d1 = max_degree_1hop(g);
+  double sum = 0.0;
+  for (const std::uint32_t d : d1) sum += 1.0 / (static_cast<double>(d) + 1.0);
+  return sum;
+}
+
+components_result connected_components(const graph& g) {
+  const std::size_t n = g.node_count();
+  components_result res;
+  res.component.assign(n, std::numeric_limits<std::uint32_t>::max());
+  std::vector<node_id> stack;
+  for (node_id start = 0; start < n; ++start) {
+    if (res.component[start] != std::numeric_limits<std::uint32_t>::max())
+      continue;
+    const auto id = static_cast<std::uint32_t>(res.count++);
+    res.component[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const node_id v = stack.back();
+      stack.pop_back();
+      for (const node_id u : g.neighbors(v)) {
+        if (res.component[u] == std::numeric_limits<std::uint32_t>::max()) {
+          res.component[u] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return res;
+}
+
+bool is_connected(const graph& g) {
+  if (g.node_count() <= 1) return true;
+  return connected_components(g).count == 1;
+}
+
+std::vector<std::uint32_t> bfs_distances(const graph& g, node_id source) {
+  constexpr auto unreachable = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.node_count(), unreachable);
+  std::queue<node_id> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const node_id v = frontier.front();
+    frontier.pop();
+    for (const node_id u : g.neighbors(v)) {
+      if (dist[u] == unreachable) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t diameter(const graph& g) {
+  constexpr auto unreachable = std::numeric_limits<std::uint32_t>::max();
+  const std::size_t n = g.node_count();
+  if (n <= 1) return 0;
+  std::uint32_t best = 0;
+  for (node_id v = 0; v < n; ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (const std::uint32_t d : dist) {
+      if (d == unreachable) return unreachable;
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+double average_degree(const graph& g) {
+  if (g.node_count() == 0) return 0.0;
+  return 2.0 * static_cast<double>(g.edge_count()) /
+         static_cast<double>(g.node_count());
+}
+
+std::vector<std::size_t> degree_histogram(const graph& g) {
+  std::vector<std::size_t> hist(g.max_degree() + 1, 0);
+  for (node_id v = 0; v < g.node_count(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+induced_subgraph_result induced_subgraph(const graph& g,
+                                         std::span<const std::uint8_t> keep) {
+  induced_subgraph_result out;
+  std::vector<node_id> new_id(g.node_count(), invalid_node);
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    if (keep[v]) {
+      new_id[v] = static_cast<node_id>(out.original_id.size());
+      out.original_id.push_back(v);
+    }
+  }
+  graph_builder b(out.original_id.size());
+  for (const node_id v : out.original_id) {
+    for (const node_id u : g.neighbors(v)) {
+      if (keep[u] && v < u) b.add_edge(new_id[v], new_id[u]);
+    }
+  }
+  out.g = std::move(b).build();
+  return out;
+}
+
+induced_subgraph_result largest_component(const graph& g) {
+  const auto comps = connected_components(g);
+  std::vector<std::size_t> sizes(comps.count, 0);
+  for (node_id v = 0; v < g.node_count(); ++v) ++sizes[comps.component[v]];
+  std::uint32_t best = 0;
+  for (std::uint32_t c = 1; c < comps.count; ++c)
+    if (sizes[c] > sizes[best]) best = c;
+  std::vector<std::uint8_t> keep(g.node_count(), 0);
+  for (node_id v = 0; v < g.node_count(); ++v)
+    keep[v] = comps.component[v] == best ? 1 : 0;
+  return induced_subgraph(g, keep);
+}
+
+}  // namespace domset::graph

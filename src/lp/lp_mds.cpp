@@ -1,0 +1,110 @@
+#include "lp/lp_mds.hpp"
+
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+#include "lp/simplex.hpp"
+
+namespace domset::lp {
+
+double objective(std::span<const double> x) {
+  double sum = 0.0;
+  for (const double xi : x) sum += xi;
+  return sum;
+}
+
+std::vector<double> coverage(const graph::graph& g,
+                             std::span<const double> x) {
+  const std::size_t n = g.node_count();
+  std::vector<double> cov(n, 0.0);
+  for (graph::node_id v = 0; v < n; ++v) {
+    double sum = x[v];
+    for (const graph::node_id u : g.neighbors(v)) sum += x[u];
+    cov[v] = sum;
+  }
+  return cov;
+}
+
+bool is_primal_feasible(const graph::graph& g, std::span<const double> x,
+                        double eps) {
+  if (x.size() != g.node_count()) return false;
+  for (const double xi : x)
+    if (xi < -eps) return false;
+  for (const double cov : coverage(g, x))
+    if (cov < 1.0 - eps) return false;
+  return true;
+}
+
+bool is_dual_feasible(const graph::graph& g, std::span<const double> y,
+                      double eps) {
+  if (y.size() != g.node_count()) return false;
+  for (const double yi : y)
+    if (yi < -eps) return false;
+  for (const double cov : coverage(g, y))
+    if (cov > 1.0 + eps) return false;
+  return true;
+}
+
+std::vector<double> lemma1_dual_assignment(const graph::graph& g) {
+  const auto d1 = graph::max_degree_1hop(g);
+  std::vector<double> y(g.node_count());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] = 1.0 / (static_cast<double>(d1[i]) + 1.0);
+  return y;
+}
+
+namespace {
+
+/// Builds the neighborhood matrix N (adjacency + identity) as a dense
+/// matrix; row i is the closed neighborhood indicator of node i.
+dense_matrix neighborhood_matrix(const graph::graph& g) {
+  const std::size_t n = g.node_count();
+  dense_matrix m(n, n);
+  for (graph::node_id v = 0; v < n; ++v) {
+    m.at(v, v) = 1.0;
+    for (const graph::node_id u : g.neighbors(v)) m.at(v, u) = 1.0;
+  }
+  return m;
+}
+
+std::optional<lp_optimum> solve_impl(const graph::graph& g,
+                                     std::span<const double> cost) {
+  const std::size_t n = g.node_count();
+  if (n == 0) return lp_optimum{};
+  // Solve the dual  max 1^T y  s.t.  N y <= cost,  y >= 0  (for unit costs
+  // this is DLP_MDS).  The slack basis is feasible because cost > 0.
+  // By strong duality the optimum equals min cost^T x over N x >= 1, and
+  // the dual prices of the <= constraints are the optimal primal x*.
+  // N is symmetric, which is why one matrix serves both programs.
+  const dense_matrix nm = neighborhood_matrix(g);
+  const std::vector<double> ones(n, 1.0);
+  const simplex_result res = maximize(nm, cost, ones);
+  if (res.status != simplex_status::optimal) return std::nullopt;
+
+  lp_optimum out;
+  out.value = res.objective;
+  out.y = res.solution;
+  out.x = res.dual_solution;
+  out.simplex_iterations = res.iterations;
+  return out;
+}
+
+}  // namespace
+
+std::optional<lp_optimum> solve_lp_mds(const graph::graph& g) {
+  const std::vector<double> ones(g.node_count(), 1.0);
+  return solve_impl(g, ones);
+}
+
+std::optional<lp_optimum> solve_weighted_lp_mds(const graph::graph& g,
+                                                std::span<const double> cost) {
+  if (cost.size() != g.node_count())
+    throw std::invalid_argument("solve_weighted_lp_mds: cost size mismatch");
+  for (const double ci : cost)
+    if (ci <= 0.0)
+      throw std::invalid_argument(
+          "solve_weighted_lp_mds: costs must be positive");
+  return solve_impl(g, cost);
+}
+
+}  // namespace domset::lp

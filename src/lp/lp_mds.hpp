@@ -1,0 +1,61 @@
+// The fractional dominating set linear program and its dual (Sect. 4).
+//
+//   LP_MDS :  min  1^T x   s.t.  N x >= 1,  x >= 0
+//   DLP_MDS:  max  1^T y   s.t.  N y <= 1,  y >= 0
+//
+// where N is the neighborhood matrix (adjacency + identity).  This module
+// provides feasibility checkers, objective evaluation, the Lemma 1 dual
+// bound, and the exact fractional optimum via simplex.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace domset::lp {
+
+/// Default tolerance for feasibility checks.  All modules share this value
+/// so an x accepted by one checker is accepted by all.
+inline constexpr double feasibility_epsilon = 1e-9;
+
+/// Objective 1^T x.
+[[nodiscard]] double objective(std::span<const double> x);
+
+/// True iff x >= 0 and every closed neighborhood sums to >= 1 - eps.
+[[nodiscard]] bool is_primal_feasible(const graph::graph& g,
+                                      std::span<const double> x,
+                                      double eps = feasibility_epsilon);
+
+/// True iff y >= 0 and every closed neighborhood sums to <= 1 + eps.
+[[nodiscard]] bool is_dual_feasible(const graph::graph& g,
+                                    std::span<const double> y,
+                                    double eps = feasibility_epsilon);
+
+/// Per-node coverage sums  (N x)_i  -- handy for diagnosing infeasibility.
+[[nodiscard]] std::vector<double> coverage(const graph::graph& g,
+                                           std::span<const double> x);
+
+/// The Lemma 1 dual-feasible assignment y_i = 1/(delta^(1)_i + 1).
+/// Its objective lower-bounds every dominating set (integral or not).
+[[nodiscard]] std::vector<double> lemma1_dual_assignment(const graph::graph& g);
+
+/// Exact fractional optimum of LP_MDS (via simplex on the dual, which is
+/// feasible at y = 0).  Returns both the optimal primal x* and dual y*
+/// with equal objectives (strong duality), or nullopt if the solver hit
+/// its iteration limit (does not happen on test-scale instances).
+struct lp_optimum {
+  double value = 0.0;
+  std::vector<double> x;  // optimal primal (fractional dominating set)
+  std::vector<double> y;  // optimal dual (fractional packing)
+  std::size_t simplex_iterations = 0;
+};
+[[nodiscard]] std::optional<lp_optimum> solve_lp_mds(const graph::graph& g);
+
+/// Weighted variant: min c^T x with the same constraints (the Remark after
+/// Theorem 4).  Costs must be positive.
+[[nodiscard]] std::optional<lp_optimum> solve_weighted_lp_mds(
+    const graph::graph& g, std::span<const double> cost);
+
+}  // namespace domset::lp

@@ -1,0 +1,121 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace domset::lp {
+
+simplex_result maximize(const dense_matrix& a, std::span<const double> b,
+                        std::span<const double> c,
+                        const simplex_options& options) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m || c.size() != n)
+    throw std::invalid_argument("simplex::maximize: dimension mismatch");
+  for (const double bi : b)
+    if (bi < 0.0)
+      throw std::invalid_argument("simplex::maximize: requires b >= 0");
+
+  // Tableau layout: columns [0..n) structural, [n..n+m) slack, column n+m
+  // is the RHS.  Row m is the objective row holding reduced costs (negated
+  // convention: we keep z-row as -c initially and pivot towards all >= 0).
+  const std::size_t width = n + m + 1;
+  dense_matrix t(m + 1, width);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t col = 0; col < n; ++col) t.at(r, col) = a.at(r, col);
+    t.at(r, n + r) = 1.0;
+    t.at(r, n + m) = b[r];
+  }
+  for (std::size_t col = 0; col < n; ++col) t.at(m, col) = -c[col];
+
+  std::vector<std::size_t> basis(m);
+  for (std::size_t r = 0; r < m; ++r) basis[r] = n + r;
+
+  simplex_result result;
+  const double eps = options.pivot_epsilon;
+  double last_objective = 0.0;
+  std::size_t stall = 0;
+  bool use_bland = false;
+
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    // Entering column: most negative reduced cost (Dantzig) or first
+    // negative (Bland when stalling).
+    std::size_t enter = width;  // sentinel: none
+    if (use_bland) {
+      for (std::size_t col = 0; col < n + m; ++col) {
+        if (t.at(m, col) < -eps) {
+          enter = col;
+          break;
+        }
+      }
+    } else {
+      double best = -eps;
+      for (std::size_t col = 0; col < n + m; ++col) {
+        if (t.at(m, col) < best) {
+          best = t.at(m, col);
+          enter = col;
+        }
+      }
+    }
+    if (enter == width) {
+      result.status = simplex_status::optimal;
+      break;
+    }
+
+    // Ratio test: leaving row minimizing rhs/coeff over positive coeffs;
+    // ties broken by smallest basis index (Bland-compatible).
+    std::size_t leave = m;  // sentinel: none
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double coeff = t.at(r, enter);
+      if (coeff > eps) {
+        const double ratio = t.at(r, n + m) / coeff;
+        if (ratio < best_ratio - eps ||
+            (ratio < best_ratio + eps &&
+             (leave == m || basis[r] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == m) {
+      result.status = simplex_status::unbounded;
+      break;
+    }
+
+    // Pivot on (leave, enter).
+    const double pivot = t.at(leave, enter);
+    for (std::size_t col = 0; col < width; ++col) t.at(leave, col) /= pivot;
+    for (std::size_t r = 0; r <= m; ++r) {
+      if (r == leave) continue;
+      const double factor = t.at(r, enter);
+      if (std::abs(factor) <= 0.0) continue;
+      for (std::size_t col = 0; col < width; ++col)
+        t.at(r, col) -= factor * t.at(leave, col);
+    }
+    basis[leave] = enter;
+
+    const double objective = t.at(m, n + m);
+    if (objective <= last_objective + eps) {
+      if (++stall >= options.stall_threshold) use_bland = true;
+    } else {
+      stall = 0;
+      use_bland = false;
+    }
+    last_objective = objective;
+  }
+
+  result.objective = t.at(m, n + m);
+  result.solution.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r)
+    if (basis[r] < n) result.solution[basis[r]] = t.at(r, n + m);
+  // Dual prices are the reduced costs of the slack columns at optimality.
+  result.dual_solution.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r)
+    result.dual_solution[r] = t.at(m, n + r);
+  return result;
+}
+
+}  // namespace domset::lp

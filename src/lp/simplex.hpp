@@ -1,0 +1,66 @@
+// Dense tableau simplex for small linear programs.
+//
+// Solves  max c^T y  s.t.  A y <= b,  y >= 0  with b >= 0, so the slack
+// basis is feasible and no phase-1 is needed.  That is exactly the shape of
+// DLP_MDS; by strong duality its optimum equals the LP_MDS optimum and the
+// optimal primal x* can be read off the slack columns' reduced costs.
+//
+// Pivoting: Dantzig's rule for speed with an automatic switch to Bland's
+// rule (which provably terminates) once the objective stalls, so degenerate
+// instances cannot cycle.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace domset::lp {
+
+/// Row-major dense matrix.
+class dense_matrix {
+ public:
+  dense_matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+enum class simplex_status { optimal, unbounded, iteration_limit };
+
+struct simplex_result {
+  simplex_status status = simplex_status::iteration_limit;
+  double objective = 0.0;
+  std::vector<double> solution;       // optimal y
+  std::vector<double> dual_solution;  // dual prices (one per constraint)
+  std::size_t iterations = 0;
+};
+
+struct simplex_options {
+  std::size_t max_iterations = 200'000;
+  /// Iterations without objective improvement before switching to Bland.
+  std::size_t stall_threshold = 64;
+  double pivot_epsilon = 1e-10;
+};
+
+/// Maximizes c^T y subject to A y <= b, y >= 0.
+/// Preconditions: b >= 0 (checked; throws std::invalid_argument),
+/// A.rows() == b.size(), A.cols() == c.size().
+[[nodiscard]] simplex_result maximize(const dense_matrix& a,
+                                      std::span<const double> b,
+                                      std::span<const double> c,
+                                      const simplex_options& options = {});
+
+}  // namespace domset::lp

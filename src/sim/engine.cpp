@@ -1,0 +1,116 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace domset::sim {
+
+std::uint32_t round_context::degree() const noexcept {
+  return engine_->network().degree(id_);
+}
+
+std::span<const graph::node_id> round_context::neighbors() const noexcept {
+  return engine_->network().neighbors(id_);
+}
+
+common::rng& round_context::random() noexcept {
+  return engine_->node_rngs_[id_];
+}
+
+void round_context::send(graph::node_id to, std::uint16_t tag,
+                         std::uint64_t payload, std::uint32_t bits) {
+  if (!engine_->network().has_edge(id_, to))
+    throw std::logic_error("round_context::send: destination not adjacent");
+  engine_->enqueue(id_, to, tag, payload, bits);
+}
+
+void round_context::broadcast(std::uint16_t tag, std::uint64_t payload,
+                              std::uint32_t bits) {
+  for (const graph::node_id to : neighbors())
+    engine_->enqueue(id_, to, tag, payload, bits);
+}
+
+engine::engine(const graph::graph& g, engine_config cfg)
+    : graph_(&g),
+      config_(cfg),
+      adversary_rng_(cfg.seed, 0xAD5E'05A1'DEAD'BEEFULL) {
+  const std::size_t n = g.node_count();
+  node_rngs_.reserve(n);
+  for (graph::node_id v = 0; v < n; ++v) node_rngs_.emplace_back(cfg.seed, v);
+  inboxes_.resize(n);
+  outboxes_.resize(n);
+  per_node_sent_.assign(n, 0);
+}
+
+void engine::load(const program_factory& factory) {
+  if (!programs_.empty()) throw std::logic_error("engine::load called twice");
+  const std::size_t n = graph_->node_count();
+  programs_.reserve(n);
+  for (graph::node_id v = 0; v < n; ++v) programs_.push_back(factory(v));
+}
+
+void engine::set_round_observer(
+    std::function<void(std::size_t round)> observer) {
+  round_observer_ = std::move(observer);
+}
+
+void engine::enqueue(graph::node_id from, graph::node_id to, std::uint16_t tag,
+                     std::uint64_t payload, std::uint32_t bits) {
+  metrics_.messages_sent += 1;
+  metrics_.bits_sent += bits;
+  metrics_.max_message_bits = std::max(metrics_.max_message_bits, bits);
+  per_node_sent_[from] += 1;
+  if (config_.congest_bit_limit != 0 && bits > config_.congest_bit_limit)
+    metrics_.congest_violation = true;
+  if (config_.drop_probability > 0.0 &&
+      adversary_rng_.next_bernoulli(config_.drop_probability)) {
+    metrics_.messages_dropped += 1;
+    return;
+  }
+  outboxes_[to].push_back(message{from, payload, bits, tag});
+}
+
+run_metrics engine::run() {
+  if (programs_.empty())
+    throw std::logic_error("engine::run: load() programs first");
+  const std::size_t n = graph_->node_count();
+
+  const auto all_finished = [&]() {
+    for (graph::node_id v = 0; v < n; ++v)
+      if (!programs_[v]->finished()) return false;
+    return true;
+  };
+
+  bool completed = all_finished();
+  for (current_round_ = 0; !completed && current_round_ < config_.max_rounds;
+       ++current_round_) {
+    // Compute phase: every node processes its inbox and fills outboxes.
+    for (graph::node_id v = 0; v < n; ++v) {
+      round_context ctx(*this, v, current_round_);
+      programs_[v]->on_round(ctx, std::span<const message>(inboxes_[v]));
+    }
+
+    // Delivery phase: outboxes become next round's inboxes, sorted by
+    // sender for determinism.
+    for (graph::node_id v = 0; v < n; ++v) {
+      inboxes_[v].clear();
+      std::swap(inboxes_[v], outboxes_[v]);
+      std::stable_sort(inboxes_[v].begin(), inboxes_[v].end(),
+                       [](const message& a, const message& b) {
+                         return a.from < b.from;
+                       });
+    }
+
+    metrics_.rounds = current_round_ + 1;
+    if (round_observer_) round_observer_(current_round_);
+    completed = all_finished();
+  }
+
+  metrics_.hit_round_limit = !completed;
+  for (const std::uint64_t sent : per_node_sent_)
+    metrics_.max_messages_per_node =
+        std::max(metrics_.max_messages_per_node, sent);
+  return metrics_;
+}
+
+}  // namespace domset::sim

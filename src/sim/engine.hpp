@@ -1,0 +1,154 @@
+// Synchronous round-based message-passing engine.
+//
+// This is the paper's communication model, executed faithfully:
+//   * computation proceeds in global lockstep rounds;
+//   * in each round every node may send one message to each neighbor;
+//   * messages sent in round r are delivered at the start of round r+1;
+//   * nodes have no identifiers beyond what the algorithm uses and no
+//     shared memory -- all coordination flows through messages.
+//
+// Determinism: given (graph, seed, programs) a run is bit-reproducible.
+// Each node draws randomness from its own stream derived from the global
+// seed, and message delivery order within an inbox is sorted by sender id.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+
+namespace domset::sim {
+
+class engine;
+
+/// Per-round API surface a node program sees.  A context is only valid for
+/// the duration of the on_round call it is passed to.
+class round_context {
+ public:
+  /// This node's identifier.
+  [[nodiscard]] graph::node_id id() const noexcept { return id_; }
+
+  /// Current round number (0-based).
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+
+  /// This node's degree in the network graph.
+  [[nodiscard]] std::uint32_t degree() const noexcept;
+
+  /// Sorted ids of this node's neighbors.
+  [[nodiscard]] std::span<const graph::node_id> neighbors() const noexcept;
+
+  /// This node's private random stream (deterministic per global seed).
+  [[nodiscard]] common::rng& random() noexcept;
+
+  /// Sends one message to neighbor `to` (must be adjacent; violations throw
+  /// std::logic_error -- a node cannot talk past its radio range).
+  void send(graph::node_id to, std::uint16_t tag, std::uint64_t payload,
+            std::uint32_t bits);
+
+  /// Sends the same message to every neighbor (counts degree() messages,
+  /// matching the paper's message accounting).
+  void broadcast(std::uint16_t tag, std::uint64_t payload, std::uint32_t bits);
+
+ private:
+  friend class engine;
+  round_context(engine& eng, graph::node_id id, std::size_t round) noexcept
+      : engine_(&eng), id_(id), round_(round) {}
+
+  engine* engine_;
+  graph::node_id id_;
+  std::size_t round_;
+};
+
+/// A distributed algorithm, from one node's point of view.  The engine owns
+/// one instance per node.
+class node_program {
+ public:
+  virtual ~node_program() = default;
+
+  /// Invoked once per round with the messages addressed to this node that
+  /// were sent in the previous round (sorted by sender id).  Round 0 has an
+  /// empty inbox.
+  virtual void on_round(round_context& ctx, std::span<const message> inbox) = 0;
+
+  /// True once this node's part of the algorithm has terminated.  The
+  /// engine stops when every node is finished.  A finished node keeps
+  /// receiving on_round calls until the global run ends (real devices stay
+  /// powered on); implementations must make post-completion calls no-ops.
+  [[nodiscard]] virtual bool finished() const = 0;
+};
+
+struct engine_config {
+  /// Global seed; node v's stream is derive_seed(seed, v).
+  std::uint64_t seed = 1;
+
+  /// Hard stop: runs longer than this flag hit_round_limit.
+  std::size_t max_rounds = 1'000'000;
+
+  /// Message loss probability (adversarial extension; the paper's model is
+  /// reliable, so this defaults to 0).
+  double drop_probability = 0.0;
+
+  /// If nonzero, any message with declared bits above this limit sets
+  /// run_metrics::congest_violation.
+  std::uint32_t congest_bit_limit = 0;
+};
+
+/// Owns the node programs and drives rounds to completion.
+class engine {
+ public:
+  using program_factory =
+      std::function<std::unique_ptr<node_program>(graph::node_id)>;
+
+  engine(const graph::graph& g, engine_config cfg);
+
+  /// Instantiates one program per node via `factory`.  Must be called
+  /// exactly once before run().
+  void load(const program_factory& factory);
+
+  /// Observer invoked after every completed round (post-delivery); used by
+  /// invariant monitors in the tests.
+  void set_round_observer(std::function<void(std::size_t round)> observer);
+
+  /// Executes rounds until every program reports finished() or the round
+  /// limit is hit.  Returns the metrics of the run.
+  run_metrics run();
+
+  /// Typed access to a node's program (valid after load()).  The caller
+  /// asserts the concrete type; used by algorithm runners to read results.
+  template <typename Program>
+  [[nodiscard]] Program& program_as(graph::node_id v) {
+    return static_cast<Program&>(*programs_[v]);
+  }
+
+  [[nodiscard]] const graph::graph& network() const noexcept { return *graph_; }
+  [[nodiscard]] const run_metrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  friend class round_context;
+
+  void enqueue(graph::node_id from, graph::node_id to, std::uint16_t tag,
+               std::uint64_t payload, std::uint32_t bits);
+
+  const graph::graph* graph_;
+  engine_config config_;
+  std::vector<std::unique_ptr<node_program>> programs_;
+  std::vector<common::rng> node_rngs_;
+  common::rng adversary_rng_;
+
+  // Double-buffered mailboxes: inboxes_[v] holds messages delivered this
+  // round; outboxes_[v] accumulates messages sent this round for delivery
+  // next round.
+  std::vector<std::vector<message>> inboxes_;
+  std::vector<std::vector<message>> outboxes_;
+  std::vector<std::uint64_t> per_node_sent_;
+  run_metrics metrics_;
+  std::function<void(std::size_t)> round_observer_;
+  std::size_t current_round_ = 0;
+};
+
+}  // namespace domset::sim

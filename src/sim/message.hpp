@@ -1,0 +1,32 @@
+// Messages exchanged in the synchronous model.
+//
+// The engine is payload-agnostic: a message carries an opaque 64-bit
+// payload, a small tag for dispatch, and a *declared* size in bits.  The
+// declared size is what the CONGEST accounting meters: the paper claims all
+// messages are O(log Delta) bits, and every algorithm here declares the
+// honest encoded width of what it sends so the claim is checkable.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace domset::sim {
+
+struct message {
+  graph::node_id from = graph::invalid_node;
+  std::uint64_t payload = 0;
+  std::uint32_t bits = 0;  // declared wire size
+  std::uint16_t tag = 0;   // algorithm-defined dispatch tag
+};
+
+/// Number of bits needed to represent values in [0, count-1]
+/// (ceil(log2(count)); 1 for count <= 2 so "a message was sent" costs a bit).
+[[nodiscard]] constexpr std::uint32_t bits_for_values(
+    std::uint64_t count) noexcept {
+  if (count <= 2) return 1;
+  return static_cast<std::uint32_t>(std::bit_width(count - 1));
+}
+
+}  // namespace domset::sim

@@ -1,0 +1,39 @@
+// Execution metrics of a simulated run.
+//
+// Every complexity claim in the paper (rounds = 2k^2 / 4k^2 + O(k),
+// O(k^2 * Delta) messages per node, O(log Delta)-bit messages) is asserted
+// against these counters in the tests and printed by the benches.
+#pragma once
+
+#include <cstdint>
+
+namespace domset::sim {
+
+struct run_metrics {
+  /// Rounds executed (a round = one on_round call per node plus delivery).
+  std::size_t rounds = 0;
+
+  /// Total messages sent network-wide (a broadcast counts degree messages).
+  std::uint64_t messages_sent = 0;
+
+  /// Sum of declared message sizes.
+  std::uint64_t bits_sent = 0;
+
+  /// Largest single declared message size observed.
+  std::uint32_t max_message_bits = 0;
+
+  /// Maximum over nodes of the total number of messages that node sent.
+  std::uint64_t max_messages_per_node = 0;
+
+  /// Messages removed by the loss adversary (0 in the reliable model).
+  std::uint64_t messages_dropped = 0;
+
+  /// True if a configured CONGEST bit limit was exceeded by any message.
+  bool congest_violation = false;
+
+  /// True if the run stopped because max_rounds was reached before all
+  /// node programs reported completion.
+  bool hit_round_limit = false;
+};
+
+}  // namespace domset::sim

@@ -1,0 +1,68 @@
+#include "verify/verify.hpp"
+
+namespace domset::verify {
+
+bool is_dominating_set(const graph::graph& g,
+                       std::span<const std::uint8_t> in_set) {
+  return undominated_nodes(g, in_set).empty();
+}
+
+std::vector<graph::node_id> undominated_nodes(
+    const graph::graph& g, std::span<const std::uint8_t> in_set) {
+  std::vector<graph::node_id> out;
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    bool dominated = in_set[v] != 0;
+    if (!dominated) {
+      for (const graph::node_id u : g.neighbors(v)) {
+        if (in_set[u] != 0) {
+          dominated = true;
+          break;
+        }
+      }
+    }
+    if (!dominated) out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t set_size(std::span<const std::uint8_t> in_set) {
+  std::size_t size = 0;
+  for (const std::uint8_t b : in_set) size += b != 0 ? 1 : 0;
+  return size;
+}
+
+double set_cost(std::span<const std::uint8_t> in_set,
+                std::span<const double> cost) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < in_set.size(); ++i)
+    if (in_set[i] != 0) total += cost[i];
+  return total;
+}
+
+bool is_minimal_dominating_set(const graph::graph& g,
+                               std::span<const std::uint8_t> in_set) {
+  if (!is_dominating_set(g, in_set)) return false;
+  // Member v is redundant iff every node in N[v] has another dominator.
+  std::vector<std::uint32_t> dominator_count(g.node_count(), 0);
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    if (in_set[v]) ++dominator_count[v];
+    for (const graph::node_id u : g.neighbors(v))
+      if (in_set[u]) ++dominator_count[v];
+  }
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    if (!in_set[v]) continue;
+    bool has_private = dominator_count[v] == 1;  // v dominates itself only
+    if (!has_private) {
+      for (const graph::node_id u : g.neighbors(v)) {
+        if (dominator_count[u] == 1) {
+          has_private = true;
+          break;
+        }
+      }
+    }
+    if (!has_private) return false;
+  }
+  return true;
+}
+
+}  // namespace domset::verify

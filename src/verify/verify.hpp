@@ -1,0 +1,35 @@
+// Solution checkers shared by tests, benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace domset::verify {
+
+/// True iff every node has a member of `in_set` in its closed neighborhood.
+[[nodiscard]] bool is_dominating_set(const graph::graph& g,
+                                     std::span<const std::uint8_t> in_set);
+
+/// Nodes with no dominator in their closed neighborhood (empty iff
+/// is_dominating_set).
+[[nodiscard]] std::vector<graph::node_id> undominated_nodes(
+    const graph::graph& g, std::span<const std::uint8_t> in_set);
+
+/// Number of selected nodes.
+[[nodiscard]] std::size_t set_size(std::span<const std::uint8_t> in_set);
+
+/// Total cost of the selected nodes.
+[[nodiscard]] double set_cost(std::span<const std::uint8_t> in_set,
+                              std::span<const double> cost);
+
+/// True iff the set is dominating and no proper subset of it is (i.e. every
+/// member has a "private" dominatee).  Not required by the paper's
+/// algorithms (randomized rounding can overshoot), but useful to quantify
+/// redundancy in the benches.
+[[nodiscard]] bool is_minimal_dominating_set(
+    const graph::graph& g, std::span<const std::uint8_t> in_set);
+
+}  // namespace domset::verify

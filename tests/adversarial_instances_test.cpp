@@ -1,0 +1,139 @@
+// Adversarial instances: where the baselines struggle and the bounds bite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/greedy.hpp"
+#include "baselines/wu_li.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/pipeline.hpp"
+#include "exact/exact_mds.hpp"
+#include "graph/generators.hpp"
+#include "lp/lp_mds.hpp"
+#include "verify/verify.hpp"
+
+namespace domset {
+namespace {
+
+TEST(Adversarial, GreedyBaitVsLpPipeline) {
+  // greedy_adversarial(t): OPT = 2, greedy ~ t.  The LP optimum is small,
+  // so the pipeline's guarantee is a constant independent of t -- the
+  // LP-relaxation approach is immune to the bait structure.
+  const std::size_t t = 6;
+  const graph::graph g = graph::greedy_adversarial(t);
+  const auto opt = exact::solve_mds(g);
+  ASSERT_TRUE(opt.has_value());
+  ASSERT_EQ(opt->size, 2U);
+
+  const auto greedy = baselines::greedy_mds(g);
+  EXPECT_GE(greedy.size, t - 1);
+
+  const auto lp_opt = lp::solve_lp_mds(g);
+  ASSERT_TRUE(lp_opt.has_value());
+  EXPECT_LE(lp_opt->value, 2.0 + 1e-9);
+
+  common::running_stats pipeline_sizes;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    core::pipeline_params params;
+    params.k = 3;
+    params.seed = seed;
+    const auto res = core::compute_dominating_set(g, params);
+    ASSERT_TRUE(verify::is_dominating_set(g, res.in_set));
+    pipeline_sizes.add(static_cast<double>(res.size));
+  }
+  // Theorem 6 bound with OPT = 2; measured mean must respect it.
+  core::pipeline_params probe;
+  probe.k = 3;
+  const double bound =
+      core::compute_dominating_set(g, probe).expected_ratio_bound * 2.0;
+  EXPECT_LE(pipeline_sizes.mean(), bound);
+}
+
+TEST(Adversarial, CycleIntegralityGapIsOneThird) {
+  // On C_n the LP optimum is n/3 while the IP optimum is ceil(n/3): the
+  // relaxation is tight up to rounding, and the algorithms must not
+  // undershoot the LP value.
+  const graph::graph g = graph::cycle_graph(20);
+  const auto lp_opt = lp::solve_lp_mds(g);
+  ASSERT_TRUE(lp_opt.has_value());
+  EXPECT_NEAR(lp_opt->value, 20.0 / 3.0, 1e-9);
+  const auto res = core::approximate_lp(g, {.k = 3});
+  EXPECT_GE(res.objective, lp_opt->value - 1e-9);
+}
+
+TEST(Adversarial, HighDegreeHubDoesNotOverwhelmAlg3) {
+  // A hub adjacent to everything plus a sparse fringe: Delta = n-1 makes
+  // the bounds weakest.  Everything must still hold.
+  common::rng gen(1001);
+  graph::graph_builder b(40);
+  for (graph::node_id v = 1; v < 40; ++v) b.add_edge(0, v);
+  for (int extra = 0; extra < 30; ++extra) {
+    const auto u = static_cast<graph::node_id>(1 + gen.next_below(39));
+    const auto v = static_cast<graph::node_id>(1 + gen.next_below(39));
+    if (u != v) b.add_edge(u, v);
+  }
+  const graph::graph g = std::move(b).build();
+  const auto lp_opt = lp::solve_lp_mds(g);
+  ASSERT_TRUE(lp_opt.has_value());
+  for (std::uint32_t k : {2U, 3U, 4U}) {
+    const auto res = core::approximate_lp(g, {.k = k});
+    EXPECT_TRUE(lp::is_primal_feasible(g, res.x));
+    EXPECT_LE(res.objective, res.ratio_bound * lp_opt->value + 1e-6);
+  }
+}
+
+TEST(Adversarial, WuLiBlowsUpOnCyclesPipelineDoesNot) {
+  const graph::graph g = graph::cycle_graph(60);  // OPT = 20
+  const auto wl = baselines::wu_li_mds(g);
+  EXPECT_GE(wl.size, 30U);  // Theta(n) behavior
+
+  common::running_stats pipeline_sizes;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    core::pipeline_params params;
+    params.k = 4;
+    params.seed = seed;
+    pipeline_sizes.add(static_cast<double>(
+        core::compute_dominating_set(g, params).size));
+  }
+  // Pipeline should beat Wu-Li on average here.
+  EXPECT_LT(pipeline_sizes.mean(), static_cast<double>(wl.size));
+}
+
+TEST(Adversarial, DisconnectedComponentsHandledIndependently) {
+  // Union of a clique, a cycle and isolated nodes.
+  graph::graph_builder b(20);
+  for (graph::node_id u = 0; u < 6; ++u)
+    for (graph::node_id v = u + 1; v < 6; ++v) b.add_edge(u, v);
+  for (graph::node_id v = 6; v < 15; ++v)
+    b.add_edge(v, v + 1 == 15 ? 6 : v + 1);
+  const graph::graph g = std::move(b).build();  // nodes 15..19 isolated
+  core::pipeline_params params;
+  params.k = 2;
+  const auto res = core::compute_dominating_set(g, params);
+  EXPECT_TRUE(verify::is_dominating_set(g, res.in_set));
+  for (graph::node_id v = 15; v < 20; ++v)
+    EXPECT_TRUE(res.in_set[v]);  // isolated nodes must self-select
+}
+
+TEST(Adversarial, BoundsTightestAtKOne) {
+  // k = 1: ratio bound collapses to (Delta+1) + (Delta+1)^2 -- trivially
+  // loose; the algorithm selects everything (x = 1).  This anchors the
+  // trade-off curve's left end.
+  const graph::graph g = graph::grid_graph(4, 4);
+  const auto res = core::approximate_lp(g, {.k = 1});
+  EXPECT_NEAR(res.objective, 16.0, 1e-9);
+}
+
+TEST(Adversarial, DeepTreesKeepInvariants) {
+  const graph::graph g = graph::balanced_tree(3, 4);  // 121 nodes
+  const auto res = core::approximate_lp(g, {.k = 3});
+  EXPECT_TRUE(lp::is_primal_feasible(g, res.x));
+  core::pipeline_params params;
+  params.k = 3;
+  const auto ds = core::compute_dominating_set(g, params);
+  EXPECT_TRUE(verify::is_dominating_set(g, ds.in_set));
+}
+
+}  // namespace
+}  // namespace domset

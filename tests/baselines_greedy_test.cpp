@@ -1,0 +1,117 @@
+#include "baselines/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "exact/exact_mds.hpp"
+#include "graph/generators.hpp"
+#include "verify/verify.hpp"
+
+namespace domset::baselines {
+namespace {
+
+TEST(Greedy, AlwaysDominates) {
+  common::rng gen(601);
+  for (int trial = 0; trial < 15; ++trial) {
+    const graph::graph g = graph::gnp_random(50, 0.05 + 0.02 * trial, gen);
+    const auto res = greedy_mds(g);
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "trial " << trial;
+    EXPECT_EQ(res.size, verify::set_size(res.in_set));
+    EXPECT_EQ(res.size, res.pick_order.size());
+  }
+}
+
+TEST(Greedy, OptimalOnEasyFamilies) {
+  EXPECT_EQ(greedy_mds(graph::complete_graph(9)).size, 1U);
+  EXPECT_EQ(greedy_mds(graph::star_graph(12)).size, 1U);
+  EXPECT_EQ(greedy_mds(graph::empty_graph(4)).size, 4U);
+  // Path P9: greedy achieves the optimum 3 (picks degree-2 centers).
+  EXPECT_EQ(greedy_mds(graph::path_graph(9)).size, 3U);
+}
+
+TEST(Greedy, FirstPickHasMaximumDegree) {
+  common::rng gen(602);
+  const graph::graph g = graph::barabasi_albert(60, 2, gen);
+  const auto res = greedy_mds(g);
+  ASSERT_FALSE(res.pick_order.empty());
+  EXPECT_EQ(g.degree(res.pick_order.front()), g.max_degree());
+}
+
+TEST(Greedy, WithinHDeltaOfOptimum) {
+  common::rng gen(603);
+  for (int trial = 0; trial < 8; ++trial) {
+    const graph::graph g = graph::gnp_random(26, 0.15, gen);
+    const auto res = greedy_mds(g);
+    const auto opt = exact::solve_mds(g);
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_LE(static_cast<double>(res.size),
+              greedy_ratio_bound(g.max_degree()) *
+                      static_cast<double>(opt->size) +
+                  1e-9)
+        << g.summary();
+  }
+}
+
+TEST(Greedy, AdversarialInstanceForcesLogRatio) {
+  // On greedy_adversarial(t) the optimum is 2 but greedy picks the bait
+  // chain: one set node per size class, roughly t picks.
+  for (std::size_t t : {4UL, 5UL, 6UL}) {
+    const graph::graph g = graph::greedy_adversarial(t);
+    const auto res = greedy_mds(g);
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set));
+    EXPECT_GE(res.size, t - 1) << "t=" << t;  // near-linear in t
+    const auto opt = exact::solve_mds(g);
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_EQ(opt->size, 2U);
+  }
+}
+
+TEST(Greedy, TieBreaksByLowestId) {
+  // Two disjoint edges: spans are all 2; greedy must pick node 0 first.
+  graph::graph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const graph::graph g = std::move(b).build();
+  const auto res = greedy_mds(g);
+  ASSERT_EQ(res.size, 2U);
+  EXPECT_EQ(res.pick_order[0], 0U);
+  EXPECT_EQ(res.pick_order[1], 2U);
+}
+
+TEST(GreedyBound, HarmonicValues) {
+  EXPECT_NEAR(greedy_ratio_bound(0), 1.0, 1e-12);
+  EXPECT_NEAR(greedy_ratio_bound(1), 1.5, 1e-12);
+  EXPECT_NEAR(greedy_ratio_bound(3), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(WeightedGreedy, PrefersCheapCover) {
+  // Star with pricey hub: weighted greedy covers via leaves when the hub
+  // costs more than covering each leaf individually... with 3 leaves and
+  // hub cost 10 the leaf-only cover (cost 3) wins.
+  const graph::graph g = graph::star_graph(4);
+  const std::vector<double> cost{10.0, 1.0, 1.0, 1.0};
+  const auto res = greedy_weighted_mds(g, cost);
+  EXPECT_TRUE(verify::is_dominating_set(g, res.in_set));
+  EXPECT_LE(verify::set_cost(res.in_set, cost), 3.0 + 1e-12);
+}
+
+TEST(WeightedGreedy, UnitCostsMatchUnweighted) {
+  common::rng gen(604);
+  const graph::graph g = graph::gnp_random(40, 0.1, gen);
+  const std::vector<double> ones(g.node_count(), 1.0);
+  EXPECT_EQ(greedy_weighted_mds(g, ones).size, greedy_mds(g).size);
+}
+
+TEST(WeightedGreedy, InputValidation) {
+  const graph::graph g = graph::path_graph(3);
+  EXPECT_THROW((void)greedy_weighted_mds(g, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)greedy_weighted_mds(g, std::vector<double>{1.0, -1.0, 1.0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace domset::baselines

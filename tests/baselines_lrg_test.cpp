@@ -1,0 +1,115 @@
+#include "baselines/lrg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "baselines/greedy.hpp"
+#include "graph/generators.hpp"
+#include "verify/verify.hpp"
+
+namespace domset::baselines {
+namespace {
+
+TEST(Lrg, AlwaysDominates) {
+  common::rng gen(701);
+  for (int trial = 0; trial < 15; ++trial) {
+    const graph::graph g = graph::gnp_random(60, 0.04 + 0.02 * trial, gen);
+    lrg_params params;
+    params.seed = 900 + trial;
+    const auto res = lrg_mds(g, params);
+    EXPECT_FALSE(res.metrics.hit_round_limit);
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "trial " << trial;
+    EXPECT_EQ(res.size, verify::set_size(res.in_set));
+  }
+}
+
+TEST(Lrg, HandlesStructuredFamilies) {
+  const graph::graph graphs[] = {
+      graph::star_graph(25),   graph::cycle_graph(21),
+      graph::path_graph(17),   graph::grid_graph(6, 6),
+      graph::complete_graph(9), graph::empty_graph(5),
+      graph::caterpillar(6, 2)};
+  for (const auto& g : graphs) {
+    const auto res = lrg_mds(g, {});
+    EXPECT_FALSE(res.metrics.hit_round_limit) << g.summary();
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << g.summary();
+  }
+}
+
+TEST(Lrg, CompleteGraphSelectsFewNodes) {
+  // All spans equal: every node is a candidate with support n, so each
+  // joins w.p. 1/n; expected joiners per phase is 1.
+  const graph::graph g = graph::complete_graph(30);
+  common::running_stats sizes;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    lrg_params params;
+    params.seed = seed;
+    const auto res = lrg_mds(g, params);
+    ASSERT_TRUE(verify::is_dominating_set(g, res.in_set));
+    sizes.add(static_cast<double>(res.size));
+  }
+  EXPECT_LT(sizes.mean(), 4.0);  // optimum 1; expect a small constant
+}
+
+TEST(Lrg, PhasesArePolylogOnRandomGraphs) {
+  common::rng gen(702);
+  const graph::graph g = graph::gnp_random(200, 0.05, gen);
+  const auto res = lrg_mds(g, {});
+  EXPECT_FALSE(res.metrics.hit_round_limit);
+  // O(log n log Delta) phases whp; generous numeric guard.
+  const double limit = 6.0 * std::log2(200.0) *
+                       std::log2(static_cast<double>(g.max_degree()) + 2.0);
+  EXPECT_LE(static_cast<double>(res.phases), limit) << g.summary();
+}
+
+TEST(Lrg, QualityComparableToGreedyOnRandomGraphs) {
+  common::rng gen(703);
+  const graph::graph g = graph::gnp_random(120, 0.08, gen);
+  const auto greedy = greedy_mds(g);
+  common::running_stats sizes;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    lrg_params params;
+    params.seed = seed;
+    sizes.add(static_cast<double>(lrg_mds(g, params).size));
+  }
+  // Expected O(log Delta) approximation: allow a factor ~3 of greedy.
+  EXPECT_LE(sizes.mean(), 3.0 * static_cast<double>(greedy.size) + 3.0);
+}
+
+TEST(Lrg, DeterministicPerSeed) {
+  common::rng gen(704);
+  const graph::graph g = graph::gnp_random(50, 0.1, gen);
+  lrg_params params;
+  params.seed = 42;
+  const auto a = lrg_mds(g, params);
+  const auto b = lrg_mds(g, params);
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+}
+
+TEST(Lrg, MessageSizesAreLogarithmic) {
+  common::rng gen(705);
+  const graph::graph g = graph::gnp_random(80, 0.1, gen);
+  const auto res = lrg_mds(g, {});
+  // Spans and supports are <= Delta+1.
+  const auto limit = static_cast<std::uint32_t>(
+      std::bit_width(static_cast<std::uint64_t>(g.max_degree()) + 1));
+  EXPECT_LE(res.metrics.max_message_bits, limit);
+}
+
+TEST(Lrg, EmptyGraphTrivial) {
+  const auto res = lrg_mds(graph::graph{}, {});
+  EXPECT_TRUE(res.in_set.empty());
+  EXPECT_EQ(res.size, 0U);
+}
+
+TEST(Lrg, IsolatedNodesSelectThemselves) {
+  const auto res = lrg_mds(graph::empty_graph(6), {});
+  EXPECT_EQ(res.size, 6U);
+}
+
+}  // namespace
+}  // namespace domset::baselines

@@ -1,0 +1,116 @@
+#include "baselines/luby_mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "verify/verify.hpp"
+
+namespace domset::baselines {
+namespace {
+
+void expect_independent(const graph::graph& g,
+                        const std::vector<std::uint8_t>& in_set) {
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    if (!in_set[v]) continue;
+    for (const graph::node_id u : g.neighbors(v))
+      EXPECT_FALSE(in_set[u]) << "edge " << v << "-" << u << " inside MIS";
+  }
+}
+
+TEST(LubyMis, IndependentAndDominatingAcrossFamilies) {
+  common::rng gen(1201);
+  const graph::graph graphs[] = {
+      graph::star_graph(20),        graph::cycle_graph(17),
+      graph::path_graph(13),        graph::grid_graph(6, 6),
+      graph::complete_graph(11),    graph::empty_graph(5),
+      graph::gnp_random(60, 0.1, gen), graph::barabasi_albert(50, 2, gen)};
+  for (const auto& g : graphs) {
+    luby_params params;
+    params.seed = 5;
+    const auto res = luby_mis(g, params);
+    EXPECT_FALSE(res.metrics.hit_round_limit) << g.summary();
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << g.summary();
+    expect_independent(g, res.in_set);
+    EXPECT_EQ(res.size, verify::set_size(res.in_set));
+  }
+}
+
+TEST(LubyMis, CompleteGraphSelectsExactlyOne) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    luby_params params;
+    params.seed = seed;
+    const auto res = luby_mis(graph::complete_graph(25), params);
+    EXPECT_EQ(res.size, 1U);
+    // One drawing phase settles everything; the losers consume the join
+    // announcement one round later, so the engine runs 3 rounds.
+    EXPECT_EQ(res.metrics.rounds, 3U);
+    EXPECT_LE(res.phases, 2U);
+  }
+}
+
+TEST(LubyMis, EmptyGraphSelectsEveryone) {
+  const auto res = luby_mis(graph::empty_graph(7), {});
+  EXPECT_EQ(res.size, 7U);
+}
+
+TEST(LubyMis, PhasesAreLogarithmicOnRandomGraphs) {
+  common::rng gen(1202);
+  const graph::graph g = graph::gnp_random(400, 0.03, gen);
+  common::running_stats phases;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    luby_params params;
+    params.seed = seed;
+    const auto res = luby_mis(g, params);
+    EXPECT_FALSE(res.metrics.hit_round_limit);
+    phases.add(static_cast<double>(res.phases));
+  }
+  // O(log n) phases whp; generous constant.
+  EXPECT_LE(phases.mean(), 6.0 * std::log2(400.0));
+}
+
+TEST(LubyMis, DeterministicPerSeed) {
+  common::rng gen(1203);
+  const graph::graph g = graph::gnp_random(60, 0.1, gen);
+  luby_params params;
+  params.seed = 9;
+  const auto a = luby_mis(g, params);
+  const auto b = luby_mis(g, params);
+  EXPECT_EQ(a.in_set, b.in_set);
+}
+
+TEST(LubyMis, StarCanBlowUp) {
+  // On a star the MIS is either {hub} or all the leaves; the latter is
+  // n-1 times the optimum -- the "no approximation guarantee" contrast
+  // with the paper's approach.  Over seeds we must see the bad outcome.
+  bool saw_leaves = false;
+  for (std::uint64_t seed = 0; seed < 30 && !saw_leaves; ++seed) {
+    luby_params params;
+    params.seed = seed;
+    const auto res = luby_mis(graph::star_graph(12), params);
+    EXPECT_TRUE(res.size == 1 || res.size == 11);
+    saw_leaves = res.size == 11;
+  }
+  EXPECT_TRUE(saw_leaves);
+}
+
+TEST(LubyMis, MaximalityNoAugmentationPossible) {
+  common::rng gen(1204);
+  const graph::graph g = graph::gnp_random(50, 0.15, gen);
+  const auto res = luby_mis(g, {});
+  // Maximal: every non-member has a member neighbor (= domination), and
+  // adding any non-member breaks independence.
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    if (res.in_set[v]) continue;
+    bool has_member_neighbor = false;
+    for (const graph::node_id u : g.neighbors(v))
+      has_member_neighbor |= res.in_set[u] != 0;
+    EXPECT_TRUE(has_member_neighbor) << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace domset::baselines

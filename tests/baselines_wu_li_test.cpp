@@ -1,0 +1,108 @@
+#include "baselines/wu_li.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/simple.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "verify/verify.hpp"
+
+namespace domset::baselines {
+namespace {
+
+TEST(WuLi, AlwaysDominates) {
+  common::rng gen(801);
+  for (int trial = 0; trial < 15; ++trial) {
+    const graph::graph g = graph::gnp_random(60, 0.04 + 0.02 * trial, gen);
+    const auto res = wu_li_mds(g);
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "trial " << trial;
+    EXPECT_EQ(res.size, verify::set_size(res.in_set));
+  }
+}
+
+TEST(WuLi, StructuredFamilies) {
+  const graph::graph graphs[] = {
+      graph::star_graph(15),    graph::cycle_graph(12),
+      graph::path_graph(9),     graph::grid_graph(5, 5),
+      graph::complete_graph(8), graph::empty_graph(4),
+      graph::complete_bipartite(3, 5)};
+  for (const auto& g : graphs) {
+    const auto res = wu_li_mds(g);
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << g.summary();
+  }
+}
+
+TEST(WuLi, CompleteGraphUsesOrphanRule) {
+  // No node of K_n has two non-adjacent neighbors, so nothing is marked;
+  // the orphan rule selects exactly the max-id node.
+  const auto res = wu_li_mds(graph::complete_graph(10));
+  EXPECT_EQ(res.marked_initially, 0U);
+  EXPECT_EQ(res.size, 1U);
+  EXPECT_EQ(res.orphan_joins, 1U);
+  EXPECT_TRUE(res.in_set[9]);
+}
+
+TEST(WuLi, PathMarksInteriorOnly) {
+  // On a path, every interior node has two non-adjacent neighbors.
+  const auto res = wu_li_mds(graph::path_graph(6));
+  EXPECT_TRUE(verify::is_dominating_set(graph::path_graph(6), res.in_set));
+  EXPECT_EQ(res.marked_initially, 4U);  // nodes 1..4
+}
+
+TEST(WuLi, StarKeepsHubOnly) {
+  const graph::graph g = graph::star_graph(10);
+  const auto res = wu_li_mds(g);
+  EXPECT_TRUE(verify::is_dominating_set(g, res.in_set));
+  EXPECT_EQ(res.size, 1U);
+  EXPECT_TRUE(res.in_set[0]);  // only the hub is marked
+}
+
+TEST(WuLi, PruningReducesCliqueChains) {
+  // Two overlapping cliques: marking selects the overlap region; rule 1
+  // should prune redundant dominators with dominated neighborhoods.
+  common::rng gen(802);
+  const graph::graph g = graph::cluster_graph(4, 6, 3, gen);
+  const auto res = wu_li_mds(g);
+  EXPECT_TRUE(verify::is_dominating_set(g, res.in_set));
+  EXPECT_LE(res.size, res.marked_initially + res.orphan_joins);
+}
+
+TEST(WuLi, RoundsAreConstant) {
+  common::rng gen(803);
+  const graph::graph g = graph::gnp_random(50, 0.1, gen);
+  const auto res = wu_li_mds(g);
+  EXPECT_LE(res.metrics.rounds, 6U);
+}
+
+TEST(WuLi, NoGuaranteeOnAdversarialFamilies) {
+  // On a cycle, Wu-Li marks *every* node (each has two non-adjacent
+  // neighbors) and pruning cannot remove many: the output is Theta(n)
+  // while the optimum is n/3.  This documents the "no non-trivial
+  // approximation ratio" claim of the paper's related-work section.
+  const graph::graph g = graph::cycle_graph(30);
+  const auto res = wu_li_mds(g);
+  EXPECT_TRUE(verify::is_dominating_set(g, res.in_set));
+  EXPECT_GE(res.size, 10U);  // optimum is 10; Wu-Li stays well above
+}
+
+TEST(Trivial, AllNodesDominate) {
+  const graph::graph g = graph::path_graph(7);
+  const auto all = trivial_all_nodes(g);
+  EXPECT_TRUE(verify::is_dominating_set(g, all));
+  EXPECT_EQ(verify::set_size(all), 7U);
+}
+
+TEST(CentralizedLpRounding, ProducesDominatingSets) {
+  common::rng gen(804);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph::graph g = graph::gnp_random(30, 0.15, gen);
+    const auto res = centralized_lp_rounding(g, 100 + trial);
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "trial " << trial;
+    EXPECT_GE(static_cast<double>(res.size), res.lp_value - 1e-9);
+    EXPECT_GE(res.lp_value, graph::dual_lower_bound(g) - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace domset::baselines

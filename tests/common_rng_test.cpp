@@ -1,0 +1,177 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace domset::common {
+namespace {
+
+TEST(SplitMix64, AdvancesAndMixes) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  const std::uint64_t a = splitmix64_next(s1);
+  const std::uint64_t b = splitmix64_next(s2);
+  EXPECT_EQ(a, b);            // deterministic
+  EXPECT_NE(s1, 42ULL);       // state advanced
+  EXPECT_NE(splitmix64_next(s1), a);  // subsequent output differs
+}
+
+TEST(DeriveSeed, DistinctStreamsDiffer) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream)
+    seeds.insert(derive_seed(7, stream));
+  EXPECT_EQ(seeds.size(), 1000U);
+}
+
+TEST(DeriveSeed, AdjacentGlobalSeedsDoNotCollide) {
+  // Regression guard for the naive xor-combination pitfall.
+  EXPECT_NE(derive_seed(8, 0), derive_seed(9, 1));
+  EXPECT_NE(derive_seed(8, 1), derive_seed(9, 0));
+}
+
+TEST(Rng, DeterministicReplay) {
+  rng a(123);
+  rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StreamsFromSameGlobalSeedDiverge) {
+  rng a(99, 0);
+  rng b(99, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  rng gen(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = gen.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf) {
+  rng gen(6);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += gen.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  rng gen(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(gen.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  rng gen(8);
+  constexpr std::uint64_t bound = 10;
+  std::array<int, bound> counts{};
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[gen.next_below(bound)];
+  for (const int c : counts) {
+    EXPECT_GT(c, n / bound * 0.9);
+    EXPECT_LT(c, n / bound * 1.1);
+  }
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  rng gen(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = gen.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  rng gen(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(gen.next_bernoulli(0.0));
+    EXPECT_TRUE(gen.next_bernoulli(1.0));
+    EXPECT_FALSE(gen.next_bernoulli(-0.5));
+    EXPECT_TRUE(gen.next_bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  rng gen(11);
+  constexpr int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i)
+    if (gen.next_bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  rng gen(12);
+  constexpr int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = gen.next_normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(ShuffleSpan, IsPermutation) {
+  rng gen(13);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  shuffle_span(v.data(), v.size(), gen);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 10U);
+}
+
+TEST(ShuffleSpan, SmallInputsAreNoOps) {
+  rng gen(14);
+  std::vector<int> empty;
+  shuffle_span(empty.data(), 0, gen);
+  std::vector<int> one{7};
+  shuffle_span(one.data(), 1, gen);
+  EXPECT_EQ(one[0], 7);
+}
+
+TEST(ShuffleSpan, UniformFirstPosition) {
+  constexpr int n = 5;
+  std::array<int, n> counts{};
+  constexpr int trials = 50000;
+  rng gen(15);
+  for (int t = 0; t < trials; ++t) {
+    std::array<int, n> v{0, 1, 2, 3, 4};
+    shuffle_span(v.data(), v.size(), gen);
+    ++counts[v[0]];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, trials / n * 0.9);
+    EXPECT_LT(c, trials / n * 1.1);
+  }
+}
+
+}  // namespace
+}  // namespace domset::common

@@ -1,0 +1,94 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace domset::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  running_stats rs;
+  EXPECT_EQ(rs.count(), 0U);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  running_stats rs;
+  rs.add(4.5);
+  EXPECT_EQ(rs.count(), 1U);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(rs.min(), 4.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  running_stats rs;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_NEAR(rs.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  running_stats small;
+  running_stats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : 2.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : 2.0);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Median, OddAndEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);  // interpolated
+}
+
+TEST(Median, DoesNotReorderInput) {
+  const std::vector<double> v{9.0, 1.0, 5.0};
+  (void)median(v);
+  EXPECT_EQ(v[0], 9.0);
+  EXPECT_EQ(v[1], 1.0);
+  EXPECT_EQ(v[2], 5.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(Percentile, ClampsOutOfRange) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 200.0), 2.0);
+}
+
+TEST(Percentile, EmptyAndSingleton) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 99.0), 7.0);
+}
+
+TEST(Summarize, ConsistentFields) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const summary s = summarize(v);
+  EXPECT_EQ(s.count, 5U);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+}  // namespace
+}  // namespace domset::common

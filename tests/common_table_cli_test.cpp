@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace domset::common {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  text_table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("longer"), std::string::npos);
+  // Header separator rule present.
+  EXPECT_NE(rendered.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  text_table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1U);
+  std::ostringstream out;
+  t.print(out);  // must not crash on the short row
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(TextTable, CsvEscaping) {
+  text_table t({"x", "y"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"with\"quote", "multi\nline"});
+  std::ostringstream out;
+  t.print_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Formatting, Doubles) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_int(-42), "-42");
+}
+
+TEST(Formatting, VsBound) {
+  EXPECT_EQ(fmt_vs_bound(1.5, 4.0, 1), "1.5 (<= 4.0)");
+}
+
+TEST(CliParser, ParsesFlagsAndSwitches) {
+  cli_parser cli("test tool");
+  cli.add_flag("n", "100", "node count");
+  cli.add_flag("p", "0.5", "probability");
+  cli.add_switch("verbose", "chatty output");
+  const char* argv[] = {"prog", "--n", "250", "--p=0.25", "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("n"), 250);
+  EXPECT_DOUBLE_EQ(cli.get_double("p"), 0.25);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(CliParser, DefaultsApply) {
+  cli_parser cli("test tool");
+  cli.add_flag("k", "3", "parameter");
+  cli.add_switch("quiet", "silence");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("k"), 3);
+  EXPECT_FALSE(cli.get_bool("quiet"));
+}
+
+TEST(CliParser, RejectsUnknownFlag) {
+  cli_parser cli("test tool");
+  cli.add_flag("n", "1", "n");
+  const char* argv[] = {"prog", "--typo", "5"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(CliParser, RejectsMissingValue) {
+  cli_parser cli("test tool");
+  cli.add_flag("n", "1", "n");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, RejectsPositional) {
+  cli_parser cli("test tool");
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, UsageListsFlags) {
+  cli_parser cli("my description");
+  cli.add_flag("alpha", "1.0", "the alpha value");
+  const std::string usage = cli.usage("prog");
+  EXPECT_NE(usage.find("my description"), std::string::npos);
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("the alpha value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace domset::common

@@ -1,0 +1,147 @@
+#include "common/wide_uint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace domset::common {
+namespace {
+
+TEST(WideUint, ZeroProperties) {
+  wide_uint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_width(), 0U);
+  EXPECT_EQ(z, wide_uint(0));
+  EXPECT_EQ(z.to_hex(), "0x0");
+}
+
+TEST(WideUint, ConstructionAndComparison) {
+  EXPECT_LT(wide_uint(3), wide_uint(5));
+  EXPECT_GT(wide_uint(7), wide_uint(5));
+  EXPECT_EQ(wide_uint(9), wide_uint(9));
+  EXPECT_LT(wide_uint(0), wide_uint(1));
+}
+
+TEST(WideUint, BitWidth) {
+  EXPECT_EQ(wide_uint(1).bit_width(), 1U);
+  EXPECT_EQ(wide_uint(2).bit_width(), 2U);
+  EXPECT_EQ(wide_uint(255).bit_width(), 8U);
+  EXPECT_EQ(wide_uint(256).bit_width(), 9U);
+  EXPECT_EQ(wide_uint(~0ULL).bit_width(), 64U);
+}
+
+TEST(WideUint, SmallMultiplication) {
+  EXPECT_EQ(wide_uint(6) * wide_uint(7), wide_uint(42));
+  EXPECT_EQ(wide_uint(0) * wide_uint(12345), wide_uint(0));
+  EXPECT_EQ(wide_uint(1) * wide_uint(12345), wide_uint(12345));
+}
+
+TEST(WideUint, MultiLimbMultiplication) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1.
+  const wide_uint max64(~0ULL);
+  const wide_uint sq = max64 * max64;
+  EXPECT_EQ(sq.bit_width(), 128U);
+  EXPECT_EQ(sq.to_hex(), "0xfffffffffffffffe0000000000000001");
+}
+
+TEST(WideUint, PowMatchesRepeatedMultiplication) {
+  wide_uint acc(1);
+  for (std::uint32_t e = 0; e <= 20; ++e) {
+    EXPECT_EQ(wide_uint::pow(3, e), acc) << "exponent " << e;
+    acc *= wide_uint(3);
+  }
+}
+
+TEST(WideUint, PowEdgeCases) {
+  EXPECT_EQ(wide_uint::pow(0, 0), wide_uint(1));  // convention
+  EXPECT_EQ(wide_uint::pow(0, 5), wide_uint(0));
+  EXPECT_EQ(wide_uint::pow(5, 0), wide_uint(1));
+  EXPECT_EQ(wide_uint::pow(1, 1000), wide_uint(1));
+}
+
+TEST(WideUint, LargePowBitWidth) {
+  // 2^100 has exactly 101 bits.
+  EXPECT_EQ(wide_uint::pow(2, 100).bit_width(), 101U);
+}
+
+TEST(ComparePow, ExactBoundaryCases) {
+  // 4^4 == 16^2: the boundary that floating point must not get wrong.
+  EXPECT_EQ(compare_pow(4, 4, 16, 2), std::strong_ordering::equal);
+  // 3^4 = 81 < 16^2 = 256.
+  EXPECT_EQ(compare_pow(3, 4, 16, 2), std::strong_ordering::less);
+  // 5^4 = 625 > 256.
+  EXPECT_EQ(compare_pow(5, 4, 16, 2), std::strong_ordering::greater);
+}
+
+TEST(ComparePow, ZeroExponents) {
+  EXPECT_EQ(compare_pow(7, 0, 9, 0), std::strong_ordering::equal);  // 1 vs 1
+  EXPECT_EQ(compare_pow(7, 0, 9, 1), std::strong_ordering::less);
+  EXPECT_EQ(compare_pow(7, 1, 9, 0), std::strong_ordering::greater);
+}
+
+TEST(ComparePow, ZeroBases) {
+  EXPECT_EQ(compare_pow(0, 3, 0, 5), std::strong_ordering::equal);
+  EXPECT_EQ(compare_pow(0, 3, 2, 1), std::strong_ordering::less);
+  EXPECT_EQ(compare_pow(0, 0, 0, 1), std::strong_ordering::greater);  // 1 > 0
+}
+
+TEST(ComparePow, AgreesWithDoubleAwayFromBoundaries) {
+  rng gen(21);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto a = 1 + gen.next_below(1000);
+    const auto b = 1 + gen.next_below(1000);
+    const auto p = static_cast<std::uint32_t>(1 + gen.next_below(12));
+    const auto q = static_cast<std::uint32_t>(1 + gen.next_below(12));
+    const double la = p * std::log(static_cast<double>(a));
+    const double lb = q * std::log(static_cast<double>(b));
+    if (std::abs(la - lb) < 1e-6) continue;  // too close for double oracle
+    const auto expected =
+        la < lb ? std::strong_ordering::less : std::strong_ordering::greater;
+    EXPECT_EQ(compare_pow(a, p, b, q), expected)
+        << a << "^" << p << " vs " << b << "^" << q;
+  }
+}
+
+TEST(GeqRationalPower, MatchesDefinition) {
+  // a >= b^{num/den}  <=>  a^den >= b^num.
+  // 4 >= 16^{2/4} (= 4): true at equality.
+  EXPECT_TRUE(geq_rational_power(4, 16, 2, 4));
+  EXPECT_FALSE(geq_rational_power(3, 16, 2, 4));
+  EXPECT_TRUE(geq_rational_power(5, 16, 2, 4));
+}
+
+TEST(GeqRationalPower, ZeroExponentMeansThresholdOne) {
+  // b^{0/k} = 1: every a >= 1 passes, a = 0 fails.
+  EXPECT_TRUE(geq_rational_power(1, 1000, 0, 4));
+  EXPECT_FALSE(geq_rational_power(0, 1000, 0, 4));
+}
+
+TEST(GeqRationalPower, AlgorithmicThresholdSweep) {
+  // Cross-check the exact comparison against careful long-double math on
+  // the exact parameter shapes Algorithm 2 uses: dyn >= (Delta+1)^{l/k}.
+  for (std::uint64_t delta_plus_1 : {2ULL, 5ULL, 16ULL, 17ULL, 100ULL}) {
+    for (std::uint32_t k = 1; k <= 6; ++k) {
+      for (std::uint32_t ell = 0; ell < k; ++ell) {
+        const double threshold =
+            std::pow(static_cast<double>(delta_plus_1),
+                     static_cast<double>(ell) / static_cast<double>(k));
+        for (std::uint64_t dyn = 0; dyn <= delta_plus_1; ++dyn) {
+          const bool exact = geq_rational_power(dyn, delta_plus_1, ell, k);
+          const double gap =
+              static_cast<double>(dyn) - threshold;
+          if (std::abs(gap) > 1e-6) {
+            EXPECT_EQ(exact, gap > 0)
+                << "dyn=" << dyn << " D+1=" << delta_plus_1 << " l=" << ell
+                << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace domset::common

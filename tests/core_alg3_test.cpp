@@ -1,0 +1,281 @@
+#include "core/alg3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/alg2.hpp"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/wide_uint.hpp"
+#include "graph/generators.hpp"
+#include "lp/lp_mds.hpp"
+
+namespace domset::core {
+namespace {
+
+using common::compare_pow;
+
+std::vector<graph::graph> test_graphs() {
+  common::rng gen(201);
+  std::vector<graph::graph> graphs;
+  graphs.push_back(graph::star_graph(20));
+  graphs.push_back(graph::cycle_graph(12));
+  graphs.push_back(graph::path_graph(10));
+  graphs.push_back(graph::grid_graph(4, 4));
+  graphs.push_back(graph::complete_graph(8));
+  graphs.push_back(graph::gnp_random(25, 0.2, gen));
+  graphs.push_back(graph::barabasi_albert(25, 2, gen));
+  graphs.push_back(graph::complete_bipartite(4, 9));
+  return graphs;
+}
+
+TEST(Alg3, ProducesFeasibleLpSolution) {
+  for (const auto& g : test_graphs()) {
+    for (std::uint32_t k : {1U, 2U, 3U, 4U}) {
+      const auto res = approximate_lp(g, {.k = k});
+      EXPECT_TRUE(lp::is_primal_feasible(g, res.x))
+          << g.summary() << " k=" << k;
+    }
+  }
+}
+
+TEST(Alg3, RoundCountMatchesFormula) {
+  for (const auto& g : test_graphs()) {
+    for (std::uint32_t k : {1U, 2U, 3U, 5U}) {
+      const auto res = approximate_lp(g, {.k = k});
+      EXPECT_EQ(res.metrics.rounds, alg3_round_count(k))
+          << g.summary() << " k=" << k;
+      // 4k^2 + O(k): the constant in O(k) is 2, plus the 2-round prelude.
+      EXPECT_EQ(alg3_round_count(k), 4ULL * k * k + 2ULL * k + 2ULL);
+    }
+  }
+}
+
+TEST(Alg3, ObjectiveWithinTheorem5Bound) {
+  for (const auto& g : test_graphs()) {
+    const auto lp_opt = lp::solve_lp_mds(g);
+    ASSERT_TRUE(lp_opt.has_value());
+    for (std::uint32_t k : {1U, 2U, 3U, 4U}) {
+      const auto res = approximate_lp(g, {.k = k});
+      EXPECT_LE(res.objective, res.ratio_bound * lp_opt->value + 1e-6)
+          << g.summary() << " k=" << k;
+      EXPECT_NEAR(res.ratio_bound, alg3_ratio_bound(g.max_degree(), k), 1e-12);
+    }
+  }
+}
+
+TEST(Alg3, Lemma5InvariantHoldsExactly) {
+  // At the start of each outer iteration the dynamic degree (fresh in
+  // Algorithm 3's schedule) satisfies dyn^k <= (Delta+1)^{ell+1}.
+  for (const auto& g : test_graphs()) {
+    const std::uint64_t dp1 = g.max_degree() + 1;
+    for (std::uint32_t k : {2U, 3U, 4U}) {
+      alg3_observer obs = [&](const alg3_iteration_view& view) {
+        if (view.m != k - 1) return;
+        for (graph::node_id v = 0; v < g.node_count(); ++v) {
+          EXPECT_TRUE(compare_pow(view.dyn_degree[v], k, dp1, view.ell + 1) <= 0)
+              << g.summary() << " k=" << k << " ell=" << view.ell
+              << " node=" << v << " dyn=" << view.dyn_degree[v];
+        }
+      };
+      (void)approximate_lp(g, {.k = k}, &obs);
+    }
+  }
+}
+
+TEST(Alg3, Lemma6InvariantHoldsExactly) {
+  // Before each x assignment, a(v_i) <= (Delta+1)^{(m+1)/k} for all nodes.
+  for (const auto& g : test_graphs()) {
+    const std::uint64_t dp1 = g.max_degree() + 1;
+    for (std::uint32_t k : {2U, 3U, 4U}) {
+      alg3_observer obs = [&](const alg3_iteration_view& view) {
+        for (graph::node_id v = 0; v < g.node_count(); ++v) {
+          EXPECT_TRUE(compare_pow(view.a[v], k, dp1, view.m + 1) <= 0)
+              << g.summary() << " k=" << k << " ell=" << view.ell
+              << " m=" << view.m << " node=" << v << " a=" << view.a[v];
+        }
+      };
+      (void)approximate_lp(g, {.k = k}, &obs);
+    }
+  }
+}
+
+TEST(Alg3, Lemma7ZBoundHoldsExactly) {
+  // z-accounting over the (fresh) white sets; at the end of each outer
+  // iteration z_i <= (1 + (Delta+1)^{1/k}) / gamma^(1)(v_i)^{ell/(ell+1)}
+  // where gamma^(1)(v_i) is the maximum dynamic degree in N_i at the start
+  // of the outer iteration.
+  for (const auto& g : test_graphs()) {
+    const std::size_t n = g.node_count();
+    const double dp1 = static_cast<double>(g.max_degree()) + 1.0;
+    for (std::uint32_t k : {2U, 3U}) {
+      std::vector<double> z(n, 0.0);
+      std::vector<double> prev_x(n, 0.0);
+      std::vector<double> gamma1(n, 0.0);
+      alg3_observer obs = [&](const alg3_iteration_view& view) {
+        if (view.m == k - 1) {
+          std::fill(z.begin(), z.end(), 0.0);
+          for (graph::node_id v = 0; v < n; ++v) {
+            std::uint32_t best = 0;
+            g.for_closed_neighborhood(v, [&](graph::node_id u) {
+              best = std::max(best, view.dyn_degree[u]);
+            });
+            gamma1[v] = static_cast<double>(best);
+          }
+        }
+        for (graph::node_id j = 0; j < n; ++j) {
+          const double inc = view.x[j] - prev_x[j];
+          if (inc <= 1e-15) continue;
+          std::vector<graph::node_id> whites;
+          g.for_closed_neighborhood(j, [&](graph::node_id u) {
+            if (!view.gray[u]) whites.push_back(u);
+          });
+          for (const graph::node_id u : whites)
+            z[u] += inc / static_cast<double>(whites.size());
+        }
+        prev_x = view.x;
+        if (view.m == 0) {
+          const double exponent = static_cast<double>(view.ell) /
+                                  (static_cast<double>(view.ell) + 1.0);
+          for (graph::node_id v = 0; v < n; ++v) {
+            if (gamma1[v] < 1.0) {
+              EXPECT_LE(z[v], 1e-12) << g.summary() << " node " << v;
+              continue;
+            }
+            const double bound = (1.0 + std::pow(dp1, 1.0 / k)) /
+                                 std::pow(gamma1[v], exponent);
+            EXPECT_LE(z[v], bound + 1e-9)
+                << g.summary() << " k=" << k << " ell=" << view.ell
+                << " node=" << v << " gamma1=" << gamma1[v];
+          }
+        }
+      };
+      (void)approximate_lp(g, {.k = k}, &obs);
+    }
+  }
+}
+
+TEST(Alg3, ActiveNodesSatisfyLine7Threshold) {
+  // Consistency of the activity flag with the exact comparison.
+  common::rng gen(202);
+  const graph::graph g = graph::gnp_random(30, 0.15, gen);
+  const std::uint32_t k = 3;
+  alg3_observer obs = [&](const alg3_iteration_view& view) {
+    for (graph::node_id v = 0; v < g.node_count(); ++v) {
+      if (!view.active[v]) continue;
+      EXPECT_GE(view.dyn_degree[v], 1U);
+      EXPECT_TRUE(common::geq_rational_power(view.dyn_degree[v],
+                                             view.gamma2[v], view.ell,
+                                             view.ell + 1))
+          << "node " << v << " ell=" << view.ell;
+    }
+  };
+  (void)approximate_lp(g, {.k = k}, &obs);
+}
+
+TEST(Alg3, MessageSizesAreLogarithmic) {
+  for (const auto& g : test_graphs()) {
+    if (g.max_degree() == 0) continue;
+    for (std::uint32_t k : {2U, 4U}) {
+      const auto res = approximate_lp(g, {.k = k});
+      // Largest payload: the x encoding base*(k) + m + 1 <= (Delta+2)*k.
+      const auto limit = static_cast<std::uint32_t>(
+          std::bit_width(static_cast<std::uint64_t>(g.max_degree() + 2) * k));
+      EXPECT_LE(res.metrics.max_message_bits, limit) << g.summary();
+    }
+  }
+}
+
+TEST(Alg3, CongestLimitEnforcedByEngineMeter) {
+  // Run with the engine's CONGEST meter set to the claimed width: no
+  // violation may be flagged; with a meter strictly below the observed
+  // maximum, a violation must be flagged (the meter itself works).
+  common::rng gen(205);
+  const graph::graph g = graph::gnp_random(40, 0.2, gen);
+  const std::uint32_t k = 3;
+  lp_approx_params ok;
+  ok.k = k;
+  ok.congest_bit_limit = static_cast<std::uint32_t>(
+      std::bit_width(static_cast<std::uint64_t>(g.max_degree() + 2) * k));
+  const auto res_ok = approximate_lp(g, ok);
+  EXPECT_FALSE(res_ok.metrics.congest_violation);
+
+  lp_approx_params tight;
+  tight.k = k;
+  tight.congest_bit_limit = res_ok.metrics.max_message_bits - 1;
+  EXPECT_TRUE(approximate_lp(g, tight).metrics.congest_violation);
+}
+
+TEST(Alg3, NeedsNoGlobalDeltaButMatchesBounds) {
+  // Run on a graph whose Delta differs wildly across regions: a star glued
+  // to a long path.  Algorithm 3 only uses 2-hop information.
+  graph::graph_builder b(30);
+  for (graph::node_id v = 1; v < 15; ++v) b.add_edge(0, v);  // star
+  for (graph::node_id v = 15; v + 1 < 30; ++v) b.add_edge(v, v + 1);
+  b.add_edge(14, 15);  // glue
+  const graph::graph g = std::move(b).build();
+  const auto lp_opt = lp::solve_lp_mds(g);
+  ASSERT_TRUE(lp_opt.has_value());
+  for (std::uint32_t k : {2U, 3U, 4U}) {
+    const auto res = approximate_lp(g, {.k = k});
+    EXPECT_TRUE(lp::is_primal_feasible(g, res.x));
+    EXPECT_LE(res.objective, res.ratio_bound * lp_opt->value + 1e-6);
+  }
+}
+
+TEST(Alg3, DeterministicAcrossRuns) {
+  common::rng gen(203);
+  const graph::graph g = graph::gnp_random(40, 0.1, gen);
+  const auto a = approximate_lp(g, {.k = 3});
+  const auto b = approximate_lp(g, {.k = 3});
+  for (std::size_t i = 0; i < a.x.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.x[i], b.x[i]);
+}
+
+TEST(Alg3, EmptyAndTrivialInputs) {
+  const auto empty = approximate_lp(graph::graph{}, {.k = 2});
+  EXPECT_TRUE(empty.x.empty());
+
+  const auto single = approximate_lp(graph::empty_graph(1), {.k = 2});
+  ASSERT_EQ(single.x.size(), 1U);
+  EXPECT_DOUBLE_EQ(single.x[0], 1.0);
+
+  const auto isolated = approximate_lp(graph::empty_graph(4), {.k = 3});
+  for (const double xi : isolated.x) EXPECT_DOUBLE_EQ(xi, 1.0);
+}
+
+TEST(Alg3, RejectsInvalidK) {
+  EXPECT_THROW((void)approximate_lp(graph::path_graph(3), {.k = 0}),
+               std::invalid_argument);
+}
+
+TEST(Alg3, ComparableToAlg2OnSameInputs) {
+  // Both solve the same LP; Algorithm 3's bound is looser by
+  // (Delta+1)^{1/k}, and on these instances the objectives should be in
+  // the same ballpark (within the ratio bounds of each other).
+  common::rng gen(204);
+  const graph::graph g = graph::gnp_random(35, 0.15, gen);
+  const auto lp_opt = lp::solve_lp_mds(g);
+  ASSERT_TRUE(lp_opt.has_value());
+  for (std::uint32_t k : {2U, 3U}) {
+    const auto a2 = approximate_lp_known_delta(g, {.k = k});
+    const auto a3 = approximate_lp(g, {.k = k});
+    EXPECT_LE(a2.objective, a2.ratio_bound * lp_opt->value + 1e-6);
+    EXPECT_LE(a3.objective, a3.ratio_bound * lp_opt->value + 1e-6);
+  }
+}
+
+TEST(Alg3, ViewSequenceCoversAllIterations) {
+  const graph::graph g = graph::cycle_graph(9);
+  const std::uint32_t k = 3;
+  std::size_t views = 0;
+  alg3_observer obs = [&](const alg3_iteration_view&) { ++views; };
+  (void)approximate_lp(g, {.k = k}, &obs);
+  EXPECT_EQ(views, static_cast<std::size_t>(k) * k);
+}
+
+}  // namespace
+}  // namespace domset::core

@@ -1,0 +1,121 @@
+#include "core/cds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/greedy.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "verify/verify.hpp"
+
+namespace domset::core {
+namespace {
+
+void expect_valid_cds(const graph::graph& g,
+                      const std::vector<std::uint8_t>& ds) {
+  const auto res = connect_dominating_set(g, ds);
+  EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << g.summary();
+  EXPECT_TRUE(is_connected_within_components(g, res.in_set)) << g.summary();
+  EXPECT_EQ(res.size, verify::set_size(res.in_set));
+  EXPECT_LE(res.size, 3 * verify::set_size(ds)) << g.summary();
+  // The input is preserved (augmentation only).
+  for (std::size_t v = 0; v < ds.size(); ++v) {
+    if (ds[v]) {
+      EXPECT_TRUE(res.in_set[v]);
+    }
+  }
+}
+
+TEST(Cds, PathWithSpreadDominators) {
+  // P_9 with dominators {1, 4, 7}: pairwise distance 3, so two connectors
+  // per gap are needed.
+  const graph::graph g = graph::path_graph(9);
+  std::vector<std::uint8_t> ds(9, 0);
+  ds[1] = ds[4] = ds[7] = 1;
+  const auto res = connect_dominating_set(g, ds);
+  EXPECT_TRUE(is_connected_within_components(g, res.in_set));
+  EXPECT_EQ(res.connectors_added, 4U);  // {2,3} and {5,6}
+  EXPECT_EQ(res.size, 7U);
+}
+
+TEST(Cds, AlreadyConnectedIsUntouched) {
+  const graph::graph g = graph::star_graph(8);
+  std::vector<std::uint8_t> hub(8, 0);
+  hub[0] = 1;
+  const auto res = connect_dominating_set(g, hub);
+  EXPECT_EQ(res.connectors_added, 0U);
+  EXPECT_EQ(res.size, 1U);
+}
+
+TEST(Cds, GreedyInputAcrossFamilies) {
+  common::rng gen(1101);
+  const graph::graph graphs[] = {
+      graph::cycle_graph(20), graph::grid_graph(6, 6),
+      graph::gnp_random(50, 0.1, gen), graph::balanced_tree(2, 4),
+      graph::caterpillar(6, 2)};
+  for (const auto& g : graphs) {
+    const auto ds = baselines::greedy_mds(g);
+    expect_valid_cds(g, ds.in_set);
+  }
+}
+
+TEST(Cds, PipelineOutputAcrossSeeds) {
+  common::rng gen(1102);
+  const graph::graph g = graph::random_geometric(80, 0.2, gen).g;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    pipeline_params params;
+    params.k = 2;
+    params.seed = seed;
+    const auto ds = compute_dominating_set(g, params);
+    expect_valid_cds(g, ds.in_set);
+  }
+}
+
+TEST(Cds, DisconnectedGraphConnectsPerComponent) {
+  // Two disjoint paths.
+  graph::graph_builder b(12);
+  for (graph::node_id v = 0; v + 1 < 6; ++v) b.add_edge(v, v + 1);
+  for (graph::node_id v = 6; v + 1 < 12; ++v) b.add_edge(v, v + 1);
+  const graph::graph g = std::move(b).build();
+  std::vector<std::uint8_t> ds(12, 0);
+  ds[1] = ds[4] = ds[7] = ds[10] = 1;
+  const auto res = connect_dominating_set(g, ds);
+  EXPECT_TRUE(is_connected_within_components(g, res.in_set));
+  EXPECT_TRUE(verify::is_dominating_set(g, res.in_set));
+}
+
+TEST(Cds, IsolatedNodesAreFine) {
+  const graph::graph g = graph::empty_graph(4);
+  std::vector<std::uint8_t> all(4, 1);
+  const auto res = connect_dominating_set(g, all);
+  EXPECT_EQ(res.connectors_added, 0U);
+  EXPECT_TRUE(is_connected_within_components(g, res.in_set));
+}
+
+TEST(Cds, RejectsNonDominatingInput) {
+  const graph::graph g = graph::path_graph(5);
+  std::vector<std::uint8_t> bad(5, 0);
+  bad[0] = 1;
+  EXPECT_THROW((void)connect_dominating_set(g, bad), std::invalid_argument);
+}
+
+TEST(ConnectivityChecker, DetectsDisconnectedSelection) {
+  const graph::graph g = graph::path_graph(5);
+  std::vector<std::uint8_t> split(5, 0);
+  split[0] = split[4] = 1;
+  EXPECT_FALSE(is_connected_within_components(g, split));
+  std::vector<std::uint8_t> contiguous(5, 0);
+  contiguous[1] = contiguous[2] = 1;
+  EXPECT_TRUE(is_connected_within_components(g, contiguous));
+}
+
+TEST(ConnectivityChecker, SingletonAndEmptySelections) {
+  const graph::graph g = graph::path_graph(4);
+  EXPECT_TRUE(is_connected_within_components(
+      g, std::vector<std::uint8_t>{0, 1, 0, 0}));
+  EXPECT_TRUE(is_connected_within_components(
+      g, std::vector<std::uint8_t>{0, 0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace domset::core

@@ -1,0 +1,159 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "exact/exact_mds.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "verify/verify.hpp"
+
+namespace domset::core {
+namespace {
+
+TEST(Pipeline, EndToEndProducesDominatingSet) {
+  common::rng gen(401);
+  for (std::uint32_t k : {1U, 2U, 3U, 4U}) {
+    const graph::graph g = graph::gnp_random(50, 0.1, gen);
+    pipeline_params params;
+    params.k = k;
+    params.seed = k;
+    const auto res = compute_dominating_set(g, params);
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "k=" << k;
+    EXPECT_EQ(res.size, verify::set_size(res.in_set));
+  }
+}
+
+TEST(Pipeline, TotalRoundsAreDeterministicInK) {
+  const graph::graph g = graph::grid_graph(5, 5);
+  for (std::uint32_t k : {1U, 2U, 4U}) {
+    pipeline_params params;
+    params.k = k;
+    const auto res = compute_dominating_set(g, params);
+    // Algorithm 3 rounds + Algorithm 1 rounds (4 without announcement).
+    EXPECT_EQ(res.total_rounds, alg3_round_count(k) + 4) << "k=" << k;
+  }
+}
+
+TEST(Pipeline, KnownDeltaVariantUsesFewerRounds) {
+  const graph::graph g = graph::grid_graph(5, 5);
+  pipeline_params a3;
+  a3.k = 3;
+  pipeline_params a2 = a3;
+  a2.assume_known_delta = true;
+  const auto res3 = compute_dominating_set(g, a3);
+  const auto res2 = compute_dominating_set(g, a2);
+  EXPECT_TRUE(verify::is_dominating_set(g, res2.in_set));
+  EXPECT_LT(res2.total_rounds, res3.total_rounds);
+  EXPECT_EQ(res2.total_rounds, alg2_round_count(3) + 4);
+}
+
+TEST(Pipeline, AverageSizeWithinTheorem6Bound) {
+  common::rng gen(402);
+  const graph::graph g = graph::gnp_random(30, 0.2, gen);
+  const auto opt = exact::solve_mds(g);
+  ASSERT_TRUE(opt.has_value());
+  for (std::uint32_t k : {2U, 3U}) {
+    common::running_stats sizes;
+    double bound = 0.0;
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+      pipeline_params params;
+      params.k = k;
+      params.seed = seed;
+      const auto res = compute_dominating_set(g, params);
+      ASSERT_TRUE(verify::is_dominating_set(g, res.in_set));
+      sizes.add(static_cast<double>(res.size));
+      bound = res.expected_ratio_bound;
+    }
+    EXPECT_LE(sizes.mean(),
+              bound * static_cast<double>(opt->size) + 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(Pipeline, SizeNeverBelowCertifiedLowerBound) {
+  common::rng gen(403);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph::graph g = graph::gnp_random(60, 0.08, gen);
+    pipeline_params params;
+    params.seed = 500 + trial;
+    params.k = 2;
+    const auto res = compute_dominating_set(g, params);
+    EXPECT_GE(static_cast<double>(res.size),
+              graph::dual_lower_bound(g) - 1e-9);
+  }
+}
+
+TEST(Pipeline, DeterministicGivenSeed) {
+  common::rng gen(404);
+  const graph::graph g = graph::gnp_random(40, 0.15, gen);
+  pipeline_params params;
+  params.k = 2;
+  params.seed = 99;
+  const auto a = compute_dominating_set(g, params);
+  const auto b = compute_dominating_set(g, params);
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+}
+
+TEST(Pipeline, MetricsAggregateBothStages) {
+  const graph::graph g = graph::cycle_graph(15);
+  pipeline_params params;
+  params.k = 2;
+  const auto res = compute_dominating_set(g, params);
+  EXPECT_EQ(res.total_rounds,
+            res.fractional.metrics.rounds + res.rounding.metrics.rounds);
+  EXPECT_EQ(res.total_messages, res.fractional.metrics.messages_sent +
+                                    res.rounding.metrics.messages_sent);
+  EXPECT_GT(res.total_messages, 0U);
+}
+
+TEST(Pipeline, StarGraphStaysNearOptimal) {
+  // MDS of a star is 1; the pipeline should stay within its guarantee and
+  // in practice produce a small set.
+  const graph::graph g = graph::star_graph(50);
+  common::running_stats sizes;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    pipeline_params params;
+    params.k = 3;
+    params.seed = seed;
+    const auto res = compute_dominating_set(g, params);
+    ASSERT_TRUE(verify::is_dominating_set(g, res.in_set));
+    sizes.add(static_cast<double>(res.size));
+  }
+  EXPECT_LE(sizes.mean(), compute_dominating_set(g, {.k = 3, .seed = 0})
+                              .expected_ratio_bound);
+}
+
+TEST(Pipeline, LogLogVariantWorksEndToEnd) {
+  common::rng gen(405);
+  const graph::graph g = graph::gnp_random(40, 0.15, gen);
+  pipeline_params params;
+  params.k = 2;
+  params.variant = rounding_variant::log_log;
+  const auto res = compute_dominating_set(g, params);
+  EXPECT_TRUE(verify::is_dominating_set(g, res.in_set));
+}
+
+TEST(Pipeline, KThetaLogDeltaRemark) {
+  // The remark after Theorem 6: k = Theta(log Delta) yields an
+  // O(log^2 Delta) approximation in O(log^2 Delta) rounds.  Verify the
+  // bound formula scales polylogarithmically.
+  for (std::uint32_t delta : {15U, 255U}) {
+    const auto k = static_cast<std::uint32_t>(
+        std::max(1.0, std::log2(static_cast<double>(delta) + 1.0)));
+    const double alpha = alg3_ratio_bound(delta, k);
+    const double log_d = std::log2(static_cast<double>(delta) + 1.0);
+    // alpha = k((D+1)^{1/k} + (D+1)^{2/k}) = k(2 + 4) with k = log2(D+1).
+    EXPECT_NEAR(alpha, 6.0 * log_d, 1e-6);
+    EXPECT_LE(rounding_ratio_bound(delta, alpha),
+              1.0 + 6.0 * log_d * std::log(static_cast<double>(delta) + 1.0) +
+                  1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace domset::core

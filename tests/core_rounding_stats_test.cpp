@@ -1,0 +1,132 @@
+// Statistical conformance of Algorithm 1's coin flips.  Because line 3's
+// coins are independent Bernoulli(p_i) with p_i = min{1, x_i*ln(d2_i+1)},
+// closed-form membership probabilities exist:
+//   P(v in DS) = p_v + prod_{u in N[v]} (1 - p_u)
+// (the two events -- random selection and the line 5-6 fix-up -- are
+// disjoint).  These tests check the empirical frequencies against the
+// closed forms within binomial noise, which validates both the formula
+// and the independence of the per-node random streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/rounding.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "lp/lp_mds.hpp"
+
+namespace domset::core {
+namespace {
+
+std::vector<double> selection_probabilities(const graph::graph& g,
+                                            const std::vector<double>& x) {
+  const auto d2 = graph::max_degree_2hop(g);
+  std::vector<double> p(g.node_count());
+  for (graph::node_id v = 0; v < g.node_count(); ++v)
+    p[v] = std::min(1.0, x[v] * std::log(static_cast<double>(d2[v]) + 1.0));
+  return p;
+}
+
+TEST(RoundingStats, MembershipFrequenciesMatchClosedForm) {
+  common::rng gen(1701);
+  const graph::graph g = graph::gnp_random(30, 0.15, gen);
+
+  // A deliberately non-uniform (and not necessarily feasible) input: the
+  // closed form holds for any x.
+  std::vector<double> x(g.node_count());
+  for (auto& xi : x) xi = 0.05 + 0.4 * gen.next_double();
+  const auto p = selection_probabilities(g, x);
+
+  constexpr std::uint64_t kTrials = 3000;
+  std::vector<std::size_t> hits(g.node_count(), 0);
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    rounding_params params;
+    params.seed = seed;
+    const auto res = round_to_dominating_set(g, x, params);
+    for (graph::node_id v = 0; v < g.node_count(); ++v)
+      if (res.in_set[v]) ++hits[v];
+  }
+
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    double nobody = 1.0 - p[v];
+    for (const graph::node_id u : g.neighbors(v)) nobody *= 1.0 - p[u];
+    const double expected = p[v] + nobody;
+    const double freq =
+        static_cast<double>(hits[v]) / static_cast<double>(kTrials);
+    const double noise =
+        4.0 * std::sqrt(expected * (1.0 - expected) / kTrials) + 0.005;
+    EXPECT_NEAR(freq, expected, noise) << "node " << v;
+  }
+}
+
+TEST(RoundingStats, FixupRateDropsWithCoverage) {
+  // Scaling a feasible x up cuts the fix-up rate; scaling it down raises
+  // it (monotonicity of the E[X] / E[Y] trade in Theorem 3's proof).
+  common::rng gen(1702);
+  const graph::graph g = graph::gnp_random(40, 0.12, gen);
+  const auto lp = lp::solve_lp_mds(g);
+  ASSERT_TRUE(lp.has_value());
+
+  const auto fixup_rate = [&](double scale) {
+    std::vector<double> x = lp->x;
+    for (auto& xi : x) xi = std::min(1.0, xi * scale);
+    std::size_t total = 0;
+    for (std::uint64_t seed = 0; seed < 300; ++seed) {
+      rounding_params params;
+      params.seed = seed;
+      total += round_to_dominating_set(g, x, params).selected_by_fixup;
+    }
+    return static_cast<double>(total) / 300.0;
+  };
+
+  const double low = fixup_rate(0.25);
+  const double mid = fixup_rate(1.0);
+  const double high = fixup_rate(2.0);
+  EXPECT_GT(low, mid);
+  EXPECT_GE(mid, high);
+}
+
+TEST(RoundingStats, JointMembershipMatchesIndependentCoins) {
+  // On a cycle, membership of adjacent nodes 10 and 11 depends only on
+  // the coins of nodes 8..13; enumerate those 6 coins exactly and compare
+  // the joint frequency.  A failure would indicate cross-node correlation
+  // in the per-node random streams.
+  const graph::graph g = graph::cycle_graph(60);
+  const std::vector<double> x(60, 1.0 / 3.0);
+  const auto p = selection_probabilities(g, x);
+  const double q = p[10];  // identical for all nodes by symmetry
+
+  // member(v) = S_v or (no S in N[v]).
+  double expected = 0.0;
+  for (unsigned mask = 0; mask < 64; ++mask) {
+    const auto coin = [&](int node) {
+      return (mask >> (node - 8)) & 1U;  // nodes 8..13
+    };
+    const bool m10 = coin(10) || (!coin(9) && !coin(10) && !coin(11));
+    const bool m11 = coin(11) || (!coin(10) && !coin(11) && !coin(12));
+    if (!(m10 && m11)) continue;
+    double prob = 1.0;
+    for (int node = 8; node <= 13; ++node)
+      prob *= coin(node) ? q : 1.0 - q;
+    expected += prob;
+  }
+
+  constexpr std::uint64_t kTrials = 4000;
+  std::size_t joint = 0;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    rounding_params params;
+    params.seed = seed;
+    const auto res = round_to_dominating_set(g, x, params);
+    if (res.in_set[10] && res.in_set[11]) ++joint;
+  }
+  const double joint_freq =
+      static_cast<double>(joint) / static_cast<double>(kTrials);
+  const double noise =
+      4.0 * std::sqrt(expected * (1.0 - expected) / kTrials) + 0.005;
+  EXPECT_NEAR(joint_freq, expected, noise);
+}
+
+}  // namespace
+}  // namespace domset::core

@@ -1,0 +1,184 @@
+#include "core/rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/alg3.hpp"
+#include "exact/exact_mds.hpp"
+#include "graph/generators.hpp"
+#include "lp/lp_mds.hpp"
+#include "verify/verify.hpp"
+
+namespace domset::core {
+namespace {
+
+TEST(Rounding, AlwaysProducesDominatingSet) {
+  common::rng gen(301);
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::graph g = graph::gnp_random(40, 0.08 + 0.01 * trial, gen);
+    const auto lp_res = approximate_lp(g, {.k = 2});
+    rounding_params params;
+    params.seed = 1000 + trial;
+    const auto res = round_to_dominating_set(g, lp_res.x, params);
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "trial " << trial;
+    EXPECT_EQ(res.size, verify::set_size(res.in_set));
+  }
+}
+
+TEST(Rounding, DominatingEvenFromZeroInput) {
+  // With x = 0 everywhere every p_i = 0, so only the line 5-6 fix-up acts:
+  // every node self-selects, which is still a dominating set.  (A zero
+  // vector is not LP-feasible; this checks the fix-up path in isolation.)
+  const graph::graph g = graph::cycle_graph(9);
+  const std::vector<double> zero(g.node_count(), 0.0);
+  const auto res = round_to_dominating_set(g, zero, {});
+  EXPECT_TRUE(verify::is_dominating_set(g, res.in_set));
+  EXPECT_EQ(res.selected_randomly, 0U);
+  EXPECT_EQ(res.selected_by_fixup, g.node_count());
+}
+
+TEST(Rounding, SaturatedProbabilitiesSelectEveryone) {
+  // x = 1 everywhere makes every p_i = 1 (ln(d) >= ln 2 > 0 for any graph
+  // with an edge): every node joins in line 3 and the fix-up is idle.
+  const graph::graph g = graph::complete_graph(6);
+  const std::vector<double> ones(g.node_count(), 1.0);
+  const auto res = round_to_dominating_set(g, ones, {});
+  EXPECT_EQ(res.size, 6U);
+  EXPECT_EQ(res.selected_randomly, 6U);
+  EXPECT_EQ(res.selected_by_fixup, 0U);
+}
+
+TEST(Rounding, RoundCountIsConstant) {
+  const graph::graph g = graph::grid_graph(5, 5);
+  const auto lp_res = approximate_lp(g, {.k = 2});
+  const auto res = round_to_dominating_set(g, lp_res.x, {});
+  EXPECT_EQ(res.metrics.rounds, 4U);  // 2 (delta^(2)) + 1 (x_DS) + 1 (fix-up)
+  rounding_params announce;
+  announce.announce_final = true;
+  const auto res2 = round_to_dominating_set(g, lp_res.x, announce);
+  EXPECT_EQ(res2.metrics.rounds, 5U);
+}
+
+TEST(Rounding, ExpectedSizeWithinTheorem3Bound) {
+  // Average over many seeds against (1 + alpha*ln(Delta+1)) * |DS_OPT|,
+  // with the LP optimum as the alpha = 1 input.
+  common::rng gen(302);
+  const graph::graph g = graph::gnp_random(35, 0.15, gen);
+  const auto lp_opt = lp::solve_lp_mds(g);
+  ASSERT_TRUE(lp_opt.has_value());
+  const auto exact_opt = exact::solve_mds(g);
+  ASSERT_TRUE(exact_opt.has_value());
+
+  common::running_stats sizes;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    rounding_params params;
+    params.seed = seed;
+    const auto res = round_to_dominating_set(g, lp_opt->x, params);
+    ASSERT_TRUE(verify::is_dominating_set(g, res.in_set));
+    sizes.add(static_cast<double>(res.size));
+  }
+  const double bound = rounding_ratio_bound(g.max_degree(), 1.0) *
+                       static_cast<double>(exact_opt->size);
+  // Mean plus CI must sit below the theorem bound (it is far below in
+  // practice; this guards against gross regressions).
+  EXPECT_LE(sizes.mean() + sizes.ci95_halfwidth(), bound);
+}
+
+TEST(Rounding, LogLogVariantAlsoDominates) {
+  common::rng gen(303);
+  const graph::graph g = graph::gnp_random(40, 0.12, gen);
+  const auto lp_res = approximate_lp(g, {.k = 3});
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    rounding_params params;
+    params.seed = seed;
+    params.variant = rounding_variant::log_log;
+    const auto res = round_to_dominating_set(g, lp_res.x, params);
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "seed " << seed;
+  }
+}
+
+TEST(Rounding, LogLogSelectsFewerRandomNodesOnAverage) {
+  // The log-log scaling factor is strictly smaller than ln(d) for d > e^e,
+  // so with high-degree graphs the random phase selects fewer nodes.
+  const graph::graph g = graph::complete_bipartite(20, 20);  // d2 = 20
+  std::vector<double> x(g.node_count(), 0.05);  // feasible: each side sums 1+
+  std::size_t plain_total = 0;
+  std::size_t loglog_total = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    rounding_params p1;
+    p1.seed = seed;
+    plain_total += round_to_dominating_set(g, x, p1).selected_randomly;
+    rounding_params p2;
+    p2.seed = seed;
+    p2.variant = rounding_variant::log_log;
+    loglog_total += round_to_dominating_set(g, x, p2).selected_randomly;
+  }
+  EXPECT_LT(loglog_total, plain_total);
+}
+
+TEST(Rounding, AnnounceFinalYieldsValidDominators) {
+  common::rng gen(304);
+  const graph::graph g = graph::gnp_random(30, 0.2, gen);
+  const auto lp_res = approximate_lp(g, {.k = 2});
+  rounding_params params;
+  params.announce_final = true;
+  const auto res = round_to_dominating_set(g, lp_res.x, params);
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    const graph::node_id d = res.dominator[v];
+    ASSERT_NE(d, graph::invalid_node) << "node " << v;
+    EXPECT_TRUE(res.in_set[d]);
+    EXPECT_TRUE(d == v || g.has_edge(v, d));
+  }
+}
+
+TEST(Rounding, SeedsChangeOutcomeDeterministically) {
+  const graph::graph g = graph::grid_graph(6, 6);
+  const auto lp_res = approximate_lp(g, {.k = 2});
+  rounding_params a;
+  a.seed = 7;
+  const auto res_a1 = round_to_dominating_set(g, lp_res.x, a);
+  const auto res_a2 = round_to_dominating_set(g, lp_res.x, a);
+  EXPECT_EQ(res_a1.in_set, res_a2.in_set);
+
+  // Different seeds give a different set at least once over several tries.
+  bool any_diff = false;
+  for (std::uint64_t seed = 8; seed < 13 && !any_diff; ++seed) {
+    rounding_params b;
+    b.seed = seed;
+    any_diff = round_to_dominating_set(g, lp_res.x, b).in_set != res_a1.in_set;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rounding, RejectsSizeMismatch) {
+  const graph::graph g = graph::path_graph(4);
+  EXPECT_THROW(
+      (void)round_to_dominating_set(g, std::vector<double>{1.0}, {}),
+      std::invalid_argument);
+}
+
+TEST(Rounding, BoundHelpers) {
+  EXPECT_NEAR(rounding_ratio_bound(9, 2.0), 1.0 + 2.0 * std::log(10.0), 1e-12);
+  // log-log bound for small Delta falls back to the plain bound.
+  EXPECT_NEAR(rounding_ratio_bound_log_log(1, 1.0),
+              rounding_ratio_bound(1, 1.0), 1e-12);
+  const double d = std::log(101.0);
+  EXPECT_NEAR(rounding_ratio_bound_log_log(100, 1.0),
+              2.0 * (d - std::log(d)), 1e-12);
+}
+
+TEST(Rounding, IsolatedNodesAlwaysJoin) {
+  const graph::graph g = graph::empty_graph(5);
+  const std::vector<double> x(5, 1.0);
+  // delta^(2) = 0 -> ln(1) = 0 -> p_i = 0; fix-up selects everyone.
+  const auto res = round_to_dominating_set(g, x, {});
+  EXPECT_EQ(res.size, 5U);
+  EXPECT_EQ(res.selected_by_fixup, 5U);
+}
+
+}  // namespace
+}  // namespace domset::core

@@ -1,0 +1,125 @@
+#include "exact/exact_mds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "verify/verify.hpp"
+
+namespace domset::exact {
+namespace {
+
+void expect_optimal(const graph::graph& g, std::size_t expected) {
+  const auto res = solve_mds(g);
+  ASSERT_TRUE(res.has_value()) << g.summary();
+  EXPECT_EQ(res->size, expected) << g.summary();
+  EXPECT_TRUE(verify::is_dominating_set(g, res->in_set)) << g.summary();
+  EXPECT_EQ(verify::set_size(res->in_set), res->size);
+}
+
+TEST(ExactMds, ClosedFormFamilies) {
+  expect_optimal(graph::complete_graph(1), 1);
+  expect_optimal(graph::complete_graph(7), 1);
+  expect_optimal(graph::star_graph(9), 1);
+  expect_optimal(graph::empty_graph(5), 5);
+  // Paths and cycles: ceil(n/3).
+  expect_optimal(graph::path_graph(3), 1);
+  expect_optimal(graph::path_graph(7), 3);
+  expect_optimal(graph::path_graph(9), 3);
+  expect_optimal(graph::path_graph(10), 4);
+  expect_optimal(graph::cycle_graph(3), 1);
+  expect_optimal(graph::cycle_graph(8), 3);
+  expect_optimal(graph::cycle_graph(9), 3);
+  expect_optimal(graph::cycle_graph(10), 4);
+}
+
+TEST(ExactMds, BipartiteAndCaterpillar) {
+  expect_optimal(graph::complete_bipartite(3, 4), 2);
+  expect_optimal(graph::complete_bipartite(1, 6), 1);
+  // Caterpillar: one dominator per spine node.
+  expect_optimal(graph::caterpillar(4, 2), 4);
+  expect_optimal(graph::caterpillar(1, 5), 1);
+}
+
+TEST(ExactMds, GreedyAdversarialOptimumIsTwo) {
+  expect_optimal(graph::greedy_adversarial(3), 2);
+  expect_optimal(graph::greedy_adversarial(4), 2);
+}
+
+TEST(ExactMds, SmallGrids) {
+  expect_optimal(graph::grid_graph(2, 2), 2);  // C_4: one node covers only 3
+  expect_optimal(graph::grid_graph(3, 3), 3);
+  expect_optimal(graph::grid_graph(4, 4), 4);
+}
+
+TEST(ExactMds, EmptyGraphInput) {
+  const auto res = solve_mds(graph::graph{});
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->size, 0U);
+}
+
+TEST(ExactMds, BudgetExhaustionReturnsNullopt) {
+  common::rng gen(61);
+  const graph::graph g = graph::gnp_random(40, 0.1, gen);
+  exact_options opts;
+  opts.node_budget = 1;
+  EXPECT_FALSE(solve_mds(g, opts).has_value());
+}
+
+TEST(BruteForce, MatchesBranchAndBoundOnRandomGraphs) {
+  common::rng gen(62);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 4 + gen.next_below(11);  // 4..14
+    const double p = 0.1 + gen.next_double() * 0.5;
+    const graph::graph g = graph::gnp_random(n, p, gen);
+    const exact_result brute = brute_force_mds(g);
+    const auto bb = solve_mds(g);
+    ASSERT_TRUE(bb.has_value());
+    EXPECT_EQ(bb->size, brute.size) << g.summary() << " trial " << trial;
+    EXPECT_TRUE(verify::is_dominating_set(g, brute.in_set));
+  }
+}
+
+TEST(BruteForce, RejectsLargeInputs) {
+  EXPECT_THROW((void)brute_force_mds(graph::empty_graph(25)),
+               std::invalid_argument);
+}
+
+TEST(ExactMds, OptimaAreMinimalDominatingSets) {
+  common::rng gen(63);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph::graph g = graph::gnp_random(18, 0.2, gen);
+    const auto res = solve_mds(g);
+    ASSERT_TRUE(res.has_value());
+    // An optimal DS is necessarily minimal (dropping any member would give
+    // a smaller dominating set).
+    EXPECT_TRUE(verify::is_minimal_dominating_set(g, res->in_set));
+  }
+}
+
+TEST(ExactMds, HandlesDisconnectedGraphs) {
+  // Two disjoint triangles plus an isolated node: optimum 3.
+  graph::graph_builder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 3);
+  expect_optimal(std::move(b).build(), 3);
+}
+
+TEST(ExactMds, ModeratelyLargeStructured) {
+  // 6x5 grid: known gamma(G) for grids; verify via consistency with brute
+  // force on a coarser statement: solution is dominating and within the
+  // dual lower bound sandwich.
+  const graph::graph g = graph::grid_graph(6, 5);
+  const auto res = solve_mds(g);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(verify::is_dominating_set(g, res->in_set));
+  // gamma(P6 x P5) = 8 (Jacobson-Kinch tables).
+  EXPECT_EQ(res->size, 8U);
+}
+
+}  // namespace
+}  // namespace domset::exact

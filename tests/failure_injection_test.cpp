@@ -1,0 +1,116 @@
+// Robustness extension: the paper assumes reliable links; these tests
+// document how the algorithms degrade under i.i.d. message loss.
+//
+// Key structural property: in Algorithms 2/3, losing messages can only
+// keep nodes *white* longer (coverage sums under-count), and every white
+// node still self-assigns x = 1 in the final iteration -- so the
+// fractional output stays primal feasible under arbitrary loss.  Likewise
+// Algorithm 1's fix-up self-selects any node that did not hear a
+// dominator, so the rounded set stays dominating.
+#include <gtest/gtest.h>
+
+#include "baselines/lrg.hpp"
+#include "common/rng.hpp"
+#include "core/alg2.hpp"
+#include "core/alg3.hpp"
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "lp/lp_mds.hpp"
+#include "verify/verify.hpp"
+
+namespace domset {
+namespace {
+
+TEST(FailureInjection, Alg2StaysFeasibleUnderLoss) {
+  common::rng gen(901);
+  const graph::graph g = graph::gnp_random(40, 0.15, gen);
+  for (const double drop : {0.05, 0.2, 0.5, 0.9}) {
+    core::lp_approx_params params;
+    params.k = 3;
+    params.seed = 77;
+    params.drop_probability = drop;
+    const auto res = core::approximate_lp_known_delta(g, params);
+    EXPECT_TRUE(lp::is_primal_feasible(g, res.x)) << "drop=" << drop;
+    EXPECT_GT(res.metrics.messages_dropped, 0U);
+    // Rounds are schedule-driven, never extended by loss.
+    EXPECT_EQ(res.metrics.rounds, core::alg2_round_count(3));
+  }
+}
+
+TEST(FailureInjection, Alg3StaysFeasibleUnderLoss) {
+  common::rng gen(902);
+  const graph::graph g = graph::gnp_random(40, 0.15, gen);
+  for (const double drop : {0.05, 0.2, 0.5, 0.9}) {
+    core::lp_approx_params params;
+    params.k = 2;
+    params.seed = 78;
+    params.drop_probability = drop;
+    const auto res = core::approximate_lp(g, params);
+    EXPECT_TRUE(lp::is_primal_feasible(g, res.x)) << "drop=" << drop;
+    EXPECT_EQ(res.metrics.rounds, core::alg3_round_count(2));
+  }
+}
+
+TEST(FailureInjection, LossInflatesObjectiveGracefully) {
+  // Dropped coverage reports keep nodes white, so more nodes raise x; the
+  // objective should grow monotonically-ish with the drop rate but stay
+  // bounded by n (every x <= 1).
+  common::rng gen(903);
+  const graph::graph g = graph::gnp_random(60, 0.1, gen);
+  core::lp_approx_params clean;
+  clean.k = 3;
+  const double base = core::approximate_lp(g, clean).objective;
+  core::lp_approx_params lossy = clean;
+  lossy.drop_probability = 0.8;
+  lossy.seed = 5;
+  const double degraded = core::approximate_lp(g, lossy).objective;
+  EXPECT_GE(degraded, base - 1e-9);
+  EXPECT_LE(degraded, static_cast<double>(g.node_count()) + 1e-9);
+}
+
+TEST(FailureInjection, PipelineStillDominatesUnderLoss) {
+  common::rng gen(904);
+  const graph::graph g = graph::gnp_random(50, 0.12, gen);
+  for (const double drop : {0.1, 0.3, 0.6}) {
+    core::pipeline_params params;
+    params.k = 2;
+    params.seed = 40;
+    params.drop_probability = drop;
+    const auto res = core::compute_dominating_set(g, params);
+    EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "drop=" << drop;
+  }
+}
+
+TEST(FailureInjection, LossOnlyGrowsTheRoundedSet) {
+  // With the same seeds, loss can only move nodes into the set (missed
+  // announcements trigger the fix-up), never out of it... on average.
+  common::rng gen(905);
+  const graph::graph g = graph::gnp_random(50, 0.12, gen);
+  std::size_t clean_total = 0;
+  std::size_t lossy_total = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    core::pipeline_params params;
+    params.k = 2;
+    params.seed = seed;
+    clean_total += core::compute_dominating_set(g, params).size;
+    params.drop_probability = 0.5;
+    lossy_total += core::compute_dominating_set(g, params).size;
+  }
+  // Averaged over seeds; a small slack absorbs coin-flip noise (loss also
+  // shrinks the delta^(2) estimates, which lowers selection probabilities).
+  EXPECT_GE(lossy_total + 5, clean_total);
+}
+
+TEST(FailureInjection, LrgTerminatesAndDominatesUnderModerateLoss) {
+  common::rng gen(906);
+  const graph::graph g = graph::gnp_random(40, 0.15, gen);
+  baselines::lrg_params params;
+  params.seed = 3;
+  params.drop_probability = 0.1;
+  const auto res = baselines::lrg_mds(g, params);
+  EXPECT_FALSE(res.metrics.hit_round_limit);
+  EXPECT_TRUE(verify::is_dominating_set(g, res.in_set));
+}
+
+}  // namespace
+}  // namespace domset

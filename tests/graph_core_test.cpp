@@ -1,0 +1,122 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace domset::graph {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  graph g = graph_builder(0).build();
+  EXPECT_EQ(g.node_count(), 0U);
+  EXPECT_EQ(g.edge_count(), 0U);
+  EXPECT_EQ(g.max_degree(), 0U);
+}
+
+TEST(GraphBuilder, IsolatedNodes) {
+  graph g = graph_builder(5).build();
+  EXPECT_EQ(g.node_count(), 5U);
+  EXPECT_EQ(g.edge_count(), 0U);
+  for (node_id v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0U);
+}
+
+TEST(GraphBuilder, SimpleTriangle) {
+  graph_builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  graph g = std::move(b).build();
+  EXPECT_EQ(g.edge_count(), 3U);
+  EXPECT_EQ(g.max_degree(), 2U);
+  for (node_id v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2U);
+}
+
+TEST(GraphBuilder, DeduplicatesEdges) {
+  graph_builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // same undirected edge
+  b.add_edge(0, 1);
+  graph g = std::move(b).build();
+  EXPECT_EQ(g.edge_count(), 1U);
+  EXPECT_EQ(g.degree(0), 1U);
+  EXPECT_EQ(g.degree(1), 1U);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  graph_builder b(2);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  graph_builder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(5, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, HasEdgeSlow) {
+  graph_builder b(4);
+  b.add_edge(0, 3);
+  EXPECT_TRUE(b.has_edge_slow(0, 3));
+  EXPECT_TRUE(b.has_edge_slow(3, 0));
+  EXPECT_FALSE(b.has_edge_slow(1, 2));
+}
+
+TEST(Graph, NeighborListsAreSorted) {
+  graph_builder b(6);
+  b.add_edge(3, 5);
+  b.add_edge(3, 1);
+  b.add_edge(3, 4);
+  b.add_edge(3, 0);
+  graph g = std::move(b).build();
+  const auto nbrs = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4U);
+}
+
+TEST(Graph, HasEdgeBothDirections) {
+  graph_builder b(4);
+  b.add_edge(1, 2);
+  graph g = std::move(b).build();
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(1, 3));
+}
+
+TEST(Graph, ClosedNeighborhoodVisitsSelfFirst) {
+  graph_builder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  graph g = std::move(b).build();
+  std::vector<node_id> visited;
+  g.for_closed_neighborhood(0, [&](node_id u) { visited.push_back(u); });
+  ASSERT_EQ(visited.size(), 3U);
+  EXPECT_EQ(visited[0], 0U);
+  EXPECT_EQ(g.closed_degree(0), 3U);
+}
+
+TEST(Graph, AdjacencySymmetry) {
+  graph_builder b(10);
+  b.add_edge(0, 9);
+  b.add_edge(4, 5);
+  b.add_edge(2, 7);
+  graph g = std::move(b).build();
+  for (node_id v = 0; v < g.node_count(); ++v)
+    for (const node_id u : g.neighbors(v)) EXPECT_TRUE(g.has_edge(u, v));
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  graph_builder b(3);
+  b.add_edge(0, 1);
+  graph g = std::move(b).build();
+  const std::string s = g.summary();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("m=1"), std::string::npos);
+  EXPECT_NE(s.find("maxdeg=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace domset::graph

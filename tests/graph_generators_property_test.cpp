@@ -1,0 +1,171 @@
+// Parameterized structural-property sweep over every generator family:
+// whatever the family and size, the produced graph must be a simple
+// undirected graph with consistent CSR structure, and family-specific
+// invariants (regularity, tree-ness, connectivity, planarity of degree
+// bounds) must hold.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace domset::graph {
+namespace {
+
+struct generator_spec {
+  std::string name;
+  graph (*make)(std::size_t n, std::uint64_t seed);
+  bool always_connected;
+};
+
+graph make_path(std::size_t n, std::uint64_t) { return path_graph(n); }
+graph make_cycle(std::size_t n, std::uint64_t) {
+  return cycle_graph(std::max<std::size_t>(n, 3));
+}
+graph make_star(std::size_t n, std::uint64_t) { return star_graph(n); }
+graph make_complete(std::size_t n, std::uint64_t) {
+  return complete_graph(std::min<std::size_t>(n, 40));
+}
+graph make_grid(std::size_t n, std::uint64_t) {
+  const auto side = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::sqrt(static_cast<double>(n))));
+  return grid_graph(side, side);
+}
+graph make_torus(std::size_t n, std::uint64_t) {
+  const auto side = std::max<std::size_t>(
+      3, static_cast<std::size_t>(std::sqrt(static_cast<double>(n))));
+  return torus_graph(side, side);
+}
+graph make_tree(std::size_t n, std::uint64_t) {
+  std::size_t depth = 1;
+  while (((1ULL << (depth + 2)) - 1) < n) ++depth;
+  return balanced_tree(2, depth);
+}
+graph make_caterpillar(std::size_t n, std::uint64_t) {
+  return caterpillar(std::max<std::size_t>(1, n / 4), 3);
+}
+graph make_gnp(std::size_t n, std::uint64_t seed) {
+  common::rng gen(seed);
+  return gnp_random(n, 6.0 / static_cast<double>(n), gen);
+}
+graph make_gnm(std::size_t n, std::uint64_t seed) {
+  common::rng gen(seed);
+  return gnm_random(n, 3 * n, gen);
+}
+graph make_udg(std::size_t n, std::uint64_t seed) {
+  common::rng gen(seed);
+  return random_geometric(n, 1.4 / std::sqrt(static_cast<double>(n)), gen).g;
+}
+graph make_ba(std::size_t n, std::uint64_t seed) {
+  common::rng gen(seed);
+  return barabasi_albert(n, 3, gen);
+}
+graph make_regular(std::size_t n, std::uint64_t seed) {
+  common::rng gen(seed);
+  return random_regular(n - n % 2, 5, gen);
+}
+graph make_cluster(std::size_t n, std::uint64_t seed) {
+  common::rng gen(seed);
+  return cluster_graph(std::max<std::size_t>(1, n / 10), 10, n / 20, gen);
+}
+graph make_adversarial(std::size_t n, std::uint64_t) {
+  std::size_t t = 2;
+  while ((2ULL << (t + 1)) - 2 + t + 2 < n) ++t;
+  return greedy_adversarial(t);
+}
+
+const generator_spec kGenerators[] = {
+    {"path", make_path, true},
+    {"cycle", make_cycle, true},
+    {"star", make_star, true},
+    {"complete", make_complete, true},
+    {"grid", make_grid, true},
+    {"torus", make_torus, true},
+    {"tree", make_tree, true},
+    {"caterpillar", make_caterpillar, true},
+    {"gnp", make_gnp, false},
+    {"gnm", make_gnm, false},
+    {"udg", make_udg, false},
+    {"ba", make_ba, true},
+    {"regular", make_regular, false},
+    {"cluster", make_cluster, true},
+    {"adversarial", make_adversarial, true},
+};
+
+class GeneratorProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(GeneratorProperty, StructuralInvariants) {
+  const auto [gen_idx, n] = GetParam();
+  const generator_spec& spec = kGenerators[gen_idx];
+  const graph g = spec.make(n, 42 + n);
+
+  // (1) Degree sum = 2m (handshake lemma via CSR consistency).
+  std::size_t degree_sum = 0;
+  for (node_id v = 0; v < g.node_count(); ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, 2 * g.edge_count());
+
+  // (2) Neighbor lists sorted, self-loop free, duplicate free, symmetric.
+  std::uint32_t observed_max = 0;
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+    for (const node_id u : nbrs) {
+      EXPECT_NE(u, v);
+      EXPECT_LT(u, g.node_count());
+      EXPECT_TRUE(g.has_edge(u, v));
+    }
+    observed_max = std::max(observed_max, g.degree(v));
+  }
+
+  // (3) max_degree() is exact.
+  EXPECT_EQ(g.max_degree(), observed_max);
+
+  // (4) Connectivity where the family guarantees it.
+  if (spec.always_connected && g.node_count() > 0) {
+    EXPECT_TRUE(is_connected(g)) << spec.name << " n=" << n;
+  }
+
+  // (5) delta^(2) >= delta^(1) >= degree, pointwise.
+  const auto d1 = max_degree_1hop(g);
+  const auto d2 = max_degree_2hop(g);
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(d1[v], g.degree(v));
+    EXPECT_GE(d2[v], d1[v]);
+    EXPECT_LE(d2[v], g.max_degree());
+  }
+}
+
+TEST_P(GeneratorProperty, SeedDeterminism) {
+  const auto [gen_idx, n] = GetParam();
+  const generator_spec& spec = kGenerators[gen_idx];
+  const graph a = spec.make(n, 777);
+  const graph b = spec.make(n, 777);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (node_id v = 0; v < a.node_count(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorProperty,
+    ::testing::Combine(::testing::Range(0, 15),
+                       ::testing::Values<std::size_t>(12, 60, 200)),
+    [](const ::testing::TestParamInfo<GeneratorProperty::ParamType>& info) {
+      return kGenerators[std::get<0>(info.param)].name + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace domset::graph

@@ -1,0 +1,236 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/properties.hpp"
+
+namespace domset::graph {
+namespace {
+
+TEST(Deterministic, EmptyGraph) {
+  const graph g = empty_graph(7);
+  EXPECT_EQ(g.node_count(), 7U);
+  EXPECT_EQ(g.edge_count(), 0U);
+}
+
+TEST(Deterministic, CompleteGraph) {
+  const graph g = complete_graph(6);
+  EXPECT_EQ(g.edge_count(), 15U);
+  EXPECT_EQ(g.max_degree(), 5U);
+  EXPECT_EQ(diameter(g), 1U);
+}
+
+TEST(Deterministic, PathGraph) {
+  const graph g = path_graph(5);
+  EXPECT_EQ(g.edge_count(), 4U);
+  EXPECT_EQ(g.degree(0), 1U);
+  EXPECT_EQ(g.degree(2), 2U);
+  EXPECT_EQ(diameter(g), 4U);
+}
+
+TEST(Deterministic, CycleGraph) {
+  const graph g = cycle_graph(8);
+  EXPECT_EQ(g.edge_count(), 8U);
+  for (node_id v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 2U);
+  EXPECT_EQ(diameter(g), 4U);
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+}
+
+TEST(Deterministic, StarGraph) {
+  const graph g = star_graph(9);
+  EXPECT_EQ(g.degree(0), 8U);
+  for (node_id v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 1U);
+  EXPECT_EQ(g.max_degree(), 8U);
+}
+
+TEST(Deterministic, CompleteBipartite) {
+  const graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.node_count(), 7U);
+  EXPECT_EQ(g.edge_count(), 12U);
+  for (node_id v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 4U);
+  for (node_id v = 3; v < 7; ++v) EXPECT_EQ(g.degree(v), 3U);
+}
+
+TEST(Deterministic, GridGraph) {
+  const graph g = grid_graph(4, 3);
+  EXPECT_EQ(g.node_count(), 12U);
+  // Edges: 3 per row * 3 rows + 4 per column-gap * 2 gaps = 9 + 8.
+  EXPECT_EQ(g.edge_count(), 17U);
+  EXPECT_EQ(g.max_degree(), 4U);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Deterministic, TorusGraphIsRegular) {
+  const graph g = torus_graph(4, 5);
+  EXPECT_EQ(g.node_count(), 20U);
+  for (node_id v = 0; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 4U);
+  EXPECT_EQ(g.edge_count(), 40U);
+  EXPECT_THROW(torus_graph(2, 5), std::invalid_argument);
+}
+
+TEST(Deterministic, BalancedTree) {
+  const graph g = balanced_tree(2, 3);  // 1+2+4+8 = 15 nodes
+  EXPECT_EQ(g.node_count(), 15U);
+  EXPECT_EQ(g.edge_count(), 14U);  // tree
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2U);       // root
+  EXPECT_EQ(g.degree(14), 1U);      // leaf
+  EXPECT_EQ(g.max_degree(), 3U);    // internal: parent + 2 children
+}
+
+TEST(Deterministic, BalancedTreeDepthZero) {
+  const graph g = balanced_tree(5, 0);
+  EXPECT_EQ(g.node_count(), 1U);
+  EXPECT_EQ(g.edge_count(), 0U);
+}
+
+TEST(Deterministic, Caterpillar) {
+  const graph g = caterpillar(4, 3);
+  EXPECT_EQ(g.node_count(), 16U);
+  EXPECT_EQ(g.edge_count(), 3U + 12U);  // spine + legs
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 4U);  // spine end: 1 spine nbr + 3 legs
+  EXPECT_EQ(g.degree(1), 5U);  // inner spine: 2 + 3
+}
+
+TEST(Deterministic, GreedyAdversarialStructure) {
+  const std::size_t t = 4;
+  const graph g = greedy_adversarial(t);
+  // Elements: 2+4+8+16 = 30; set nodes: t+2 = 6.
+  EXPECT_EQ(g.node_count(), 36U);
+  EXPECT_TRUE(is_connected(g));
+  // Every element node has degree 2 (its S_i and one of T_1/T_2).
+  for (node_id v = 0; v < 30; ++v) EXPECT_EQ(g.degree(v), 2U);
+  // T nodes cover half the elements plus the set-node clique.
+  EXPECT_EQ(g.degree(34), 15U + 5U);
+  EXPECT_EQ(g.degree(35), 15U + 5U);
+  EXPECT_THROW(greedy_adversarial(0), std::invalid_argument);
+}
+
+TEST(Random, GnpEdgeCountConcentrates) {
+  common::rng gen(42);
+  const std::size_t n = 400;
+  const double p = 0.05;
+  const graph g = gnp_random(n, p, gen);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_GT(g.edge_count(), expected * 0.85);
+  EXPECT_LT(g.edge_count(), expected * 1.15);
+}
+
+TEST(Random, GnpExtremes) {
+  common::rng gen(43);
+  EXPECT_EQ(gnp_random(50, 0.0, gen).edge_count(), 0U);
+  EXPECT_EQ(gnp_random(10, 1.0, gen).edge_count(), 45U);
+  EXPECT_EQ(gnp_random(0, 0.5, gen).node_count(), 0U);
+  EXPECT_EQ(gnp_random(1, 0.5, gen).edge_count(), 0U);
+}
+
+TEST(Random, GnmExactEdgeCount) {
+  common::rng gen(44);
+  const graph g = gnm_random(30, 100, gen);
+  EXPECT_EQ(g.node_count(), 30U);
+  EXPECT_EQ(g.edge_count(), 100U);
+  EXPECT_THROW(gnm_random(5, 11, gen), std::invalid_argument);
+}
+
+TEST(Random, GnmFullDensity) {
+  common::rng gen(45);
+  const graph g = gnm_random(8, 28, gen);
+  EXPECT_EQ(g.edge_count(), 28U);  // = K_8
+  EXPECT_EQ(g.max_degree(), 7U);
+}
+
+TEST(Random, GeometricRespectsRadius) {
+  common::rng gen(46);
+  const auto [g, x, y] = random_geometric(200, 0.15, gen);
+  EXPECT_EQ(g.node_count(), 200U);
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    for (const node_id u : g.neighbors(v)) {
+      const double dx = x[v] - x[u];
+      const double dy = y[v] - y[u];
+      EXPECT_LE(std::sqrt(dx * dx + dy * dy), 0.15 + 1e-12);
+    }
+  }
+}
+
+TEST(Random, GeometricFindsAllPairs) {
+  // Brute-force cross-check of the grid bucketing.
+  common::rng gen(47);
+  const auto [g, x, y] = random_geometric(120, 0.2, gen);
+  std::size_t expected_edges = 0;
+  for (std::size_t i = 0; i < 120; ++i) {
+    for (std::size_t j = i + 1; j < 120; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx * dx + dy * dy <= 0.2 * 0.2) ++expected_edges;
+    }
+  }
+  EXPECT_EQ(g.edge_count(), expected_edges);
+}
+
+TEST(Random, BarabasiAlbertDegrees) {
+  common::rng gen(48);
+  const std::size_t n = 300;
+  const std::size_t m = 3;
+  const graph g = barabasi_albert(n, m, gen);
+  EXPECT_EQ(g.node_count(), n);
+  // Each new node adds exactly m edges; seed clique has m(m+1)/2.
+  EXPECT_EQ(g.edge_count(), (n - m - 1) * m + m * (m + 1) / 2);
+  EXPECT_TRUE(is_connected(g));
+  for (node_id v = 0; v < n; ++v) EXPECT_GE(g.degree(v), m);
+  EXPECT_THROW(barabasi_albert(3, 3, gen), std::invalid_argument);
+}
+
+TEST(Random, RegularGraphDegrees) {
+  common::rng gen(49);
+  const graph g = random_regular(60, 4, gen);
+  for (node_id v = 0; v < g.node_count(); ++v) EXPECT_EQ(g.degree(v), 4U);
+  EXPECT_THROW(random_regular(5, 3, gen), std::invalid_argument);  // odd n*d
+  EXPECT_THROW(random_regular(4, 4, gen), std::invalid_argument);  // d >= n
+}
+
+TEST(Random, RegularDegreeZero) {
+  common::rng gen(50);
+  const graph g = random_regular(6, 0, gen);
+  EXPECT_EQ(g.edge_count(), 0U);
+}
+
+TEST(Random, ClusterGraphShape) {
+  common::rng gen(51);
+  const graph g = cluster_graph(5, 8, 4, gen);
+  EXPECT_EQ(g.node_count(), 40U);
+  EXPECT_TRUE(is_connected(g));
+  // Intra-cluster cliques present.
+  EXPECT_TRUE(g.has_edge(0, 7));
+  EXPECT_THROW(cluster_graph(0, 3, 0, gen), std::invalid_argument);
+}
+
+TEST(Random, UniformCostsInRange) {
+  common::rng gen(52);
+  const auto costs = uniform_costs(500, 4.0, gen);
+  EXPECT_EQ(costs.size(), 500U);
+  for (const double c : costs) {
+    EXPECT_GE(c, 1.0);
+    EXPECT_LE(c, 4.0);
+  }
+  EXPECT_THROW(uniform_costs(5, 0.5, gen), std::invalid_argument);
+}
+
+TEST(Random, GeneratorsAreSeedDeterministic) {
+  common::rng a(7);
+  common::rng b(7);
+  const graph ga = gnp_random(100, 0.1, a);
+  const graph gb = gnp_random(100, 0.1, b);
+  EXPECT_EQ(ga.edge_count(), gb.edge_count());
+  for (node_id v = 0; v < 100; ++v) {
+    const auto na = ga.neighbors(v);
+    const auto nb = gb.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+}  // namespace
+}  // namespace domset::graph

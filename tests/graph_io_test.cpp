@@ -1,0 +1,86 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace domset::graph {
+namespace {
+
+TEST(GraphIo, RoundTripSmall) {
+  graph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  const graph g = std::move(b).build();
+
+  std::stringstream s;
+  write_edge_list(g, s);
+  const graph h = read_edge_list(s);
+  EXPECT_EQ(h.node_count(), g.node_count());
+  EXPECT_EQ(h.edge_count(), g.edge_count());
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_TRUE(h.has_edge(1, 3));
+  EXPECT_TRUE(h.has_edge(2, 3));
+  EXPECT_FALSE(h.has_edge(0, 2));
+}
+
+TEST(GraphIo, RoundTripRandom) {
+  common::rng gen(3);
+  const graph g = gnp_random(60, 0.1, gen);
+  std::stringstream s;
+  write_edge_list(g, s);
+  const graph h = read_edge_list(s);
+  ASSERT_EQ(h.node_count(), g.node_count());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GraphIo, IgnoresComments) {
+  std::stringstream s("# a comment\n3 1\n# another\n0 2\n");
+  const graph g = read_edge_list(s);
+  EXPECT_EQ(g.node_count(), 3U);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, EmptyGraph) {
+  std::stringstream s("0 0\n");
+  const graph g = read_edge_list(s);
+  EXPECT_EQ(g.node_count(), 0U);
+}
+
+TEST(GraphIo, RejectsMissingHeader) {
+  std::stringstream s("");
+  EXPECT_THROW(read_edge_list(s), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsTruncatedEdges) {
+  std::stringstream s("4 3\n0 1\n");
+  EXPECT_THROW(read_edge_list(s), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsOutOfRangeEndpoint) {
+  std::stringstream s("2 1\n0 5\n");
+  EXPECT_THROW(read_edge_list(s), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsSelfLoop) {
+  std::stringstream s("3 1\n1 1\n");
+  EXPECT_THROW(read_edge_list(s), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsMalformedEdgeLine) {
+  std::stringstream s("3 1\nnot numbers\n");
+  EXPECT_THROW(read_edge_list(s), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace domset::graph

@@ -1,0 +1,117 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/generators.hpp"
+
+namespace domset::graph {
+namespace {
+
+TEST(MaxDegreeHops, StarGraph) {
+  const graph g = star_graph(6);  // hub 0 with degree 5
+  const auto d1 = max_degree_1hop(g);
+  for (node_id v = 0; v < 6; ++v) EXPECT_EQ(d1[v], 5U);  // hub in every N_i
+  const auto d2 = max_degree_2hop(g);
+  for (node_id v = 0; v < 6; ++v) EXPECT_EQ(d2[v], 5U);
+}
+
+TEST(MaxDegreeHops, PathGraph) {
+  const graph g = path_graph(6);  // degrees 1,2,2,2,2,1
+  const auto d1 = max_degree_1hop(g);
+  EXPECT_EQ(d1[0], 2U);
+  EXPECT_EQ(d1[3], 2U);
+  const auto d2 = max_degree_2hop(g);
+  EXPECT_EQ(d2[0], 2U);
+}
+
+TEST(MaxDegreeHops, TwoHopSeesDistantHub) {
+  // Hub of a star, with a pendant path: 0-1, 0-2, 0-3, 3-4, 4-5.
+  graph_builder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const graph g = std::move(b).build();
+  const auto d1 = max_degree_1hop(g);
+  const auto d2 = max_degree_2hop(g);
+  EXPECT_EQ(d1[5], 2U);  // node 5 sees only node 4 (degree 2)
+  EXPECT_EQ(d2[5], 2U);  // distance-2 sees node 3 (degree 2)
+  EXPECT_EQ(d2[4], 3U);  // distance-2 from 4 reaches hub 0 (degree 3)
+}
+
+TEST(DualLowerBound, KnownValues) {
+  // K_n: every delta^(1) = n-1, so bound = n * 1/n = 1 = |MDS|.
+  EXPECT_NEAR(dual_lower_bound(complete_graph(8)), 1.0, 1e-12);
+  // Empty graph: bound = n, and MDS = n.
+  EXPECT_NEAR(dual_lower_bound(empty_graph(5)), 5.0, 1e-12);
+  // Cycle: every delta^(1) = 2, bound = n/3 = |MDS| for n % 3 == 0.
+  EXPECT_NEAR(dual_lower_bound(cycle_graph(9)), 3.0, 1e-12);
+}
+
+TEST(Components, DisjointPieces) {
+  graph_builder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const graph g = std::move(b).build();  // {0,1,2}, {3,4}, {5}, {6}
+  const auto res = connected_components(g);
+  EXPECT_EQ(res.count, 4U);
+  EXPECT_EQ(res.component[0], res.component[2]);
+  EXPECT_EQ(res.component[3], res.component[4]);
+  EXPECT_NE(res.component[0], res.component[3]);
+  EXPECT_NE(res.component[5], res.component[6]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, SingleAndEmpty) {
+  EXPECT_TRUE(is_connected(empty_graph(1)));
+  EXPECT_TRUE(is_connected(empty_graph(0)));
+  EXPECT_FALSE(is_connected(empty_graph(2)));
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const graph g = path_graph(5);
+  const auto dist = bfs_distances(g, 0);
+  for (node_id v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  graph_builder b(3);
+  b.add_edge(0, 1);
+  const graph g = std::move(b).build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(Diameter, KnownGraphs) {
+  EXPECT_EQ(diameter(path_graph(10)), 9U);
+  EXPECT_EQ(diameter(cycle_graph(10)), 5U);
+  EXPECT_EQ(diameter(complete_graph(5)), 1U);
+  EXPECT_EQ(diameter(star_graph(5)), 2U);
+  EXPECT_EQ(diameter(empty_graph(1)), 0U);
+}
+
+TEST(Diameter, DisconnectedIsInfinite) {
+  EXPECT_EQ(diameter(empty_graph(3)),
+            std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(AverageDegree, Values) {
+  EXPECT_DOUBLE_EQ(average_degree(cycle_graph(7)), 2.0);
+  EXPECT_DOUBLE_EQ(average_degree(empty_graph(4)), 0.0);
+  EXPECT_DOUBLE_EQ(average_degree(graph{}), 0.0);
+}
+
+TEST(DegreeHistogram, Star) {
+  const auto hist = degree_histogram(star_graph(6));
+  ASSERT_EQ(hist.size(), 6U);  // max degree 5
+  EXPECT_EQ(hist[1], 5U);
+  EXPECT_EQ(hist[5], 1U);
+  EXPECT_EQ(hist[0], 0U);
+}
+
+}  // namespace
+}  // namespace domset::graph

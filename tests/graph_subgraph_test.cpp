@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace domset::graph {
+namespace {
+
+TEST(InducedSubgraph, KeepsSelectedEdgesOnly) {
+  // Square 0-1-2-3-0 with diagonal 0-2; keep {0,1,2}.
+  graph_builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  b.add_edge(0, 2);
+  const graph g = std::move(b).build();
+  const std::vector<std::uint8_t> keep{1, 1, 1, 0};
+  const auto sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.g.node_count(), 3U);
+  EXPECT_EQ(sub.g.edge_count(), 3U);  // 0-1, 1-2, 0-2
+  ASSERT_EQ(sub.original_id.size(), 3U);
+  EXPECT_EQ(sub.original_id[0], 0U);
+  EXPECT_EQ(sub.original_id[1], 1U);
+  EXPECT_EQ(sub.original_id[2], 2U);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const graph g = complete_graph(5);
+  const std::vector<std::uint8_t> keep(5, 0);
+  const auto sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.g.node_count(), 0U);
+  EXPECT_TRUE(sub.original_id.empty());
+}
+
+TEST(InducedSubgraph, FullSelectionIsIdentity) {
+  common::rng gen(1401);
+  const graph g = gnp_random(30, 0.2, gen);
+  const std::vector<std::uint8_t> keep(30, 1);
+  const auto sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.g.node_count(), g.node_count());
+  EXPECT_EQ(sub.g.edge_count(), g.edge_count());
+  for (node_id v = 0; v < 30; ++v) EXPECT_EQ(sub.original_id[v], v);
+}
+
+TEST(InducedSubgraph, DegreesNeverGrow) {
+  common::rng gen(1402);
+  const graph g = gnp_random(40, 0.15, gen);
+  std::vector<std::uint8_t> keep(40);
+  for (auto& k : keep) k = gen.next_bernoulli(0.6) ? 1 : 0;
+  const auto sub = induced_subgraph(g, keep);
+  for (node_id v = 0; v < sub.g.node_count(); ++v)
+    EXPECT_LE(sub.g.degree(v), g.degree(sub.original_id[v]));
+}
+
+TEST(LargestComponent, PicksTheBiggest) {
+  // Triangle + edge + isolated node.
+  graph_builder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 4);
+  const graph g = std::move(b).build();
+  const auto sub = largest_component(g);
+  EXPECT_EQ(sub.g.node_count(), 3U);
+  EXPECT_EQ(sub.g.edge_count(), 3U);
+  EXPECT_TRUE(is_connected(sub.g));
+}
+
+TEST(LargestComponent, ConnectedGraphIsUnchanged) {
+  const graph g = cycle_graph(12);
+  const auto sub = largest_component(g);
+  EXPECT_EQ(sub.g.node_count(), 12U);
+  EXPECT_EQ(sub.g.edge_count(), 12U);
+}
+
+TEST(LargestComponent, AlwaysConnectedOnRandomInputs) {
+  common::rng gen(1403);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph g = gnp_random(80, 0.02, gen);  // likely fragmented
+    const auto sub = largest_component(g);
+    EXPECT_TRUE(is_connected(sub.g)) << "trial " << trial;
+    EXPECT_GE(sub.g.node_count(), 1U);
+  }
+}
+
+TEST(LargestComponent, EmptyGraph) {
+  const auto sub = largest_component(graph{});
+  EXPECT_EQ(sub.g.node_count(), 0U);
+}
+
+}  // namespace
+}  // namespace domset::graph

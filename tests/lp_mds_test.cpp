@@ -1,0 +1,172 @@
+#include "lp/lp_mds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "exact/exact_mds.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace domset::lp {
+namespace {
+
+using graph::graph_builder;
+
+/// The Petersen graph: vertex-transitive with closed neighborhoods of size
+/// 4, so its LP_MDS optimum is exactly 10/4 = 2.5.
+graph::graph petersen() {
+  graph_builder b(10);
+  for (graph::node_id i = 0; i < 5; ++i) {
+    b.add_edge(i, (i + 1) % 5);                    // outer cycle
+    b.add_edge(static_cast<graph::node_id>(5 + i),
+               static_cast<graph::node_id>(5 + (i + 2) % 5));  // inner star
+    b.add_edge(i, static_cast<graph::node_id>(5 + i));         // spokes
+  }
+  return std::move(b).build();
+}
+
+TEST(Objective, Sums) {
+  const std::vector<double> x{0.5, 0.25, 0.0};
+  EXPECT_DOUBLE_EQ(objective(x), 0.75);
+}
+
+TEST(Feasibility, PrimalOnTriangle) {
+  const graph::graph g = graph::complete_graph(3);
+  EXPECT_TRUE(is_primal_feasible(g, std::vector<double>{1.0, 0.0, 0.0}));
+  EXPECT_TRUE(is_primal_feasible(
+      g, std::vector<double>{1.0 / 3, 1.0 / 3, 1.0 / 3}));
+  EXPECT_FALSE(is_primal_feasible(g, std::vector<double>{0.2, 0.2, 0.2}));
+  EXPECT_FALSE(is_primal_feasible(g, std::vector<double>{-0.5, 1.0, 1.0}));
+  EXPECT_FALSE(is_primal_feasible(g, std::vector<double>{1.0, 1.0}));  // size
+}
+
+TEST(Feasibility, DualOnTriangle) {
+  const graph::graph g = graph::complete_graph(3);
+  EXPECT_TRUE(is_dual_feasible(
+      g, std::vector<double>{1.0 / 3, 1.0 / 3, 1.0 / 3}));
+  EXPECT_FALSE(is_dual_feasible(g, std::vector<double>{0.5, 0.5, 0.5}));
+  EXPECT_FALSE(is_dual_feasible(g, std::vector<double>{-0.1, 0.1, 0.1}));
+}
+
+TEST(Feasibility, IsolatedNodeNeedsOwnWeight) {
+  const graph::graph g = graph::empty_graph(2);
+  EXPECT_TRUE(is_primal_feasible(g, std::vector<double>{1.0, 1.0}));
+  EXPECT_FALSE(is_primal_feasible(g, std::vector<double>{1.0, 0.5}));
+}
+
+TEST(Coverage, PerNodeSums) {
+  const graph::graph g = graph::path_graph(3);
+  const std::vector<double> x{0.5, 0.25, 0.125};
+  const auto cov = coverage(g, x);
+  EXPECT_DOUBLE_EQ(cov[0], 0.75);
+  EXPECT_DOUBLE_EQ(cov[1], 0.875);
+  EXPECT_DOUBLE_EQ(cov[2], 0.375);
+}
+
+TEST(Lemma1, AssignmentIsAlwaysDualFeasible) {
+  common::rng gen(31);
+  const graph::graph graphs[] = {
+      graph::complete_graph(7),        graph::star_graph(9),
+      graph::cycle_graph(11),          graph::path_graph(8),
+      graph::grid_graph(4, 4),         petersen(),
+      graph::gnp_random(40, 0.15, gen),
+      graph::barabasi_albert(40, 2, gen)};
+  for (const auto& g : graphs) {
+    const auto y = lemma1_dual_assignment(g);
+    EXPECT_TRUE(is_dual_feasible(g, y)) << g.summary();
+    EXPECT_NEAR(objective(y), graph::dual_lower_bound(g), 1e-9);
+  }
+}
+
+TEST(Lemma1, LowerBoundsEveryDominatingSet) {
+  common::rng gen(32);
+  const graph::graph g = graph::gnp_random(30, 0.2, gen);
+  const auto opt = exact::solve_mds(g);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_LE(graph::dual_lower_bound(g),
+            static_cast<double>(opt->size) + 1e-9);
+}
+
+TEST(SolveLpMds, ClosedFormOptima) {
+  // K_n: 1.  Star: 1.  C_9: 3.  Empty_4: 4.  Petersen: 2.5.
+  EXPECT_NEAR(solve_lp_mds(graph::complete_graph(6))->value, 1.0, 1e-9);
+  EXPECT_NEAR(solve_lp_mds(graph::star_graph(8))->value, 1.0, 1e-9);
+  EXPECT_NEAR(solve_lp_mds(graph::cycle_graph(9))->value, 3.0, 1e-9);
+  EXPECT_NEAR(solve_lp_mds(graph::empty_graph(4))->value, 4.0, 1e-9);
+  EXPECT_NEAR(solve_lp_mds(petersen())->value, 2.5, 1e-9);
+}
+
+TEST(SolveLpMds, CycleFractionalValue) {
+  // C_n has LP optimum n/3 (uniform x = 1/3) even when n % 3 != 0, while
+  // the integral optimum is ceil(n/3): a true integrality gap case.
+  EXPECT_NEAR(solve_lp_mds(graph::cycle_graph(7))->value, 7.0 / 3.0, 1e-9);
+  const auto opt = exact::solve_mds(graph::cycle_graph(7));
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(opt->size, 3U);
+}
+
+TEST(SolveLpMds, SolutionsAreFeasibleAndDual) {
+  common::rng gen(33);
+  for (int trial = 0; trial < 5; ++trial) {
+    const graph::graph g = graph::gnp_random(25, 0.15, gen);
+    const auto res = solve_lp_mds(g);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_TRUE(is_primal_feasible(g, res->x, 1e-6)) << g.summary();
+    EXPECT_TRUE(is_dual_feasible(g, res->y, 1e-6)) << g.summary();
+    EXPECT_NEAR(objective(res->x), res->value, 1e-6);
+    EXPECT_NEAR(objective(res->y), res->value, 1e-6);  // strong duality
+  }
+}
+
+TEST(SolveLpMds, SandwichedByBounds) {
+  common::rng gen(34);
+  for (int trial = 0; trial < 5; ++trial) {
+    const graph::graph g = graph::gnp_random(24, 0.2, gen);
+    const auto lp = solve_lp_mds(g);
+    ASSERT_TRUE(lp.has_value());
+    const auto ip = exact::solve_mds(g);
+    ASSERT_TRUE(ip.has_value());
+    EXPECT_LE(graph::dual_lower_bound(g), lp->value + 1e-9);
+    EXPECT_LE(lp->value, static_cast<double>(ip->size) + 1e-9);
+  }
+}
+
+TEST(SolveLpMds, EmptyGraphIsZero) {
+  const auto res = solve_lp_mds(graph::graph{});
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->value, 0.0);
+}
+
+TEST(SolveWeighted, MatchesUnweightedForUnitCosts) {
+  common::rng gen(35);
+  const graph::graph g = graph::gnp_random(20, 0.2, gen);
+  const std::vector<double> ones(g.node_count(), 1.0);
+  EXPECT_NEAR(solve_weighted_lp_mds(g, ones)->value,
+              solve_lp_mds(g)->value, 1e-9);
+}
+
+TEST(SolveWeighted, PrefersCheapDominator) {
+  // Star where the hub is expensive: covering via the hub costs 10, but
+  // every leaf must still be covered; LP puts weight on leaves only if
+  // that is cheaper.  With 3 leaves of cost 1, hub cost 10: leaf-only
+  // cover costs 3 (each leaf covers itself; hub covered by any leaf).
+  const graph::graph g = graph::star_graph(4);
+  const std::vector<double> cost{10.0, 1.0, 1.0, 1.0};
+  const auto res = solve_weighted_lp_mds(g, cost);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_NEAR(res->value, 3.0, 1e-9);
+}
+
+TEST(SolveWeighted, RejectsBadCosts) {
+  const graph::graph g = graph::path_graph(3);
+  EXPECT_THROW((void)solve_weighted_lp_mds(g, std::vector<double>{1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)solve_weighted_lp_mds(g, std::vector<double>{1.0, 0.0, 1.0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace domset::lp

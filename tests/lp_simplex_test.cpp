@@ -1,0 +1,111 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace domset::lp {
+namespace {
+
+TEST(Simplex, TextbookTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> optimum 36 at (2,6).
+  dense_matrix a(3, 2);
+  a.at(0, 0) = 1;
+  a.at(1, 1) = 2;
+  a.at(2, 0) = 3;
+  a.at(2, 1) = 2;
+  const std::vector<double> b{4, 12, 18};
+  const std::vector<double> c{3, 5};
+  const simplex_result res = maximize(a, b, c);
+  ASSERT_EQ(res.status, simplex_status::optimal);
+  EXPECT_NEAR(res.objective, 36.0, 1e-9);
+  EXPECT_NEAR(res.solution[0], 2.0, 1e-9);
+  EXPECT_NEAR(res.solution[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, DualPricesSatisfyStrongDuality) {
+  dense_matrix a(3, 2);
+  a.at(0, 0) = 1;
+  a.at(1, 1) = 2;
+  a.at(2, 0) = 3;
+  a.at(2, 1) = 2;
+  const std::vector<double> b{4, 12, 18};
+  const std::vector<double> c{3, 5};
+  const simplex_result res = maximize(a, b, c);
+  ASSERT_EQ(res.status, simplex_status::optimal);
+  double dual_obj = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) dual_obj += res.dual_solution[i] * b[i];
+  EXPECT_NEAR(dual_obj, res.objective, 1e-9);
+  for (const double y : res.dual_solution) EXPECT_GE(y, -1e-9);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // max x s.t. -x + y <= 1 (x free to grow).
+  dense_matrix a(1, 2);
+  a.at(0, 0) = -1;
+  a.at(0, 1) = 1;
+  const std::vector<double> b{1};
+  const std::vector<double> c{1, 0};
+  EXPECT_EQ(maximize(a, b, c).status, simplex_status::unbounded);
+}
+
+TEST(Simplex, ZeroObjectiveAtOrigin) {
+  // All-negative costs: optimum is y = 0.
+  dense_matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(1, 1) = 1;
+  const std::vector<double> b{5, 5};
+  const std::vector<double> c{-1, -2};
+  const simplex_result res = maximize(a, b, c);
+  ASSERT_EQ(res.status, simplex_status::optimal);
+  EXPECT_NEAR(res.objective, 0.0, 1e-12);
+  EXPECT_NEAR(res.solution[0], 0.0, 1e-12);
+}
+
+TEST(Simplex, DegenerateInstanceTerminates) {
+  // Classic Beale-style cycling candidate; the Bland fallback must cope.
+  dense_matrix a(3, 4);
+  const double rows[3][4] = {
+      {0.25, -8.0, -1.0, 9.0}, {0.5, -12.0, -0.5, 3.0}, {0.0, 0.0, 1.0, 0.0}};
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t col = 0; col < 4; ++col) a.at(r, col) = rows[r][col];
+  const std::vector<double> b{0, 0, 1};
+  const std::vector<double> c{0.75, -20.0, 0.5, -6.0};
+  const simplex_result res = maximize(a, b, c);
+  ASSERT_EQ(res.status, simplex_status::optimal);
+  EXPECT_NEAR(res.objective, 1.25, 1e-9);
+}
+
+TEST(Simplex, RejectsNegativeRhs) {
+  dense_matrix a(1, 1);
+  a.at(0, 0) = 1;
+  const std::vector<double> b{-1};
+  const std::vector<double> c{1};
+  EXPECT_THROW((void)maximize(a, b, c), std::invalid_argument);
+}
+
+TEST(Simplex, RejectsDimensionMismatch) {
+  dense_matrix a(2, 2);
+  const std::vector<double> b{1};
+  const std::vector<double> c{1, 1};
+  EXPECT_THROW((void)maximize(a, b, c), std::invalid_argument);
+}
+
+TEST(Simplex, EqualityThroughTightConstraints) {
+  // max x+y s.t. x+y <= 1, x <= 1, y <= 1: any point on the segment works;
+  // objective must be exactly 1.
+  dense_matrix a(3, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(2, 1) = 1;
+  const std::vector<double> b{1, 1, 1};
+  const std::vector<double> c{1, 1};
+  const simplex_result res = maximize(a, b, c);
+  ASSERT_EQ(res.status, simplex_status::optimal);
+  EXPECT_NEAR(res.objective, 1.0, 1e-9);
+  EXPECT_NEAR(res.solution[0] + res.solution[1], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace domset::lp

@@ -1,0 +1,157 @@
+// Parameterized property sweep: every (graph family x size x k x seed)
+// combination must satisfy the paper's headline guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/alg2.hpp"
+#include "core/alg3.hpp"
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "lp/lp_mds.hpp"
+#include "verify/verify.hpp"
+
+namespace domset {
+namespace {
+
+struct family_spec {
+  std::string name;
+  graph::graph (*make)(std::uint64_t seed);
+};
+
+graph::graph make_gnp_sparse(std::uint64_t seed) {
+  common::rng gen(seed);
+  return graph::gnp_random(60, 0.05, gen);
+}
+graph::graph make_gnp_dense(std::uint64_t seed) {
+  common::rng gen(seed);
+  return graph::gnp_random(40, 0.25, gen);
+}
+graph::graph make_udg(std::uint64_t seed) {
+  common::rng gen(seed);
+  return graph::random_geometric(70, 0.18, gen).g;
+}
+graph::graph make_ba(std::uint64_t seed) {
+  common::rng gen(seed);
+  return graph::barabasi_albert(60, 2, gen);
+}
+graph::graph make_regular(std::uint64_t seed) {
+  common::rng gen(seed);
+  return graph::random_regular(50, 4, gen);
+}
+graph::graph make_grid(std::uint64_t) { return graph::grid_graph(8, 7); }
+graph::graph make_star(std::uint64_t) { return graph::star_graph(40); }
+graph::graph make_cycle(std::uint64_t) { return graph::cycle_graph(45); }
+graph::graph make_caterpillar(std::uint64_t) {
+  return graph::caterpillar(8, 3);
+}
+graph::graph make_cluster(std::uint64_t seed) {
+  common::rng gen(seed);
+  return graph::cluster_graph(6, 7, 5, gen);
+}
+
+const family_spec kFamilies[] = {
+    {"gnp_sparse", make_gnp_sparse}, {"gnp_dense", make_gnp_dense},
+    {"udg", make_udg},               {"ba", make_ba},
+    {"regular", make_regular},       {"grid", make_grid},
+    {"star", make_star},             {"cycle", make_cycle},
+    {"caterpillar", make_caterpillar}, {"cluster", make_cluster},
+};
+
+class PipelineProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t, int>> {};
+
+TEST_P(PipelineProperty, DominatesAndRespectsBounds) {
+  const auto [family_idx, k, seed] = GetParam();
+  const family_spec& family = kFamilies[family_idx];
+  const graph::graph g = family.make(static_cast<std::uint64_t>(seed));
+
+  core::pipeline_params params;
+  params.k = k;
+  params.seed = static_cast<std::uint64_t>(seed) * 7919 + k;
+  const auto res = core::compute_dominating_set(g, params);
+
+  // (1) The output is a dominating set.
+  ASSERT_TRUE(verify::is_dominating_set(g, res.in_set))
+      << family.name << " k=" << k << " seed=" << seed;
+
+  // (2) The fractional stage is LP-feasible.
+  EXPECT_TRUE(lp::is_primal_feasible(g, res.fractional.x)) << family.name;
+
+  // (3) Rounds match the Theorem 5 schedule plus constant rounding cost.
+  EXPECT_EQ(res.total_rounds, core::alg3_round_count(k) + 4) << family.name;
+
+  // (4) Size is at least the certified dual lower bound.
+  EXPECT_GE(static_cast<double>(res.size),
+            graph::dual_lower_bound(g) - 1e-9)
+      << family.name;
+
+  // (5) Messages per node obey the O(k^2 * Delta) claim (constant 8 covers
+  // the 4 broadcasts per inner iteration plus boundary and prelude).
+  if (g.max_degree() > 0) {
+    EXPECT_LE(res.fractional.metrics.max_messages_per_node,
+              8ULL * (k * k + k + 1) * g.max_degree())
+        << family.name;
+  }
+
+  // (6) CONGEST: message sizes are O(log Delta + log k) bits.
+  const auto limit = static_cast<std::uint32_t>(std::bit_width(
+      static_cast<std::uint64_t>(g.max_degree() + 2) * (k + 1)));
+  EXPECT_LE(res.fractional.metrics.max_message_bits,
+            std::max(limit, 1U))
+      << family.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, PipelineProperty,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values(1U, 2U, 3U),
+                       ::testing::Values(1, 2)),
+    [](const ::testing::TestParamInfo<PipelineProperty::ParamType>& info) {
+      return kFamilies[std::get<0>(info.param)].name + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+class Alg2VsAlg3Property
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(Alg2VsAlg3Property, BothFeasibleWithBoundedObjectives) {
+  const auto [family_idx, k] = GetParam();
+  const graph::graph g = kFamilies[family_idx].make(11);
+
+  const auto r2 = core::approximate_lp_known_delta(g, {.k = k});
+  const auto r3 = core::approximate_lp(g, {.k = k});
+  EXPECT_TRUE(lp::is_primal_feasible(g, r2.x));
+  EXPECT_TRUE(lp::is_primal_feasible(g, r3.x));
+
+  // Both objectives upper-bound the LP optimum, which itself upper-bounds
+  // the certified dual bound; the objectives must be >= the dual bound.
+  const double lb = graph::dual_lower_bound(g);
+  EXPECT_GE(r2.objective, lb - 1e-9);
+  EXPECT_GE(r3.objective, lb - 1e-9);
+
+  // And both stay within their claimed ratios of it... relative to the LP
+  // optimum; using the dual bound as a proxy keeps this cheap for the
+  // larger instances (dual bound <= LP optimum).
+  EXPECT_LE(r2.objective / std::max(lb, 1e-12),
+            r2.ratio_bound * (lp::solve_lp_mds(g)->value / std::max(lb, 1e-12)) +
+                1e-6);
+  EXPECT_LE(r3.objective, r3.ratio_bound * lp::solve_lp_mds(g)->value + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, Alg2VsAlg3Property,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values(2U, 4U)),
+    [](const ::testing::TestParamInfo<Alg2VsAlg3Property::ParamType>& info) {
+      return kFamilies[std::get<0>(info.param)].name + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace domset

@@ -1,0 +1,69 @@
+#include "verify/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace domset::verify {
+namespace {
+
+TEST(DominatingSet, HubDominatesStar) {
+  const graph::graph g = graph::star_graph(6);
+  std::vector<std::uint8_t> hub(6, 0);
+  hub[0] = 1;
+  EXPECT_TRUE(is_dominating_set(g, hub));
+  std::vector<std::uint8_t> leaf(6, 0);
+  leaf[1] = 1;
+  EXPECT_FALSE(is_dominating_set(g, leaf));  // other leaves uncovered
+}
+
+TEST(DominatingSet, EmptySetOnlyForEmptyGraph) {
+  EXPECT_TRUE(is_dominating_set(graph::graph{}, std::vector<std::uint8_t>{}));
+  const graph::graph g = graph::empty_graph(1);
+  EXPECT_FALSE(is_dominating_set(g, std::vector<std::uint8_t>{0}));
+  EXPECT_TRUE(is_dominating_set(g, std::vector<std::uint8_t>{1}));
+}
+
+TEST(DominatingSet, UndominatedNodesListed) {
+  const graph::graph g = graph::path_graph(5);
+  std::vector<std::uint8_t> mid(5, 0);
+  mid[2] = 1;  // covers 1,2,3
+  const auto holes = undominated_nodes(g, mid);
+  ASSERT_EQ(holes.size(), 2U);
+  EXPECT_EQ(holes[0], 0U);
+  EXPECT_EQ(holes[1], 4U);
+}
+
+TEST(SetHelpers, SizeAndCost) {
+  const std::vector<std::uint8_t> s{1, 0, 1, 1, 0};
+  EXPECT_EQ(set_size(s), 3U);
+  const std::vector<double> cost{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(set_cost(s, cost), 8.0);
+}
+
+TEST(Minimality, DetectsRedundantMember) {
+  const graph::graph g = graph::path_graph(3);
+  // {1} is minimal; {0,1} is dominating but 0 is redundant.
+  std::vector<std::uint8_t> minimal{0, 1, 0};
+  EXPECT_TRUE(is_minimal_dominating_set(g, minimal));
+  std::vector<std::uint8_t> redundant{1, 1, 0};
+  EXPECT_FALSE(is_minimal_dominating_set(g, redundant));
+}
+
+TEST(Minimality, NonDominatingIsNotMinimal) {
+  const graph::graph g = graph::path_graph(4);
+  EXPECT_FALSE(is_minimal_dominating_set(g, std::vector<std::uint8_t>{1, 0, 0, 0}));
+}
+
+TEST(Minimality, AllNodesOfCompleteGraph) {
+  const graph::graph g = graph::complete_graph(4);
+  EXPECT_FALSE(
+      is_minimal_dominating_set(g, std::vector<std::uint8_t>{1, 1, 1, 1}));
+  EXPECT_TRUE(
+      is_minimal_dominating_set(g, std::vector<std::uint8_t>{1, 0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace domset::verify
