@@ -26,10 +26,10 @@ enum lrg_tag : std::uint16_t {
   return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::bit_width(v)));
 }
 
-class lrg_program final : public sim::node_program {
+class lrg_program {
  public:
   void on_round(sim::round_context& ctx,
-                std::span<const sim::message> inbox) override {
+                std::span<const sim::message> inbox) {
     if (finished_) return;
     switch (ctx.round() % 6) {
       case 0: {  // span
@@ -110,7 +110,7 @@ class lrg_program final : public sim::node_program {
     }
   }
 
-  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] bool in_set() const { return in_set_; }
 
  private:
@@ -150,13 +150,14 @@ lrg_result lrg_mds(const graph::graph& g, const lrg_params& params) {
   cfg.seed = params.seed;
   cfg.max_rounds = params.max_rounds;
   cfg.drop_probability = params.drop_probability;
-  sim::engine engine(g, cfg);
-  engine.load([](graph::node_id) { return std::make_unique<lrg_program>(); });
+  cfg.threads = params.threads;
+  sim::typed_engine<lrg_program> engine(g, cfg);
+  engine.load([](graph::node_id) { return lrg_program(); });
   result.metrics = engine.run();
   result.phases = (result.metrics.rounds + 5) / 6;
 
   for (graph::node_id v = 0; v < n; ++v) {
-    if (engine.program_as<lrg_program>(v).in_set()) {
+    if (engine.program(v).in_set()) {
       result.in_set[v] = 1;
       ++result.size;
     }

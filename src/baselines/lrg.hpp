@@ -33,6 +33,9 @@ struct lrg_params {
   std::uint64_t seed = 1;
   std::size_t max_rounds = 200'000;
   double drop_probability = 0.0;
+  /// Simulator worker threads (1 = serial, 0 = hardware concurrency);
+  /// bit-identical results for every value.
+  std::size_t threads = 1;
 };
 
 struct lrg_result {

@@ -13,13 +13,13 @@ enum luby_tag : std::uint16_t { tag_priority = 1, tag_join = 2 };
 
 /// Phase = 2 rounds: priorities out, then join decisions out.  Join
 /// announcements are consumed at the start of the next phase.
-class luby_program final : public sim::node_program {
+class luby_program {
  public:
   explicit luby_program(std::uint64_t priority_bound)
       : priority_bound_(priority_bound) {}
 
   void on_round(sim::round_context& ctx,
-                std::span<const sim::message> inbox) override {
+                std::span<const sim::message> inbox) {
     if (finished_) return;
     if (ctx.round() % 2 == 0) {
       // Consume join announcements from the previous phase.
@@ -53,7 +53,7 @@ class luby_program final : public sim::node_program {
     }
   }
 
-  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] bool in_set() const { return in_set_; }
 
  private:
@@ -79,15 +79,14 @@ luby_result luby_mis(const graph::graph& g, const luby_params& params) {
   sim::engine_config cfg;
   cfg.seed = params.seed;
   cfg.max_rounds = params.max_rounds;
-  sim::engine engine(g, cfg);
-  engine.load([bound](graph::node_id) {
-    return std::make_unique<luby_program>(bound);
-  });
+  cfg.threads = params.threads;
+  sim::typed_engine<luby_program> engine(g, cfg);
+  engine.load([bound](graph::node_id) { return luby_program(bound); });
   result.metrics = engine.run();
   result.phases = (result.metrics.rounds + 1) / 2;
 
   for (graph::node_id v = 0; v < n; ++v) {
-    if (engine.program_as<luby_program>(v).in_set()) {
+    if (engine.program(v).in_set()) {
       result.in_set[v] = 1;
       ++result.size;
     }

@@ -27,6 +27,9 @@ namespace domset::baselines {
 struct luby_params {
   std::uint64_t seed = 1;
   std::size_t max_rounds = 100'000;
+  /// Simulator worker threads (1 = serial, 0 = hardware concurrency);
+  /// bit-identical results for every value.
+  std::size_t threads = 1;
 };
 
 struct luby_result {

@@ -25,10 +25,10 @@ enum wu_li_tag : std::uint16_t {
   return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::bit_width(v)));
 }
 
-class wu_li_program final : public sim::node_program {
+class wu_li_program {
  public:
   void on_round(sim::round_context& ctx,
-                std::span<const sim::message> inbox) override {
+                std::span<const sim::message> inbox) {
     if (finished_) return;
     switch (ctx.round()) {
       case 0: {  // announce the neighbor list, one entry per message
@@ -78,7 +78,7 @@ class wu_li_program final : public sim::node_program {
     }
   }
 
-  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] bool marked() const { return marked_; }
   [[nodiscard]] bool in_set() const { return dominator_ || orphan_join_; }
   [[nodiscard]] bool orphan_join() const { return orphan_join_; }
@@ -184,7 +184,8 @@ class wu_li_program final : public sim::node_program {
 
 }  // namespace
 
-wu_li_result wu_li_mds(const graph::graph& g, std::uint64_t seed) {
+wu_li_result wu_li_mds(const graph::graph& g, std::uint64_t seed,
+                       std::size_t threads) {
   const std::size_t n = g.node_count();
   wu_li_result result;
   result.in_set.assign(n, 0);
@@ -193,13 +194,13 @@ wu_li_result wu_li_mds(const graph::graph& g, std::uint64_t seed) {
   sim::engine_config cfg;
   cfg.seed = seed;
   cfg.max_rounds = 8;
-  sim::engine engine(g, cfg);
-  engine.load(
-      [](graph::node_id) { return std::make_unique<wu_li_program>(); });
+  cfg.threads = threads;
+  sim::typed_engine<wu_li_program> engine(g, cfg);
+  engine.load([](graph::node_id) { return wu_li_program(); });
   result.metrics = engine.run();
 
   for (graph::node_id v = 0; v < n; ++v) {
-    const auto& prog = engine.program_as<wu_li_program>(v);
+    const auto& prog = engine.program(v);
     if (prog.in_set()) {
       result.in_set[v] = 1;
       ++result.size;

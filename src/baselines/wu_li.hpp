@@ -38,7 +38,10 @@ struct wu_li_result {
   sim::run_metrics metrics;
 };
 
+/// `threads`: simulator worker threads (1 = serial, 0 = hardware
+/// concurrency); bit-identical results for every value.
 [[nodiscard]] wu_li_result wu_li_mds(const graph::graph& g,
-                                     std::uint64_t seed = 1);
+                                     std::uint64_t seed = 1,
+                                     std::size_t threads = 1);
 
 }  // namespace domset::baselines

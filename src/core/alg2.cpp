@@ -17,13 +17,14 @@ enum alg2_tag : std::uint16_t { tag_color = 1, tag_x = 2 };
 /// x-values in Algorithm 2 are always of the form (Delta+1)^{-m/k} (or 0),
 /// so nodes exchange the exponent m instead of a floating point value:
 /// O(log k) bits.  Payload 0 encodes x = 0; payload m+1 encodes exponent m.
-class alg2_program final : public sim::node_program {
+/// Runs devirtualized, stored by value in a typed_engine.
+class alg2_program {
  public:
   alg2_program(std::uint32_t k, std::uint32_t delta, double eps)
       : k_(k), delta_plus_1_(delta + 1), eps_(eps) {}
 
   void on_round(sim::round_context& ctx,
-                std::span<const sim::message> inbox) override {
+                std::span<const sim::message> inbox) {
     if (finished_) return;
     if (ctx.round() == 0) dyn_degree_ = ctx.degree() + 1;  // line 1
 
@@ -58,7 +59,7 @@ class alg2_program final : public sim::node_program {
     }
   }
 
-  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] bool finished() const { return finished_; }
 
   [[nodiscard]] double x() const {
     return has_x_ ? decode_exponent(x_exponent_) : 0.0;
@@ -122,9 +123,10 @@ lp_approx_result approximate_lp_known_delta(const graph::graph& g,
   cfg.drop_probability = params.drop_probability;
   cfg.congest_bit_limit = params.congest_bit_limit;
   cfg.max_rounds = alg2_round_count(k) + 2;
-  sim::engine engine(g, cfg);
+  cfg.threads = params.threads;
+  sim::typed_engine<alg2_program> engine(g, cfg);
   engine.load([&](graph::node_id) {
-    return std::make_unique<alg2_program>(k, delta, lp::feasibility_epsilon);
+    return alg2_program(k, delta, lp::feasibility_epsilon);
   });
 
   if (observer != nullptr) {
@@ -139,7 +141,7 @@ lp_approx_result approximate_lp_known_delta(const graph::graph& g,
       view.dyn_degree.resize(n);
       view.active.resize(n);
       for (graph::node_id v = 0; v < n; ++v) {
-        const auto& prog = engine.program_as<alg2_program>(v);
+        const auto& prog = engine.program(v);
         view.x[v] = prog.x();
         view.gray[v] = prog.gray() ? 1 : 0;
         view.dyn_degree[v] = prog.dyn_degree();
@@ -152,7 +154,7 @@ lp_approx_result approximate_lp_known_delta(const graph::graph& g,
   result.metrics = engine.run();
   result.x.resize(n);
   for (graph::node_id v = 0; v < n; ++v)
-    result.x[v] = engine.program_as<alg2_program>(v).x();
+    result.x[v] = engine.program(v).x();
   result.objective = lp::objective(result.x);
   return result;
 }

@@ -14,13 +14,13 @@ namespace {
 
 enum alg2f_tag : std::uint16_t { tag_color = 1, tag_x = 2 };
 
-class alg2_fresh_program final : public sim::node_program {
+class alg2_fresh_program {
  public:
   alg2_fresh_program(std::uint32_t k, std::uint32_t delta, double eps)
       : k_(k), delta_plus_1_(delta + 1), eps_(eps) {}
 
   void on_round(sim::round_context& ctx,
-                std::span<const sim::message> inbox) override {
+                std::span<const sim::message> inbox) {
     if (finished_) return;
     const std::size_t iteration = ctx.round() / 2;
     const bool phase_a = ctx.round() % 2 == 0;
@@ -48,7 +48,7 @@ class alg2_fresh_program final : public sim::node_program {
     }
   }
 
-  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] double x() const {
     return has_x_ ? decode_exponent(x_exponent_) : 0.0;
   }
@@ -107,10 +107,10 @@ lp_approx_result approximate_lp_known_delta_fresh(
   cfg.drop_probability = params.drop_probability;
   cfg.congest_bit_limit = params.congest_bit_limit;
   cfg.max_rounds = alg2_round_count(k) + 2;
-  sim::engine engine(g, cfg);
+  cfg.threads = params.threads;
+  sim::typed_engine<alg2_fresh_program> engine(g, cfg);
   engine.load([&](graph::node_id) {
-    return std::make_unique<alg2_fresh_program>(k, delta,
-                                                lp::feasibility_epsilon);
+    return alg2_fresh_program(k, delta, lp::feasibility_epsilon);
   });
 
   if (observer != nullptr) {
@@ -127,7 +127,7 @@ lp_approx_result approximate_lp_known_delta_fresh(
       view.dyn_degree.resize(n);
       view.active.resize(n);
       for (graph::node_id v = 0; v < n; ++v) {
-        const auto& prog = engine.program_as<alg2_fresh_program>(v);
+        const auto& prog = engine.program(v);
         view.x[v] = prog.x();
         view.gray[v] = prog.gray() ? 1 : 0;
         view.dyn_degree[v] = prog.dyn_degree();
@@ -140,7 +140,7 @@ lp_approx_result approximate_lp_known_delta_fresh(
   result.metrics = engine.run();
   result.x.resize(n);
   for (graph::node_id v = 0; v < n; ++v)
-    result.x[v] = engine.program_as<alg2_fresh_program>(v).x();
+    result.x[v] = engine.program(v).x();
   result.objective = lp::objective(result.x);
   return result;
 }

@@ -70,12 +70,12 @@ struct alg3_position {
   return pos;
 }
 
-class alg3_program final : public sim::node_program {
+class alg3_program {
  public:
   alg3_program(std::uint32_t k, double eps) : k_(k), eps_(eps) {}
 
   void on_round(sim::round_context& ctx,
-                std::span<const sim::message> inbox) override {
+                std::span<const sim::message> inbox) {
     if (finished_) return;
     const alg3_position pos = locate(ctx.round(), k_);
 
@@ -184,7 +184,7 @@ class alg3_program final : public sim::node_program {
     }
   }
 
-  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] bool finished() const { return finished_; }
 
   [[nodiscard]] double x() const { return x_; }
   [[nodiscard]] bool gray() const { return gray_; }
@@ -266,9 +266,10 @@ lp_approx_result approximate_lp(const graph::graph& g,
   cfg.drop_probability = params.drop_probability;
   cfg.congest_bit_limit = params.congest_bit_limit;
   cfg.max_rounds = alg3_round_count(k) + 2;
-  sim::engine engine(g, cfg);
+  cfg.threads = params.threads;
+  sim::typed_engine<alg3_program> engine(g, cfg);
   engine.load([&](graph::node_id) {
-    return std::make_unique<alg3_program>(k, lp::feasibility_epsilon);
+    return alg3_program(k, lp::feasibility_epsilon);
   });
 
   if (observer != nullptr) {
@@ -287,7 +288,7 @@ lp_approx_result approximate_lp(const graph::graph& g,
       view.a1.resize(n);
       view.gamma2.resize(n);
       for (graph::node_id v = 0; v < n; ++v) {
-        const auto& prog = engine.program_as<alg3_program>(v);
+        const auto& prog = engine.program(v);
         view.x[v] = prog.x();
         view.gray[v] = prog.gray() ? 1 : 0;
         view.dyn_degree[v] = prog.dyn_degree();
@@ -303,7 +304,7 @@ lp_approx_result approximate_lp(const graph::graph& g,
   result.metrics = engine.run();
   result.x.resize(n);
   for (graph::node_id v = 0; v < n; ++v)
-    result.x[v] = engine.program_as<alg3_program>(v).x();
+    result.x[v] = engine.program(v).x();
   result.objective = lp::objective(result.x);
   return result;
 }

@@ -25,6 +25,11 @@ struct lp_approx_params {
   /// this many bits (run_metrics::congest_violation) -- used to assert the
   /// paper's O(log Delta) message-size claim mechanically.
   std::uint32_t congest_bit_limit = 0;
+
+  /// Simulator worker threads (1 = serial, 0 = hardware concurrency).
+  /// Purely a wall-clock knob: outputs and metrics are bit-identical for
+  /// every value.
+  std::size_t threads = 1;
 };
 
 struct lp_approx_result {

@@ -8,6 +8,7 @@ pipeline_result compute_dominating_set(const graph::graph& g,
   lp_params.k = params.k;
   lp_params.seed = params.seed;
   lp_params.drop_probability = params.drop_probability;
+  lp_params.threads = params.threads;
 
   pipeline_result result;
   result.fractional = params.assume_known_delta
@@ -19,6 +20,7 @@ pipeline_result compute_dominating_set(const graph::graph& g,
   r_params.variant = params.variant;
   r_params.announce_final = params.announce_final;
   r_params.drop_probability = params.drop_probability;
+  r_params.threads = params.threads;
   result.rounding =
       round_to_dominating_set(g, result.fractional.x, r_params);
 

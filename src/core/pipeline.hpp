@@ -23,6 +23,9 @@ struct pipeline_params {
   rounding_variant variant = rounding_variant::plain;
   bool announce_final = false;
   double drop_probability = 0.0;
+  /// Simulator worker threads for both stages (1 = serial, 0 = hardware
+  /// concurrency); bit-identical results for every value.
+  std::size_t threads = 1;
 };
 
 struct pipeline_result {

@@ -32,13 +32,13 @@ enum rounding_tag : std::uint16_t {
   return log_d - std::log(log_d);
 }
 
-class rounding_program final : public sim::node_program {
+class rounding_program {
  public:
   rounding_program(double x, rounding_variant variant, bool announce)
       : x_(x), variant_(variant), announce_(announce) {}
 
   void on_round(sim::round_context& ctx,
-                std::span<const sim::message> inbox) override {
+                std::span<const sim::message> inbox) {
     if (finished_) return;
     switch (ctx.round()) {
       case 0: {  // line 1, first exchange: degrees
@@ -102,7 +102,7 @@ class rounding_program final : public sim::node_program {
     }
   }
 
-  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] bool finished() const { return finished_; }
 
   [[nodiscard]] bool in_set() const { return in_set_; }
   [[nodiscard]] bool selected_randomly() const { return selected_randomly_; }
@@ -152,15 +152,15 @@ rounding_result round_to_dominating_set(const graph::graph& g,
   cfg.seed = params.seed;
   cfg.drop_probability = params.drop_probability;
   cfg.max_rounds = 8;
-  sim::engine engine(g, cfg);
+  cfg.threads = params.threads;
+  sim::typed_engine<rounding_program> engine(g, cfg);
   engine.load([&](graph::node_id v) {
-    return std::make_unique<rounding_program>(x[v], params.variant,
-                                              params.announce_final);
+    return rounding_program(x[v], params.variant, params.announce_final);
   });
   result.metrics = engine.run();
 
   for (graph::node_id v = 0; v < n; ++v) {
-    const auto& prog = engine.program_as<rounding_program>(v);
+    const auto& prog = engine.program(v);
     result.in_set[v] = prog.in_set() ? 1 : 0;
     if (prog.in_set()) ++result.size;
     if (prog.selected_randomly()) ++result.selected_randomly;

@@ -41,6 +41,9 @@ struct rounding_params {
   /// example).  The paper's algorithm does not need it.
   bool announce_final = false;
   double drop_probability = 0.0;
+  /// Simulator worker threads (1 = serial, 0 = hardware concurrency);
+  /// bit-identical results for every value.
+  std::size_t threads = 1;
 };
 
 struct rounding_result {

@@ -17,7 +17,7 @@ enum weighted_tag : std::uint16_t { tag_color = 1, tag_x = 2 };
 /// (2 rounds per inner iteration), with the cost-effectiveness activity
 /// test.  x-values still have the form (Delta+1)^{-m/k}, so the exponent
 /// encoding carries over.
-class weighted_alg2_program final : public sim::node_program {
+class weighted_alg2_program {
  public:
   weighted_alg2_program(std::uint32_t k, std::uint32_t delta, double cost,
                         double c_max, double eps)
@@ -28,7 +28,7 @@ class weighted_alg2_program final : public sim::node_program {
         eps_(eps) {}
 
   void on_round(sim::round_context& ctx,
-                std::span<const sim::message> inbox) override {
+                std::span<const sim::message> inbox) {
     if (finished_) return;
     if (ctx.round() == 0) dyn_degree_ = ctx.degree() + 1;
 
@@ -61,7 +61,7 @@ class weighted_alg2_program final : public sim::node_program {
     }
   }
 
-  [[nodiscard]] bool finished() const override { return finished_; }
+  [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] double x() const {
     return has_x_ ? decode_exponent(x_exponent_) : 0.0;
   }
@@ -133,17 +133,18 @@ weighted_lp_result approximate_weighted_lp(const graph::graph& g,
   cfg.drop_probability = params.drop_probability;
   cfg.congest_bit_limit = params.congest_bit_limit;
   cfg.max_rounds = 2ULL * params.k * params.k + 2;
-  sim::engine engine(g, cfg);
+  cfg.threads = params.threads;
+  sim::typed_engine<weighted_alg2_program> engine(g, cfg);
   engine.load([&](graph::node_id v) {
-    return std::make_unique<weighted_alg2_program>(
-        params.k, result.delta, cost[v], c_max, lp::feasibility_epsilon);
+    return weighted_alg2_program(params.k, result.delta, cost[v], c_max,
+                                 lp::feasibility_epsilon);
   });
   result.metrics = engine.run();
 
   result.x.resize(n);
   result.objective = 0.0;
   for (graph::node_id v = 0; v < n; ++v) {
-    result.x[v] = engine.program_as<weighted_alg2_program>(v).x();
+    result.x[v] = engine.program(v).x();
     result.objective += result.x[v] * cost[v];
   }
   return result;

@@ -17,11 +17,18 @@ void graph_builder::add_edge(node_id u, node_id v) {
   edges_.emplace_back(u, v);
 }
 
-bool graph_builder::has_edge_slow(node_id u, node_id v) const noexcept {
+bool graph_builder::has_edge_slow(node_id u, node_id v) const {
   if (u > v) std::swap(u, v);
-  for (const auto& [a, b] : edges_)
-    if (a == u && b == v) return true;
-  return false;
+  // Catch the index up with the edges added since the last query; each
+  // edge is hashed exactly once over the builder's lifetime.
+  if (indexed_upto_ < edges_.size()) {
+    edge_index_.reserve(edges_.size());
+    for (; indexed_upto_ < edges_.size(); ++indexed_upto_) {
+      const auto& [a, b] = edges_[indexed_upto_];
+      edge_index_.insert((static_cast<std::uint64_t>(a) << 32) | b);
+    }
+  }
+  return edge_index_.contains((static_cast<std::uint64_t>(u) << 32) | v);
 }
 
 graph graph_builder::build() && {
@@ -51,6 +58,8 @@ graph graph_builder::build() && {
         static_cast<std::uint32_t>(g.offsets_[v + 1] - g.offsets_[v]));
   }
   edges_.clear();
+  edge_index_.clear();
+  indexed_upto_ = 0;
   return g;
 }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -35,9 +36,15 @@ class graph_builder {
   /// u != v (violations throw std::invalid_argument).
   void add_edge(node_id u, node_id v);
 
-  /// True if {u,v} was already added (linear scan; intended for generators
-  /// that need rejection sampling on small candidate sets).
-  [[nodiscard]] bool has_edge_slow(node_id u, node_id v) const noexcept;
+  /// True if {u,v} was already added.  Amortized O(1): the first call
+  /// builds a hash index over the edges added so far and later calls keep
+  /// it caught up, so rejection-sampling generators pay a constant per
+  /// probe instead of the historical O(E) scan.  add_edge itself never
+  /// touches the index (builders that never query pay nothing).  The
+  /// legacy name is kept for API stability.  Not thread-safe despite
+  /// being const: the lazy catch-up mutates the index, and builders are
+  /// single-threaded objects (build the graph, then share *that*).
+  [[nodiscard]] bool has_edge_slow(node_id u, node_id v) const;
 
   /// Number of edges added so far (before dedup).
   [[nodiscard]] std::size_t edge_count() const noexcept {
@@ -50,6 +57,10 @@ class graph_builder {
  private:
   std::size_t node_count_;
   std::vector<std::pair<node_id, node_id>> edges_;
+  /// Lazy query index: covers edges_[0, indexed_upto_), built on demand by
+  /// has_edge_slow.  mutable so queries stay const.
+  mutable std::unordered_set<std::uint64_t> edge_index_;
+  mutable std::size_t indexed_upto_ = 0;
 };
 
 /// Immutable undirected simple graph.  Neighbor lists are sorted, enabling
@@ -80,6 +91,19 @@ class graph {
 
   /// O(log degree) adjacency test.
   [[nodiscard]] bool has_edge(node_id u, node_id v) const noexcept;
+
+  /// CSR index of the first entry of v's neighbor row: neighbors(v)[i]
+  /// lives at flat adjacency position edge_begin(v) + i.  This stable
+  /// directed-edge indexing is what the simulator's flat mailboxes are
+  /// addressed by.
+  [[nodiscard]] std::size_t edge_begin(node_id v) const noexcept {
+    return offsets_[v];
+  }
+
+  /// One past the CSR index of the last entry of v's neighbor row.
+  [[nodiscard]] std::size_t edge_end(node_id v) const noexcept {
+    return offsets_[v + 1];
+  }
 
   /// Maximum degree Delta over all nodes (0 for the empty graph).
   [[nodiscard]] std::uint32_t max_degree() const noexcept {

@@ -1,116 +1,107 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
-#include <stdexcept>
+namespace domset::sim::detail {
 
-namespace domset::sim {
+namespace {
 
-std::uint32_t round_context::degree() const noexcept {
-  return engine_->network().degree(id_);
-}
+/// Salt decorrelating the per-sender drop streams from the node streams.
+constexpr std::uint64_t drop_stream_salt = 0xAD5E'05A1'DEAD'BEEFULL;
 
-std::span<const graph::node_id> round_context::neighbors() const noexcept {
-  return engine_->network().neighbors(id_);
-}
+}  // namespace
 
-common::rng& round_context::random() noexcept {
-  return engine_->node_rngs_[id_];
-}
-
-void round_context::send(graph::node_id to, std::uint16_t tag,
-                         std::uint64_t payload, std::uint32_t bits) {
-  if (!engine_->network().has_edge(id_, to))
-    throw std::logic_error("round_context::send: destination not adjacent");
-  engine_->enqueue(id_, to, tag, payload, bits);
-}
-
-void round_context::broadcast(std::uint16_t tag, std::uint64_t payload,
-                              std::uint32_t bits) {
-  for (const graph::node_id to : neighbors())
-    engine_->enqueue(id_, to, tag, payload, bits);
-}
-
-engine::engine(const graph::graph& g, engine_config cfg)
-    : graph_(&g),
-      config_(cfg),
-      adversary_rng_(cfg.seed, 0xAD5E'05A1'DEAD'BEEFULL) {
+mailbox_state::mailbox_state(const graph::graph& g, engine_config cfg)
+    : graph_(&g), config_(cfg) {
   const std::size_t n = g.node_count();
+  const std::size_t directed_edges = 2 * g.edge_count();
+
   node_rngs_.reserve(n);
   for (graph::node_id v = 0; v < n; ++v) node_rngs_.emplace_back(cfg.seed, v);
-  inboxes_.resize(n);
-  outboxes_.resize(n);
-  per_node_sent_.assign(n, 0);
-}
-
-void engine::load(const program_factory& factory) {
-  if (!programs_.empty()) throw std::logic_error("engine::load called twice");
-  const std::size_t n = graph_->node_count();
-  programs_.reserve(n);
-  for (graph::node_id v = 0; v < n; ++v) programs_.push_back(factory(v));
-}
-
-void engine::set_round_observer(
-    std::function<void(std::size_t round)> observer) {
-  round_observer_ = std::move(observer);
-}
-
-void engine::enqueue(graph::node_id from, graph::node_id to, std::uint16_t tag,
-                     std::uint64_t payload, std::uint32_t bits) {
-  metrics_.messages_sent += 1;
-  metrics_.bits_sent += bits;
-  metrics_.max_message_bits = std::max(metrics_.max_message_bits, bits);
-  per_node_sent_[from] += 1;
-  if (config_.congest_bit_limit != 0 && bits > config_.congest_bit_limit)
-    metrics_.congest_violation = true;
-  if (config_.drop_probability > 0.0 &&
-      adversary_rng_.next_bernoulli(config_.drop_probability)) {
-    metrics_.messages_dropped += 1;
-    return;
+  if (cfg.drop_probability > 0.0) {
+    const std::uint64_t drop_seed =
+        common::derive_seed(cfg.seed, drop_stream_salt);
+    drop_rngs_.reserve(n);
+    for (graph::node_id v = 0; v < n; ++v) drop_rngs_.emplace_back(drop_seed, v);
   }
-  outboxes_[to].push_back(message{from, payload, bits, tag});
+
+  // Mirror index: visiting receivers v in ascending order visits, for each
+  // sender u, u's neighbors in ascending order too (rows are sorted) -- so
+  // a per-sender cursor walks u's row exactly once.  O(n + m) total.
+  mirror_.resize(directed_edges);
+  std::vector<std::size_t> cursor(n, 0);
+  for (graph::node_id v = 0; v < n; ++v) {
+    const std::size_t lo = g.edge_begin(v);
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::node_id u = nbrs[i];
+      mirror_[g.edge_begin(u) + cursor[u]++] = lo + i;
+    }
+  }
+
+  // Value-initialized slots carry from == invalid_node: all empty.
+  for (mail_buffer& buf : buffers_) {
+    buf.slots.resize(directed_edges);
+    buf.bcast.resize(n);
+    buf.overflow.resize(n);
+  }
+  scratch_.resize(n);
+  last_slotted_round_.assign(n, 0);
+
+  attempted_.assign(n, 0);
+  delivered_.assign(n, 0);
+  dropped_.assign(n, 0);
+  bits_.assign(n, 0);
+  max_bits_.assign(n, 0);
+  congested_.assign(n, 0);
 }
 
-run_metrics engine::run() {
-  if (programs_.empty())
-    throw std::logic_error("engine::run: load() programs first");
-  const std::size_t n = graph_->node_count();
-
-  const auto all_finished = [&]() {
-    for (graph::node_id v = 0; v < n; ++v)
-      if (!programs_[v]->finished()) return false;
-    return true;
-  };
-
-  bool completed = all_finished();
-  for (current_round_ = 0; !completed && current_round_ < config_.max_rounds;
-       ++current_round_) {
-    // Compute phase: every node processes its inbox and fills outboxes.
-    for (graph::node_id v = 0; v < n; ++v) {
-      round_context ctx(*this, v, current_round_);
-      programs_[v]->on_round(ctx, std::span<const message>(inboxes_[v]));
-    }
-
-    // Delivery phase: outboxes become next round's inboxes, sorted by
-    // sender for determinism.
-    for (graph::node_id v = 0; v < n; ++v) {
-      inboxes_[v].clear();
-      std::swap(inboxes_[v], outboxes_[v]);
-      std::stable_sort(inboxes_[v].begin(), inboxes_[v].end(),
-                       [](const message& a, const message& b) {
-                         return a.from < b.from;
+void mailbox_state::finish_round() {
+  // Group the round's overflow entries by receiver (stably, so send order
+  // within a receiver survives): collect_inbox then reads each receiver's
+  // entries as one binary-searchable run instead of rescanning a sender's
+  // whole list per receiver -- that rescan made a degree-d multi-message
+  // round Theta(d^3) where the seed engine was O(d^2 log d).
+  mail_buffer& filled = buffers_[out_buf_];
+  if (filled.any_overflow.load(std::memory_order_relaxed)) {
+    for (auto& list : filled.overflow) {
+      if (list.empty()) continue;
+      std::stable_sort(list.begin(), list.end(),
+                       [](const mail_buffer::routed_message& a,
+                          const mail_buffer::routed_message& b) {
+                         return a.to < b.to;
                        });
     }
-
-    metrics_.rounds = current_round_ + 1;
-    if (round_observer_) round_observer_(current_round_);
-    completed = all_finished();
   }
 
-  metrics_.hit_round_limit = !completed;
-  for (const std::uint64_t sent : per_node_sent_)
-    metrics_.max_messages_per_node =
-        std::max(metrics_.max_messages_per_node, sent);
-  return metrics_;
+  mail_buffer& drained = buffers_[1 - out_buf_];
+  if (drained.any_overflow.load(std::memory_order_relaxed)) {
+    for (auto& list : drained.overflow) list.clear();
+    drained.any_overflow.store(false, std::memory_order_relaxed);
+  }
+  if (drained.any_bcast.load(std::memory_order_relaxed)) {
+    for (message& entry : drained.bcast) entry.from = graph::invalid_node;
+    drained.any_bcast.store(false, std::memory_order_relaxed);
+  }
+  out_buf_ = 1 - out_buf_;
 }
 
-}  // namespace domset::sim
+void mailbox_state::aggregate(run_metrics& metrics) const {
+  metrics.messages_sent = 0;
+  metrics.bits_sent = 0;
+  metrics.max_message_bits = 0;
+  metrics.max_messages_per_node = 0;
+  metrics.messages_dropped = 0;
+  metrics.congest_violation = false;
+  const std::size_t n = attempted_.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    metrics.messages_sent += attempted_[v];
+    metrics.bits_sent += bits_[v];
+    metrics.max_message_bits =
+        std::max(metrics.max_message_bits, max_bits_[v]);
+    metrics.max_messages_per_node =
+        std::max(metrics.max_messages_per_node, delivered_[v]);
+    metrics.messages_dropped += dropped_[v];
+    metrics.congest_violation |= congested_[v] != 0;
+  }
+}
+
+}  // namespace domset::sim::detail

@@ -1,20 +1,68 @@
-// Synchronous round-based message-passing engine.
+// Synchronous round-based message-passing engine over flat CSR mailboxes.
 //
 // This is the paper's communication model, executed faithfully:
 //   * computation proceeds in global lockstep rounds;
-//   * in each round every node may send one message to each neighbor;
+//   * in each round every node may send messages to its neighbors;
 //   * messages sent in round r are delivered at the start of round r+1;
 //   * nodes have no identifiers beyond what the algorithm uses and no
 //     shared memory -- all coordination flows through messages.
 //
-// Determinism: given (graph, seed, programs) a run is bit-reproducible.
-// Each node draws randomness from its own stream derived from the global
-// seed, and message delivery order within an inbox is sorted by sender id.
+// Mailbox layout.  The network graph is CSR; its adjacency array defines a
+// stable indexing of the 2m directed edges.  Every directed edge (u -> v)
+// owns one preallocated message slot, addressed by the *receiver-side* CSR
+// position of u in v's neighbor row.  Because neighbor rows are sorted,
+// the slots of receiver v form one contiguous, sorted-by-sender range of
+// the flat slot array:
+//   * delivery is a buffer swap -- no per-message heap traffic, no
+//     per-round stable_sort (the CSR ordering IS the sort);
+//   * broadcast walks the sender's row and writes through a precomputed
+//     mirror index (sender-side position -> receiver-side slot), paying no
+//     adjacency check; send() still validates adjacency via binary search.
+// A program that sends more than one message to the same neighbor in one
+// round (e.g. topology collection) spills into a per-sender overflow list;
+// receivers splice overflow entries after the inline slot, preserving
+// per-sender send order.  The overflow path is the exception, not the rule.
+//
+// Broadcast lane.  A broadcast is one message replicated degree times, and
+// the paper's algorithms broadcast every round.  A sender whose round is
+// broadcast-only therefore publishes a single entry in a per-sender
+// broadcast lane (one sequential store) instead of degree scattered slot
+// writes; receivers gather neighbors' lane entries from an n-sized,
+// cache-friendly array.  Lane and slots stay mutually exclusive per sender
+// per round: mixing in targeted sends, repeat broadcasts, or lossy-run
+// per-edge drop rolls demotes the lane entry into the per-edge slots, so
+// per-receiver send order is always exact.
+//
+// Parallelism and determinism.  The compute phase may be partitioned
+// across engine_config::threads workers.  The schedule is race-free by
+// construction, with no locks or atomics on the data path:
+//   * node v's program, RNG streams, metric counters, and inbox scratch
+//     are touched only by the worker that owns v;
+//   * sender u writes only the slots mirror[p] for p in u's own row, and
+//     distinct directed edges map to distinct slots;
+//   * inboxes live in the opposite buffer of outboxes (double buffering),
+//     so no slot is read and written in the same phase.
+// Node randomness, message-drop decisions, and all metric counters are
+// derived per node from the global seed, so a run is bit-reproducible for
+// every thread count: serial and parallel executions produce identical
+// message sequences, program states, and metrics.
+//
+// Engines.  typed_engine<Program> stores the per-node programs
+// contiguously by value and dispatches on_round statically (no vtable,
+// no per-program allocation).  The classic virtual `engine` +
+// node_program interface is kept as a thin adapter over it for external
+// callers and heterogeneous programs.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -24,7 +72,305 @@
 
 namespace domset::sim {
 
-class engine;
+struct engine_config {
+  /// Global seed; node v's stream is derive_seed(seed, v).
+  std::uint64_t seed = 1;
+
+  /// Hard stop: runs longer than this flag hit_round_limit.
+  std::size_t max_rounds = 1'000'000;
+
+  /// Message loss probability (adversarial extension; the paper's model is
+  /// reliable, so this defaults to 0).  Drop decisions are drawn from a
+  /// per-sender stream so they are independent of execution order.
+  double drop_probability = 0.0;
+
+  /// If nonzero, any message with declared bits above this limit sets
+  /// run_metrics::congest_violation.
+  std::uint32_t congest_bit_limit = 0;
+
+  /// Worker threads for the compute phase.  1 = serial; 0 = one per
+  /// hardware thread.  Results are bit-identical for every value.
+  std::size_t threads = 1;
+};
+
+namespace detail {
+
+/// One half of the double-buffered mailbox: inline slots (one per directed
+/// edge, receiver-side CSR indexed) and the per-sender overflow lists for
+/// >1 message per edge per round.  A slot is empty iff its sender field is
+/// invalid_node -- deposits always carry a real sender id, so occupancy
+/// needs no side array and each message touches exactly one slot.
+struct mail_buffer {
+  struct routed_message {
+    graph::node_id to = graph::invalid_node;
+    message msg;
+  };
+
+  std::vector<message> slots;  // 2m, indexed by receiver-side position
+  /// Broadcast lane: one entry per sender holding the message it broadcast
+  /// this round (sentinel from == invalid_node when unused).  A broadcast
+  /// is one message replicated degree times, so in the common case it
+  /// costs one sequential store here instead of degree scattered slot
+  /// writes; receivers gather it from this n-sized (cache-friendly) array.
+  std::vector<message> bcast;
+  std::vector<std::vector<routed_message>> overflow;  // per sender
+  /// Set (monotonically, relaxed) when any sender overflowed this round;
+  /// gates the slow gather path so the common case stays branch-cheap.
+  std::atomic<bool> any_overflow{false};
+  /// Set (monotonically, relaxed) when any sender used the broadcast lane.
+  std::atomic<bool> any_bcast{false};
+};
+
+/// All engine state that is independent of the program type.  Shared by
+/// typed_engine instantiations and the virtual adapter via round_context.
+class mailbox_state {
+ public:
+  mailbox_state(const graph::graph& g, engine_config cfg);
+
+  mailbox_state(const mailbox_state&) = delete;
+  mailbox_state& operator=(const mailbox_state&) = delete;
+
+  [[nodiscard]] const graph::graph& network() const noexcept { return *graph_; }
+  [[nodiscard]] common::rng& node_rng(graph::node_id v) noexcept {
+    return node_rngs_[v];
+  }
+
+  /// Places an already-accounted message into out-buffer slot `q`
+  /// (receiver-side CSR position of the edge from -> to).  The innermost
+  /// write of the hot path: one slot store in the common case.
+  void place(mail_buffer& out, std::size_t q, graph::node_id to,
+             const message& msg) {
+    if (out.slots[q].from == graph::invalid_node) {
+      out.slots[q] = msg;
+    } else {
+      out.overflow[msg.from].push_back({to, msg});
+      out.any_overflow.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// Receiver-visible copy of a declared width (metrics keep the full
+  /// value; the message field saturates -- see message.hpp).
+  [[nodiscard]] static std::uint16_t wire_bits(std::uint32_t bits) noexcept {
+    return static_cast<std::uint16_t>(std::min<std::uint32_t>(bits, 0xFFFF));
+  }
+
+  /// Folds one send of `count` equal-width messages into the per-sender
+  /// counters; returns true if the drop roll must run per message.
+  bool account(graph::node_id from, std::uint64_t count, std::uint32_t bits) {
+    attempted_[from] += count;
+    bits_[from] += bits * count;
+    if (bits > max_bits_[from]) max_bits_[from] = bits;
+    if (config_.congest_bit_limit != 0 && bits > config_.congest_bit_limit)
+      congested_[from] = 1;
+    if (config_.drop_probability > 0.0) return true;
+    delivered_[from] += count;
+    return false;
+  }
+
+  /// Replays an earlier broadcast-lane entry of `from` into its per-edge
+  /// slots.  Needed when the sender later mixes in targeted sends or
+  /// further broadcasts, so per-receiver send order stays exact.  Callers
+  /// must stamp last_slotted_round_ first, so later broadcasts this round
+  /// keep using the per-edge path (lane vs. slots stays exclusive).
+  void demote_broadcast(graph::node_id from) {
+    mail_buffer& out = buffers_[out_buf_];
+    message& pending = out.bcast[from];
+    if (pending.from == graph::invalid_node) return;
+    const auto nbrs = graph_->neighbors(from);
+    const std::size_t* mirror = mirror_.data() + graph_->edge_begin(from);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      place(out, mirror[i], nbrs[i], pending);
+    pending.from = graph::invalid_node;
+  }
+
+  /// Sends one message to every neighbor of `from` -- no adjacency check,
+  /// metrics folded once for the whole broadcast.  Fast path: a sender
+  /// whose round is broadcast-only (the paper's algorithms, every round)
+  /// publishes one broadcast-lane entry.  Mixed rounds and lossy runs
+  /// (per-edge drop rolls) walk the sender's CSR row through the mirror
+  /// index into the per-edge slots.
+  void broadcast(graph::node_id from, std::uint16_t tag, std::uint64_t payload,
+                 std::uint32_t bits, std::size_t round) {
+    const auto nbrs = graph_->neighbors(from);
+    if (nbrs.empty()) return;
+    mail_buffer& out = buffers_[out_buf_];
+    const message msg{payload, from, wire_bits(bits), tag};
+    if (!account(from, nbrs.size(), bits)) {
+      if (last_slotted_round_[from] != round + 1 &&
+          out.bcast[from].from == graph::invalid_node) {
+        out.bcast[from] = msg;
+        out.any_bcast.store(true, std::memory_order_relaxed);
+        return;
+      }
+      last_slotted_round_[from] = round + 1;
+      demote_broadcast(from);  // repeat broadcast this round
+      const std::size_t* mirror = mirror_.data() + graph_->edge_begin(from);
+      for (std::size_t i = 0; i < nbrs.size(); ++i)
+        place(out, mirror[i], nbrs[i], msg);
+      return;
+    }
+    last_slotted_round_[from] = round + 1;
+    demote_broadcast(from);
+    const std::size_t* mirror = mirror_.data() + graph_->edge_begin(from);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (drop_rngs_[from].next_bernoulli(config_.drop_probability)) {
+        dropped_[from] += 1;
+        continue;
+      }
+      delivered_[from] += 1;
+      place(out, mirror[i], nbrs[i], msg);
+    }
+  }
+
+  /// Sends one message to the adjacent node `to` (throws std::logic_error
+  /// otherwise -- a node cannot talk past its radio range).
+  void send(graph::node_id from, graph::node_id to, std::uint16_t tag,
+            std::uint64_t payload, std::uint32_t bits, std::size_t round) {
+    const auto nbrs = graph_->neighbors(from);
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
+    if (it == nbrs.end() || *it != to)
+      throw std::logic_error("round_context::send: destination not adjacent");
+    last_slotted_round_[from] = round + 1;
+    demote_broadcast(from);  // keep send order exact across the mix
+    const auto i = static_cast<std::size_t>(it - nbrs.begin());
+    if (account(from, 1, bits)) {
+      if (drop_rngs_[from].next_bernoulli(config_.drop_probability)) {
+        dropped_[from] += 1;
+        return;
+      }
+      delivered_[from] += 1;
+    }
+    place(buffers_[out_buf_], mirror_[graph_->edge_begin(from) + i], to,
+          message{payload, from, wire_bits(bits), tag});
+  }
+
+  /// Drains node v's inbox from the in-buffer and returns it as one
+  /// contiguous span sorted by sender.  Fast path compacts in place inside
+  /// v's own slot range; the overflow path gathers into v's scratch
+  /// vector.  Clears the consumed slots so the in-buffer is ready to serve
+  /// as next round's out-buffer.  Only v's owner worker may call this.
+  [[nodiscard]] std::span<const message> collect_inbox(graph::node_id v) {
+    mail_buffer& in = buffers_[1 - out_buf_];
+    const std::size_t lo = graph_->edge_begin(v);
+    const std::size_t hi = graph_->edge_end(v);
+    // Per sender, a round's messages live either in one broadcast-lane
+    // entry or in the per-edge slot (+ overflow) chain, never both
+    // (demote_broadcast enforces exclusivity), so merging in in-row order
+    // yields the sorted-by-sender inbox directly.
+    if (!in.any_overflow.load(std::memory_order_relaxed)) {
+      std::size_t w = lo;
+      if (!in.any_bcast.load(std::memory_order_relaxed)) {
+        for (std::size_t q = lo; q < hi; ++q) {
+          if (in.slots[q].from == graph::invalid_node) continue;
+          if (w != q) {
+            in.slots[w] = in.slots[q];
+            in.slots[q].from = graph::invalid_node;
+          }
+          ++w;
+        }
+      } else {
+        // Every q emits at most one message, so the write cursor never
+        // overtakes the read cursor and v's own row doubles as the
+        // contiguous inbox arena.
+        const auto nbrs = graph_->neighbors(v);
+        for (std::size_t q = lo; q < hi; ++q) {
+          if (in.slots[q].from != graph::invalid_node) {
+            if (w != q) {
+              in.slots[w] = in.slots[q];
+              in.slots[q].from = graph::invalid_node;
+            }
+            ++w;
+          } else {
+            const message& b = in.bcast[nbrs[q - lo]];
+            if (b.from != graph::invalid_node) in.slots[w++] = b;
+          }
+        }
+      }
+      // The compacted prefix [lo, w) stays live until release_inbox(v).
+      return {in.slots.data() + lo, w - lo};
+    }
+    // Overflow round: gather per-sender chains (inline slot, then
+    // overflow entries, else broadcast lane) into v's scratch vector --
+    // still sorted by sender, send order kept within a sender.  Each
+    // sender's overflow list was stable-sorted by receiver at the
+    // finish_round barrier, so this receiver's entries are one
+    // binary-searchable run (a full scan per receiver would make
+    // high-degree multi-message rounds cubic in the degree).
+    const auto nbrs = graph_->neighbors(v);
+    auto& dst = scratch_[v];
+    dst.clear();
+    for (std::size_t q = lo; q < hi; ++q) {
+      if (in.slots[q].from != graph::invalid_node) {
+        dst.push_back(in.slots[q]);
+        in.slots[q].from = graph::invalid_node;
+        const auto& list = in.overflow[nbrs[q - lo]];
+        auto it = std::lower_bound(
+            list.begin(), list.end(), v,
+            [](const mail_buffer::routed_message& entry, graph::node_id to) {
+              return entry.to < to;
+            });
+        for (; it != list.end() && it->to == v; ++it) dst.push_back(it->msg);
+      } else {
+        const message& b = in.bcast[nbrs[q - lo]];
+        if (b.from != graph::invalid_node) dst.push_back(b);
+      }
+    }
+    return {dst.data(), dst.size()};
+  }
+
+  /// Marks v's consumed inbox slots empty again so the in-buffer can serve
+  /// as next round's out-buffer.  Must be called after on_round(v) by v's
+  /// owner worker (v still owns its in-row for the whole compute phase).
+  /// No-op when the inbox was gathered into scratch (overflow path).
+  void release_inbox(graph::node_id v, std::span<const message> inbox) {
+    mail_buffer& in = buffers_[1 - out_buf_];
+    const std::size_t lo = graph_->edge_begin(v);
+    if (inbox.data() != in.slots.data() + lo) return;
+    for (std::size_t q = lo; q < lo + inbox.size(); ++q)
+      in.slots[q].from = graph::invalid_node;
+  }
+
+  /// Post-compute barrier work: retire the drained in-buffer (slot states
+  /// were already cleared by collect_inbox; overflow lists are cleared here
+  /// if any were used) and swap it in as next round's out-buffer.
+  void finish_round();
+
+  /// Folds the per-node counters into the global metrics (message/bit
+  /// totals, maxima, drop counts, congestion flag).  Deterministic fixed
+  /// fold order, so serial and parallel runs agree bit for bit.
+  void aggregate(run_metrics& metrics) const;
+
+ private:
+  const graph::graph* graph_;
+  engine_config config_;
+
+  /// mirror_[p] for sender-side CSR position p of edge (u -> v) is the
+  /// receiver-side position of u in v's row: the flat slot address.
+  std::vector<std::size_t> mirror_;
+  mail_buffer buffers_[2];
+  int out_buf_ = 0;
+
+  std::vector<common::rng> node_rngs_;
+  std::vector<common::rng> drop_rngs_;  // populated iff drop_probability > 0
+  std::vector<std::vector<message>> scratch_;  // per-receiver overflow gather
+  /// round + 1 of each sender's most recent per-edge slot use (targeted
+  /// send, demotion, or repeat broadcast); gates the broadcast fast path
+  /// so lane vs. slots stays exclusive and send order survives mixed
+  /// rounds.
+  std::vector<std::size_t> last_slotted_round_;
+
+  // Per-node metric counters, indexed by sender.  attempted_ counts every
+  // send (the paper's message accounting); delivered_ excludes drops and
+  // feeds max_messages_per_node.
+  std::vector<std::uint64_t> attempted_;
+  std::vector<std::uint64_t> delivered_;
+  std::vector<std::uint64_t> dropped_;
+  std::vector<std::uint64_t> bits_;
+  std::vector<std::uint32_t> max_bits_;
+  std::vector<std::uint8_t> congested_;
+};
+
+}  // namespace detail
 
 /// Per-round API surface a node program sees.  A context is only valid for
 /// the duration of the on_round call it is passed to.
@@ -37,118 +383,248 @@ class round_context {
   [[nodiscard]] std::size_t round() const noexcept { return round_; }
 
   /// This node's degree in the network graph.
-  [[nodiscard]] std::uint32_t degree() const noexcept;
+  [[nodiscard]] std::uint32_t degree() const noexcept {
+    return state_->network().degree(id_);
+  }
 
   /// Sorted ids of this node's neighbors.
-  [[nodiscard]] std::span<const graph::node_id> neighbors() const noexcept;
+  [[nodiscard]] std::span<const graph::node_id> neighbors() const noexcept {
+    return state_->network().neighbors(id_);
+  }
 
   /// This node's private random stream (deterministic per global seed).
-  [[nodiscard]] common::rng& random() noexcept;
+  [[nodiscard]] common::rng& random() noexcept {
+    return state_->node_rng(id_);
+  }
 
   /// Sends one message to neighbor `to` (must be adjacent; violations throw
-  /// std::logic_error -- a node cannot talk past its radio range).
+  /// std::logic_error).
   void send(graph::node_id to, std::uint16_t tag, std::uint64_t payload,
-            std::uint32_t bits);
+            std::uint32_t bits) {
+    state_->send(id_, to, tag, payload, bits, round_);
+  }
 
   /// Sends the same message to every neighbor (counts degree() messages,
   /// matching the paper's message accounting).
-  void broadcast(std::uint16_t tag, std::uint64_t payload, std::uint32_t bits);
+  void broadcast(std::uint16_t tag, std::uint64_t payload,
+                 std::uint32_t bits) {
+    state_->broadcast(id_, tag, payload, bits, round_);
+  }
 
  private:
-  friend class engine;
-  round_context(engine& eng, graph::node_id id, std::size_t round) noexcept
-      : engine_(&eng), id_(id), round_(round) {}
+  template <typename Program>
+  friend class typed_engine;
 
-  engine* engine_;
+  round_context(detail::mailbox_state& state, graph::node_id id,
+                std::size_t round) noexcept
+      : state_(&state), id_(id), round_(round) {}
+
+  detail::mailbox_state* state_;
   graph::node_id id_;
   std::size_t round_;
 };
 
-/// A distributed algorithm, from one node's point of view.  The engine owns
-/// one instance per node.
+/// A distributed algorithm, from one node's point of view, behind a
+/// virtual interface.  Used with the type-erased `engine`; programs run
+/// through typed_engine need no base class, only the same two members.
 class node_program {
  public:
   virtual ~node_program() = default;
 
   /// Invoked once per round with the messages addressed to this node that
-  /// were sent in the previous round (sorted by sender id).  Round 0 has an
-  /// empty inbox.
+  /// were sent in the previous round (sorted by sender id; multiple
+  /// messages from one sender stay in send order).  Round 0 has an empty
+  /// inbox.
   virtual void on_round(round_context& ctx, std::span<const message> inbox) = 0;
 
-  /// True once this node's part of the algorithm has terminated.  The
-  /// engine stops when every node is finished.  A finished node keeps
-  /// receiving on_round calls until the global run ends (real devices stay
-  /// powered on); implementations must make post-completion calls no-ops.
+  /// True once this node's part of the algorithm has terminated.  Must be
+  /// monotone: once finished, a program stays finished (the engine counts
+  /// finish transitions instead of rescanning all nodes).  A finished node
+  /// keeps receiving on_round calls until the global run ends (real
+  /// devices stay powered on); implementations must make post-completion
+  /// calls no-ops.
   [[nodiscard]] virtual bool finished() const = 0;
 };
 
-struct engine_config {
-  /// Global seed; node v's stream is derive_seed(seed, v).
-  std::uint64_t seed = 1;
+/// Owns one `Program` value per node (contiguous, no vtable dispatch) and
+/// drives rounds to completion.  `Program` must provide
+///   void on_round(round_context&, std::span<const message>);
+///   bool finished() const;   // monotone
+template <typename Program>
+class typed_engine {
+ public:
+  typed_engine(const graph::graph& g, engine_config cfg)
+      : state_(g, cfg),
+        max_rounds_(cfg.max_rounds),
+        threads_(cfg.threads != 0
+                     ? cfg.threads
+                     : std::max<std::size_t>(
+                           1, std::thread::hardware_concurrency())) {}
 
-  /// Hard stop: runs longer than this flag hit_round_limit.
-  std::size_t max_rounds = 1'000'000;
+  /// Instantiates one program per node via `factory(v) -> Program`.  Must
+  /// be called exactly once before run().
+  template <typename Factory>
+  void load(Factory&& factory) {
+    if (loaded_) throw std::logic_error("engine::load called twice");
+    const std::size_t n = state_.network().node_count();
+    programs_.reserve(n);
+    for (graph::node_id v = 0; v < n; ++v) programs_.push_back(factory(v));
+    finished_flag_.assign(n, 0);
+    for (graph::node_id v = 0; v < n; ++v) {
+      if (std::as_const(programs_[v]).finished()) {
+        finished_flag_[v] = 1;
+        ++finished_count_;
+      }
+    }
+    loaded_ = true;
+  }
 
-  /// Message loss probability (adversarial extension; the paper's model is
-  /// reliable, so this defaults to 0).
-  double drop_probability = 0.0;
+  /// Observer invoked after every completed round (post-delivery); used by
+  /// invariant monitors in the tests.
+  void set_round_observer(std::function<void(std::size_t round)> observer) {
+    round_observer_ = std::move(observer);
+  }
 
-  /// If nonzero, any message with declared bits above this limit sets
-  /// run_metrics::congest_violation.
-  std::uint32_t congest_bit_limit = 0;
+  /// Executes rounds until every program reports finished() or the round
+  /// limit is hit.  Returns the metrics of the run.
+  run_metrics run() {
+    if (!loaded_) throw std::logic_error("engine::run: load() programs first");
+    const std::size_t n = programs_.size();
+    bool completed = finished_count_ == n;
+    for (std::size_t round = 0; !completed && round < max_rounds_; ++round) {
+      finished_count_ += compute_phase(round);
+      state_.finish_round();
+      metrics_.rounds = round + 1;
+      if (round_observer_) round_observer_(round);
+      completed = finished_count_ == n;
+    }
+    metrics_.hit_round_limit = !completed;
+    state_.aggregate(metrics_);
+    return metrics_;
+  }
+
+  /// Access to a node's program (valid after load()).
+  [[nodiscard]] Program& program(graph::node_id v) { return programs_[v]; }
+  [[nodiscard]] const Program& program(graph::node_id v) const {
+    return programs_[v];
+  }
+
+  [[nodiscard]] const graph::graph& network() const noexcept {
+    return state_.network();
+  }
+
+  /// Metrics of the run.  `rounds` and the limit flag are live during the
+  /// run; the message/bit counters are folded from the per-node tallies
+  /// when run() returns (folding them every round would put an O(n) pass
+  /// back into the loop the flat layout just removed).
+  [[nodiscard]] const run_metrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  /// Runs on_round for nodes [lo, hi); returns how many finished this
+  /// round.  Touches only state owned by those nodes, so disjoint ranges
+  /// are safe to run concurrently.
+  std::size_t compute_range(std::size_t round, graph::node_id lo,
+                            graph::node_id hi) {
+    std::size_t newly_finished = 0;
+    for (graph::node_id v = lo; v < hi; ++v) {
+      const std::span<const message> inbox = state_.collect_inbox(v);
+      round_context ctx(state_, v, round);
+      programs_[v].on_round(ctx, inbox);
+      state_.release_inbox(v, inbox);
+      if (!finished_flag_[v] && std::as_const(programs_[v]).finished()) {
+        finished_flag_[v] = 1;
+        ++newly_finished;
+      }
+    }
+    return newly_finished;
+  }
+
+  std::size_t compute_phase(std::size_t round) {
+    const std::size_t n = programs_.size();
+    const std::size_t workers = std::min(threads_, std::max<std::size_t>(n, 1));
+    if (workers <= 1) return compute_range(round, 0, static_cast<graph::node_id>(n));
+
+    const std::size_t chunk = (n + workers - 1) / workers;
+    std::vector<std::size_t> finished(workers, 0);
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    const auto work = [&](std::size_t w) {
+      const auto lo = static_cast<graph::node_id>(std::min(w * chunk, n));
+      const auto hi = static_cast<graph::node_id>(std::min(lo + chunk, n));
+      try {
+        finished[w] = compute_range(round, lo, hi);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    };
+    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work, w);
+    work(0);
+    for (auto& t : pool) t.join();
+    for (const auto& err : errors)
+      if (err) std::rethrow_exception(err);
+    std::size_t total = 0;
+    for (const std::size_t f : finished) total += f;
+    return total;
+  }
+
+  detail::mailbox_state state_;
+  std::size_t max_rounds_;
+  std::size_t threads_;
+  std::vector<Program> programs_;
+  std::vector<std::uint8_t> finished_flag_;
+  std::size_t finished_count_ = 0;
+  bool loaded_ = false;
+  run_metrics metrics_;
+  std::function<void(std::size_t)> round_observer_;
 };
 
-/// Owns the node programs and drives rounds to completion.
+/// Type-erased engine over heap-allocated node_program instances -- the
+/// pre-flat-mailbox API, kept as a thin adapter over typed_engine so
+/// existing callers and heterogeneous programs keep working.
 class engine {
  public:
   using program_factory =
       std::function<std::unique_ptr<node_program>(graph::node_id)>;
 
-  engine(const graph::graph& g, engine_config cfg);
+  engine(const graph::graph& g, engine_config cfg) : core_(g, cfg) {}
 
   /// Instantiates one program per node via `factory`.  Must be called
   /// exactly once before run().
-  void load(const program_factory& factory);
+  void load(const program_factory& factory) {
+    core_.load([&](graph::node_id v) { return poly_program{factory(v)}; });
+  }
 
-  /// Observer invoked after every completed round (post-delivery); used by
-  /// invariant monitors in the tests.
-  void set_round_observer(std::function<void(std::size_t round)> observer);
+  void set_round_observer(std::function<void(std::size_t round)> observer) {
+    core_.set_round_observer(std::move(observer));
+  }
 
-  /// Executes rounds until every program reports finished() or the round
-  /// limit is hit.  Returns the metrics of the run.
-  run_metrics run();
+  run_metrics run() { return core_.run(); }
 
   /// Typed access to a node's program (valid after load()).  The caller
   /// asserts the concrete type; used by algorithm runners to read results.
   template <typename Program>
   [[nodiscard]] Program& program_as(graph::node_id v) {
-    return static_cast<Program&>(*programs_[v]);
+    return static_cast<Program&>(*core_.program(v).impl);
   }
 
-  [[nodiscard]] const graph::graph& network() const noexcept { return *graph_; }
-  [[nodiscard]] const run_metrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const graph::graph& network() const noexcept {
+    return core_.network();
+  }
+  [[nodiscard]] const run_metrics& metrics() const noexcept {
+    return core_.metrics();
+  }
 
  private:
-  friend class round_context;
+  struct poly_program {
+    std::unique_ptr<node_program> impl;
+    void on_round(round_context& ctx, std::span<const message> inbox) {
+      impl->on_round(ctx, inbox);
+    }
+    [[nodiscard]] bool finished() const { return impl->finished(); }
+  };
 
-  void enqueue(graph::node_id from, graph::node_id to, std::uint16_t tag,
-               std::uint64_t payload, std::uint32_t bits);
-
-  const graph::graph* graph_;
-  engine_config config_;
-  std::vector<std::unique_ptr<node_program>> programs_;
-  std::vector<common::rng> node_rngs_;
-  common::rng adversary_rng_;
-
-  // Double-buffered mailboxes: inboxes_[v] holds messages delivered this
-  // round; outboxes_[v] accumulates messages sent this round for delivery
-  // next round.
-  std::vector<std::vector<message>> inboxes_;
-  std::vector<std::vector<message>> outboxes_;
-  std::vector<std::uint64_t> per_node_sent_;
-  run_metrics metrics_;
-  std::function<void(std::size_t)> round_observer_;
-  std::size_t current_round_ = 0;
+  typed_engine<poly_program> core_;
 };
 
 }  // namespace domset::sim

@@ -9,17 +9,27 @@
 
 #include <bit>
 #include <cstdint>
+#include <type_traits>
 
 #include "graph/graph.hpp"
 
 namespace domset::sim {
 
 struct message {
-  graph::node_id from = graph::invalid_node;
   std::uint64_t payload = 0;
-  std::uint32_t bits = 0;  // declared wire size
+  graph::node_id from = graph::invalid_node;
+  std::uint16_t bits = 0;  // declared wire size (engine saturates at 65535)
   std::uint16_t tag = 0;   // algorithm-defined dispatch tag
 };
+
+// The flat mailbox engine moves messages by plain slot assignment, one
+// preallocated slot per directed edge.  The 16-byte layout is load-bearing:
+// slots never straddle a cache line, which matters on the scattered
+// delivery writes.  Metric accounting keeps the full declared width; only
+// the receiver-visible copy saturates (paper messages are O(log Delta)
+// bits, nowhere near 65535).
+static_assert(sizeof(message) == 16);
+static_assert(std::is_trivially_copyable_v<message>);
 
 /// Number of bits needed to represent values in [0, count-1]
 /// (ceil(log2(count)); 1 for count <= 2 so "a message was sent" costs a bit).

@@ -13,16 +13,22 @@ struct run_metrics {
   /// Rounds executed (a round = one on_round call per node plus delivery).
   std::size_t rounds = 0;
 
-  /// Total messages sent network-wide (a broadcast counts degree messages).
+  /// Total messages sent network-wide (a broadcast counts degree
+  /// messages).  Counts every send attempt, including messages the loss
+  /// adversary later removes -- the sender paid the transmission either
+  /// way.  Delivered = messages_sent - messages_dropped.
   std::uint64_t messages_sent = 0;
 
-  /// Sum of declared message sizes.
+  /// Sum of declared message sizes (pre-drop, like messages_sent).
   std::uint64_t bits_sent = 0;
 
   /// Largest single declared message size observed.
   std::uint32_t max_message_bits = 0;
 
-  /// Maximum over nodes of the total number of messages that node sent.
+  /// Maximum over nodes of the number of messages that node successfully
+  /// delivered into the network.  Drops are excluded (they are accounted
+  /// in messages_dropped), so a lossy adversary cannot inflate the
+  /// per-node message-complexity claims this counter backs.
   std::uint64_t max_messages_per_node = 0;
 
   /// Messages removed by the loss adversary (0 in the reliable model).

@@ -178,6 +178,101 @@ TEST(Engine, DropAdversaryRemovesMessages) {
   EXPECT_EQ(received_total, metrics.messages_sent - metrics.messages_dropped);
 }
 
+TEST(Engine, DroppedMessagesDoNotInflatePerNodeSendCount) {
+  // Regression: the seed engine bumped per_node_sent_ before the drop
+  // roll, so a lossy adversary inflated max_messages_per_node.  Drops are
+  // now accounted separately: with every message dropped, the per-node
+  // delivery maximum must be zero while messages_sent still records the
+  // offered load.
+  const graph::graph g = graph::complete_graph(20);
+  engine_config cfg;
+  cfg.seed = 5;
+  cfg.drop_probability = 1.0;
+  engine eng(g, cfg);
+  eng.load([](node_id) { return std::make_unique<echo_program>(2); });
+  const run_metrics metrics = eng.run();
+  EXPECT_EQ(metrics.messages_sent, 380U);
+  EXPECT_EQ(metrics.messages_dropped, 380U);
+  EXPECT_EQ(metrics.max_messages_per_node, 0U);
+  for (node_id v = 0; v < 20; ++v)
+    EXPECT_TRUE(eng.program_as<echo_program>(v).received().empty());
+}
+
+TEST(Engine, MultipleMessagesPerEdgeStayInSendOrder) {
+  // Overflow path: three messages down one edge in one round must arrive
+  // contiguously, sorted by sender, in send order.
+  class burst final : public node_program {
+   public:
+    void on_round(round_context& ctx, std::span<const message> inbox) override {
+      for (const message& msg : inbox) received_.push_back(msg);
+      if (ctx.round() == 0 && ctx.id() != 1) {
+        for (std::uint64_t i = 0; i < 3; ++i) ctx.send(1, 4, 10 * ctx.id() + i, 8);
+      }
+      if (ctx.round() >= 1) done_ = true;
+    }
+    [[nodiscard]] bool finished() const override { return done_; }
+    std::vector<message> received_;
+
+   private:
+    bool done_ = false;
+  };
+  // Path 0-1-2: node 1 receives two three-message bursts.
+  const graph::graph g = graph::path_graph(3);
+  engine eng(g, {});
+  eng.load([](node_id) { return std::make_unique<burst>(); });
+  (void)eng.run();
+  const auto& mid = eng.program_as<burst>(1).received_;
+  ASSERT_EQ(mid.size(), 6U);
+  const std::uint64_t expected[] = {0, 1, 2, 20, 21, 22};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(mid[i].payload, expected[i]);
+    EXPECT_EQ(mid[i].from, i < 3 ? 0U : 2U);
+  }
+}
+
+TEST(Engine, HubBurstsKeepPerSenderOrderAndStaySubcubic) {
+  // Star hub sending several messages down every edge exercises the
+  // overflow grouping (entries are binary-searched per receiver, not
+  // rescanned): each leaf must see the hub's burst contiguously in send
+  // order, and the hub must see every leaf's burst sorted by sender.
+  constexpr std::uint64_t burst = 3;
+  class burster final : public node_program {
+   public:
+    void on_round(round_context& ctx, std::span<const message> inbox) override {
+      for (const message& msg : inbox) received_.push_back(msg);
+      if (ctx.round() == 0)
+        for (std::uint64_t i = 0; i < burst; ++i)
+          ctx.broadcast(2, 100 * ctx.id() + i, 8);
+      if (ctx.round() >= 1) done_ = true;
+    }
+    [[nodiscard]] bool finished() const override { return done_; }
+    std::vector<message> received_;
+
+   private:
+    bool done_ = false;
+  };
+  const graph::graph g = graph::star_graph(40);  // hub 0, leaves 1..39
+  engine eng(g, {});
+  eng.load([](node_id) { return std::make_unique<burster>(); });
+  (void)eng.run();
+
+  const auto& hub = eng.program_as<burster>(0).received_;
+  ASSERT_EQ(hub.size(), 39U * burst);
+  for (std::size_t i = 0; i < hub.size(); ++i) {
+    const node_id sender = static_cast<node_id>(1 + i / burst);
+    EXPECT_EQ(hub[i].from, sender);
+    EXPECT_EQ(hub[i].payload, 100ULL * sender + i % burst);
+  }
+  for (node_id leaf = 1; leaf < 40; ++leaf) {
+    const auto& rec = eng.program_as<burster>(leaf).received_;
+    ASSERT_EQ(rec.size(), burst);
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      EXPECT_EQ(rec[i].from, 0U);
+      EXPECT_EQ(rec[i].payload, i);
+    }
+  }
+}
+
 TEST(Engine, DeterministicPerSeed) {
   const graph::graph g = graph::complete_graph(10);
   const auto run_once = [&](std::uint64_t seed) {
