@@ -297,6 +297,8 @@ DOMSET_P2_SIZES(BENCHMARK(BM_TypedEngine));
 BENCHMARK(BM_TypedEngineParallel)
     ->UseRealTime()  // workers run off the main thread; wall time is the claim
     ->ArgNames({"n", "geo", "threads"})
+    ->Args({10'000, 0, 2})
+    ->Args({10'000, 0, 4})
     ->Args({100'000, 0, 2})
     ->Args({100'000, 0, 4})
     ->Args({100'000, 0, 8})

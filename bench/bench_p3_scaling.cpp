@@ -1,0 +1,204 @@
+// Experiment P3 -- round-dispatch scaling: persistent worker pool vs
+// spawn-per-round threading (google-benchmark).
+//
+// LOCAL algorithms run many cheap rounds: in the Kuhn-Wattenhofer
+// constant-round regime and the CONGEST follow-ups we benchmark against,
+// a round on a small graph is microseconds of compute.  PR 1's parallel
+// phase spawned and joined std::threads every round, so per-round clone/
+// exit cost dominated exactly there.  This bench pins the claim from both
+// ends:
+//
+//   SpawnPerRound -- a faithful replica of the removed per-round
+//                    spawn/join dispatch (engine.hpp pre-pool), driving a
+//                    compute-phase-shaped kernel;
+//   PersistentPool -- the same kernel dispatched per round on one
+//                    sim::thread_pool (sense-reversing barrier, workers
+//                    created once);
+//   EngineRounds  -- the real typed_engine end to end on a many-round
+//                    gossip workload across a rounds x n x threads grid.
+//
+// The kernel is the compute phase in miniature: each node folds its
+// neighbors' published values through the CSR rows and publishes a new
+// value (double-buffered, contiguous node chunks per worker) -- the same
+// read/write footprint and partitioning the engine uses, with no
+// engine-specific logic to muddy the dispatch comparison.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace {
+
+using namespace domset;
+using graph::node_id;
+
+graph::graph make_graph(std::size_t n) {
+  common::rng gen(42);
+  return graph::gnp_random(n, 8.0 / static_cast<double>(n), gen);
+}
+
+// -------------------------------------------------------------- kernel
+/// One compute-phase-shaped round: nodes [lo, hi) fold their neighbors'
+/// current values and publish the mix into `next`.
+void gossip_round(const graph::graph& g, const std::vector<std::uint64_t>& cur,
+                  std::vector<std::uint64_t>& next, node_id lo, node_id hi) {
+  for (node_id v = lo; v < hi; ++v) {
+    std::uint64_t acc = cur[v];
+    for (const node_id u : g.neighbors(v)) acc += cur[u];
+    next[v] = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+}
+
+struct kernel_state {
+  explicit kernel_state(const graph::graph& graph)
+      : g(&graph), cur(graph.node_count(), 1), next(graph.node_count(), 0) {}
+
+  void flip() { cur.swap(next); }
+
+  const graph::graph* g;
+  std::vector<std::uint64_t> cur;
+  std::vector<std::uint64_t> next;
+};
+
+// -------------------------------------------------------- dispatch models
+/// The removed engine dispatch, verbatim in shape: per round, spawn
+/// workers - 1 threads, run chunk 0 on the caller, join all.
+void run_spawn_model(kernel_state& ks, std::size_t rounds,
+                     std::size_t workers) {
+  const std::size_t n = ks.cur.size();
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    const auto work = [&](std::size_t w) {
+      const auto lo = static_cast<node_id>(std::min(w * chunk, n));
+      const auto hi = static_cast<node_id>(std::min(lo + chunk, n));
+      gossip_round(*ks.g, ks.cur, ks.next, lo, hi);
+    };
+    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work, w);
+    work(0);
+    for (auto& t : pool) t.join();
+    ks.flip();
+  }
+}
+
+/// The same per-round work dispatched on a persistent pool.
+void run_pool_model(kernel_state& ks, std::size_t rounds, std::size_t workers,
+                    sim::thread_pool& pool) {
+  const std::size_t n = ks.cur.size();
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    pool.run(workers, [&](std::size_t w) {
+      const auto lo = static_cast<node_id>(std::min(w * chunk, n));
+      const auto hi = static_cast<node_id>(std::min(lo + chunk, n));
+      gossip_round(*ks.g, ks.cur, ks.next, lo, hi);
+    });
+    ks.flip();
+  }
+}
+
+void set_round_rate(benchmark::State& state, std::size_t rounds) {
+  state.counters["rounds_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(rounds),
+      benchmark::Counter::kIsRate);
+}
+
+// Args: {n, rounds, threads}.
+void BM_SpawnPerRound(benchmark::State& state) {
+  const graph::graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+  const auto rounds = static_cast<std::size_t>(state.range(1));
+  const auto workers = static_cast<std::size_t>(state.range(2));
+  kernel_state ks(g);
+  for (auto _ : state) run_spawn_model(ks, rounds, workers);
+  benchmark::DoNotOptimize(ks.cur.data());
+  set_round_rate(state, rounds);
+}
+
+void BM_PersistentPool(benchmark::State& state) {
+  const graph::graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+  const auto rounds = static_cast<std::size_t>(state.range(1));
+  const auto workers = static_cast<std::size_t>(state.range(2));
+  kernel_state ks(g);
+  sim::thread_pool pool(workers);  // created once, outside the round loop
+  for (auto _ : state) run_pool_model(ks, rounds, workers, pool);
+  benchmark::DoNotOptimize(ks.cur.data());
+  set_round_rate(state, rounds);
+}
+
+// ------------------------------------------------------- engine end to end
+/// Broadcast-every-round gossip that terminates after a configurable
+/// number of rounds, so the rounds axis of the grid drives the real
+/// engine's round loop.
+struct timed_gossip {
+  std::size_t lifetime = 0;
+  std::uint64_t digest = 0;
+  std::size_t rounds_done = 0;
+  bool done = false;
+
+  void on_round(sim::round_context& ctx, std::span<const sim::message> inbox) {
+    if (done) return;
+    std::uint64_t acc = digest;
+    for (const sim::message& msg : inbox) acc += msg.payload + msg.from;
+    digest = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+    ctx.broadcast(1, digest >> 32, 16);
+    if (++rounds_done >= lifetime) done = true;
+  }
+  [[nodiscard]] bool finished() const { return done; }
+};
+
+// Args: {n, rounds, threads}.
+void BM_EngineRounds(benchmark::State& state) {
+  const graph::graph g = make_graph(static_cast<std::size_t>(state.range(0)));
+  const auto rounds = static_cast<std::size_t>(state.range(1));
+  sim::engine_config cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(2));
+  cfg.max_rounds = rounds + 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::typed_engine<timed_gossip> eng(g, cfg);
+    eng.load([rounds](node_id) { return timed_gossip{rounds}; });
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(eng.run());
+  }
+  set_round_rate(state, rounds);
+}
+
+// The acceptance workload (n = 1k, 500 rounds) plus enough of the
+// rounds x n x threads grid to read scaling trends: dispatch models on
+// the small-graph many-round regime, the real engine across sizes.
+#define DOMSET_P3_DISPATCH_GRID(bench)       \
+  bench->ArgNames({"n", "rounds", "threads"}) \
+      ->UseRealTime()                         \
+      ->Args({1'000, 500, 2})                 \
+      ->Args({1'000, 500, 4})                 \
+      ->Args({1'000, 500, 8})                 \
+      ->Args({10'000, 500, 4})                \
+      ->Args({100'000, 100, 4})               \
+      ->Unit(benchmark::kMillisecond)
+
+DOMSET_P3_DISPATCH_GRID(BENCHMARK(BM_SpawnPerRound));
+DOMSET_P3_DISPATCH_GRID(BENCHMARK(BM_PersistentPool));
+
+BENCHMARK(BM_EngineRounds)
+    ->ArgNames({"n", "rounds", "threads"})
+    ->UseRealTime()
+    ->Args({1'000, 500, 1})
+    ->Args({1'000, 500, 4})
+    ->Args({10'000, 100, 1})
+    ->Args({10'000, 100, 2})
+    ->Args({10'000, 100, 4})
+    ->Args({10'000, 100, 8})
+    ->Args({100'000, 32, 1})
+    ->Args({100'000, 32, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   cli.add_flag("radius", "0.09", "radio range");
   cli.add_flag("k", "3", "trade-off parameter");
   cli.add_flag("seed", "7", "random seed");
+  cli.add_threads_flag();
   if (!cli.parse(argc, argv)) return 1;
 
   common::rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
   params.k = static_cast<std::uint32_t>(cli.get_int("k"));
   params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   params.announce_final = true;
+  params.threads = cli.threads();
   const auto result = core::compute_dominating_set(g, params);
   if (!verify::is_dominating_set(g, result.in_set)) {
     std::fprintf(stderr, "BUG: head set is not dominating\n");

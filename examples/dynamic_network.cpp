@@ -11,6 +11,7 @@
 //                     [--k 2] [--seed 11]
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -18,6 +19,7 @@
 #include "core/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "sim/thread_pool.hpp"
 #include "verify/verify.hpp"
 
 namespace {
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
   cli.add_flag("step", "0.02", "max movement per epoch");
   cli.add_flag("k", "2", "trade-off parameter");
   cli.add_flag("seed", "11", "random seed");
+  cli.add_threads_flag();
   if (!cli.parse(argc, argv)) return 1;
 
   const auto n = static_cast<std::size_t>(cli.get_int("n"));
@@ -65,6 +68,10 @@ int main(int argc, char** argv) {
 
   std::printf("%6s %10s %8s %8s %10s %10s %9s\n", "epoch", "edges", "Delta",
               "heads", "churn", "dual LB", "rounds");
+  // One worker pool serves every epoch; recomputation under churn is
+  // exactly the many-consecutive-runs shape the shared pool exists for.
+  const auto pool = sim::thread_pool::make_shared_if_parallel(cli.threads());
+
   std::vector<std::uint8_t> previous_heads;
   for (int epoch = 0; epoch < cli.get_int("epochs"); ++epoch) {
     const graph::graph g = build_udg(x, y, radius);
@@ -72,6 +79,8 @@ int main(int argc, char** argv) {
     core::pipeline_params params;
     params.k = static_cast<std::uint32_t>(cli.get_int("k"));
     params.seed = static_cast<std::uint64_t>(epoch) + 100;
+    params.threads = cli.threads();
+    params.pool = pool;
     const auto res = core::compute_dominating_set(g, params);
     if (!verify::is_dominating_set(g, res.in_set)) {
       std::fprintf(stderr, "BUG: invalid head set at epoch %d\n", epoch);

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/cli.hpp"
@@ -16,6 +17,7 @@
 #include "core/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "sim/thread_pool.hpp"
 #include "verify/verify.hpp"
 
 namespace {
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   cli.add_flag("kmax", "8", "largest k to try");
   cli.add_flag("seeds", "20", "seeds to average the randomized rounding over");
   cli.add_flag("seed", "3", "base random seed");
+  cli.add_threads_flag();
   if (!cli.parse(argc, argv)) return 1;
 
   common::rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
@@ -57,6 +60,10 @@ int main(int argc, char** argv) {
 
   common::text_table table({"k", "rounds", "msgs/node", "E[|DS|]",
                             "ratio vs LB", "Thm6 bound"});
+  // All sweep runs share one worker pool (created only when parallelism
+  // is requested).
+  const auto pool = sim::thread_pool::make_shared_if_parallel(cli.threads());
+
   const auto kmax = static_cast<std::uint32_t>(cli.get_int("kmax"));
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
   for (std::uint32_t k = 1; k <= kmax; ++k) {
@@ -68,6 +75,8 @@ int main(int argc, char** argv) {
       core::pipeline_params params;
       params.k = k;
       params.seed = s + 1;
+      params.threads = cli.threads();
+      params.pool = pool;
       const auto res = core::compute_dominating_set(g, params);
       if (!verify::is_dominating_set(g, res.in_set)) return 1;
       sizes.add(static_cast<double>(res.size));

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   cli.add_flag("radius", "0.1", "radio range in the unit square");
   cli.add_flag("k", "3", "trade-off parameter (quality vs rounds)");
   cli.add_flag("seed", "1", "random seed");
+  cli.add_threads_flag();
   if (!cli.parse(argc, argv)) return 1;
 
   // 1. Build the network: n devices in the unit square, links within range.
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   core::pipeline_params params;
   params.k = static_cast<std::uint32_t>(cli.get_int("k"));
   params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  params.threads = cli.threads();
   const auto result = core::compute_dominating_set(g, params);
 
   // 3. Verify and report.

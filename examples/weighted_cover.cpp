@@ -8,6 +8,7 @@
 //
 //   ./weighted_cover [--n 300] [--radius 0.1] [--cmax 6] [--k 3] [--seed 5]
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "baselines/greedy.hpp"
@@ -17,6 +18,7 @@
 #include "core/rounding.hpp"
 #include "core/weighted.hpp"
 #include "graph/generators.hpp"
+#include "sim/thread_pool.hpp"
 #include "verify/verify.hpp"
 
 int main(int argc, char** argv) {
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
   cli.add_flag("cmax", "6", "maximum cost ratio (full vs depleted battery)");
   cli.add_flag("k", "3", "trade-off parameter");
   cli.add_flag("seed", "5", "random seed");
+  cli.add_threads_flag();
   if (!cli.parse(argc, argv)) return 1;
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
@@ -44,12 +47,19 @@ int main(int argc, char** argv) {
   std::printf("network: %s, costs in [1, %.1f]\n", g.summary().c_str(),
               cli.get_double("cmax"));
 
+  // One worker pool serves all three engine-driven stages below.
+  const auto pool = sim::thread_pool::make_shared_if_parallel(cli.threads());
+
   // Weighted fractional solution + rounding.
   core::lp_approx_params lp_params;
   lp_params.k = static_cast<std::uint32_t>(cli.get_int("k"));
+  lp_params.threads = cli.threads();
+  lp_params.pool = pool;
   const auto frac = core::approximate_weighted_lp(g, costs, lp_params);
   core::rounding_params r_params;
   r_params.seed = seed;
+  r_params.threads = cli.threads();
+  r_params.pool = pool;
   const auto weighted_ds = core::round_to_dominating_set(g, frac.x, r_params);
   if (!verify::is_dominating_set(g, weighted_ds.in_set)) return 1;
 
@@ -57,6 +67,8 @@ int main(int argc, char** argv) {
   core::pipeline_params u_params;
   u_params.k = lp_params.k;
   u_params.seed = seed;
+  u_params.threads = cli.threads();
+  u_params.pool = pool;
   const auto unweighted = core::compute_dominating_set(g, u_params);
 
   // Centralized weighted greedy as the quality reference.

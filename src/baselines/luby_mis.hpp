@@ -19,8 +19,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace domset::baselines {
 
@@ -30,6 +33,9 @@ struct luby_params {
   /// Simulator worker threads (1 = serial, 0 = hardware concurrency);
   /// bit-identical results for every value.
   std::size_t threads = 1;
+
+  /// Optional shared worker pool (see sim::engine_config::pool).
+  std::shared_ptr<sim::thread_pool> pool;
 };
 
 struct luby_result {

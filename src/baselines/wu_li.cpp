@@ -185,7 +185,8 @@ class wu_li_program {
 }  // namespace
 
 wu_li_result wu_li_mds(const graph::graph& g, std::uint64_t seed,
-                       std::size_t threads) {
+                       std::size_t threads,
+                       std::shared_ptr<sim::thread_pool> pool) {
   const std::size_t n = g.node_count();
   wu_li_result result;
   result.in_set.assign(n, 0);
@@ -195,6 +196,7 @@ wu_li_result wu_li_mds(const graph::graph& g, std::uint64_t seed,
   cfg.seed = seed;
   cfg.max_rounds = 8;
   cfg.threads = threads;
+  cfg.pool = std::move(pool);
   sim::typed_engine<wu_li_program> engine(g, cfg);
   engine.load([](graph::node_id) { return wu_li_program(); });
   result.metrics = engine.run();

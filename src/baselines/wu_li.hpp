@@ -23,8 +23,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace domset::baselines {
 
@@ -39,9 +42,11 @@ struct wu_li_result {
 };
 
 /// `threads`: simulator worker threads (1 = serial, 0 = hardware
-/// concurrency); bit-identical results for every value.
-[[nodiscard]] wu_li_result wu_li_mds(const graph::graph& g,
-                                     std::uint64_t seed = 1,
-                                     std::size_t threads = 1);
+/// concurrency); bit-identical results for every value.  `pool`
+/// optionally shares one set of workers across runs (see
+/// sim::engine_config::pool).
+[[nodiscard]] wu_li_result wu_li_mds(
+    const graph::graph& g, std::uint64_t seed = 1, std::size_t threads = 1,
+    std::shared_ptr<sim::thread_pool> pool = nullptr);
 
 }  // namespace domset::baselines

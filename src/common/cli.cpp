@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -59,6 +60,22 @@ bool cli_parser::parse(int argc, const char* const* argv) {
     }
     values_[name] = value;
   }
+  for (const auto& [name, spec] : specs_) {
+    if (!spec.nonnegative_int) continue;
+    // Require a complete, in-range decimal integer: strtoll alone maps
+    // typos like "eight" to 0 (for --threads: maximum parallelism) and
+    // saturates overflow to LLONG_MAX instead of failing.
+    const std::string value = get_string(name);
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() || parsed < 0 ||
+        errno == ERANGE) {
+      std::fprintf(stderr, "flag '--%s' must be a non-negative integer\n%s",
+                   name.c_str(), usage(argv[0]).c_str());
+      return false;
+    }
+  }
   return true;
 }
 
@@ -81,6 +98,23 @@ double cli_parser::get_double(const std::string& name) const {
 bool cli_parser::get_bool(const std::string& name) const {
   const std::string v = get_string(name);
   return v == "true" || v == "1" || v == "yes";
+}
+
+void cli_parser::add_threads_flag() {
+  add_flag("threads", "1",
+           "simulator worker threads (1 = serial, 0 = one per hardware "
+           "thread); results are identical for every value");
+  specs_["threads"].nonnegative_int = true;
+}
+
+std::size_t cli_parser::threads() const {
+  const std::int64_t raw = get_int("threads");
+  // parse() already rejected negatives with usage text; this throw is a
+  // backstop for callers that skipped parse().
+  if (raw < 0)
+    throw std::invalid_argument(
+        "--threads must be >= 0 (0 = one per hardware thread)");
+  return static_cast<std::size_t>(raw);
 }
 
 std::string cli_parser::usage(const std::string& program) const {

@@ -4,6 +4,7 @@
 // Unknown flags are an error so typos surface immediately.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -35,11 +36,24 @@ class cli_parser {
   /// Usage text listing all registered flags.
   [[nodiscard]] std::string usage(const std::string& program) const;
 
+  /// Registers the standard `--threads` flag every parallel-capable binary
+  /// shares (default 1 = serial; 0 = one worker per hardware thread).
+  /// Read it back with threads().
+  void add_threads_flag();
+
+  /// The parsed `--threads` value; throws std::invalid_argument for
+  /// negative input.  Outputs are bit-identical for every value -- this
+  /// is purely a wall-clock knob.
+  [[nodiscard]] std::size_t threads() const;
+
  private:
   struct flag_spec {
     std::string default_value;
     std::string help;
     bool is_switch = false;
+    /// parse() rejects a negative integer value (used by --threads so a
+    /// typo takes the usual usage-and-exit path, not an exception).
+    bool nonnegative_int = false;
   };
 
   std::string description_;

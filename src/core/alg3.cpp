@@ -267,6 +267,7 @@ lp_approx_result approximate_lp(const graph::graph& g,
   cfg.congest_bit_limit = params.congest_bit_limit;
   cfg.max_rounds = alg3_round_count(k) + 2;
   cfg.threads = params.threads;
+  cfg.pool = params.pool;
   sim::typed_engine<alg3_program> engine(g, cfg);
   engine.load([&](graph::node_id) {
     return alg3_program(k, lp::feasibility_epsilon);

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/metrics.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace domset::core {
 
@@ -30,6 +32,11 @@ struct lp_approx_params {
   /// Purely a wall-clock knob: outputs and metrics are bit-identical for
   /// every value.
   std::size_t threads = 1;
+
+  /// Optional shared worker pool (see sim::engine_config::pool).  Lets
+  /// consecutive runs -- pipeline stages, parameter sweeps -- reuse one
+  /// set of threads instead of building a pool per run.
+  std::shared_ptr<sim::thread_pool> pool;
 };
 
 struct lp_approx_result {

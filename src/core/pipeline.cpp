@@ -4,11 +4,17 @@ namespace domset::core {
 
 pipeline_result compute_dominating_set(const graph::graph& g,
                                        const pipeline_params& params) {
+  // Both stages run on one worker pool: the rounding stage reuses the LP
+  // stage's threads instead of paying a second pool construction.
+  std::shared_ptr<sim::thread_pool> pool = params.pool;
+  if (!pool) pool = sim::thread_pool::make_shared_if_parallel(params.threads);
+
   lp_approx_params lp_params;
   lp_params.k = params.k;
   lp_params.seed = params.seed;
   lp_params.drop_probability = params.drop_probability;
   lp_params.threads = params.threads;
+  lp_params.pool = pool;
 
   pipeline_result result;
   result.fractional = params.assume_known_delta
@@ -21,6 +27,7 @@ pipeline_result compute_dominating_set(const graph::graph& g,
   r_params.announce_final = params.announce_final;
   r_params.drop_probability = params.drop_probability;
   r_params.threads = params.threads;
+  r_params.pool = pool;
   result.rounding =
       round_to_dominating_set(g, result.fractional.x, r_params);
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/alg2.hpp"
@@ -26,6 +27,12 @@ struct pipeline_params {
   /// Simulator worker threads for both stages (1 = serial, 0 = hardware
   /// concurrency); bit-identical results for every value.
   std::size_t threads = 1;
+
+  /// Optional shared worker pool for both stages (see
+  /// sim::engine_config::pool).  When parallelism is requested and no pool
+  /// is supplied, the pipeline builds one and shares it across the LP and
+  /// rounding stages rather than letting each stage spin up its own.
+  std::shared_ptr<sim::thread_pool> pool;
 };
 
 struct pipeline_result {

@@ -153,6 +153,7 @@ rounding_result round_to_dominating_set(const graph::graph& g,
   cfg.drop_probability = params.drop_probability;
   cfg.max_rounds = 8;
   cfg.threads = params.threads;
+  cfg.pool = params.pool;
   sim::typed_engine<rounding_program> engine(g, cfg);
   engine.load([&](graph::node_id v) {
     return rounding_program(x[v], params.variant, params.announce_final);

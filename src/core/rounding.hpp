@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/metrics.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace domset::core {
 
@@ -44,6 +46,9 @@ struct rounding_params {
   /// Simulator worker threads (1 = serial, 0 = hardware concurrency);
   /// bit-identical results for every value.
   std::size_t threads = 1;
+
+  /// Optional shared worker pool (see sim::engine_config::pool).
+  std::shared_ptr<sim::thread_pool> pool;
 };
 
 struct rounding_result {

@@ -54,32 +54,62 @@ mailbox_state::mailbox_state(const graph::graph& g, engine_config cfg)
   congested_.assign(n, 0);
 }
 
-void mailbox_state::finish_round() {
+void mailbox_state::finish_round(thread_pool* pool, std::size_t workers) {
   // Group the round's overflow entries by receiver (stably, so send order
   // within a receiver survives): collect_inbox then reads each receiver's
   // entries as one binary-searchable run instead of rescanning a sender's
   // whole list per receiver -- that rescan made a degree-d multi-message
   // round Theta(d^3) where the seed engine was O(d^2 log d).
   mail_buffer& filled = buffers_[out_buf_];
-  if (filled.any_overflow.load(std::memory_order_relaxed)) {
-    for (auto& list : filled.overflow) {
-      if (list.empty()) continue;
-      std::stable_sort(list.begin(), list.end(),
-                       [](const mail_buffer::routed_message& a,
-                          const mail_buffer::routed_message& b) {
-                         return a.to < b.to;
-                       });
-    }
-  }
-
   mail_buffer& drained = buffers_[1 - out_buf_];
-  if (drained.any_overflow.load(std::memory_order_relaxed)) {
-    for (auto& list : drained.overflow) list.clear();
-    drained.any_overflow.store(false, std::memory_order_relaxed);
-  }
-  if (drained.any_bcast.load(std::memory_order_relaxed)) {
-    for (message& entry : drained.bcast) entry.from = graph::invalid_node;
-    drained.any_bcast.store(false, std::memory_order_relaxed);
+  const bool sort_overflow =
+      filled.any_overflow.load(std::memory_order_relaxed);
+  const bool clear_overflow =
+      drained.any_overflow.load(std::memory_order_relaxed);
+  const bool clear_bcast = drained.any_bcast.load(std::memory_order_relaxed);
+
+  if (sort_overflow || clear_overflow || clear_bcast) {
+    // All three passes are indexed by sender, so one partition of the
+    // sender range [0, n) covers them race-free; the pool barrier orders
+    // these writes before the next compute phase reads them.
+    const std::size_t n = drained.bcast.size();
+    const auto retire_range = [&](std::size_t lo, std::size_t hi) {
+      if (sort_overflow) {
+        for (std::size_t v = lo; v < hi; ++v) {
+          auto& list = filled.overflow[v];
+          if (list.empty()) continue;
+          std::stable_sort(list.begin(), list.end(),
+                           [](const mail_buffer::routed_message& a,
+                              const mail_buffer::routed_message& b) {
+                             return a.to < b.to;
+                           });
+        }
+      }
+      if (clear_overflow) {
+        for (std::size_t v = lo; v < hi; ++v) drained.overflow[v].clear();
+      }
+      if (clear_bcast) {
+        for (std::size_t v = lo; v < hi; ++v)
+          drained.bcast[v].from = graph::invalid_node;
+      }
+    };
+    // A barrier crossing costs more than ~n single-word stores in the
+    // small-graph regime, so only fan out when there is real per-sender
+    // work (overflow sorting) or enough trivial work to amortize it.
+    constexpr std::size_t parallel_retire_threshold = 1 << 15;
+    if (pool != nullptr && workers > 1 &&
+        (sort_overflow || n >= parallel_retire_threshold)) {
+      pool->run_chunked(
+          n, workers,
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            retire_range(lo, hi);
+          });
+    } else {
+      retire_range(0, n);
+    }
+    if (clear_overflow)
+      drained.any_overflow.store(false, std::memory_order_relaxed);
+    if (clear_bcast) drained.any_bcast.store(false, std::memory_order_relaxed);
   }
   out_buf_ = 1 - out_buf_;
 }

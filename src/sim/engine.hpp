@@ -33,9 +33,13 @@
 // per-edge drop rolls demotes the lane entry into the per-edge slots, so
 // per-receiver send order is always exact.
 //
-// Parallelism and determinism.  The compute phase may be partitioned
-// across engine_config::threads workers.  The schedule is race-free by
-// construction, with no locks or atomics on the data path:
+// Parallelism and determinism.  The compute phase and the post-barrier
+// delivery work (overflow sorting, lane/overflow retirement) may be
+// partitioned across engine_config::threads workers, dispatched on a
+// persistent sense-reversing-barrier pool (sim/thread_pool.hpp) that is
+// created once per run -- or injected through engine_config::pool and
+// shared across runs -- never spawned per round.  The schedule is
+// race-free by construction, with no locks or atomics on the data path:
 //   * node v's program, RNG streams, metric counters, and inbox scratch
 //     are touched only by the worker that owns v;
 //   * sender u writes only the slots mirror[p] for p in u's own row, and
@@ -56,19 +60,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
-#include <exception>
 #include <functional>
 #include <memory>
 #include <span>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace domset::sim {
 
@@ -88,9 +92,17 @@ struct engine_config {
   /// run_metrics::congest_violation.
   std::uint32_t congest_bit_limit = 0;
 
-  /// Worker threads for the compute phase.  1 = serial; 0 = one per
-  /// hardware thread.  Results are bit-identical for every value.
+  /// Worker threads for the parallel phases.  1 = serial; 0 = one per
+  /// hardware thread (or the whole injected pool).  Results are
+  /// bit-identical for every value.
   std::size_t threads = 1;
+
+  /// Optional externally owned worker pool, shared across runs and
+  /// engines.  When set, parallel phases dispatch on it instead of a
+  /// run-private pool; `threads` still bounds how many of its workers a
+  /// run uses (0 = all of them).  A pool carries no algorithm state, so
+  /// sharing cannot perturb results.
+  std::shared_ptr<thread_pool> pool;
 };
 
 namespace detail {
@@ -332,8 +344,12 @@ class mailbox_state {
 
   /// Post-compute barrier work: retire the drained in-buffer (slot states
   /// were already cleared by collect_inbox; overflow lists are cleared here
-  /// if any were used) and swap it in as next round's out-buffer.
-  void finish_round();
+  /// if any were used) and swap it in as next round's out-buffer.  The
+  /// per-sender passes (overflow sort, lane/overflow retirement) partition
+  /// across `workers` pool workers when a pool is supplied; every pass
+  /// touches only sender-indexed state, so disjoint sender ranges are
+  /// race-free.
+  void finish_round(thread_pool* pool, std::size_t workers);
 
   /// Folds the per-node counters into the global metrics (message/bit
   /// totals, maxima, drop counts, congestion flag).  Deterministic fixed
@@ -456,10 +472,8 @@ class typed_engine {
   typed_engine(const graph::graph& g, engine_config cfg)
       : state_(g, cfg),
         max_rounds_(cfg.max_rounds),
-        threads_(cfg.threads != 0
-                     ? cfg.threads
-                     : std::max<std::size_t>(
-                           1, std::thread::hardware_concurrency())) {}
+        threads_(cfg.threads),
+        shared_pool_(std::move(cfg.pool)) {}
 
   /// Instantiates one program per node via `factory(v) -> Program`.  Must
   /// be called exactly once before run().
@@ -490,10 +504,29 @@ class typed_engine {
   run_metrics run() {
     if (!loaded_) throw std::logic_error("engine::run: load() programs first");
     const std::size_t n = programs_.size();
+    // Worker-count decision, hoisted to run start (it used to be re-derived
+    // every round): resolve the threads knob against the injected pool and
+    // n once, then hold it fixed for the whole run.
+    const std::size_t workers = resolve_workers(n);
+    thread_pool* pool = nullptr;
+    std::unique_ptr<thread_pool> owned;
+    if (workers > 1) {
+      if (shared_pool_) {
+        pool = shared_pool_.get();
+      } else {
+        owned = std::make_unique<thread_pool>(workers);
+        pool = owned.get();
+      }
+    }
+    finished_scratch_.assign(workers, 0);
     bool completed = finished_count_ == n;
     for (std::size_t round = 0; !completed && round < max_rounds_; ++round) {
-      finished_count_ += compute_phase(round);
-      state_.finish_round();
+      // The worker count was decided once above and must stay within the
+      // pool for the whole run -- every per-worker structure (scratch
+      // tallies, chunk partitions) was sized against it.
+      assert(!pool || workers <= pool->size());
+      finished_count_ += compute_phase(round, pool, workers);
+      state_.finish_round(pool, workers);
       metrics_.rounds = round + 1;
       if (round_observer_) round_observer_(round);
       completed = finished_count_ == n;
@@ -539,38 +572,45 @@ class typed_engine {
     return newly_finished;
   }
 
-  std::size_t compute_phase(std::size_t round) {
-    const std::size_t n = programs_.size();
-    const std::size_t workers = std::min(threads_, std::max<std::size_t>(n, 1));
-    if (workers <= 1) return compute_range(round, 0, static_cast<graph::node_id>(n));
+  /// The run's worker count: the threads knob (0 = whole injected pool,
+  /// else one per hardware thread), bounded by the injected pool's size
+  /// and by the node count.  Decided once per run; see run().
+  [[nodiscard]] std::size_t resolve_workers(std::size_t n) const {
+    std::size_t requested = threads_;
+    if (requested == 0)
+      requested = shared_pool_ ? shared_pool_->size()
+                               : thread_pool::hardware_workers();
+    if (shared_pool_) requested = std::min(requested, shared_pool_->size());
+    // Mirror the pool constructor's ceiling so a run-private pool ends up
+    // exactly `workers` big (the round loop asserts on that).
+    requested = std::min(requested, thread_pool::max_workers);
+    return std::min(requested, std::max<std::size_t>(n, 1));
+  }
 
-    const std::size_t chunk = (n + workers - 1) / workers;
-    std::vector<std::size_t> finished(workers, 0);
-    std::vector<std::exception_ptr> errors(workers);
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    const auto work = [&](std::size_t w) {
-      const auto lo = static_cast<graph::node_id>(std::min(w * chunk, n));
-      const auto hi = static_cast<graph::node_id>(std::min(lo + chunk, n));
-      try {
-        finished[w] = compute_range(round, lo, hi);
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    };
-    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work, w);
-    work(0);
-    for (auto& t : pool) t.join();
-    for (const auto& err : errors)
-      if (err) std::rethrow_exception(err);
+  /// Dispatches the round's compute phase on the pool (allocation-free:
+  /// the per-worker finished tallies live in a run-scoped scratch array)
+  /// and returns how many programs finished this round.
+  std::size_t compute_phase(std::size_t round, thread_pool* pool,
+                            std::size_t workers) {
+    const std::size_t n = programs_.size();
+    if (pool == nullptr || workers <= 1)
+      return compute_range(round, 0, static_cast<graph::node_id>(n));
+
+    pool->run_chunked(n, workers, [&](std::size_t w, std::size_t lo,
+                                      std::size_t hi) {
+      finished_scratch_[w] = compute_range(round, static_cast<graph::node_id>(lo),
+                                           static_cast<graph::node_id>(hi));
+    });
     std::size_t total = 0;
-    for (const std::size_t f : finished) total += f;
+    for (std::size_t w = 0; w < workers; ++w) total += finished_scratch_[w];
     return total;
   }
 
   detail::mailbox_state state_;
   std::size_t max_rounds_;
   std::size_t threads_;
+  std::shared_ptr<thread_pool> shared_pool_;
+  std::vector<std::size_t> finished_scratch_;  // per-worker finish tallies
   std::vector<Program> programs_;
   std::vector<std::uint8_t> finished_flag_;
   std::size_t finished_count_ = 0;

@@ -1,0 +1,119 @@
+#include "sim/thread_pool.hpp"
+
+namespace domset::sim {
+
+namespace {
+
+/// Bounded spin before parking on the futex: a round dispatch on a warm
+/// pool is shorter than a sleep/wake cycle, so give the epoch flip a brief
+/// window to land while the worker still owns a core.
+constexpr int spin_iterations = 1 << 12;
+
+}  // namespace
+
+thread_pool::thread_pool(std::size_t threads)
+    : size_(std::min(threads != 0 ? threads : hardware_workers(),
+                     max_workers)) {
+  errors_.resize(size_);
+  threads_.reserve(size_ - 1);
+  try {
+    for (std::size_t w = 1; w < size_; ++w)
+      threads_.emplace_back([this, w] { worker_loop(w); });
+  } catch (...) {
+    // Thread-resource exhaustion mid-spawn: unwind the workers that did
+    // start, or their joinable destructors would std::terminate instead
+    // of letting the caller catch the std::system_error.
+    stop_ = true;
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (std::thread& t : threads_) t.join();
+    throw;
+  }
+}
+
+std::shared_ptr<thread_pool> thread_pool::make_shared_if_parallel(
+    std::size_t threads) {
+  const std::size_t workers = threads != 0 ? threads : hardware_workers();
+  if (workers <= 1) return nullptr;
+  return std::make_shared<thread_pool>(workers);
+}
+
+thread_pool::~thread_pool() {
+  if (threads_.empty()) return;
+  stop_ = true;
+  remaining_.store(threads_.size(), std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void thread_pool::worker_loop(std::size_t index) {
+  std::uint64_t sense = 0;
+  for (;;) {
+    // Sense-reversing arrival: wait for the shared epoch to differ from
+    // the locally held sense.  Spin first (relaxed loads; the acquire
+    // fence is the load below), then park.
+    for (int i = 0; i < spin_iterations; ++i) {
+      if (epoch_.load(std::memory_order_relaxed) != sense) break;
+    }
+    while (epoch_.load(std::memory_order_acquire) == sense)
+      epoch_.wait(sense, std::memory_order_acquire);
+    sense = epoch_.load(std::memory_order_acquire);
+
+    if (stop_) return;
+    if (index < active_) {
+      try {
+        fn_(ctx_, index);
+      } catch (...) {
+        errors_[index] = std::current_exception();
+      }
+    }
+    // Departure: the release decrement publishes this worker's writes to
+    // the orchestrator's acquire load in dispatch().
+    if (remaining_.fetch_sub(1, std::memory_order_release) == 1)
+      remaining_.notify_one();
+  }
+}
+
+void thread_pool::dispatch(std::size_t active, void* ctx, task_fn fn) {
+  fn_ = fn;
+  ctx_ = ctx;
+  active_ = active;
+  remaining_.store(threads_.size(), std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+
+  try {
+    fn(ctx, 0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+
+  for (int i = 0; i < spin_iterations; ++i) {
+    if (remaining_.load(std::memory_order_relaxed) == 0) break;
+  }
+  std::size_t left;
+  while ((left = remaining_.load(std::memory_order_acquire)) != 0)
+    remaining_.wait(left, std::memory_order_acquire);
+  fn_ = nullptr;
+  ctx_ = nullptr;
+}
+
+void thread_pool::run(std::size_t workers, void* ctx, task_fn fn) {
+  const std::size_t active = std::min(workers, size_);
+  if (active <= 1 || threads_.empty()) {
+    // Serial fast path: no barrier crossing, exceptions propagate raw.
+    if (active >= 1) fn(ctx, 0);
+    return;
+  }
+  dispatch(active, ctx, fn);
+  for (std::size_t w = 0; w < active; ++w) {
+    if (errors_[w]) {
+      const std::exception_ptr err = errors_[w];
+      for (std::size_t i = w; i < active; ++i) errors_[i] = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace domset::sim

@@ -1,0 +1,145 @@
+// Persistent worker pool driving the engine's data-parallel phases.
+//
+// The round loop of a LOCAL-model simulation dispatches tiny, perfectly
+// partitioned work items (compute a node range, retire a mailbox range)
+// hundreds of times per run.  Spawning std::threads per round puts a
+// clone/exit pair on every round -- tens of microseconds that dwarf the
+// useful work exactly where the paper's algorithms live (small graphs,
+// O(k^2) or O(log n / eps) rounds).  This pool creates its workers once
+// and re-dispatches them per phase through a sense-reversing barrier:
+//
+//   * arrival: the caller publishes the task and flips the shared epoch
+//     word; each worker waits until the epoch differs from its local
+//     sense (a bounded spin, then a futex wait via std::atomic::wait).
+//     The 64-bit epoch is the counter generalization of the classic
+//     one-bit sense -- no reset race, no ABA across phases;
+//   * departure: workers count down `remaining_`; the last one wakes the
+//     caller, which observed every worker's writes through the
+//     release/acquire pair on the countdown.
+//
+// The caller participates as worker 0, so a pool of size P holds P - 1
+// background threads and dispatch is wait-free for serial pools (P == 1).
+// A pool owns no algorithm state: it may be shared across consecutive
+// engine runs (engine_config::pool) and its reuse cannot perturb results
+// -- determinism is owned entirely by the per-node stream design in the
+// engine (see docs/threading.md).
+//
+// run() is an orchestrator-side API: one thread drives the pool at a
+// time.  Concurrent run() calls from different threads are not supported
+// (the engine's round loop is the single orchestrator).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace domset::sim {
+
+class thread_pool {
+ public:
+  /// Hard ceiling on pool size, far beyond any plausible hardware.
+  /// Results are bit-identical for every worker count, so clamping a
+  /// pathological request (--threads=500000) is invisible except in wall
+  /// clock -- and it keeps thread creation from hitting OS task limits
+  /// and aborting mid-spawn.
+  static constexpr std::size_t max_workers = 1024;
+
+  /// Creates min(threads, max_workers) workers (including the calling
+  /// thread as worker 0); 0 = one per hardware thread.  Background
+  /// threads are created here, once, and live until destruction.
+  explicit thread_pool(std::size_t threads = 0);
+
+  /// Stops and joins the background workers.  Must not race a run() call.
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Total workers, including the caller; fixed for the pool's lifetime.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// One worker per hardware thread, never less than one.
+  [[nodiscard]] static std::size_t hardware_workers() noexcept {
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  /// The shared-pool policy in one place: a pool of `threads` workers
+  /// (0 = hardware) for callers that run many engine rounds back to back,
+  /// or nullptr when the request resolves to serial execution (engines
+  /// then skip pool dispatch entirely).
+  [[nodiscard]] static std::shared_ptr<thread_pool> make_shared_if_parallel(
+      std::size_t threads);
+
+  /// Type-erased task: fn(ctx, worker).  The function_ref shape (raw
+  /// context pointer + function pointer, valid only for the duration of
+  /// the run() call) keeps dispatch allocation-free -- a std::function
+  /// would heap-box the engine's capture set once per round.
+  using task_fn = void (*)(void* ctx, std::size_t worker);
+
+  /// Runs task(w) for every w in [0, min(workers, size())), the caller
+  /// executing w == 0, and blocks until all of them returned.  Workers the
+  /// task may not use this phase still cross the barrier, so the pool is
+  /// quiescent when run() returns.  If any task invocation throws, the
+  /// phase still completes on the other workers and the lowest-indexed
+  /// exception is rethrown here.
+  void run(std::size_t workers, void* ctx, task_fn fn);
+
+  /// Callable-object convenience over the type-erased form; `task` is
+  /// borrowed, not copied.
+  template <typename F>
+  void run(std::size_t workers, F&& task) {
+    using fn_t = std::remove_reference_t<F>;
+    run(workers,
+        const_cast<void*>(static_cast<const void*>(std::addressof(task))),
+        [](void* ctx, std::size_t w) { (*static_cast<fn_t*>(ctx))(w); });
+  }
+
+  /// Partitions [0, n) into min(workers, size()) contiguous chunks and
+  /// runs task(worker, lo, hi) for each -- the engine's standard split,
+  /// kept in one place so the partition policy cannot drift between
+  /// phases.  Clamping before chunking matters: run() executes at most
+  /// size() workers, so chunking by an unclamped count would silently
+  /// drop the trailing ranges.
+  template <typename F>
+  void run_chunked(std::size_t n, std::size_t workers, F&& task) {
+    const std::size_t parts =
+        std::min(std::max<std::size_t>(workers, 1), size_);
+    const std::size_t chunk = (n + parts - 1) / parts;
+    run(parts, [&](std::size_t w) {
+      const std::size_t lo = std::min(w * chunk, n);
+      task(w, lo, std::min(lo + chunk, n));
+    });
+  }
+
+ private:
+  void worker_loop(std::size_t index);
+
+  /// Dispatches one barrier phase with `active` task-running workers and
+  /// blocks until every background worker checked out.
+  void dispatch(std::size_t active, void* ctx, task_fn fn);
+
+  std::size_t size_ = 1;
+  std::vector<std::thread> threads_;  // size_ - 1 background workers
+
+  // Phase state, written by the orchestrator strictly before the epoch
+  // flip and read by workers strictly after it.
+  task_fn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t active_ = 0;
+  std::vector<std::exception_ptr> errors_;
+  bool stop_ = false;
+
+  /// The barrier's shared sense word; workers hold the value they last
+  /// observed and wait for it to change.
+  std::atomic<std::uint64_t> epoch_{0};
+  /// Background workers still inside the current phase.
+  std::atomic<std::size_t> remaining_{0};
+};
+
+}  // namespace domset::sim

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -85,6 +86,45 @@ TEST(CliParser, RejectsMissingValue) {
   cli.add_flag("n", "1", "n");
   const char* argv[] = {"prog", "--n"};
   EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, ThreadsFlagParsesAndDefaultsToSerial) {
+  cli_parser cli("test tool");
+  cli.add_threads_flag();
+  const char* serial[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, serial));
+  EXPECT_EQ(cli.threads(), 1U);
+
+  cli_parser cli2("test tool");
+  cli2.add_threads_flag();
+  const char* argv[] = {"prog", "--threads", "4"};
+  ASSERT_TRUE(cli2.parse(3, argv));
+  EXPECT_EQ(cli2.threads(), 4U);
+
+  cli_parser cli3("test tool");
+  cli3.add_threads_flag();
+  const char* autodetect[] = {"prog", "--threads=0"};
+  ASSERT_TRUE(cli3.parse(2, autodetect));
+  EXPECT_EQ(cli3.threads(), 0U);
+}
+
+TEST(CliParser, NegativeThreadsRejectedAtParse) {
+  cli_parser cli("test tool");
+  cli.add_threads_flag();
+  const char* argv[] = {"prog", "--threads=-2"};
+  EXPECT_FALSE(cli.parse(2, argv));  // usage-and-exit path, no exception
+}
+
+TEST(CliParser, NonNumericThreadsRejectedAtParse) {
+  // strtoll would map the typos to 0 (= all cores) and saturate the
+  // overflow to LLONG_MAX; parse must reject them all.
+  for (const char* bad : {"eight", "4x", "", "99999999999999999999"}) {
+    cli_parser cli("test tool");
+    cli.add_threads_flag();
+    const std::string arg = std::string("--threads=") + bad;
+    const char* argv[] = {"prog", arg.c_str()};
+    EXPECT_FALSE(cli.parse(2, argv)) << arg;
+  }
 }
 
 TEST(CliParser, RejectsPositional) {

@@ -64,11 +64,13 @@ struct fuzz_outcome {
   bool all_ordered = true;
 };
 
-fuzz_outcome run_fuzz(const graph::graph& g, std::uint64_t seed, double drop) {
+fuzz_outcome run_fuzz(const graph::graph& g, std::uint64_t seed, double drop,
+                      std::size_t threads = 1) {
   engine_config cfg;
   cfg.seed = seed;
   cfg.drop_probability = drop;
   cfg.max_rounds = 200;
+  cfg.threads = threads;
   engine eng(g, cfg);
   common::rng lifetimes(seed ^ 0x5eedULL);
   eng.load([&](node_id) {
@@ -91,9 +93,12 @@ TEST(SimFuzz, ConservationAndOrderingAcrossTopologies) {
       graph::complete_graph(12),     graph::cycle_graph(20),
       graph::star_graph(15),         graph::gnp_random(40, 0.1, gen),
       graph::grid_graph(5, 5),       graph::barabasi_albert(30, 2, gen)};
+  // The invariants must hold for every worker count, and the pooled runs
+  // give the sanitizer jobs real multi-threaded traffic to chew on.
+  const std::size_t thread_counts[] = {1, 2, 8};
   for (const auto& g : graphs) {
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      const auto out = run_fuzz(g, seed, 0.0);
+      const auto out = run_fuzz(g, seed, 0.0, thread_counts[seed % 3]);
       EXPECT_EQ(out.metrics.messages_sent, out.declared_sent) << g.summary();
       // Reliable network: everything sent before termination is delivered
       // except messages sent in the final round (engine stops once all
@@ -113,7 +118,7 @@ TEST(SimFuzz, LossyConservation) {
   common::rng gen(1802);
   const graph::graph g = graph::gnp_random(30, 0.2, gen);
   for (const double drop : {0.1, 0.5, 0.9}) {
-    const auto out = run_fuzz(g, 77, drop);
+    const auto out = run_fuzz(g, 77, drop, /*threads=*/2);
     EXPECT_EQ(out.metrics.messages_sent, out.declared_sent);
     EXPECT_LE(out.delivered,
               out.metrics.messages_sent - out.metrics.messages_dropped);
@@ -136,8 +141,8 @@ TEST(SimFuzz, FullDeterminism) {
   common::rng gen(1804);
   const graph::graph g = graph::gnp_random(35, 0.15, gen);
   for (const double drop : {0.0, 0.3}) {
-    const auto a = run_fuzz(g, 99, drop);
-    const auto b = run_fuzz(g, 99, drop);
+    const auto a = run_fuzz(g, 99, drop, /*threads=*/1);
+    const auto b = run_fuzz(g, 99, drop, /*threads=*/8);
     EXPECT_EQ(a.metrics.messages_sent, b.metrics.messages_sent);
     EXPECT_EQ(a.metrics.bits_sent, b.metrics.bits_sent);
     EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
