@@ -1,0 +1,158 @@
+// Experiment P4 -- push vs pull delivery on skewed graphs
+// (google-benchmark).
+//
+// Push delivery scatters each message into the receiver-side CSR slot:
+// ideal when degrees are balanced, but on hub-dominated graphs every
+// sender stores into the same hub row -- a cross-thread invalidation
+// hotspot in parallel runs and a scatter-store pattern even serially.
+// Pull delivery writes sender-local outbox lanes and lets each receiver
+// gather through the mirror index, turning all cross-thread traffic into
+// loads (sim/delivery.hpp).  This bench measures both modes on the graph
+// families that bracket the trade-off:
+//
+//   gnp  -- G(n, 8/n): balanced degrees, push's home turf.  Pull must not
+//           lose here (the `auto` heuristic keeps push anyway).
+//   star -- maximal skew (skew ~ n/2): every round funnels through one
+//           hub row.  Pull's target case.
+//   ba   -- Barabasi-Albert power law: realistic heavy tail, the regime
+//           the Deurer-Kuhn-Maus and bounded-arboricity lines live in.
+//   geo  -- random unit-disk graph: the paper's motivating topology,
+//           mildly irregular.
+//
+// The workload is a mixed round (broadcast + one targeted send), which
+// demotes the broadcast lane into per-edge slots -- the honest worst case
+// where delivery layout matters; lane-only rounds are mode-independent by
+// design.  Degree stats come from graph::degree_stats, the same helper
+// the `auto` heuristic consults, and are exported as counters so the JSON
+// artifact records the skew next to the throughput.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace domset;
+using graph::node_id;
+
+enum family : std::int64_t { fam_gnp = 0, fam_star = 1, fam_ba = 2, fam_geo = 3 };
+
+const char* family_name(std::int64_t f) {
+  switch (f) {
+    case fam_gnp:  return "gnp";
+    case fam_star: return "star";
+    case fam_ba:   return "ba";
+    case fam_geo:  return "geo";
+  }
+  return "?";
+}
+
+graph::graph make_graph(std::int64_t f, std::size_t n) {
+  common::rng gen(4242);
+  switch (f) {
+    case fam_star:
+      return graph::star_graph(n);
+    case fam_ba:
+      return graph::barabasi_albert(n, 8, gen);
+    case fam_geo:
+      // Radius chosen for expected average degree ~8, matching the gnp row.
+      return graph::random_geometric(
+                 n, std::sqrt(8.0 / (3.14159265358979 * static_cast<double>(n))),
+                 gen)
+          .g;
+    case fam_gnp:
+    default:
+      return graph::gnp_random(n, 8.0 / static_cast<double>(n), gen);
+  }
+}
+
+/// Mixed-round traffic: broadcast a digest, then send one targeted
+/// message down the first edge.  The targeted send demotes the broadcast
+/// lane, so every edge goes through a per-edge slot deposit -- the path
+/// whose memory layout differs between push and pull.
+struct exchange_program {
+  std::size_t lifetime = 0;
+  std::uint64_t digest = 0;
+  std::size_t rounds_done = 0;
+  bool done = false;
+
+  void on_round(sim::round_context& ctx, std::span<const sim::message> inbox) {
+    if (done) return;
+    std::uint64_t acc = digest;
+    for (const sim::message& msg : inbox) acc += msg.payload + msg.from;
+    digest = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto nbrs = ctx.neighbors();
+    if (!nbrs.empty()) {
+      ctx.broadcast(1, digest >> 32, 16);
+      ctx.send(nbrs[0], 2, digest & 0xFFFF, 16);
+    }
+    if (++rounds_done >= lifetime) done = true;
+  }
+  [[nodiscard]] bool finished() const { return done; }
+};
+
+// Args: {family, n, rounds, delivery (0 = push, 1 = pull), threads}.
+void BM_GatherDelivery(benchmark::State& state) {
+  const std::int64_t fam = state.range(0);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto rounds = static_cast<std::size_t>(state.range(2));
+  const graph::graph g = make_graph(fam, n);
+
+  sim::engine_config cfg;
+  cfg.delivery =
+      state.range(3) == 0 ? sim::delivery_mode::push : sim::delivery_mode::pull;
+  cfg.threads = static_cast<std::size_t>(state.range(4));
+  cfg.max_rounds = rounds + 1;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::typed_engine<exchange_program> eng(g, cfg);
+    eng.load([rounds](node_id) { return exchange_program{rounds}; });
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(eng.run());
+  }
+
+  const graph::degree_stats_result stats = graph::degree_stats(g);
+  state.counters["rounds_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(rounds),
+      benchmark::Counter::kIsRate);
+  state.counters["max_deg"] = static_cast<double>(stats.max_degree);
+  state.counters["skew"] = stats.skew;
+  state.SetLabel(family_name(fam));
+}
+
+// Grid: both delivery modes on every family.  The small n = 10k rows are
+// the CI smoke slice; the n >= 100k rows are the acceptance measurements
+// (star/power-law skew only bites once a hub row outgrows the caches).
+#define DOMSET_P4_GRID(fam, n, rounds)       \
+  ->Args({fam, n, rounds, 0, 1})             \
+  ->Args({fam, n, rounds, 1, 1})             \
+  ->Args({fam, n, rounds, 0, 2})             \
+  ->Args({fam, n, rounds, 1, 2})             \
+  ->Args({fam, n, rounds, 0, 4})             \
+  ->Args({fam, n, rounds, 1, 4})
+
+BENCHMARK(BM_GatherDelivery)
+    ->ArgNames({"family", "n", "rounds", "delivery", "threads"})
+    ->UseRealTime()
+    DOMSET_P4_GRID(fam_gnp, 10'000, 20)
+    DOMSET_P4_GRID(fam_star, 10'000, 20)
+    DOMSET_P4_GRID(fam_ba, 10'000, 20)
+    DOMSET_P4_GRID(fam_geo, 10'000, 20)
+    DOMSET_P4_GRID(fam_gnp, 100'000, 10)
+    DOMSET_P4_GRID(fam_star, 100'000, 10)
+    DOMSET_P4_GRID(fam_ba, 100'000, 10)
+    DOMSET_P4_GRID(fam_gnp, 300'000, 5)
+    DOMSET_P4_GRID(fam_ba, 300'000, 5)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -19,6 +19,7 @@
 #include "core/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "sim/delivery.hpp"
 #include "verify/verify.hpp"
 
 int main(int argc, char** argv) {
@@ -30,7 +31,9 @@ int main(int argc, char** argv) {
   cli.add_flag("k", "3", "trade-off parameter");
   cli.add_flag("seed", "7", "random seed");
   cli.add_threads_flag();
+  cli.add_delivery_flag();
   if (!cli.parse(argc, argv)) return 1;
+  const sim::delivery_mode delivery = sim::parse_delivery_mode(cli.delivery());
 
   common::rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
   const auto geo = graph::random_geometric(
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
   params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   params.announce_final = true;
   params.threads = cli.threads();
+  params.delivery = delivery;
   const auto result = core::compute_dominating_set(g, params);
   if (!verify::is_dominating_set(g, result.in_set)) {
     std::fprintf(stderr, "BUG: head set is not dominating\n");

@@ -19,6 +19,7 @@
 #include "core/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "sim/delivery.hpp"
 #include "sim/thread_pool.hpp"
 #include "verify/verify.hpp"
 
@@ -52,7 +53,9 @@ int main(int argc, char** argv) {
   cli.add_flag("k", "2", "trade-off parameter");
   cli.add_flag("seed", "11", "random seed");
   cli.add_threads_flag();
+  cli.add_delivery_flag();
   if (!cli.parse(argc, argv)) return 1;
+  const sim::delivery_mode delivery = sim::parse_delivery_mode(cli.delivery());
 
   const auto n = static_cast<std::size_t>(cli.get_int("n"));
   const double radius = cli.get_double("radius");
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
     params.k = static_cast<std::uint32_t>(cli.get_int("k"));
     params.seed = static_cast<std::uint64_t>(epoch) + 100;
     params.threads = cli.threads();
+    params.delivery = delivery;
     params.pool = pool;
     const auto res = core::compute_dominating_set(g, params);
     if (!verify::is_dominating_set(g, res.in_set)) {

@@ -17,6 +17,7 @@
 #include "core/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "sim/delivery.hpp"
 #include "sim/thread_pool.hpp"
 #include "verify/verify.hpp"
 
@@ -49,7 +50,9 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "20", "seeds to average the randomized rounding over");
   cli.add_flag("seed", "3", "base random seed");
   cli.add_threads_flag();
+  cli.add_delivery_flag();
   if (!cli.parse(argc, argv)) return 1;
+  const sim::delivery_mode delivery = sim::parse_delivery_mode(cli.delivery());
 
   common::rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
   const graph::graph g = make_graph(
@@ -76,6 +79,7 @@ int main(int argc, char** argv) {
       params.k = k;
       params.seed = s + 1;
       params.threads = cli.threads();
+      params.delivery = delivery;
       params.pool = pool;
       const auto res = core::compute_dominating_set(g, params);
       if (!verify::is_dominating_set(g, res.in_set)) return 1;

@@ -9,6 +9,7 @@
 #include "core/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "sim/delivery.hpp"
 #include "verify/verify.hpp"
 
 int main(int argc, char** argv) {
@@ -21,7 +22,9 @@ int main(int argc, char** argv) {
   cli.add_flag("k", "3", "trade-off parameter (quality vs rounds)");
   cli.add_flag("seed", "1", "random seed");
   cli.add_threads_flag();
+  cli.add_delivery_flag();
   if (!cli.parse(argc, argv)) return 1;
+  const sim::delivery_mode delivery = sim::parse_delivery_mode(cli.delivery());
 
   // 1. Build the network: n devices in the unit square, links within range.
   common::rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
   params.k = static_cast<std::uint32_t>(cli.get_int("k"));
   params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   params.threads = cli.threads();
+  params.delivery = delivery;
   const auto result = core::compute_dominating_set(g, params);
 
   // 3. Verify and report.

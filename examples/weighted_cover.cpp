@@ -18,6 +18,7 @@
 #include "core/rounding.hpp"
 #include "core/weighted.hpp"
 #include "graph/generators.hpp"
+#include "sim/delivery.hpp"
 #include "sim/thread_pool.hpp"
 #include "verify/verify.hpp"
 
@@ -31,7 +32,9 @@ int main(int argc, char** argv) {
   cli.add_flag("k", "3", "trade-off parameter");
   cli.add_flag("seed", "5", "random seed");
   cli.add_threads_flag();
+  cli.add_delivery_flag();
   if (!cli.parse(argc, argv)) return 1;
+  const sim::delivery_mode delivery = sim::parse_delivery_mode(cli.delivery());
 
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   common::rng gen(seed);
@@ -54,11 +57,13 @@ int main(int argc, char** argv) {
   core::lp_approx_params lp_params;
   lp_params.k = static_cast<std::uint32_t>(cli.get_int("k"));
   lp_params.threads = cli.threads();
+  lp_params.delivery = delivery;
   lp_params.pool = pool;
   const auto frac = core::approximate_weighted_lp(g, costs, lp_params);
   core::rounding_params r_params;
   r_params.seed = seed;
   r_params.threads = cli.threads();
+  r_params.delivery = delivery;
   r_params.pool = pool;
   const auto weighted_ds = core::round_to_dominating_set(g, frac.x, r_params);
   if (!verify::is_dominating_set(g, weighted_ds.in_set)) return 1;
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
   u_params.k = lp_params.k;
   u_params.seed = seed;
   u_params.threads = cli.threads();
+  u_params.delivery = delivery;
   u_params.pool = pool;
   const auto unweighted = core::compute_dominating_set(g, u_params);
 

@@ -152,6 +152,7 @@ lrg_result lrg_mds(const graph::graph& g, const lrg_params& params) {
   cfg.drop_probability = params.drop_probability;
   cfg.threads = params.threads;
   cfg.pool = params.pool;
+  cfg.delivery = params.delivery;
   sim::typed_engine<lrg_program> engine(g, cfg);
   engine.load([](graph::node_id) { return lrg_program(); });
   result.metrics = engine.run();

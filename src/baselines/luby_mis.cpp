@@ -81,6 +81,7 @@ luby_result luby_mis(const graph::graph& g, const luby_params& params) {
   cfg.max_rounds = params.max_rounds;
   cfg.threads = params.threads;
   cfg.pool = params.pool;
+  cfg.delivery = params.delivery;
   sim::typed_engine<luby_program> engine(g, cfg);
   engine.load([bound](graph::node_id) { return luby_program(bound); });
   result.metrics = engine.run();

@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "graph/graph.hpp"
+#include "sim/delivery.hpp"
 #include "sim/metrics.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -36,6 +37,10 @@ struct luby_params {
 
   /// Optional shared worker pool (see sim::engine_config::pool).
   std::shared_ptr<sim::thread_pool> pool;
+
+  /// Message-delivery scheme (see sim::engine_config::delivery);
+  /// bit-identical results for every value.
+  sim::delivery_mode delivery = sim::delivery_mode::automatic;
 };
 
 struct luby_result {

@@ -186,7 +186,8 @@ class wu_li_program {
 
 wu_li_result wu_li_mds(const graph::graph& g, std::uint64_t seed,
                        std::size_t threads,
-                       std::shared_ptr<sim::thread_pool> pool) {
+                       std::shared_ptr<sim::thread_pool> pool,
+                       sim::delivery_mode delivery) {
   const std::size_t n = g.node_count();
   wu_li_result result;
   result.in_set.assign(n, 0);
@@ -197,6 +198,7 @@ wu_li_result wu_li_mds(const graph::graph& g, std::uint64_t seed,
   cfg.max_rounds = 8;
   cfg.threads = threads;
   cfg.pool = std::move(pool);
+  cfg.delivery = delivery;
   sim::typed_engine<wu_li_program> engine(g, cfg);
   engine.load([](graph::node_id) { return wu_li_program(); });
   result.metrics = engine.run();

@@ -26,6 +26,7 @@
 #include <memory>
 
 #include "graph/graph.hpp"
+#include "sim/delivery.hpp"
 #include "sim/metrics.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -44,9 +45,11 @@ struct wu_li_result {
 /// `threads`: simulator worker threads (1 = serial, 0 = hardware
 /// concurrency); bit-identical results for every value.  `pool`
 /// optionally shares one set of workers across runs (see
-/// sim::engine_config::pool).
+/// sim::engine_config::pool).  `delivery` selects the message-delivery
+/// scheme (see sim::engine_config::delivery) -- also bit-identical.
 [[nodiscard]] wu_li_result wu_li_mds(
     const graph::graph& g, std::uint64_t seed = 1, std::size_t threads = 1,
-    std::shared_ptr<sim::thread_pool> pool = nullptr);
+    std::shared_ptr<sim::thread_pool> pool = nullptr,
+    sim::delivery_mode delivery = sim::delivery_mode::automatic);
 
 }  // namespace domset::baselines

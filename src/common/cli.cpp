@@ -61,6 +61,22 @@ bool cli_parser::parse(int argc, const char* const* argv) {
     values_[name] = value;
   }
   for (const auto& [name, spec] : specs_) {
+    if (!spec.one_of.empty()) {
+      const std::string value = get_string(name);
+      bool ok = false;
+      for (const std::string& allowed : spec.one_of) ok |= value == allowed;
+      if (!ok) {
+        std::string allowed_list;
+        for (const std::string& allowed : spec.one_of) {
+          if (!allowed_list.empty()) allowed_list += " | ";
+          allowed_list += allowed;
+        }
+        std::fprintf(stderr, "flag '--%s' must be one of %s, got '%s'\n%s",
+                     name.c_str(), allowed_list.c_str(), value.c_str(),
+                     usage(argv[0]).c_str());
+        return false;
+      }
+    }
     if (!spec.nonnegative_int) continue;
     // Require a complete, in-range decimal integer: strtoll alone maps
     // typos like "eight" to 0 (for --threads: maximum parallelism) and
@@ -106,6 +122,17 @@ void cli_parser::add_threads_flag() {
            "thread); results are identical for every value");
   specs_["threads"].nonnegative_int = true;
 }
+
+void cli_parser::add_delivery_flag() {
+  add_flag("delivery", "auto",
+           "simulator message delivery: push (receiver-side slots), pull "
+           "(sender lanes + receiver gather), or auto (pull iff the run is "
+           "parallel and the degree distribution is hub-skewed); results "
+           "are identical for every value");
+  specs_["delivery"].one_of = {"push", "pull", "auto"};
+}
+
+std::string cli_parser::delivery() const { return get_string("delivery"); }
 
 std::size_t cli_parser::threads() const {
   const std::int64_t raw = get_int("threads");

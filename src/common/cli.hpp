@@ -46,6 +46,16 @@ class cli_parser {
   /// is purely a wall-clock knob.
   [[nodiscard]] std::size_t threads() const;
 
+  /// Registers the standard `--delivery` flag (push | pull | auto,
+  /// default auto) shared by every simulator-backed binary; parse()
+  /// rejects other values with usage text.  Read it back with delivery()
+  /// and convert via sim::parse_delivery_mode.  Like --threads, this is
+  /// purely a wall-clock knob: outputs are bit-identical for every value.
+  void add_delivery_flag();
+
+  /// The parsed `--delivery` value ("push", "pull" or "auto").
+  [[nodiscard]] std::string delivery() const;
+
  private:
   struct flag_spec {
     std::string default_value;
@@ -54,6 +64,9 @@ class cli_parser {
     /// parse() rejects a negative integer value (used by --threads so a
     /// typo takes the usual usage-and-exit path, not an exception).
     bool nonnegative_int = false;
+    /// When non-empty, parse() rejects values outside this set (used by
+    /// --delivery; enum-shaped flags fail fast on typos).
+    std::vector<std::string> one_of;
   };
 
   std::string description_;

@@ -1,6 +1,8 @@
-// Algorithm 2 of the paper: distributed k*(Delta+1)^{2/k}-approximation of
-// the fractional dominating set LP in exactly 2k^2 rounds, assuming every
-// node knows the global maximum degree Delta.
+/// \file alg2.hpp
+/// \brief Algorithm 2 of the paper (Theorem 4): distributed
+/// k*(Delta+1)^(2/k)-approximation of the fractional dominating set LP in
+/// exactly 2k^2 rounds, assuming every node knows the global maximum
+/// degree Delta.
 //
 // Faithful round schedule (2 rounds per inner iteration):
 //   round A: apply line 12 of the previous iteration (color update from the
@@ -50,6 +52,13 @@ using alg2_observer = std::function<void(const alg2_iteration_view&)>;
 
 /// Runs Algorithm 2 on `g`.  If `observer` is non-null it is invoked once
 /// per inner iteration (k^2 times).
+/// \param g the network graph; its maximum degree is the Delta every node
+///   is assumed to know.
+/// \param params trade-off parameter k plus seed/robustness/execution
+///   knobs.
+/// \param observer optional per-iteration state monitor (tests, benches).
+/// \return the fractional solution x, its objective, run metrics and the
+///   Theorem 4 ratio bound.
 [[nodiscard]] lp_approx_result approximate_lp_known_delta(
     const graph::graph& g, const lp_approx_params& params,
     const alg2_observer* observer = nullptr);

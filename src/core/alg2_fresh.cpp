@@ -109,6 +109,7 @@ lp_approx_result approximate_lp_known_delta_fresh(
   cfg.max_rounds = alg2_round_count(k) + 2;
   cfg.threads = params.threads;
   cfg.pool = params.pool;
+  cfg.delivery = params.delivery;
   sim::typed_engine<alg2_fresh_program> engine(g, cfg);
   engine.load([&](graph::node_id) {
     return alg2_fresh_program(k, delta, lp::feasibility_epsilon);

@@ -1,4 +1,5 @@
-// Ablation variant of Algorithm 2: fresh dynamic degrees.
+/// \file alg2_fresh.hpp
+/// \brief Ablation variant of Algorithm 2: fresh dynamic degrees.
 //
 // The paper's Algorithm 2 executes lines 6-8 (activity test, x raise)
 // *before* the color exchange of lines 9-10, so the dynamic degree used by

@@ -268,6 +268,7 @@ lp_approx_result approximate_lp(const graph::graph& g,
   cfg.max_rounds = alg3_round_count(k) + 2;
   cfg.threads = params.threads;
   cfg.pool = params.pool;
+  cfg.delivery = params.delivery;
   sim::typed_engine<alg3_program> engine(g, cfg);
   engine.load([&](graph::node_id) {
     return alg3_program(k, lp::feasibility_epsilon);

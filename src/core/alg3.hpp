@@ -1,7 +1,8 @@
-// Algorithm 3 of the paper: the uniform variant that needs no knowledge of
-// the global maximum degree Delta.  Computes a
-// k*((Delta+1)^{1/k} + (Delta+1)^{2/k})-approximation of the fractional
-// dominating set LP in 4k^2 + O(k) rounds (Theorem 5).
+/// \file alg3.hpp
+/// \brief Algorithm 3 of the paper (Theorem 5): the uniform variant that
+/// needs no knowledge of the global maximum degree Delta.  Computes a
+/// k*((Delta+1)^(1/k) + (Delta+1)^(2/k))-approximation of the fractional
+/// dominating set LP in 4k^2 + O(k) rounds.
 //
 // Faithful round schedule:
 //   prelude (2 rounds):  broadcast degree; broadcast delta^(1)  (line 2)
@@ -55,6 +56,12 @@ using alg3_observer = std::function<void(const alg3_iteration_view&)>;
 
 /// Runs Algorithm 3 on `g`.  If `observer` is non-null it is invoked once
 /// per inner iteration (k^2 times).
+/// \param g the network graph; no node needs any global knowledge of it.
+/// \param params trade-off parameter k plus seed/robustness/execution
+///   knobs.
+/// \param observer optional per-iteration state monitor (tests, benches).
+/// \return the fractional solution x, its objective, run metrics and the
+///   Theorem 5 ratio bound.
 [[nodiscard]] lp_approx_result approximate_lp(
     const graph::graph& g, const lp_approx_params& params,
     const alg3_observer* observer = nullptr);

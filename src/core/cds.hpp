@@ -1,4 +1,5 @@
-// Connected dominating set extension.
+/// \file cds.hpp
+/// \brief Connected dominating set extension.
 //
 // The paper's related work (Sect. 2) and its ad-hoc-network motivation
 // revolve around *connected* dominating sets: a routing backbone must be

@@ -1,11 +1,13 @@
-// Shared parameter/result types of the fractional LP approximation
-// algorithms (Algorithm 2 and Algorithm 3).
+/// \file lp_params.hpp
+/// \brief Shared parameter/result types of the fractional LP
+/// approximation algorithms (Algorithm 2 and Algorithm 3).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "sim/delivery.hpp"
 #include "sim/metrics.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -37,6 +39,11 @@ struct lp_approx_params {
   /// consecutive runs -- pipeline stages, parameter sweeps -- reuse one
   /// set of threads instead of building a pool per run.
   std::shared_ptr<sim::thread_pool> pool;
+
+  /// Message-delivery scheme (push, pull, or resolve from degree skew;
+  /// see sim::engine_config::delivery).  Like `threads`, purely a
+  /// wall-clock knob: outputs are bit-identical for every value.
+  sim::delivery_mode delivery = sim::delivery_mode::automatic;
 };
 
 struct lp_approx_result {

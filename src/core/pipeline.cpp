@@ -15,6 +15,7 @@ pipeline_result compute_dominating_set(const graph::graph& g,
   lp_params.drop_probability = params.drop_probability;
   lp_params.threads = params.threads;
   lp_params.pool = pool;
+  lp_params.delivery = params.delivery;
 
   pipeline_result result;
   result.fractional = params.assume_known_delta
@@ -28,6 +29,7 @@ pipeline_result compute_dominating_set(const graph::graph& g,
   r_params.drop_probability = params.drop_probability;
   r_params.threads = params.threads;
   r_params.pool = pool;
+  r_params.delivery = params.delivery;
   result.rounding =
       round_to_dominating_set(g, result.fractional.x, r_params);
 

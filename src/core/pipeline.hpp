@@ -1,7 +1,8 @@
-// The Theorem 6 pipeline: Algorithm 3 (or 2) to approximate LP_MDS,
-// composed with Algorithm 1 to round the fractional solution into a
-// dominating set.  Expected size O(k * Delta^{2/k} * log Delta) * |DS_OPT|
-// in O(k^2) rounds -- the paper's headline result.
+/// \file pipeline.hpp
+/// \brief The Theorem 6 pipeline: Algorithm 3 (or 2) to approximate
+/// LP_MDS, composed with Algorithm 1 to round the fractional solution
+/// into a dominating set.  Expected size O(k * Delta^(2/k) * log Delta)
+/// times |DS_OPT| in O(k^2) rounds -- the paper's headline result.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +34,10 @@ struct pipeline_params {
   /// is supplied, the pipeline builds one and shares it across the LP and
   /// rounding stages rather than letting each stage spin up its own.
   std::shared_ptr<sim::thread_pool> pool;
+
+  /// Message-delivery scheme for both stages (see
+  /// sim::engine_config::delivery); bit-identical results for every value.
+  sim::delivery_mode delivery = sim::delivery_mode::automatic;
 };
 
 struct pipeline_result {
@@ -56,6 +61,11 @@ struct pipeline_result {
 };
 
 /// Runs the full distributed dominating set computation of Theorem 6.
+/// \param g the network graph (the paper's communication topology).
+/// \param params trade-off parameter k, seeds, robustness and execution
+///   knobs for both stages.
+/// \return the dominating set with per-stage metrics and the Theorem 6
+///   expected-size bound.
 [[nodiscard]] pipeline_result compute_dominating_set(
     const graph::graph& g, const pipeline_params& params);
 

@@ -154,6 +154,7 @@ rounding_result round_to_dominating_set(const graph::graph& g,
   cfg.max_rounds = 8;
   cfg.threads = params.threads;
   cfg.pool = params.pool;
+  cfg.delivery = params.delivery;
   sim::typed_engine<rounding_program> engine(g, cfg);
   engine.load([&](graph::node_id v) {
     return rounding_program(x[v], params.variant, params.announce_final);

@@ -1,5 +1,6 @@
-// Algorithm 1 of the paper: distributed randomized rounding of a feasible
-// fractional dominating set into an integral one.
+/// \file rounding.hpp
+/// \brief Algorithm 1 of the paper (Theorem 3): distributed randomized
+/// rounding of a feasible fractional dominating set into an integral one.
 //
 //   1: calculate delta^(2)_i                (2 communication rounds)
 //   2: p_i := min{1, x_i * ln(delta^(2)_i + 1)}
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/delivery.hpp"
 #include "sim/metrics.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -49,6 +51,10 @@ struct rounding_params {
 
   /// Optional shared worker pool (see sim::engine_config::pool).
   std::shared_ptr<sim::thread_pool> pool;
+
+  /// Message-delivery scheme (see sim::engine_config::delivery);
+  /// bit-identical results for every value.
+  sim::delivery_mode delivery = sim::delivery_mode::automatic;
 };
 
 struct rounding_result {
@@ -67,6 +73,10 @@ struct rounding_result {
 
 /// Rounds the fractional solution `x` (one value per node, assumed primal
 /// feasible) to a dominating set by running Algorithm 1 on the simulator.
+/// \param g the network graph.
+/// \param x fractional LP solution, size g.node_count().
+/// \param params seed, variant and execution knobs.
+/// \return the dominating set plus selection diagnostics and run metrics.
 [[nodiscard]] rounding_result round_to_dominating_set(
     const graph::graph& g, std::span<const double> x,
     const rounding_params& params);

@@ -135,6 +135,7 @@ weighted_lp_result approximate_weighted_lp(const graph::graph& g,
   cfg.max_rounds = 2ULL * params.k * params.k + 2;
   cfg.threads = params.threads;
   cfg.pool = params.pool;
+  cfg.delivery = params.delivery;
   sim::typed_engine<weighted_alg2_program> engine(g, cfg);
   engine.load([&](graph::node_id v) {
     return weighted_alg2_program(params.k, result.delta, cost[v], c_max,

@@ -1,4 +1,5 @@
-// Weighted fractional dominating set (Remark after Theorem 4).
+/// \file weighted.hpp
+/// \brief Weighted fractional dominating set (Remark after Theorem 4).
 //
 // Every node v_i has a cost c_i in [1, c_max].  Following the remark, the
 // weighted variant of Algorithm 2 replaces the dynamic degree by the

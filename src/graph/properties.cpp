@@ -106,6 +106,15 @@ double average_degree(const graph& g) {
          static_cast<double>(g.node_count());
 }
 
+degree_stats_result degree_stats(const graph& g) {
+  degree_stats_result out;
+  out.max_degree = g.max_degree();
+  out.avg_degree = average_degree(g);
+  if (out.avg_degree > 0.0)
+    out.skew = static_cast<double>(out.max_degree) / out.avg_degree;
+  return out;
+}
+
 std::vector<std::size_t> degree_histogram(const graph& g) {
   std::vector<std::size_t> hist(g.max_degree() + 1, 0);
   for (node_id v = 0; v < g.node_count(); ++v) ++hist[g.degree(v)];

@@ -44,6 +44,23 @@ struct components_result {
 /// Average degree 2m/n (0 for the empty graph).
 [[nodiscard]] double average_degree(const graph& g);
 
+/// Summary degree statistics of a graph, computed once and shared by
+/// everything that reasons about degree skew: the simulator's `auto`
+/// delivery heuristic (sim/delivery.hpp), the partitioner diagnostics and
+/// the bench harnesses (bench_p4_gather) -- instead of each caller
+/// recomputing max/avg degree ad hoc.
+struct degree_stats_result {
+  /// Maximum degree Delta (0 for the empty graph).
+  std::uint32_t max_degree = 0;
+  /// Average degree 2m/n (0 for the empty graph).
+  double avg_degree = 0.0;
+  /// Skew ratio max_degree / avg_degree; defined as 1 when the average is
+  /// 0 (empty or edgeless graphs are "perfectly balanced").  A star on n
+  /// nodes scores ~n/2; regular graphs score exactly 1.
+  double skew = 1.0;
+};
+[[nodiscard]] degree_stats_result degree_stats(const graph& g);
+
 /// Degree histogram: hist[d] = number of nodes of degree d.
 [[nodiscard]] std::vector<std::size_t> degree_histogram(const graph& g);
 

@@ -1,0 +1,74 @@
+/// \file delivery.hpp
+/// \brief Delivery-mode selection for the round engine's message phase.
+///
+/// The flat CSR mailboxes (sim/engine.hpp) support two physical delivery
+/// schemes with identical observable semantics:
+///
+///   * **push** — a sender scatters each message directly into the
+///     receiver-side CSR slot of the edge (through the precomputed mirror
+///     index).  Receivers then read their own contiguous slot row.  This
+///     is the cheapest layout when degrees are balanced, but on skewed
+///     graphs every worker stores into the same hub receiver's row,
+///     serializing the round on cross-thread cache-line traffic.
+///   * **pull** — a sender writes only its *own* CSR row (a contiguous,
+///     sender-local outbox lane) and each receiver's worker walks its
+///     in-edge row and gathers the senders' lanes through the mirror
+///     index.  All cross-thread traffic becomes loads; no worker ever
+///     stores into another node's mailbox region.
+///
+/// Outputs are bit-identical across modes and thread counts (the inbox a
+/// program observes is a pure function of the graph and the messages
+/// sent), so the mode is purely a wall-clock knob -- enforced by
+/// tests/sim_parallel_determinism_test.cpp.  `automatic` resolves the
+/// mode per run: pull iff the run actually executes in parallel (the
+/// resolved worker count -- threads knob, pool size, node count -- is
+/// greater than 1) and the degree distribution is hub-skewed (see
+/// graph::degree_stats and docs/threading.md); serially the two schemes
+/// move the same cache lines, so push's compact-in-place inboxes keep a
+/// slight edge.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace domset::sim {
+
+/// How messages sent in round r become inboxes of round r+1.
+enum class delivery_mode : std::uint8_t {
+  /// Senders scatter into receiver-side CSR slots (mirror-indexed writes).
+  push,
+  /// Senders fill their own outbox row; receivers gather via the mirror.
+  pull,
+  /// Resolve per run: pull when the degree distribution is skewed
+  /// (hub-dominated), push otherwise.
+  automatic,
+};
+
+/// Canonical spelling of a mode ("push", "pull", "auto").
+[[nodiscard]] constexpr const char* to_string(delivery_mode mode) noexcept {
+  switch (mode) {
+    case delivery_mode::push:
+      return "push";
+    case delivery_mode::pull:
+      return "pull";
+    case delivery_mode::automatic:
+      return "auto";
+  }
+  return "?";
+}
+
+/// Parses "push" | "pull" | "auto" (the `--delivery` CLI vocabulary).
+/// \param name the spelling to parse.
+/// \return the parsed mode.
+/// \throws std::invalid_argument for any other spelling.
+[[nodiscard]] inline delivery_mode parse_delivery_mode(std::string_view name) {
+  if (name == "push") return delivery_mode::push;
+  if (name == "pull") return delivery_mode::pull;
+  if (name == "auto") return delivery_mode::automatic;
+  throw std::invalid_argument("delivery mode must be push, pull or auto, got '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace domset::sim

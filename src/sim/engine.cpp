@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include "graph/properties.hpp"
+
 namespace domset::sim::detail {
 
 namespace {
@@ -7,10 +9,39 @@ namespace {
 /// Salt decorrelating the per-sender drop streams from the node streams.
 constexpr std::uint64_t drop_stream_salt = 0xAD5E'05A1'DEAD'BEEFULL;
 
+/// `auto` delivery thresholds: pull engages when the maximum degree is at
+/// least this many slots (below it a hub row spans a handful of cache
+/// lines and push's scatter is harmless) ...
+constexpr std::uint32_t auto_pull_min_degree = 64;
+/// ... and at least this multiple of the average degree (the skew that
+/// makes hub rows a cross-thread store hotspot and an equal-count
+/// partition lopsided).
+constexpr double auto_pull_min_skew = 8.0;
+
 }  // namespace
 
+bool mailbox_state::choose_pull(delivery_mode mode, const graph::graph& g,
+                                std::size_t workers) {
+  switch (mode) {
+    case delivery_mode::push:
+      return false;
+    case delivery_mode::pull:
+      return true;
+    case delivery_mode::automatic:
+      break;
+  }
+  if (workers <= 1) return false;  // serial: no cross-thread stores to avoid
+  const graph::degree_stats_result stats = graph::degree_stats(g);
+  return stats.max_degree >= auto_pull_min_degree &&
+         stats.skew >= auto_pull_min_skew;
+}
+
 mailbox_state::mailbox_state(const graph::graph& g, engine_config cfg)
-    : graph_(&g), config_(cfg) {
+    : graph_(&g),
+      config_(cfg),
+      pull_(choose_pull(cfg.delivery, g,
+                        resolve_worker_count(cfg.threads, cfg.pool.get(),
+                                             g.node_count()))) {
   const std::size_t n = g.node_count();
   const std::size_t directed_edges = 2 * g.edge_count();
 
@@ -37,9 +68,15 @@ mailbox_state::mailbox_state(const graph::graph& g, engine_config cfg)
     }
   }
 
-  // Value-initialized slots carry from == invalid_node: all empty.
+  // Push slots value-initialize to from == invalid_node (all empty); pull
+  // lanes default their stamp to ~0, which never equals a delivery round,
+  // so everything starts empty -- including for round 0, whose expected
+  // stamp is 0.  Only the active mode's array is allocated.
   for (mail_buffer& buf : buffers_) {
-    buf.slots.resize(directed_edges);
+    if (pull_)
+      buf.lanes.resize(directed_edges);
+    else
+      buf.slots.resize(directed_edges);
     buf.bcast.resize(n);
     buf.overflow.resize(n);
   }
@@ -54,7 +91,8 @@ mailbox_state::mailbox_state(const graph::graph& g, engine_config cfg)
   congested_.assign(n, 0);
 }
 
-void mailbox_state::finish_round(thread_pool* pool, std::size_t workers) {
+void mailbox_state::finish_round(thread_pool* pool, std::size_t workers,
+                                 std::span<const std::size_t> bounds) {
   // Group the round's overflow entries by receiver (stably, so send order
   // within a receiver survives): collect_inbox then reads each receiver's
   // entries as one binary-searchable run instead of rescanning a sender's
@@ -96,14 +134,15 @@ void mailbox_state::finish_round(thread_pool* pool, std::size_t workers) {
     // A barrier crossing costs more than ~n single-word stores in the
     // small-graph regime, so only fan out when there is real per-sender
     // work (overflow sorting) or enough trivial work to amortize it.
+    // The fan-out reuses the run's degree-weighted partition: overflow
+    // lists and lanes are per sender, and a hub's overflow is as
+    // degree-proportional as its compute work.
     constexpr std::size_t parallel_retire_threshold = 1 << 15;
-    if (pool != nullptr && workers > 1 &&
+    if (pool != nullptr && workers > 1 && bounds.size() == workers + 1 &&
         (sort_overflow || n >= parallel_retire_threshold)) {
-      pool->run_chunked(
-          n, workers,
-          [&](std::size_t, std::size_t lo, std::size_t hi) {
-            retire_range(lo, hi);
-          });
+      pool->run(workers, [&](std::size_t w) {
+        retire_range(bounds[w], bounds[w + 1]);
+      });
     } else {
       retire_range(0, n);
     }

@@ -1,4 +1,6 @@
-// Synchronous round-based message-passing engine over flat CSR mailboxes.
+/// \file engine.hpp
+/// \brief Synchronous round-based message-passing engine over flat CSR
+/// mailboxes.
 //
 // This is the paper's communication model, executed faithfully:
 //   * computation proceeds in global lockstep rounds;
@@ -33,17 +35,37 @@
 // per-edge drop rolls demotes the lane entry into the per-edge slots, so
 // per-receiver send order is always exact.
 //
+// Delivery modes.  The slot addressing above describes **push** delivery:
+// a sender stores each message at the receiver-side CSR position, so a
+// receiver's inbox is its own contiguous row.  On degree-skewed graphs
+// this serializes rounds on the hubs: every worker scatters stores into
+// the same hub row, and the cache lines of that row ping-pong between
+// cores.  **Pull** delivery inverts the ownership: a sender deposits into
+// its *own* row (a contiguous sender-local outbox lane, stamped with the
+// delivery round so no clearing pass is needed) and each receiver gathers
+// its inbox by walking its in-edge row and loading the senders' lanes
+// through the mirror index.  Cross-thread traffic becomes read-only;
+// nobody stores into another node's mailbox region.  The inbox a program
+// observes -- content and sorted-by-sender order -- is identical in both
+// modes, so delivery is a pure wall-clock knob (engine_config::delivery;
+// `auto` resolves per run from graph::degree_stats).
+//
 // Parallelism and determinism.  The compute phase and the post-barrier
 // delivery work (overflow sorting, lane/overflow retirement) may be
 // partitioned across engine_config::threads workers, dispatched on a
 // persistent sense-reversing-barrier pool (sim/thread_pool.hpp) that is
 // created once per run -- or injected through engine_config::pool and
-// shared across runs -- never spawned per round.  The schedule is
-// race-free by construction, with no locks or atomics on the data path:
+// shared across runs -- never spawned per round.  Worker ranges are
+// degree-weighted (sim/partition.hpp, one partition per run shared by
+// both phases), so a hub node costs its worker the same edge budget as a
+// million leaves cost theirs.  The schedule is race-free by construction,
+// with no locks or atomics on the data path:
 //   * node v's program, RNG streams, metric counters, and inbox scratch
 //     are touched only by the worker that owns v;
-//   * sender u writes only the slots mirror[p] for p in u's own row, and
-//     distinct directed edges map to distinct slots;
+//   * in push mode sender u writes only the slots mirror[p] for p in u's
+//     own row, and distinct directed edges map to distinct slots; in pull
+//     mode u writes only u's own row, and receivers only *read* foreign
+//     rows (of the opposite buffer, sequenced by the phase barrier);
 //   * inboxes live in the opposite buffer of outboxes (double buffering),
 //     so no slot is read and written in the same phase.
 // Node randomness, message-drop decisions, and all metric counters are
@@ -70,8 +92,10 @@
 
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
+#include "sim/delivery.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
+#include "sim/partition.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace domset::sim {
@@ -97,6 +121,13 @@ struct engine_config {
   /// bit-identical for every value.
   std::size_t threads = 1;
 
+  /// Physical message-delivery scheme (see sim/delivery.hpp): push
+  /// (receiver-side slots), pull (sender-side lanes + receiver gather), or
+  /// automatic (pull iff the run is parallel -- threads != 1 -- and the
+  /// degree distribution is hub-skewed).  Results are bit-identical for
+  /// every value -- purely a wall-clock knob.
+  delivery_mode delivery = delivery_mode::automatic;
+
   /// Optional externally owned worker pool, shared across runs and
   /// engines.  When set, parallel phases dispatch on it instead of a
   /// run-private pool; `threads` still bounds how many of its workers a
@@ -104,6 +135,24 @@ struct engine_config {
   /// sharing cannot perturb results.
   std::shared_ptr<thread_pool> pool;
 };
+
+/// A run's effective worker count: the `threads` knob (0 = the whole
+/// injected pool, else one per hardware thread), bounded by the injected
+/// pool's size, the pool-size ceiling, and the node count.  One function
+/// so the engine's round loop and the auto-delivery heuristic can never
+/// disagree about whether a run is serial.
+[[nodiscard]] inline std::size_t resolve_worker_count(std::size_t threads,
+                                                      const thread_pool* pool,
+                                                      std::size_t n) {
+  std::size_t requested = threads;
+  if (requested == 0)
+    requested = pool ? pool->size() : thread_pool::hardware_workers();
+  if (pool) requested = std::min(requested, pool->size());
+  // Mirror the pool constructor's ceiling so a run-private pool ends up
+  // exactly this big (the round loop asserts on that).
+  requested = std::min(requested, thread_pool::max_workers);
+  return std::min(requested, std::max<std::size_t>(n, 1));
+}
 
 namespace detail {
 
@@ -118,7 +167,28 @@ struct mail_buffer {
     message msg;
   };
 
-  std::vector<message> slots;  // 2m, indexed by receiver-side position
+  /// Push mode: one message slot per directed edge at the receiver-side
+  /// CSR position (empty in pull mode).
+  std::vector<message> slots;
+
+  /// Pull-mode outbox record: the message plus the round in which it must
+  /// be delivered.  The record is live for round r iff stamp == r, so
+  /// stale lanes need no clearing pass -- their stamp simply never
+  /// matches again (receivers cannot clear sender-side state without
+  /// reintroducing the cross-thread stores pull exists to remove).  The
+  /// Packing message and stamp into one 24-byte record keeps a random
+  /// gather access to a single line most of the time (vs. two guaranteed
+  /// misses with split stamp/slot arrays) without inflating the
+  /// sequential-bandwidth cost hub rows pay; stamp starts at ~0 so round
+  /// 0 (expected stamp 0) reads empty.
+  struct lane {
+    message msg;
+    std::uint64_t stamp = ~std::uint64_t{0};
+  };
+  /// Pull mode: one lane per directed edge at the *sender-side* CSR
+  /// position, so a sender's deposits are contiguous stores into its own
+  /// row (empty in push mode).
+  std::vector<lane> lanes;
   /// Broadcast lane: one entry per sender holding the message it broadcast
   /// this round (sentinel from == invalid_node when unused).  A broadcast
   /// is one message replicated degree times, so in the common case it
@@ -147,9 +217,27 @@ class mailbox_state {
     return node_rngs_[v];
   }
 
+  /// True when this run gathers inboxes from sender-side lanes (resolved
+  /// once at construction from engine_config::delivery and the graph's
+  /// degree skew).
+  [[nodiscard]] bool pull_delivery() const noexcept { return pull_; }
+
+  /// The `auto` heuristic in one place: pull pays off when a few hubs
+  /// concentrate the delivery traffic -- maximum degree both absolutely
+  /// large (below ~64 a hub row fits in a handful of cache lines and
+  /// scatter stores are cheap) and a large multiple of the average -- and
+  /// the run actually executes in parallel (`workers` is the resolved
+  /// count from resolve_worker_count, not the raw threads knob): serially,
+  /// push's scatter and pull's gather move the same lines, but across
+  /// workers push turns hub rows into cross-thread store hotspots while
+  /// pull's foreign traffic is read-only.
+  [[nodiscard]] static bool choose_pull(delivery_mode mode,
+                                        const graph::graph& g,
+                                        std::size_t workers);
+
   /// Places an already-accounted message into out-buffer slot `q`
   /// (receiver-side CSR position of the edge from -> to).  The innermost
-  /// write of the hot path: one slot store in the common case.
+  /// write of the push-mode hot path: one slot store in the common case.
   void place(mail_buffer& out, std::size_t q, graph::node_id to,
              const message& msg) {
     if (out.slots[q].from == graph::invalid_node) {
@@ -158,6 +246,34 @@ class mailbox_state {
       out.overflow[msg.from].push_back({to, msg});
       out.any_overflow.store(true, std::memory_order_relaxed);
     }
+  }
+
+  /// Pull-mode counterpart of place(): deposits into *sender-side* lane
+  /// `p` of the out-buffer, stamped live for round `round + 1`.  A stamp
+  /// already at round + 1 means a second message down the same edge this
+  /// round: spill to the sender's overflow list, exactly like push.
+  void place_pull(mail_buffer& out, std::size_t p, graph::node_id to,
+                  const message& msg, std::size_t round) {
+    mail_buffer::lane& lane = out.lanes[p];
+    if (lane.stamp != round + 1) {
+      lane.stamp = round + 1;
+      lane.msg = msg;
+    } else {
+      out.overflow[msg.from].push_back({to, msg});
+      out.any_overflow.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// Routes one message down row position `i` of `from` through the
+  /// active delivery mode: the receiver-side mirror slot (push) or the
+  /// sender's own slot (pull).
+  void deposit(mail_buffer& out, graph::node_id from, std::size_t i,
+               graph::node_id to, const message& msg, std::size_t round) {
+    const std::size_t p = graph_->edge_begin(from) + i;
+    if (pull_)
+      place_pull(out, p, to, msg, round);
+    else
+      place(out, mirror_[p], to, msg);
   }
 
   /// Receiver-visible copy of a declared width (metrics keep the full
@@ -184,14 +300,13 @@ class mailbox_state {
   /// further broadcasts, so per-receiver send order stays exact.  Callers
   /// must stamp last_slotted_round_ first, so later broadcasts this round
   /// keep using the per-edge path (lane vs. slots stays exclusive).
-  void demote_broadcast(graph::node_id from) {
+  void demote_broadcast(graph::node_id from, std::size_t round) {
     mail_buffer& out = buffers_[out_buf_];
     message& pending = out.bcast[from];
     if (pending.from == graph::invalid_node) return;
     const auto nbrs = graph_->neighbors(from);
-    const std::size_t* mirror = mirror_.data() + graph_->edge_begin(from);
     for (std::size_t i = 0; i < nbrs.size(); ++i)
-      place(out, mirror[i], nbrs[i], pending);
+      deposit(out, from, i, nbrs[i], pending, round);
     pending.from = graph::invalid_node;
   }
 
@@ -215,22 +330,20 @@ class mailbox_state {
         return;
       }
       last_slotted_round_[from] = round + 1;
-      demote_broadcast(from);  // repeat broadcast this round
-      const std::size_t* mirror = mirror_.data() + graph_->edge_begin(from);
+      demote_broadcast(from, round);  // repeat broadcast this round
       for (std::size_t i = 0; i < nbrs.size(); ++i)
-        place(out, mirror[i], nbrs[i], msg);
+        deposit(out, from, i, nbrs[i], msg, round);
       return;
     }
     last_slotted_round_[from] = round + 1;
-    demote_broadcast(from);
-    const std::size_t* mirror = mirror_.data() + graph_->edge_begin(from);
+    demote_broadcast(from, round);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       if (drop_rngs_[from].next_bernoulli(config_.drop_probability)) {
         dropped_[from] += 1;
         continue;
       }
       delivered_[from] += 1;
-      place(out, mirror[i], nbrs[i], msg);
+      deposit(out, from, i, nbrs[i], msg, round);
     }
   }
 
@@ -243,7 +356,7 @@ class mailbox_state {
     if (it == nbrs.end() || *it != to)
       throw std::logic_error("round_context::send: destination not adjacent");
     last_slotted_round_[from] = round + 1;
-    demote_broadcast(from);  // keep send order exact across the mix
+    demote_broadcast(from, round);  // keep send order exact across the mix
     const auto i = static_cast<std::size_t>(it - nbrs.begin());
     if (account(from, 1, bits)) {
       if (drop_rngs_[from].next_bernoulli(config_.drop_probability)) {
@@ -252,16 +365,22 @@ class mailbox_state {
       }
       delivered_[from] += 1;
     }
-    place(buffers_[out_buf_], mirror_[graph_->edge_begin(from) + i], to,
-          message{payload, from, wire_bits(bits), tag});
+    deposit(buffers_[out_buf_], from, i, to,
+            message{payload, from, wire_bits(bits), tag}, round);
   }
 
   /// Drains node v's inbox from the in-buffer and returns it as one
-  /// contiguous span sorted by sender.  Fast path compacts in place inside
-  /// v's own slot range; the overflow path gathers into v's scratch
-  /// vector.  Clears the consumed slots so the in-buffer is ready to serve
-  /// as next round's out-buffer.  Only v's owner worker may call this.
-  [[nodiscard]] std::span<const message> collect_inbox(graph::node_id v) {
+  /// contiguous span sorted by sender, for delivery in round `round`.
+  /// Push mode: the fast path compacts in place inside v's own slot range
+  /// (clearing the consumed slots so the in-buffer can serve as next
+  /// round's out-buffer); the overflow path gathers into v's scratch
+  /// vector.  Pull mode: always gathers into scratch, reading the
+  /// senders' lanes (v's own in-buffer row still holds v's previous-round
+  /// *outgoing* messages, which v's neighbors are reading this very
+  /// phase).  Only v's owner worker may call this.
+  [[nodiscard]] std::span<const message> collect_inbox(graph::node_id v,
+                                                       std::size_t round) {
+    if (pull_) return collect_inbox_pull(v, round);
     mail_buffer& in = buffers_[1 - out_buf_];
     const std::size_t lo = graph_->edge_begin(v);
     const std::size_t hi = graph_->edge_end(v);
@@ -330,11 +449,61 @@ class mailbox_state {
     return {dst.data(), dst.size()};
   }
 
+  /// Pull-mode inbox gather: walk v's in-edge row and load each sender's
+  /// outbox record -- the inline sender-side lane (live iff its stamp
+  /// equals this round), the sender's overflow run for v, or the
+  /// broadcast-lane entry.  Identical content and sorted-by-sender order
+  /// as the push paths (rows are sorted, lane vs. slots is exclusive per
+  /// sender), but all foreign state is only *read*: the one store target
+  /// is v's own scratch vector.  The lane addresses come from the
+  /// sequentially-read mirror row, so the random loads are prefetched a
+  /// fixed distance ahead -- the classic gather optimization push's
+  /// scatter stores cannot have.
+  [[nodiscard]] std::span<const message> collect_inbox_pull(graph::node_id v,
+                                                            std::size_t round) {
+    mail_buffer& in = buffers_[1 - out_buf_];
+    const std::size_t lo = graph_->edge_begin(v);
+    const std::size_t hi = graph_->edge_end(v);
+    const auto nbrs = graph_->neighbors(v);
+    const bool any_bcast = in.any_bcast.load(std::memory_order_relaxed);
+    const bool any_overflow = in.any_overflow.load(std::memory_order_relaxed);
+    const mail_buffer::lane* lanes = in.lanes.data();
+    const std::size_t* mirror = mirror_.data();
+    constexpr std::size_t prefetch_distance = 32;
+    auto& dst = scratch_[v];
+    dst.clear();
+    for (std::size_t q = lo; q < hi; ++q) {
+      if (q + prefetch_distance < hi)
+        __builtin_prefetch(lanes + mirror[q + prefetch_distance]);
+      const mail_buffer::lane& lane = lanes[mirror[q]];
+      if (lane.stamp == round) {
+        dst.push_back(lane.msg);
+        if (any_overflow) {
+          const auto& list = in.overflow[nbrs[q - lo]];
+          auto it = std::lower_bound(
+              list.begin(), list.end(), v,
+              [](const mail_buffer::routed_message& entry, graph::node_id to) {
+                return entry.to < to;
+              });
+          for (; it != list.end() && it->to == v; ++it) dst.push_back(it->msg);
+        }
+      } else if (any_bcast) {
+        const message& b = in.bcast[nbrs[q - lo]];
+        if (b.from != graph::invalid_node) dst.push_back(b);
+      }
+    }
+    return {dst.data(), dst.size()};
+  }
+
   /// Marks v's consumed inbox slots empty again so the in-buffer can serve
   /// as next round's out-buffer.  Must be called after on_round(v) by v's
   /// owner worker (v still owns its in-row for the whole compute phase).
-  /// No-op when the inbox was gathered into scratch (overflow path).
+  /// No-op when the inbox was gathered into scratch (the overflow path,
+  /// and every pull-mode round -- stamps make stale pull lanes inert
+  /// without any clearing, and the slots array is not even allocated, so
+  /// the pointer comparison below must not be formed).
   void release_inbox(graph::node_id v, std::span<const message> inbox) {
+    if (pull_) return;
     mail_buffer& in = buffers_[1 - out_buf_];
     const std::size_t lo = graph_->edge_begin(v);
     if (inbox.data() != in.slots.data() + lo) return;
@@ -343,13 +512,16 @@ class mailbox_state {
   }
 
   /// Post-compute barrier work: retire the drained in-buffer (slot states
-  /// were already cleared by collect_inbox; overflow lists are cleared here
-  /// if any were used) and swap it in as next round's out-buffer.  The
-  /// per-sender passes (overflow sort, lane/overflow retirement) partition
-  /// across `workers` pool workers when a pool is supplied; every pass
+  /// were already cleared by collect_inbox in push mode and are stamp-inert
+  /// in pull mode; overflow lists are cleared here if any were used) and
+  /// swap it in as next round's out-buffer.  The per-sender passes
+  /// (overflow sort, lane/overflow retirement) partition across `workers`
+  /// pool workers when a pool is supplied, along the run's degree-weighted
+  /// `bounds` (size workers + 1; may be empty when serial); every pass
   /// touches only sender-indexed state, so disjoint sender ranges are
   /// race-free.
-  void finish_round(thread_pool* pool, std::size_t workers);
+  void finish_round(thread_pool* pool, std::size_t workers,
+                    std::span<const std::size_t> bounds);
 
   /// Folds the per-node counters into the global metrics (message/bit
   /// totals, maxima, drop counts, congestion flag).  Deterministic fixed
@@ -359,6 +531,8 @@ class mailbox_state {
  private:
   const graph::graph* graph_;
   engine_config config_;
+  /// Resolved delivery scheme for this run (see choose_pull).
+  bool pull_ = false;
 
   /// mirror_[p] for sender-side CSR position p of edge (u -> v) is the
   /// receiver-side position of u in v's row: the flat slot address.
@@ -464,8 +638,8 @@ class node_program {
 
 /// Owns one `Program` value per node (contiguous, no vtable dispatch) and
 /// drives rounds to completion.  `Program` must provide
-///   void on_round(round_context&, std::span<const message>);
-///   bool finished() const;   // monotone
+/// `void on_round(round_context&, std::span<const message>)` and
+/// `bool finished() const` (monotone).
 template <typename Program>
 class typed_engine {
  public:
@@ -519,6 +693,14 @@ class typed_engine {
       }
     }
     finished_scratch_.assign(workers, 0);
+    // One degree-weighted partition per run, shared by the compute and
+    // delivery phases: chunk w owns nodes [bounds[w], bounds[w+1]), sized
+    // so every chunk carries about the same number of incident edges (a
+    // count-balanced split would hand the hub's worker the whole round on
+    // skewed graphs).  Pure function of graph x workers, so determinism
+    // is untouched.
+    partition_bounds_.clear();
+    if (workers > 1) partition_bounds_ = degree_weighted_ranges(state_.network(), workers);
     bool completed = finished_count_ == n;
     for (std::size_t round = 0; !completed && round < max_rounds_; ++round) {
       // The worker count was decided once above and must stay within the
@@ -526,7 +708,7 @@ class typed_engine {
       // tallies, chunk partitions) was sized against it.
       assert(!pool || workers <= pool->size());
       finished_count_ += compute_phase(round, pool, workers);
-      state_.finish_round(pool, workers);
+      state_.finish_round(pool, workers, partition_bounds_);
       metrics_.rounds = round + 1;
       if (round_observer_) round_observer_(round);
       completed = finished_count_ == n;
@@ -560,7 +742,7 @@ class typed_engine {
                             graph::node_id hi) {
     std::size_t newly_finished = 0;
     for (graph::node_id v = lo; v < hi; ++v) {
-      const std::span<const message> inbox = state_.collect_inbox(v);
+      const std::span<const message> inbox = state_.collect_inbox(v, round);
       round_context ctx(state_, v, round);
       programs_[v].on_round(ctx, inbox);
       state_.release_inbox(v, inbox);
@@ -572,34 +754,27 @@ class typed_engine {
     return newly_finished;
   }
 
-  /// The run's worker count: the threads knob (0 = whole injected pool,
-  /// else one per hardware thread), bounded by the injected pool's size
-  /// and by the node count.  Decided once per run; see run().
+  /// The run's worker count, decided once per run (see run()) through the
+  /// shared resolve_worker_count policy -- the same resolution the
+  /// auto-delivery heuristic saw at mailbox construction.
   [[nodiscard]] std::size_t resolve_workers(std::size_t n) const {
-    std::size_t requested = threads_;
-    if (requested == 0)
-      requested = shared_pool_ ? shared_pool_->size()
-                               : thread_pool::hardware_workers();
-    if (shared_pool_) requested = std::min(requested, shared_pool_->size());
-    // Mirror the pool constructor's ceiling so a run-private pool ends up
-    // exactly `workers` big (the round loop asserts on that).
-    requested = std::min(requested, thread_pool::max_workers);
-    return std::min(requested, std::max<std::size_t>(n, 1));
+    return resolve_worker_count(threads_, shared_pool_.get(), n);
   }
 
   /// Dispatches the round's compute phase on the pool (allocation-free:
-  /// the per-worker finished tallies live in a run-scoped scratch array)
-  /// and returns how many programs finished this round.
+  /// the per-worker finished tallies live in a run-scoped scratch array,
+  /// the node ranges in the run's degree-weighted partition) and returns
+  /// how many programs finished this round.
   std::size_t compute_phase(std::size_t round, thread_pool* pool,
                             std::size_t workers) {
     const std::size_t n = programs_.size();
     if (pool == nullptr || workers <= 1)
       return compute_range(round, 0, static_cast<graph::node_id>(n));
 
-    pool->run_chunked(n, workers, [&](std::size_t w, std::size_t lo,
-                                      std::size_t hi) {
-      finished_scratch_[w] = compute_range(round, static_cast<graph::node_id>(lo),
-                                           static_cast<graph::node_id>(hi));
+    pool->run(workers, [&](std::size_t w) {
+      finished_scratch_[w] = compute_range(
+          round, static_cast<graph::node_id>(partition_bounds_[w]),
+          static_cast<graph::node_id>(partition_bounds_[w + 1]));
     });
     std::size_t total = 0;
     for (std::size_t w = 0; w < workers; ++w) total += finished_scratch_[w];
@@ -611,6 +786,9 @@ class typed_engine {
   std::size_t threads_;
   std::shared_ptr<thread_pool> shared_pool_;
   std::vector<std::size_t> finished_scratch_;  // per-worker finish tallies
+  /// Degree-weighted node ranges of the run (workers + 1 bounds; empty
+  /// when serial), shared by compute and delivery dispatch.
+  std::vector<std::size_t> partition_bounds_;
   std::vector<Program> programs_;
   std::vector<std::uint8_t> finished_flag_;
   std::size_t finished_count_ = 0;

@@ -1,4 +1,5 @@
-// Messages exchanged in the synchronous model.
+/// \file message.hpp
+/// \brief Messages exchanged in the synchronous model.
 //
 // The engine is payload-agnostic: a message carries an opaque 64-bit
 // payload, a small tag for dispatch, and a *declared* size in bits.  The

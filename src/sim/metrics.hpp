@@ -1,4 +1,5 @@
-// Execution metrics of a simulated run.
+/// \file metrics.hpp
+/// \brief Execution metrics of a simulated run.
 //
 // Every complexity claim in the paper (rounds = 2k^2 / 4k^2 + O(k),
 // O(k^2 * Delta) messages per node, O(log Delta)-bit messages) is asserted

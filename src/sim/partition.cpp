@@ -1,0 +1,49 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+
+namespace domset::sim {
+
+std::vector<std::size_t> balanced_ranges(
+    std::span<const std::uint64_t> weights, std::size_t parts) {
+  const std::size_t n = weights.size();
+  parts = std::max<std::size_t>(parts, 1);
+  std::vector<std::size_t> bounds(parts + 1, 0);
+  bounds[parts] = n;
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : weights) total += w;
+  if (total == 0) {
+    // Weightless items: an equal-count split is the only sensible balance.
+    const std::size_t chunk = (n + parts - 1) / parts;
+    for (std::size_t w = 1; w < parts; ++w)
+      bounds[w] = std::min(w * chunk, n);
+    return bounds;
+  }
+
+  // prefix[i] = weight of [0, i); boundary w lands on the first prefix
+  // reaching the ideal share w/parts of the total.  The prefix array is
+  // nondecreasing and the targets are nondecreasing, so the bounds are too.
+  std::vector<std::uint64_t> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + weights[i];
+  for (std::size_t w = 1; w < parts; ++w) {
+    const std::uint64_t target =
+        (total * static_cast<std::uint64_t>(w) +
+         static_cast<std::uint64_t>(parts) / 2) /
+        static_cast<std::uint64_t>(parts);
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    bounds[w] = static_cast<std::size_t>(it - prefix.begin());
+  }
+  return bounds;
+}
+
+std::vector<std::size_t> degree_weighted_ranges(const graph::graph& g,
+                                                std::size_t parts) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint64_t> weights(n);
+  for (graph::node_id v = 0; v < n; ++v)
+    weights[v] = static_cast<std::uint64_t>(g.degree(v)) + 1;
+  return balanced_ranges(weights, parts);
+}
+
+}  // namespace domset::sim

@@ -1,0 +1,57 @@
+/// \file partition.hpp
+/// \brief Degree-aware contiguous node partitioning for the engine's
+/// parallel phases.
+///
+/// The worker pool splits the node range [0, n) into one contiguous chunk
+/// per worker.  Splitting by node *count* is the obvious policy, but the
+/// per-node cost of a round is dominated by the node's degree: a receiver
+/// gathers degree slots, a sender deposits degree messages.  On skewed
+/// graphs (star, power law) an equal-count split hands one worker the hub
+/// plus its share of leaves while the others finish early -- the hub's
+/// chunk *is* the round.  These helpers split by **degree weight**
+/// (weight(v) = degree(v) + 1: inbox traffic plus the constant program
+/// step), so every worker's chunk carries roughly the same number of
+/// incident edges.
+///
+/// The partition is a pure function of the graph and the worker count --
+/// never of timing -- so it preserves the engine's bit-identical
+/// determinism contract (docs/threading.md).  Both the compute phase and
+/// the delivery-retirement phase of a run use one shared partition
+/// (sim/engine.hpp), computed once per run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace domset::sim {
+
+/// Splits [0, weights.size()) into `parts` contiguous ranges of roughly
+/// equal total weight.
+///
+/// \param weights  per-item nonnegative costs.  The total must fit a
+///                 uint64 when multiplied by `parts` (the engine's weights
+///                 sum to 2m + n, far below that).
+/// \param parts    number of ranges; 0 is treated as 1.
+/// \return bounds of size parts + 1 with bounds[0] == 0 and
+///         bounds[parts] == weights.size(); range w is
+///         [bounds[w], bounds[w+1]) and may be empty (n < parts, or a
+///         single heavy item absorbing several targets).
+///
+/// Boundary w is the first index whose weight prefix reaches
+/// round(total * w / parts), so no range exceeds the ideal share by more
+/// than one item's weight -- the best any contiguous split can promise.
+/// An all-zero total falls back to an equal-count split.
+[[nodiscard]] std::vector<std::size_t> balanced_ranges(
+    std::span<const std::uint64_t> weights, std::size_t parts);
+
+/// The engine's standard node partition: balanced_ranges over
+/// weight(v) = degree(v) + 1.  Shared by the compute phase (on_round per
+/// node) and the per-sender delivery retirement in finish_round.
+[[nodiscard]] std::vector<std::size_t> degree_weighted_ranges(
+    const graph::graph& g, std::size_t parts);
+
+}  // namespace domset::sim

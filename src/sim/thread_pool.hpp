@@ -1,4 +1,5 @@
-// Persistent worker pool driving the engine's data-parallel phases.
+/// \file thread_pool.hpp
+/// \brief Persistent worker pool driving the engine's data-parallel phases.
 //
 // The round loop of a LOCAL-model simulation dispatches tiny, perfectly
 // partitioned work items (compute a node range, retire a mailbox range)
@@ -100,12 +101,13 @@ class thread_pool {
         [](void* ctx, std::size_t w) { (*static_cast<fn_t*>(ctx))(w); });
   }
 
-  /// Partitions [0, n) into min(workers, size()) contiguous chunks and
-  /// runs task(worker, lo, hi) for each -- the engine's standard split,
-  /// kept in one place so the partition policy cannot drift between
-  /// phases.  Clamping before chunking matters: run() executes at most
-  /// size() workers, so chunking by an unclamped count would silently
-  /// drop the trailing ranges.
+  /// Partitions [0, n) into min(workers, size()) equal-count contiguous
+  /// chunks and runs task(worker, lo, hi) for each -- a convenience for
+  /// callers without a precomputed partition.  (The engine itself now
+  /// dispatches over degree-weighted ranges from sim/partition.hpp; this
+  /// count split remains for uniform-cost work.)  Clamping before
+  /// chunking matters: run() executes at most size() workers, so chunking
+  /// by an unclamped count would silently drop the trailing ranges.
   template <typename F>
   void run_chunked(std::size_t n, std::size_t workers, F&& task) {
     const std::size_t parts =

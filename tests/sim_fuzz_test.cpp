@@ -3,6 +3,7 @@
 // conservation, inbox ordering, metric accounting, or determinism.
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <memory>
 #include <vector>
 
@@ -65,12 +66,14 @@ struct fuzz_outcome {
 };
 
 fuzz_outcome run_fuzz(const graph::graph& g, std::uint64_t seed, double drop,
-                      std::size_t threads = 1) {
+                      std::size_t threads = 1,
+                      delivery_mode delivery = delivery_mode::automatic) {
   engine_config cfg;
   cfg.seed = seed;
   cfg.drop_probability = drop;
   cfg.max_rounds = 200;
   cfg.threads = threads;
+  cfg.delivery = delivery;
   engine eng(g, cfg);
   common::rng lifetimes(seed ^ 0x5eedULL);
   eng.load([&](node_id) {
@@ -93,12 +96,20 @@ TEST(SimFuzz, ConservationAndOrderingAcrossTopologies) {
       graph::complete_graph(12),     graph::cycle_graph(20),
       graph::star_graph(15),         graph::gnp_random(40, 0.1, gen),
       graph::grid_graph(5, 5),       graph::barabasi_albert(30, 2, gen)};
-  // The invariants must hold for every worker count, and the pooled runs
-  // give the sanitizer jobs real multi-threaded traffic to chew on.
+  // The invariants must hold for every worker count and delivery mode,
+  // and the pooled runs give the sanitizer jobs real multi-threaded
+  // traffic to chew on (pull mode adds the cross-thread gather loads).
+  // The two indices are decorrelated (seed vs seed / 3) so the seeds
+  // sample mixed {mode x threads} cells -- including pull at 8 threads --
+  // instead of locking each mode to one thread count; the exhaustive grid
+  // lives in FullDeterminism below.
   const std::size_t thread_counts[] = {1, 2, 8};
+  const delivery_mode modes[] = {delivery_mode::push, delivery_mode::pull,
+                                 delivery_mode::automatic};
   for (const auto& g : graphs) {
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      const auto out = run_fuzz(g, seed, 0.0, thread_counts[seed % 3]);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto out = run_fuzz(g, seed, 0.0, thread_counts[seed % 3],
+                                modes[(seed / 3) % std::size(modes)]);
       EXPECT_EQ(out.metrics.messages_sent, out.declared_sent) << g.summary();
       // Reliable network: everything sent before termination is delivered
       // except messages sent in the final round (engine stops once all
@@ -138,16 +149,31 @@ TEST(SimFuzz, BitAccountingIsExact) {
 }
 
 TEST(SimFuzz, FullDeterminism) {
+  // Every {delivery mode x thread count} cell must reproduce the serial
+  // push run exactly -- delivery and threading are wall-clock knobs only.
   common::rng gen(1804);
-  const graph::graph g = graph::gnp_random(35, 0.15, gen);
-  for (const double drop : {0.0, 0.3}) {
-    const auto a = run_fuzz(g, 99, drop, /*threads=*/1);
-    const auto b = run_fuzz(g, 99, drop, /*threads=*/8);
-    EXPECT_EQ(a.metrics.messages_sent, b.metrics.messages_sent);
-    EXPECT_EQ(a.metrics.bits_sent, b.metrics.bits_sent);
-    EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
-    EXPECT_EQ(a.metrics.messages_dropped, b.metrics.messages_dropped);
-    EXPECT_EQ(a.delivered, b.delivered);
+  const graph::graph graphs[] = {graph::gnp_random(35, 0.15, gen),
+                                 graph::star_graph(80)};
+  for (const auto& g : graphs) {
+    for (const double drop : {0.0, 0.3}) {
+      const auto a = run_fuzz(g, 99, drop, /*threads=*/1, delivery_mode::push);
+      for (const delivery_mode mode :
+           {delivery_mode::push, delivery_mode::pull,
+            delivery_mode::automatic}) {
+        for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                          std::size_t{8}}) {
+          const auto b = run_fuzz(g, 99, drop, threads, mode);
+          EXPECT_EQ(a.metrics.messages_sent, b.metrics.messages_sent)
+              << g.summary() << " " << to_string(mode) << " t=" << threads;
+          EXPECT_EQ(a.metrics.bits_sent, b.metrics.bits_sent);
+          EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+          EXPECT_EQ(a.metrics.messages_dropped, b.metrics.messages_dropped);
+          EXPECT_EQ(a.delivered, b.delivered);
+          EXPECT_TRUE(b.all_ordered)
+              << g.summary() << " " << to_string(mode) << " t=" << threads;
+        }
+      }
+    }
   }
 }
 

@@ -1,8 +1,10 @@
 // The flat-mailbox engine promises bit-identical output for every thread
-// count: node randomness, drop decisions, slot addressing, and metric
-// folds are all derived per node, never from execution order.  These tests
-// pin that promise on the public algorithm APIs (Alg2 end to end) and on a
-// chaos program fuzzing the raw engine across thread counts {1, 2, 8}.
+// count AND every delivery mode: node randomness, drop decisions, slot
+// addressing, and metric folds are all derived per node, never from
+// execution order or from where a message physically waited between
+// rounds.  These tests pin that promise on the public algorithm APIs
+// (Alg2 end to end) and on a chaos program fuzzing the raw engine across
+// the {push, pull, auto} x {1, 2, 8} grid.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -18,8 +20,11 @@ namespace domset {
 namespace {
 
 using graph::node_id;
+using sim::delivery_mode;
 
 constexpr std::array<std::size_t, 3> thread_counts = {1, 2, 8};
+constexpr std::array<delivery_mode, 3> delivery_modes = {
+    delivery_mode::push, delivery_mode::pull, delivery_mode::automatic};
 
 void expect_same_metrics(const sim::run_metrics& a, const sim::run_metrics& b,
                          std::size_t threads) {
@@ -43,17 +48,23 @@ TEST(ParallelDeterminism, Alg2IdenticalAcrossThreadCounts) {
     core::lp_approx_params params;
     params.k = 3;
     params.seed = 9;
+    params.delivery = delivery_mode::push;
     const auto serial = core::approximate_lp_known_delta(g, params);
-    for (const std::size_t t : thread_counts) {
-      params.threads = t;
-      const auto run = core::approximate_lp_known_delta(g, params);
-      // Bitwise-equal x vectors: the doubles decode from the same integer
-      // exponents, so exact comparison is the correct assertion.
-      ASSERT_EQ(run.x.size(), serial.x.size());
-      for (std::size_t v = 0; v < run.x.size(); ++v)
-        EXPECT_EQ(run.x[v], serial.x[v]) << "threads=" << t << " v=" << v;
-      EXPECT_EQ(run.objective, serial.objective) << "threads=" << t;
-      expect_same_metrics(run.metrics, serial.metrics, t);
+    for (const delivery_mode mode : delivery_modes) {
+      for (const std::size_t t : thread_counts) {
+        params.delivery = mode;
+        params.threads = t;
+        const auto run = core::approximate_lp_known_delta(g, params);
+        // Bitwise-equal x vectors: the doubles decode from the same integer
+        // exponents, so exact comparison is the correct assertion.
+        ASSERT_EQ(run.x.size(), serial.x.size());
+        for (std::size_t v = 0; v < run.x.size(); ++v)
+          EXPECT_EQ(run.x[v], serial.x[v])
+              << "threads=" << t << " delivery=" << to_string(mode)
+              << " v=" << v;
+        EXPECT_EQ(run.objective, serial.objective) << "threads=" << t;
+        expect_same_metrics(run.metrics, serial.metrics, t);
+      }
     }
   }
 }
@@ -65,13 +76,19 @@ TEST(ParallelDeterminism, Alg3IdenticalUnderMessageLoss) {
   params.k = 2;
   params.seed = 31;
   params.drop_probability = 0.3;  // drop streams are per sender: order-free
+  params.delivery = delivery_mode::push;
   const auto serial = core::approximate_lp(g, params);
-  for (const std::size_t t : thread_counts) {
-    params.threads = t;
-    const auto run = core::approximate_lp(g, params);
-    for (std::size_t v = 0; v < run.x.size(); ++v)
-      EXPECT_EQ(run.x[v], serial.x[v]) << "threads=" << t << " v=" << v;
-    expect_same_metrics(run.metrics, serial.metrics, t);
+  for (const delivery_mode mode : delivery_modes) {
+    for (const std::size_t t : thread_counts) {
+      params.delivery = mode;
+      params.threads = t;
+      const auto run = core::approximate_lp(g, params);
+      for (std::size_t v = 0; v < run.x.size(); ++v)
+        EXPECT_EQ(run.x[v], serial.x[v])
+            << "threads=" << t << " delivery=" << to_string(mode)
+            << " v=" << v;
+      expect_same_metrics(run.metrics, serial.metrics, t);
+    }
   }
 }
 
@@ -122,12 +139,14 @@ struct chaos_outcome {
 };
 
 chaos_outcome run_chaos(const graph::graph& g, std::uint64_t seed, double drop,
-                        std::size_t threads) {
+                        std::size_t threads,
+                        delivery_mode delivery = delivery_mode::automatic) {
   sim::engine_config cfg;
   cfg.seed = seed;
   cfg.drop_probability = drop;
   cfg.max_rounds = 100;
   cfg.threads = threads;
+  cfg.delivery = delivery;
   sim::engine eng(g, cfg);
   common::rng lifetimes(seed ^ 0x5eedULL);
   eng.load([&](node_id) {
@@ -159,6 +178,38 @@ TEST(ParallelDeterminism, ChaosFuzzAcrossThreadCounts) {
           EXPECT_EQ(run.received, serial.received)
               << g.summary() << " threads=" << t;
           expect_same_metrics(run.metrics, serial.metrics, t);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ChaosFuzzAcrossDeliveryModes) {
+  // The delivery grid on the topologies where push and pull lay messages
+  // out most differently: a hub-dominated star (pull's target case, and
+  // `auto` resolves to pull), a bounded-degree grid (`auto` resolves to
+  // push) and a heavy-tailed power-law graph.  The chaos program mixes
+  // targeted sends, broadcasts, and same-edge bursts, so the lane,
+  // demotion, and overflow paths all run in both modes.
+  common::rng gen(4715);
+  const graph::graph graphs[] = {graph::star_graph(96),
+                                 graph::grid_graph(10, 10),
+                                 graph::barabasi_albert(150, 3, gen)};
+  for (const auto& g : graphs) {
+    for (const double drop : {0.0, 0.25}) {
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const auto serial = run_chaos(g, seed, drop, 1, delivery_mode::push);
+        for (const delivery_mode mode : delivery_modes) {
+          for (const std::size_t t : thread_counts) {
+            const auto run = run_chaos(g, seed, drop, t, mode);
+            EXPECT_EQ(run.digests, serial.digests)
+                << g.summary() << " threads=" << t
+                << " delivery=" << to_string(mode) << " drop=" << drop;
+            EXPECT_EQ(run.received, serial.received)
+                << g.summary() << " threads=" << t
+                << " delivery=" << to_string(mode);
+            expect_same_metrics(run.metrics, serial.metrics, t);
+          }
         }
       }
     }

@@ -1,0 +1,147 @@
+// The degree-aware partitioner must (a) be a well-formed contiguous
+// partition for every input shape, and (b) actually balance by weight --
+// the whole point is that a hub node costs its worker the same edge
+// budget as thousands of leaves cost theirs.  Determinism (pure function
+// of graph x parts) is implicit in the assertions being exact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "sim/partition.hpp"
+
+namespace domset::sim {
+namespace {
+
+/// Structural invariants every partition must satisfy.
+void expect_well_formed(const std::vector<std::size_t>& bounds, std::size_t n,
+                        std::size_t parts) {
+  ASSERT_EQ(bounds.size(), parts + 1);
+  EXPECT_EQ(bounds.front(), 0U);
+  EXPECT_EQ(bounds.back(), n);
+  for (std::size_t w = 0; w + 1 < bounds.size(); ++w)
+    EXPECT_LE(bounds[w], bounds[w + 1]) << "w=" << w;
+}
+
+std::uint64_t range_weight(const std::vector<std::uint64_t>& weights,
+                           std::size_t lo, std::size_t hi) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = lo; i < hi; ++i) sum += weights[i];
+  return sum;
+}
+
+std::vector<std::uint64_t> node_weights(const graph::graph& g) {
+  std::vector<std::uint64_t> w(g.node_count());
+  for (graph::node_id v = 0; v < g.node_count(); ++v) w[v] = g.degree(v) + 1;
+  return w;
+}
+
+/// Every range's weight is within one item of the ideal share: the
+/// guarantee balanced_ranges documents.
+void expect_balanced(const std::vector<std::uint64_t>& weights,
+                     const std::vector<std::size_t>& bounds,
+                     std::size_t parts) {
+  const std::uint64_t total =
+      std::accumulate(weights.begin(), weights.end(), std::uint64_t{0});
+  const std::uint64_t max_item =
+      weights.empty() ? 0 : *std::max_element(weights.begin(), weights.end());
+  const double ideal = static_cast<double>(total) / static_cast<double>(parts);
+  for (std::size_t w = 0; w < parts; ++w) {
+    const std::uint64_t got = range_weight(weights, bounds[w], bounds[w + 1]);
+    EXPECT_LE(static_cast<double>(got),
+              ideal + static_cast<double>(max_item) + 1.0)
+        << "part " << w << " overloaded";
+  }
+}
+
+TEST(Partition, PathGraphSplitsEvenly) {
+  // Path: all interior weights equal (degree 2 + 1), so the partition must
+  // be near count-uniform.
+  const graph::graph g = graph::path_graph(100);
+  for (const std::size_t parts : {1U, 2U, 3U, 8U}) {
+    const auto bounds = degree_weighted_ranges(g, parts);
+    expect_well_formed(bounds, 100, parts);
+    expect_balanced(node_weights(g), bounds, parts);
+    for (std::size_t w = 0; w < parts; ++w) {
+      const std::size_t len = bounds[w + 1] - bounds[w];
+      EXPECT_NEAR(static_cast<double>(len), 100.0 / parts, 2.0) << "w=" << w;
+    }
+  }
+}
+
+TEST(Partition, StarHubIsWeightedLikeItsDegree) {
+  // Star on 1001 nodes: the hub (node 0, weight 1001) weighs as much as
+  // ~500 leaves (weight 2 each).  With two workers, a count split would
+  // cut at node 500 and hand worker 0 the hub *plus* 500 leaves (~2/3 of
+  // the weight); the weighted split must cut around node 250 so both
+  // halves carry ~1500.
+  const graph::graph g = graph::star_graph(1001);
+  const auto weights = node_weights(g);
+  const auto bounds = degree_weighted_ranges(g, 2);
+  expect_well_formed(bounds, 1001, 2);
+  EXPECT_NEAR(static_cast<double>(bounds[1]), 251.0, 2.0);
+  expect_balanced(weights, bounds, 2);
+
+  // With eight workers the hub's weight exceeds the ideal share, so it
+  // must sit alone in its range (it even absorbs the next boundary: a
+  // single item cannot be split, so a trailing empty range is correct).
+  const auto bounds8 = degree_weighted_ranges(g, 8);
+  expect_well_formed(bounds8, 1001, 8);
+  EXPECT_EQ(bounds8[1], 1U) << "hub should be alone in the first range";
+  expect_balanced(weights, bounds8, 8);
+}
+
+TEST(Partition, PowerLawIsWeightBalanced) {
+  common::rng gen(99);
+  const graph::graph g = graph::barabasi_albert(2000, 3, gen);
+  const auto weights = node_weights(g);
+  for (const std::size_t parts : {2U, 4U, 16U}) {
+    const auto bounds = degree_weighted_ranges(g, parts);
+    expect_well_formed(bounds, 2000, parts);
+    expect_balanced(weights, bounds, parts);
+  }
+}
+
+TEST(Partition, FewerNodesThanParts) {
+  // n < parts: every node can sit in its own range, the surplus ranges
+  // are empty, and nothing reads out of bounds.
+  const graph::graph g = graph::complete_graph(3);
+  const auto bounds = degree_weighted_ranges(g, 8);
+  expect_well_formed(bounds, 3, 8);
+  std::size_t nonempty = 0;
+  for (std::size_t w = 0; w < 8; ++w) nonempty += bounds[w + 1] > bounds[w];
+  EXPECT_EQ(nonempty, 3U);
+}
+
+TEST(Partition, AllIsolatedNodesFallBackToCountSplit) {
+  // Isolated nodes all weigh 1 (degree 0 + 1): the split is a count
+  // split.  Also covers the all-zero-weight fallback of balanced_ranges
+  // directly.
+  const graph::graph g = graph::empty_graph(10);
+  const auto bounds = degree_weighted_ranges(g, 4);
+  expect_well_formed(bounds, 10, 4);
+  for (std::size_t w = 0; w < 4; ++w)
+    EXPECT_NEAR(static_cast<double>(bounds[w + 1] - bounds[w]), 2.5, 1.0);
+
+  const std::vector<std::uint64_t> zeros(10, 0);
+  const auto zbounds = balanced_ranges(zeros, 4);
+  expect_well_formed(zbounds, 10, 4);
+  EXPECT_EQ(zbounds[1] - zbounds[0], 3U);  // equal-count chunks of ceil(10/4)
+}
+
+TEST(Partition, DegenerateInputs) {
+  // Zero parts is treated as one; an empty graph partitions into empty
+  // ranges.
+  const auto empty = balanced_ranges({}, 0);
+  expect_well_formed(empty, 0, 1);
+  const graph::graph g = graph::empty_graph(0);
+  const auto bounds = degree_weighted_ranges(g, 3);
+  expect_well_formed(bounds, 0, 3);
+}
+
+}  // namespace
+}  // namespace domset::sim
