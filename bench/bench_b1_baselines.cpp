@@ -43,18 +43,18 @@ int main() {
     for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
       core::pipeline_params p2;
       p2.k = 2;
-      p2.seed = seed;
+      p2.exec.seed = seed;
       kw2.add(static_cast<double>(
           core::compute_dominating_set(instance.g, p2).size));
       core::pipeline_params p3;
       p3.k = 3;
-      p3.seed = seed;
+      p3.exec.seed = seed;
       const auto res3 = core::compute_dominating_set(instance.g, p3);
       kw3.add(static_cast<double>(res3.size));
       kw3_rounds = res3.total_rounds;
 
       baselines::lrg_params lp;
-      lp.seed = seed;
+      lp.exec.seed = seed;
       const auto lrg_res = baselines::lrg_mds(instance.g, lp);
       lrg_sizes.add(static_cast<double>(lrg_res.size));
       lrg_rounds.add(static_cast<double>(lrg_res.metrics.rounds));

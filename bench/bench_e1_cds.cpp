@@ -49,7 +49,7 @@ int main() {
     for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
       core::pipeline_params params;
       params.k = 3;
-      params.seed = seed;
+      params.exec.seed = seed;
       const auto ds = core::compute_dominating_set(instance.g, params);
       const auto cds = core::connect_dominating_set(instance.g, ds.in_set);
       ds_sizes.add(static_cast<double>(ds.size));
@@ -81,7 +81,7 @@ int main() {
 
     // Luby MIS backbone.
     baselines::luby_params lparams;
-    lparams.seed = 3;
+    lparams.exec.seed = 3;
     const auto mis = baselines::luby_mis(instance.g, lparams);
     const auto mis_cds = core::connect_dominating_set(instance.g, mis.in_set);
     table.add_row(

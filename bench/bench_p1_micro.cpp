@@ -63,7 +63,7 @@ void BM_PipelineEndToEnd(benchmark::State& state) {
   for (auto _ : state) {
     core::pipeline_params params;
     params.k = 2;
-    params.seed = ++seed;
+    params.exec.seed = ++seed;
     benchmark::DoNotOptimize(core::compute_dominating_set(g, params));
   }
 }

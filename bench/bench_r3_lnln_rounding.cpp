@@ -35,7 +35,7 @@ int main() {
     common::running_stats lnln_random;
     for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
       core::rounding_params plain;
-      plain.seed = seed;
+      plain.exec.seed = seed;
       const auto res_p =
           core::round_to_dominating_set(instance.g, lp_exact->x, plain);
       if (!verify::is_dominating_set(instance.g, res_p.in_set)) return 1;
@@ -43,7 +43,7 @@ int main() {
       plain_random.add(static_cast<double>(res_p.selected_randomly));
 
       core::rounding_params lnln;
-      lnln.seed = seed;
+      lnln.exec.seed = seed;
       lnln.variant = core::rounding_variant::log_log;
       const auto res_l =
           core::round_to_dominating_set(instance.g, lp_exact->x, lnln);

@@ -47,7 +47,7 @@ int main() {
       common::running_stats fixups;
       for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
         core::rounding_params params;
-        params.seed = seed;
+        params.exec.seed = seed;
         const auto res =
             core::round_to_dominating_set(instance.g, *input.x, params);
         if (!verify::is_dominating_set(instance.g, res.in_set)) {

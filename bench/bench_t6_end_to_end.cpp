@@ -31,7 +31,7 @@ int main() {
       for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
         core::pipeline_params params;
         params.k = k;
-        params.seed = seed;
+        params.exec.seed = seed;
         const auto res = core::compute_dominating_set(instance.g, params);
         if (!verify::is_dominating_set(instance.g, res.in_set)) {
           std::cerr << "BUG: not dominating on " << instance.name << "\n";

@@ -40,7 +40,7 @@ int main() {
     for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
       core::pipeline_params params;
       params.k = k;
-      params.seed = seed;
+      params.exec.seed = seed;
       const auto res = core::compute_dominating_set(g, params);
       if (!verify::is_dominating_set(g, res.in_set)) return 1;
       sizes.add(static_cast<double>(res.size));

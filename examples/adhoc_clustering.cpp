@@ -17,9 +17,9 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/pipeline.hpp"
+#include "exec/context.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
-#include "sim/delivery.hpp"
 #include "verify/verify.hpp"
 
 int main(int argc, char** argv) {
@@ -29,13 +29,11 @@ int main(int argc, char** argv) {
   cli.add_flag("n", "400", "number of wireless nodes");
   cli.add_flag("radius", "0.09", "radio range");
   cli.add_flag("k", "3", "trade-off parameter");
-  cli.add_flag("seed", "7", "random seed");
-  cli.add_threads_flag();
-  cli.add_delivery_flag();
+  cli.add_exec_flags(7);
   if (!cli.parse(argc, argv)) return 1;
-  const sim::delivery_mode delivery = sim::parse_delivery_mode(cli.delivery());
+  const exec::context exec = cli.exec();
 
-  common::rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
+  common::rng gen(exec.seed);
   const auto geo = graph::random_geometric(
       static_cast<std::size_t>(cli.get_int("n")), cli.get_double("radius"),
       gen);
@@ -46,10 +44,8 @@ int main(int argc, char** argv) {
   // Elect cluster heads; announce_final so every device learns its head.
   core::pipeline_params params;
   params.k = static_cast<std::uint32_t>(cli.get_int("k"));
-  params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   params.announce_final = true;
-  params.threads = cli.threads();
-  params.delivery = delivery;
+  params.exec = exec;
   const auto result = core::compute_dominating_set(g, params);
   if (!verify::is_dominating_set(g, result.in_set)) {
     std::fprintf(stderr, "BUG: head set is not dominating\n");

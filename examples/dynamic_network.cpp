@@ -17,10 +17,9 @@
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
+#include "exec/context.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
-#include "sim/delivery.hpp"
-#include "sim/thread_pool.hpp"
 #include "verify/verify.hpp"
 
 namespace {
@@ -51,16 +50,17 @@ int main(int argc, char** argv) {
   cli.add_flag("epochs", "8", "movement epochs to simulate");
   cli.add_flag("step", "0.02", "max movement per epoch");
   cli.add_flag("k", "2", "trade-off parameter");
-  cli.add_flag("seed", "11", "random seed");
-  cli.add_threads_flag();
-  cli.add_delivery_flag();
+  cli.add_exec_flags(11);
   if (!cli.parse(argc, argv)) return 1;
-  const sim::delivery_mode delivery = sim::parse_delivery_mode(cli.delivery());
+  // One worker pool serves every epoch; recomputation under churn is
+  // exactly the many-consecutive-runs shape the shared pool exists for.
+  exec::context exec = cli.exec();
+  exec.ensure_shared_pool();
 
   const auto n = static_cast<std::size_t>(cli.get_int("n"));
   const double radius = cli.get_double("radius");
   const double step = cli.get_double("step");
-  common::rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
+  common::rng gen(exec.seed);
 
   std::vector<double> x(n);
   std::vector<double> y(n);
@@ -71,20 +71,13 @@ int main(int argc, char** argv) {
 
   std::printf("%6s %10s %8s %8s %10s %10s %9s\n", "epoch", "edges", "Delta",
               "heads", "churn", "dual LB", "rounds");
-  // One worker pool serves every epoch; recomputation under churn is
-  // exactly the many-consecutive-runs shape the shared pool exists for.
-  const auto pool = sim::thread_pool::make_shared_if_parallel(cli.threads());
-
   std::vector<std::uint8_t> previous_heads;
   for (int epoch = 0; epoch < cli.get_int("epochs"); ++epoch) {
     const graph::graph g = build_udg(x, y, radius);
 
     core::pipeline_params params;
     params.k = static_cast<std::uint32_t>(cli.get_int("k"));
-    params.seed = static_cast<std::uint64_t>(epoch) + 100;
-    params.threads = cli.threads();
-    params.delivery = delivery;
-    params.pool = pool;
+    params.exec = exec.with_seed(static_cast<std::uint64_t>(epoch) + 100);
     const auto res = core::compute_dominating_set(g, params);
     if (!verify::is_dominating_set(g, res.in_set)) {
       std::fprintf(stderr, "BUG: invalid head set at epoch %d\n", epoch);

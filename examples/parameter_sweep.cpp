@@ -4,12 +4,15 @@
 //
 //   ./parameter_sweep [--family udg|gnp|grid|ba|star] [--n 400]
 //                     [--kmax 8] [--seeds 20] [--seed 3]
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "api/registry.hpp"
+#include "api/solver.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -48,13 +51,14 @@ int main(int argc, char** argv) {
   cli.add_flag("n", "400", "approximate node count");
   cli.add_flag("kmax", "8", "largest k to try");
   cli.add_flag("seeds", "20", "seeds to average the randomized rounding over");
-  cli.add_flag("seed", "3", "base random seed");
-  cli.add_threads_flag();
-  cli.add_delivery_flag();
+  cli.add_exec_flags(3);
   if (!cli.parse(argc, argv)) return 1;
-  const sim::delivery_mode delivery = sim::parse_delivery_mode(cli.delivery());
+  // All sweep runs share one worker pool (created only when parallelism
+  // is requested).
+  exec::context exec = cli.exec();
+  exec.ensure_shared_pool();
 
-  common::rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
+  common::rng gen(exec.seed);
   const graph::graph g = make_graph(
       cli.get_string("family"), static_cast<std::size_t>(cli.get_int("n")), gen);
   const double lb = graph::dual_lower_bound(g);
@@ -63,10 +67,6 @@ int main(int argc, char** argv) {
 
   common::text_table table({"k", "rounds", "msgs/node", "E[|DS|]",
                             "ratio vs LB", "Thm6 bound"});
-  // All sweep runs share one worker pool (created only when parallelism
-  // is requested).
-  const auto pool = sim::thread_pool::make_shared_if_parallel(cli.threads());
-
   const auto kmax = static_cast<std::uint32_t>(cli.get_int("kmax"));
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
   for (std::uint32_t k = 1; k <= kmax; ++k) {
@@ -77,10 +77,7 @@ int main(int argc, char** argv) {
     for (std::uint64_t s = 0; s < seeds; ++s) {
       core::pipeline_params params;
       params.k = k;
-      params.seed = s + 1;
-      params.threads = cli.threads();
-      params.delivery = delivery;
-      params.pool = pool;
+      params.exec = exec.with_seed(s + 1);
       const auto res = core::compute_dominating_set(g, params);
       if (!verify::is_dominating_set(g, res.in_set)) return 1;
       sizes.add(static_cast<double>(res.size));
@@ -98,5 +95,30 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::puts("\nRead the table bottom-up to choose k: the smallest k whose "
             "quality you can accept costs the fewest rounds.");
+
+  // Second axis of the scenario space: sweep *across algorithms* through
+  // the registry -- same graph, same shared pool, same yardsticks.
+  common::text_table algs({"algorithm", "rounds", "msgs total", "objective",
+                           "ratio vs LB"});
+  for (const char* name : {"alg2", "alg3", "pipeline", "lrg", "luby",
+                           "wu_li"}) {
+    const api::solver& solver = api::solver_registry::instance().find(name);
+    api::param_map params;
+    const auto keys = solver.param_keys();
+    if (std::find(keys.begin(), keys.end(), "k") != keys.end())
+      params.set("k", "3");
+    const auto res = solver.solve(g, exec, params);
+    if (res.integral() && !verify::is_dominating_set(g, res.in_set)) return 1;
+    algs.add_row(
+        {std::string(name) + (res.integral() ? "" : " (LP)"),
+         common::fmt_int(static_cast<long long>(res.metrics.rounds)),
+         common::fmt_int(static_cast<long long>(res.metrics.messages_sent)),
+         common::fmt_double(res.objective, 1),
+         common::fmt_double(res.objective / lb, 2)});
+  }
+  std::puts("");
+  algs.print(std::cout);
+  std::puts("\nOne harness, many algorithms: every solver above ran through "
+            "the registry on the same exec context and worker pool.");
   return 0;
 }

@@ -7,9 +7,9 @@
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "core/pipeline.hpp"
+#include "exec/context.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
-#include "sim/delivery.hpp"
 #include "verify/verify.hpp"
 
 int main(int argc, char** argv) {
@@ -20,14 +20,12 @@ int main(int argc, char** argv) {
   cli.add_flag("n", "300", "number of wireless nodes");
   cli.add_flag("radius", "0.1", "radio range in the unit square");
   cli.add_flag("k", "3", "trade-off parameter (quality vs rounds)");
-  cli.add_flag("seed", "1", "random seed");
-  cli.add_threads_flag();
-  cli.add_delivery_flag();
+  cli.add_exec_flags();
   if (!cli.parse(argc, argv)) return 1;
-  const sim::delivery_mode delivery = sim::parse_delivery_mode(cli.delivery());
+  const exec::context exec = cli.exec();
 
   // 1. Build the network: n devices in the unit square, links within range.
-  common::rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
+  common::rng gen(exec.seed);
   const auto geo = graph::random_geometric(
       static_cast<std::size_t>(cli.get_int("n")), cli.get_double("radius"),
       gen);
@@ -37,9 +35,7 @@ int main(int argc, char** argv) {
   // 2. Run the distributed algorithm (Algorithm 3 + Algorithm 1).
   core::pipeline_params params;
   params.k = static_cast<std::uint32_t>(cli.get_int("k"));
-  params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  params.threads = cli.threads();
-  params.delivery = delivery;
+  params.exec = exec;
   const auto result = core::compute_dominating_set(g, params);
 
   // 3. Verify and report.

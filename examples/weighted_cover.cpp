@@ -17,9 +17,8 @@
 #include "core/pipeline.hpp"
 #include "core/rounding.hpp"
 #include "core/weighted.hpp"
+#include "exec/context.hpp"
 #include "graph/generators.hpp"
-#include "sim/delivery.hpp"
-#include "sim/thread_pool.hpp"
 #include "verify/verify.hpp"
 
 int main(int argc, char** argv) {
@@ -30,14 +29,12 @@ int main(int argc, char** argv) {
   cli.add_flag("radius", "0.1", "radio range");
   cli.add_flag("cmax", "6", "maximum cost ratio (full vs depleted battery)");
   cli.add_flag("k", "3", "trade-off parameter");
-  cli.add_flag("seed", "5", "random seed");
-  cli.add_threads_flag();
-  cli.add_delivery_flag();
+  cli.add_exec_flags(5);
   if (!cli.parse(argc, argv)) return 1;
-  const sim::delivery_mode delivery = sim::parse_delivery_mode(cli.delivery());
-
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  common::rng gen(seed);
+  // One worker pool serves all three engine-driven stages below.
+  exec::context exec = cli.exec();
+  exec.ensure_shared_pool();
+  common::rng gen(exec.seed);
   const auto geo = graph::random_geometric(
       static_cast<std::size_t>(cli.get_int("n")), cli.get_double("radius"),
       gen);
@@ -50,31 +47,20 @@ int main(int argc, char** argv) {
   std::printf("network: %s, costs in [1, %.1f]\n", g.summary().c_str(),
               cli.get_double("cmax"));
 
-  // One worker pool serves all three engine-driven stages below.
-  const auto pool = sim::thread_pool::make_shared_if_parallel(cli.threads());
-
   // Weighted fractional solution + rounding.
   core::lp_approx_params lp_params;
   lp_params.k = static_cast<std::uint32_t>(cli.get_int("k"));
-  lp_params.threads = cli.threads();
-  lp_params.delivery = delivery;
-  lp_params.pool = pool;
+  lp_params.exec = exec;
   const auto frac = core::approximate_weighted_lp(g, costs, lp_params);
   core::rounding_params r_params;
-  r_params.seed = seed;
-  r_params.threads = cli.threads();
-  r_params.delivery = delivery;
-  r_params.pool = pool;
+  r_params.exec = exec;
   const auto weighted_ds = core::round_to_dominating_set(g, frac.x, r_params);
   if (!verify::is_dominating_set(g, weighted_ds.in_set)) return 1;
 
   // Unweighted pipeline for comparison (ignores batteries).
   core::pipeline_params u_params;
   u_params.k = lp_params.k;
-  u_params.seed = seed;
-  u_params.threads = cli.threads();
-  u_params.delivery = delivery;
-  u_params.pool = pool;
+  u_params.exec = exec;
   const auto unweighted = core::compute_dominating_set(g, u_params);
 
   // Centralized weighted greedy as the quality reference.

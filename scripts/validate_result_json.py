@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Schema check for the `domset run --json` record (schema domset-run/1).
+
+Usage:
+    validate_result_json.py RECORD.json [MORE.json ...] [--expect-identical]
+
+Validates every file against the required keys and types of the
+domset-run/1 schema emitted by src/api/result_json.cpp.  With
+--expect-identical, additionally asserts that all records carry the same
+solution digest -- the CI hook that proves push/pull/auto delivery (and
+any thread count) produce bit-identical solutions without shipping the
+solutions themselves.
+
+Exits 0 when every check passes, 1 otherwise, printing one line per
+problem.  Stdlib only, so the CI job needs nothing beyond python3.
+"""
+
+import json
+import sys
+
+SCHEMA_NAME = "domset-run/1"
+
+# (path, type) pairs; bool is checked before int because bool is an int
+# subclass in Python.
+REQUIRED = [
+    (("schema",), str),
+    (("alg",), str),
+    (("graph", "family"), str),
+    (("graph", "nodes"), int),
+    (("graph", "edges"), int),
+    (("graph", "max_degree"), int),
+    (("exec", "seed"), int),
+    (("exec", "threads"), int),
+    (("exec", "delivery"), str),
+    (("exec", "drop_probability"), (int, float)),
+    (("exec", "congest_bit_limit"), int),
+    (("params",), dict),
+    (("result", "integral"), bool),
+    (("result", "size"), int),
+    (("result", "objective"), (int, float)),
+    (("result", "ratio_bound"), (int, float)),
+    (("result", "valid"), bool),
+    (("result", "digest"), str),
+    (("metrics", "rounds"), int),
+    (("metrics", "messages_sent"), int),
+    (("metrics", "bits_sent"), int),
+    (("metrics", "max_message_bits"), int),
+    (("metrics", "max_messages_per_node"), int),
+    (("metrics", "messages_dropped"), int),
+    (("metrics", "congest_violation"), bool),
+    (("metrics", "hit_round_limit"), bool),
+    (("elapsed_ms",), (int, float)),
+]
+
+
+def lookup(record, path):
+    node = record
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None, False
+        node = node[key]
+    return node, True
+
+
+def validate(path):
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            record = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return None, [f"{path}: unreadable or invalid JSON: {e}"]
+
+    for key_path, expected in REQUIRED:
+        value, found = lookup(record, key_path)
+        dotted = ".".join(key_path)
+        if not found:
+            problems.append(f"{path}: missing required key '{dotted}'")
+            continue
+        if expected is not bool and isinstance(value, bool):
+            problems.append(f"{path}: key '{dotted}' must not be a boolean")
+        elif not isinstance(value, expected):
+            problems.append(
+                f"{path}: key '{dotted}' has type {type(value).__name__}"
+            )
+
+    if record.get("schema") != SCHEMA_NAME:
+        problems.append(
+            f"{path}: schema is {record.get('schema')!r}, want {SCHEMA_NAME!r}"
+        )
+    digest = record.get("result", {}).get("digest", "")
+    if not (isinstance(digest, str) and len(digest) == 16
+            and all(c in "0123456789abcdef" for c in digest)):
+        problems.append(f"{path}: digest must be 16 lowercase hex chars")
+    delivery = record.get("exec", {}).get("delivery")
+    if delivery not in ("push", "pull", "auto"):
+        problems.append(f"{path}: exec.delivery is {delivery!r}")
+    if record.get("result", {}).get("valid") is not True:
+        problems.append(f"{path}: result.valid is not true")
+    for key, value in record.get("params", {}).items():
+        if not isinstance(value, str):
+            problems.append(f"{path}: param '{key}' must be a string echo")
+    return record, problems
+
+
+def main(argv):
+    expect_identical = "--expect-identical" in argv
+    files = [a for a in argv if a != "--expect-identical"]
+    if not files:
+        print(__doc__.strip())
+        return 1
+
+    all_problems = []
+    digests = {}
+    for path in files:
+        record, problems = validate(path)
+        all_problems.extend(problems)
+        if record is not None:
+            digests[path] = record.get("result", {}).get("digest")
+
+    if expect_identical and len(set(digests.values())) > 1:
+        all_problems.append(
+            "solution digests differ across records (delivery/thread knobs "
+            "must be bit-identical): "
+            + ", ".join(f"{p}={d}" for p, d in sorted(digests.items()))
+        )
+
+    for problem in all_problems:
+        print(problem)
+    if not all_problems:
+        suffix = " (identical digests)" if expect_identical else ""
+        print(f"OK: {len(files)} record(s) valid{suffix}")
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,136 @@
+#include "api/graphs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace domset::api {
+
+namespace {
+
+std::size_t side_of(std::size_t n) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::sqrt(static_cast<double>(n))));
+}
+
+void require_keys(const param_map& params,
+                  std::initializer_list<std::string_view> known) {
+  std::vector<std::string_view> keys(known);
+  params.require_known(keys);
+}
+
+}  // namespace
+
+const std::vector<graph_family>& graph_families() {
+  static const std::vector<graph_family> families = {
+      {"ba", "Barabasi-Albert preferential attachment (heavy-tailed hubs)",
+       "m (attachments per node, default 3)"},
+      {"complete", "complete graph K_n (MDS = 1)", ""},
+      {"cycle", "cycle C_n (MDS = ceil(n/3))", ""},
+      {"gnp", "Erdos-Renyi G(n, p)", "p (edge probability, default 8/n)"},
+      {"grid", "sqrt(n) x sqrt(n) grid, 4-neighborhood", ""},
+      {"path", "path P_n (MDS = ceil(n/3))", ""},
+      {"regular", "random d-regular graph (configuration model)",
+       "d (degree, default 4)"},
+      {"star", "star S_n: one hub, n-1 leaves (MDS = 1)", ""},
+      {"torus", "sqrt(n) x sqrt(n) torus (4-regular for side >= 3)", ""},
+      {"tree", "complete arity-ary tree grown to ~n nodes",
+       "arity (default 3, >= 2)"},
+      {"udg", "random geometric / unit-disk graph in the unit square",
+       "radius (default 1.6/sqrt(n))"},
+  };
+  return families;
+}
+
+graph::graph make_graph(std::string_view family, std::size_t n,
+                        std::uint64_t seed, const param_map& params) {
+  if (n == 0)
+    throw std::invalid_argument("make_graph: n must be >= 1");
+  common::rng gen(seed);
+  if (family == "gnp") {
+    require_keys(params, {"p"});
+    const double p =
+        params.get_double("p", 8.0 / static_cast<double>(n));
+    if (!(p >= 0.0 && p <= 1.0))
+      throw std::invalid_argument("param 'p': must lie in [0, 1]");
+    return graph::gnp_random(n, p, gen);
+  }
+  if (family == "udg") {
+    require_keys(params, {"radius"});
+    const double radius = params.get_double(
+        "radius", 1.6 / std::sqrt(static_cast<double>(n)));
+    if (!(radius >= 0.0))
+      throw std::invalid_argument("param 'radius': must be >= 0");
+    return graph::random_geometric(n, radius, gen).g;
+  }
+  if (family == "ba") {
+    require_keys(params, {"m"});
+    const std::size_t m = static_cast<std::size_t>(params.get_uint("m", 3));
+    return graph::barabasi_albert(n, m, gen);
+  }
+  if (family == "regular") {
+    require_keys(params, {"d"});
+    const std::size_t d = static_cast<std::size_t>(params.get_uint("d", 4));
+    return graph::random_regular(n, d, gen);
+  }
+  if (family == "grid") {
+    require_keys(params, {});
+    const std::size_t side = side_of(n);
+    return graph::grid_graph(side, side);
+  }
+  if (family == "torus") {
+    require_keys(params, {});
+    const std::size_t side = side_of(n);
+    return graph::torus_graph(side, side);
+  }
+  if (family == "tree") {
+    require_keys(params, {"arity"});
+    const std::size_t arity =
+        static_cast<std::size_t>(params.get_uint("arity", 3));
+    // arity 1 could never reach a useful n under the depth cap below (it
+    // grows one node per level), so it is rejected rather than silently
+    // truncated.
+    if (arity < 2)
+      throw std::invalid_argument("param 'arity': must be >= 2");
+    // Smallest depth whose complete arity-ary tree reaches ~n nodes.
+    std::size_t depth = 0;
+    std::size_t nodes = 1;
+    std::size_t layer = 1;
+    while (nodes < n && depth < 60) {
+      layer *= arity;
+      nodes += layer;
+      ++depth;
+    }
+    return graph::balanced_tree(arity, depth);
+  }
+  if (family == "star") {
+    require_keys(params, {});
+    return graph::star_graph(n);
+  }
+  if (family == "path") {
+    require_keys(params, {});
+    return graph::path_graph(n);
+  }
+  if (family == "cycle") {
+    require_keys(params, {});
+    if (n < 3)
+      throw std::invalid_argument("family 'cycle': n must be >= 3");
+    return graph::cycle_graph(n);
+  }
+  if (family == "complete") {
+    require_keys(params, {});
+    return graph::complete_graph(n);
+  }
+  std::string message =
+      "unknown graph family '" + std::string(family) + "'; families:";
+  for (const graph_family& f : graph_families()) {
+    message += ' ';
+    message += f.name;
+  }
+  throw std::invalid_argument(message);
+}
+
+}  // namespace domset::api

@@ -1,0 +1,42 @@
+/// \file graphs.hpp
+/// \brief Named graph-family factory for the API layer: the generator
+/// vocabulary of `domset run --graph <family>` and `domset list`.
+///
+/// Maps a stable family name to the generators in graph/generators.hpp
+/// with sensible size-derived defaults (G(n, 8/n), unit-disk radius
+/// 1.6/sqrt(n), ...), overridable through the same string-keyed
+/// param_map the solvers use.  Unknown family names and unknown params
+/// fail with a message listing the accepted vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "graph/graph.hpp"
+
+namespace domset::api {
+
+/// One row of the generator vocabulary (for `domset list` and docs).
+struct graph_family {
+  std::string_view name;
+  std::string_view description;
+  /// Param keys this family accepts (e.g. "p" for gnp), comma-joined for
+  /// display; empty when the family only takes n.
+  std::string_view params;
+};
+
+/// All registered families, sorted by name.
+[[nodiscard]] const std::vector<graph_family>& graph_families();
+
+/// Builds the named family at size ~n.  `params` may override the
+/// family's derived defaults (gnp: p; udg: radius; ba: m; regular: d;
+/// tree: arity).  Randomized families draw from a fresh rng seeded with
+/// `seed`.  Throws std::invalid_argument for an unknown family, unknown
+/// params, or infeasible sizes.
+[[nodiscard]] graph::graph make_graph(std::string_view family, std::size_t n,
+                                      std::uint64_t seed,
+                                      const param_map& params = {});
+
+}  // namespace domset::api

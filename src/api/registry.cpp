@@ -1,0 +1,78 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace domset::api {
+
+solver_registry& solver_registry::instance() {
+  static solver_registry registry;
+  // Reference the built-in adapters' translation unit so a static-library
+  // link cannot drop it (and with it the self-registrations).
+  detail::link_builtin_solvers();
+  return registry;
+}
+
+void solver_registry::add(factory_fn make) {
+  entry e{make, make()};
+  const std::string_view name = e.shared->name();
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const entry& lhs, std::string_view key) {
+        return lhs.shared->name() < key;
+      });
+  if (pos != entries_.end() && pos->shared->name() == name)
+    throw std::logic_error("solver_registry: duplicate solver name '" +
+                           std::string(name) + "'");
+  entries_.insert(pos, std::move(e));
+}
+
+const solver_registry::entry* solver_registry::lookup(
+    std::string_view name) const noexcept {
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const entry& lhs, std::string_view key) {
+        return lhs.shared->name() < key;
+      });
+  if (pos == entries_.end() || pos->shared->name() != name) return nullptr;
+  return &*pos;
+}
+
+void solver_registry::throw_unknown(std::string_view name) const {
+  std::string message =
+      "unknown solver '" + std::string(name) + "'; registered solvers:";
+  for (const std::string_view k : names()) {
+    message += ' ';
+    message += k;
+  }
+  throw std::invalid_argument(message);
+}
+
+std::unique_ptr<solver> solver_registry::create(std::string_view name) const {
+  const entry* e = lookup(name);
+  if (e == nullptr) throw_unknown(name);
+  return e->make();
+}
+
+const solver& solver_registry::find(std::string_view name) const {
+  const entry* e = lookup(name);
+  if (e == nullptr) throw_unknown(name);
+  return *e->shared;
+}
+
+std::vector<const solver*> solver_registry::list() const {
+  std::vector<const solver*> out;
+  out.reserve(entries_.size());
+  for (const entry& e : entries_) out.push_back(e.shared.get());
+  return out;
+}
+
+std::vector<std::string_view> solver_registry::names() const {
+  std::vector<std::string_view> out;
+  out.reserve(entries_.size());
+  for (const entry& e : entries_) out.push_back(e.shared->name());
+  return out;
+}
+
+}  // namespace domset::api

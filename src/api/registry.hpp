@@ -1,0 +1,76 @@
+/// \file registry.hpp
+/// \brief Name -> solver factory registry, self-populating via static
+/// registrars.
+///
+/// Every algorithm in src/api/solvers.cpp registers itself with a static
+/// `solver_registrar` at program start, so callers (the `domset` driver,
+/// the cross-algorithm parameter sweep, external embedders) resolve
+/// solvers purely by name -- adding a new algorithm is one adapter class
+/// plus one registrar line, with no switch statement to extend anywhere.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "api/solver.hpp"
+
+namespace domset::api {
+
+namespace detail {
+/// Anchor defined in solvers.cpp.  Calling it from the registry forces
+/// the linker to keep that translation unit when domset is consumed as a
+/// static library, so its static registrars actually run.
+void link_builtin_solvers();
+}  // namespace detail
+
+class solver_registry {
+ public:
+  /// Factory signature registrars hand in; the produced solver's name()
+  /// becomes its registry key.
+  using factory_fn = std::unique_ptr<solver> (*)();
+
+  /// The process-wide registry.
+  [[nodiscard]] static solver_registry& instance();
+
+  /// Registers a factory (called by solver_registrar at static-init
+  /// time).  Throws std::logic_error on a duplicate name -- two solvers
+  /// claiming one key is a programming error, not a configuration.
+  void add(factory_fn make);
+
+  /// A fresh instance of the named solver; throws std::invalid_argument
+  /// listing the registered names when `name` is unknown.
+  [[nodiscard]] std::unique_ptr<solver> create(std::string_view name) const;
+
+  /// The registry-owned shared instance of the named solver (solvers are
+  /// stateless); same unknown-name behavior as create().
+  [[nodiscard]] const solver& find(std::string_view name) const;
+
+  /// All registered solvers, sorted by name.
+  [[nodiscard]] std::vector<const solver*> list() const;
+
+  /// All registered names, sorted (CLI help, error messages).
+  [[nodiscard]] std::vector<std::string_view> names() const;
+
+ private:
+  struct entry {
+    factory_fn make;
+    std::unique_ptr<solver> shared;
+  };
+  /// Binary search over the name-sorted entries; nullptr when absent.
+  [[nodiscard]] const entry* lookup(std::string_view name) const noexcept;
+  /// Shared unknown-name error (lists the registered names).
+  [[noreturn]] void throw_unknown(std::string_view name) const;
+
+  std::vector<entry> entries_;  // kept sorted by shared->name()
+};
+
+/// Registering a solver is one static object:
+///   const solver_registrar reg{[] -> std::unique_ptr<solver> { ... }};
+struct solver_registrar {
+  explicit solver_registrar(solver_registry::factory_fn make) {
+    solver_registry::instance().add(make);
+  }
+};
+
+}  // namespace domset::api

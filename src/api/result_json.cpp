@@ -1,0 +1,141 @@
+#include "api/result_json.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "sim/delivery.hpp"
+
+namespace domset::api {
+
+namespace {
+
+void fold_bytes(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;  // FNV-1a prime
+  }
+}
+
+/// Minimal JSON string escaping (the record only carries identifier-ish
+/// strings, but a param value could contain anything).
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // JSON has no inf/nan; the record never should either, but emit null
+  // rather than invalid output if an algorithm ever produces one.
+  if (std::strstr(buf, "inf") != nullptr || std::strstr(buf, "nan") != nullptr)
+    return "null";
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t solution_digest(const solve_result& result) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  fold_bytes(h, result.in_set.data(), result.in_set.size());
+  // Separator so {in_set:[0], x:[]} and {in_set:[], x matching byte 0}
+  // cannot collide trivially.
+  const unsigned char sep = 0xFF;
+  fold_bytes(h, &sep, 1);
+  for (const double v : result.x) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    fold_bytes(h, &bits, sizeof bits);
+  }
+  return h;
+}
+
+std::string to_json(const run_record& record) {
+  std::string out;
+  out.reserve(1024);
+  char buf[128];
+  const auto num = [&buf](auto value) -> std::string {
+    std::snprintf(buf, sizeof buf, "%" PRIu64,
+                  static_cast<std::uint64_t>(value));
+    return buf;
+  };
+
+  out += "{\n  \"schema\": \"domset-run/1\",\n";
+  out += "  \"alg\": \"" + escape(record.alg) + "\",\n";
+  out += "  \"graph\": {\n";
+  out += "    \"family\": \"" + escape(record.graph_family) + "\",\n";
+  out += "    \"nodes\": " + num(record.nodes) + ",\n";
+  out += "    \"edges\": " + num(record.edges) + ",\n";
+  out += "    \"max_degree\": " + num(record.max_degree) + "\n  },\n";
+  out += "  \"exec\": {\n";
+  out += "    \"seed\": " + num(record.exec.seed) + ",\n";
+  out += "    \"threads\": " + num(record.exec.threads) + ",\n";
+  out += "    \"delivery\": \"" +
+         std::string(sim::to_string(record.exec.delivery)) + "\",\n";
+  out += "    \"drop_probability\": " +
+         fmt_double(record.exec.drop_probability) + ",\n";
+  out += "    \"congest_bit_limit\": " + num(record.exec.congest_bit_limit) +
+         "\n  },\n";
+  out += "  \"params\": {";
+  bool first = true;
+  for (const auto& [key, value] : record.params.entries()) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + escape(key) + "\": \"" + escape(value) + "\"";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"result\": {\n";
+  out += "    \"integral\": ";
+  out += record.result.integral() ? "true" : "false";
+  out += ",\n";
+  out += "    \"size\": " + num(record.result.size) + ",\n";
+  out += "    \"objective\": " + fmt_double(record.result.objective) + ",\n";
+  out += "    \"ratio_bound\": " + fmt_double(record.result.ratio_bound) +
+         ",\n";
+  out += "    \"valid\": ";
+  out += record.valid ? "true" : "false";
+  out += ",\n";
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, solution_digest(record.result));
+  out += "    \"digest\": \"";
+  out += buf;
+  out += "\"\n  },\n";
+  const sim::run_metrics& m = record.result.metrics;
+  out += "  \"metrics\": {\n";
+  out += "    \"rounds\": " + num(m.rounds) + ",\n";
+  out += "    \"messages_sent\": " + num(m.messages_sent) + ",\n";
+  out += "    \"bits_sent\": " + num(m.bits_sent) + ",\n";
+  out += "    \"max_message_bits\": " + num(m.max_message_bits) + ",\n";
+  out += "    \"max_messages_per_node\": " + num(m.max_messages_per_node) +
+         ",\n";
+  out += "    \"messages_dropped\": " + num(m.messages_dropped) + ",\n";
+  out += "    \"congest_violation\": ";
+  out += m.congest_violation ? "true" : "false";
+  out += ",\n    \"hit_round_limit\": ";
+  out += m.hit_round_limit ? "true" : "false";
+  out += "\n  },\n";
+  out += "  \"elapsed_ms\": " + fmt_double(record.elapsed_ms) + "\n}\n";
+  return out;
+}
+
+}  // namespace domset::api

@@ -1,0 +1,58 @@
+/// \file result_json.hpp
+/// \brief The stable machine-readable run record the `domset` driver
+/// emits with `--json`.
+///
+/// Schema `domset-run/1` (validated in CI by
+/// scripts/validate_result_json.py, uploaded next to the bench JSON
+/// artifacts): one flat object per run carrying the solver name, the
+/// graph provenance, the exec::context knobs, the echoed solver params,
+/// the normalized result (size / objective / ratio bound / validity /
+/// solution digest) and the full sim::run_metrics.  The digest is a
+/// 64-bit FNV-1a over the solution bits, so two runs are bit-identical
+/// iff their digests match -- the hook CI uses to assert push/pull/auto
+/// delivery agreement without shipping whole solutions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/solver.hpp"
+#include "exec/context.hpp"
+#include "graph/graph.hpp"
+
+namespace domset::api {
+
+/// Everything the JSON record carries about one run.
+struct run_record {
+  /// Registry name of the solver ("pipeline", "alg2", ...).
+  std::string alg;
+  /// Graph-family name ("gnp", ...) or "file" for loaded graphs.
+  std::string graph_family;
+  /// Graph shape as built.
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::uint32_t max_degree = 0;
+  /// The execution context the run used (pool is process-local state and
+  /// is not recorded; threads/delivery are).
+  exec::context exec;
+  /// Echo of the algorithm-specific params actually supplied.
+  param_map params;
+  /// Normalized solver output.
+  solve_result result;
+  /// Whether verify::is_dominating_set accepted the integral output
+  /// (reported true for fractional-only records, which have no set to
+  /// check here; the LP invariants are asserted by the test suite).
+  bool valid = false;
+  /// Wall-clock of the solve call, in milliseconds.
+  double elapsed_ms = 0.0;
+};
+
+/// 64-bit FNV-1a over the solution bits (in_set bytes, then the IEEE-754
+/// bit patterns of x).  Bit-identical runs <=> equal digests.
+[[nodiscard]] std::uint64_t solution_digest(const solve_result& result);
+
+/// Serializes the record as one pretty-printed JSON object (schema
+/// "domset-run/1", stable key order).
+[[nodiscard]] std::string to_json(const run_record& record);
+
+}  // namespace domset::api

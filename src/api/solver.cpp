@@ -1,0 +1,72 @@
+#include "api/solver.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace domset::api {
+
+namespace {
+
+[[noreturn]] void throw_malformed(std::string_view key, std::string_view value,
+                                  const char* expected) {
+  throw std::invalid_argument("param '" + std::string(key) + "': expected " +
+                              expected + ", got '" + std::string(value) + "'");
+}
+
+}  // namespace
+
+std::uint64_t param_map::get_uint(std::string_view key,
+                                  std::uint64_t fallback) const {
+  const auto it = entries().find(key);
+  if (it == entries().end()) return fallback;
+  const std::string& value = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || parsed < 0 ||
+      errno == ERANGE)
+    throw_malformed(key, value, "a non-negative integer");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+double param_map::get_double(std::string_view key, double fallback) const {
+  const auto it = entries().find(key);
+  if (it == entries().end()) return fallback;
+  const std::string& value = it->second;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size())
+    throw_malformed(key, value, "a number");
+  return parsed;
+}
+
+bool param_map::get_bool(std::string_view key, bool fallback) const {
+  const auto it = entries().find(key);
+  if (it == entries().end()) return fallback;
+  const std::string& value = it->second;
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  throw_malformed(key, value, "a boolean (true/false)");
+}
+
+void param_map::require_known(std::span<const std::string_view> known) const {
+  std::string unknown;
+  for (const auto& [key, value] : values_) {
+    bool ok = false;
+    for (const std::string_view k : known) ok |= key == k;
+    if (ok) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += '\'' + key + '\'';
+  }
+  if (unknown.empty()) return;
+  std::string accepted;
+  for (const std::string_view k : known) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += k;
+  }
+  if (accepted.empty()) accepted = "none";
+  throw std::invalid_argument("unknown param(s) " + unknown +
+                              "; this solver accepts: " + accepted);
+}
+
+}  // namespace domset::api

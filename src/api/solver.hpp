@@ -1,0 +1,154 @@
+/// \file solver.hpp
+/// \brief The type-erased solver interface of the API layer: any
+/// dominating-set algorithm, behind one uniform `solve()` shape.
+///
+/// The algorithm-specific entry points (core/alg2.hpp, core/pipeline.hpp,
+/// the baselines) each have their own params/result structs -- the right
+/// interface when the caller knows which algorithm it wants.  The API
+/// layer adds the other mode: run "an algorithm" chosen at runtime by
+/// name, with algorithm-specific knobs carried in a string-keyed
+/// `param_map` and results normalized into one `solve_result`.  The
+/// adapters in src/api/solvers.cpp forward to the specific entry points
+/// verbatim, so a registry-invoked run is bit-identical to a direct call
+/// (enforced by tests/api_registry_test.cpp): the registry is an adapter,
+/// not a fork.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/context.hpp"
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+
+namespace domset::api {
+
+/// String-keyed algorithm parameters (k, variant, max-rounds, ...).
+/// Execution knobs are deliberately NOT params: they travel in
+/// exec::context, uniformly for every solver.  Typed getters parse on
+/// access and throw std::invalid_argument naming the offending key;
+/// solvers reject keys they do not understand via require_known(), so a
+/// typo fails loudly instead of silently running with defaults.
+class param_map {
+ public:
+  param_map() = default;
+
+  /// Sets (or overwrites) one parameter.
+  void set(std::string key, std::string value) {
+    values_[std::move(key)] = std::move(value);
+  }
+
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return values_.find(key) != values_.end();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  /// Key/value pairs in key order (stable JSON echo).
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& entries()
+      const noexcept {
+    return values_;
+  }
+
+  /// The raw value of `key`, or `fallback` when absent.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::string(fallback) : it->second;
+  }
+
+  /// Integer parameter in [0, 2^63); throws std::invalid_argument when
+  /// the value is not a complete non-negative decimal integer.
+  [[nodiscard]] std::uint64_t get_uint(std::string_view key,
+                                       std::uint64_t fallback) const;
+
+  /// Floating-point parameter; throws std::invalid_argument on malformed
+  /// input.
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+
+  /// Boolean parameter ("true"/"1"/"yes" vs "false"/"0"/"no").
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Throws std::invalid_argument naming every key not in `known` (and
+  /// listing the accepted set).  Every solver calls this through
+  /// solver::solve before touching the map.
+  void require_known(std::span<const std::string_view> known) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+/// Uniform result record of a registry-invoked run.  Integral solvers
+/// fill `in_set`/`size`; the fractional LP solvers (alg2, alg3,
+/// alg2_fresh) fill `x` and leave `in_set` empty; the pipeline fills
+/// both (the fractional stage's x plus the rounded set).
+struct solve_result {
+  /// Indicator vector of the dominating set (empty for fractional-only
+  /// solvers).
+  std::vector<std::uint8_t> in_set;
+
+  /// Fractional LP solution, one value per node (empty for purely
+  /// integral solvers).
+  std::vector<double> x;
+
+  /// |in_set| (0 for fractional-only solvers).
+  std::size_t size = 0;
+
+  /// The solver's natural objective: |DS| for integral solvers, sum(x)
+  /// (or c^T x) for fractional ones.
+  double objective = 0.0;
+
+  /// The paper-guaranteed approximation ratio of this run, when the
+  /// algorithm has one (0 = no non-trivial guarantee, e.g. wu_li).
+  double ratio_bound = 0.0;
+
+  /// Simulator metrics (all-zero for centralized reference solvers).
+  sim::run_metrics metrics;
+
+  /// True when the record carries an integral dominating set.
+  [[nodiscard]] bool integral() const noexcept { return !in_set.empty(); }
+};
+
+/// A dominating-set algorithm behind a type-erased interface, resolvable
+/// by name through api::solver_registry.  Implementations are stateless:
+/// one instance serves concurrent callers.
+class solver {
+ public:
+  virtual ~solver() = default;
+
+  /// Registry key, e.g. "pipeline" (stable CLI vocabulary).
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// One-line human description for `domset list`.
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  /// The algorithm-specific param keys this solver accepts (possibly
+  /// empty).  Everything else is rejected by solve().
+  [[nodiscard]] virtual std::span<const std::string_view> param_keys()
+      const noexcept {
+    return {};
+  }
+
+  /// Runs the algorithm on `g` under the shared execution context.
+  /// Rejects unknown param keys (std::invalid_argument), then forwards to
+  /// the algorithm-specific entry point.
+  [[nodiscard]] solve_result solve(const graph::graph& g,
+                                   const exec::context& exec,
+                                   const param_map& params = {}) const {
+    params.require_known(param_keys());
+    return solve_impl(g, exec, params);
+  }
+
+ protected:
+  /// The adapter body; `params` has already been validated.
+  [[nodiscard]] virtual solve_result solve_impl(
+      const graph::graph& g, const exec::context& exec,
+      const param_map& params) const = 0;
+};
+
+}  // namespace domset::api

@@ -1,0 +1,372 @@
+/// \file solvers.cpp
+/// \brief Built-in solver adapters: every algorithm entry point of the
+/// repo, registered by name.
+///
+/// Each adapter forwards to the algorithm-specific entry point with
+/// params translated 1:1 and results copied field-for-field -- no
+/// algorithmic logic lives here, so a registry-invoked run is bit-
+/// identical to a direct call (tests/api_registry_test.cpp asserts set
+/// digests and run metrics match exactly).  Registering a new solver is
+/// one adapter class plus one `solver_registrar` line at the bottom.
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+
+#include "api/registry.hpp"
+#include "api/solver.hpp"
+#include "baselines/greedy.hpp"
+#include "baselines/lrg.hpp"
+#include "baselines/luby_mis.hpp"
+#include "baselines/wu_li.hpp"
+#include "core/alg2.hpp"
+#include "core/alg2_fresh.hpp"
+#include "core/alg3.hpp"
+#include "core/pipeline.hpp"
+#include "core/rounding.hpp"
+
+namespace domset::api {
+
+namespace {
+
+/// Shared translation of the paper's k param (k >= 1; the specific entry
+/// points re-validate, but failing here names the param).
+std::uint32_t get_k(const param_map& params) {
+  const std::uint64_t k = params.get_uint("k", 2);
+  if (k < 1 || k > 0xFFFFFFFFULL)
+    throw std::invalid_argument("param 'k': must be an integer >= 1");
+  return static_cast<std::uint32_t>(k);
+}
+
+core::rounding_variant get_variant(const param_map& params) {
+  const std::string v = params.get_string("variant", "plain");
+  if (v == "plain") return core::rounding_variant::plain;
+  if (v == "log_log") return core::rounding_variant::log_log;
+  throw std::invalid_argument(
+      "param 'variant': must be 'plain' or 'log_log', got '" + v + "'");
+}
+
+/// Folds the two pipeline stages into one metrics record (sums for the
+/// totals, maxima for the per-message/per-node peaks, OR for the flags).
+/// Deterministic, so the adapter test can reproduce it from a direct call.
+sim::run_metrics merge_metrics(const sim::run_metrics& a,
+                               const sim::run_metrics& b) {
+  sim::run_metrics m;
+  m.rounds = a.rounds + b.rounds;
+  m.messages_sent = a.messages_sent + b.messages_sent;
+  m.bits_sent = a.bits_sent + b.bits_sent;
+  m.max_message_bits = std::max(a.max_message_bits, b.max_message_bits);
+  m.max_messages_per_node =
+      std::max(a.max_messages_per_node, b.max_messages_per_node);
+  m.messages_dropped = a.messages_dropped + b.messages_dropped;
+  m.congest_violation = a.congest_violation || b.congest_violation;
+  m.hit_round_limit = a.hit_round_limit || b.hit_round_limit;
+  return m;
+}
+
+// ------------------------------------------------------------- pipeline
+
+class pipeline_solver final : public solver {
+ public:
+  std::string_view name() const noexcept override { return "pipeline"; }
+  std::string_view description() const noexcept override {
+    return "Theorem 6: Algorithm 3 (or 2 with known-delta) + randomized "
+           "rounding; the paper's headline dominating set pipeline";
+  }
+  std::span<const std::string_view> param_keys() const noexcept override {
+    static constexpr std::array<std::string_view, 4> keys = {
+        "k", "known-delta", "variant", "announce-final"};
+    return keys;
+  }
+
+ protected:
+  solve_result solve_impl(const graph::graph& g, const exec::context& exec,
+                          const param_map& params) const override {
+    core::pipeline_params p;
+    p.k = get_k(params);
+    p.assume_known_delta = params.get_bool("known-delta", false);
+    p.variant = get_variant(params);
+    p.announce_final = params.get_bool("announce-final", false);
+    p.exec = exec;
+    core::pipeline_result res = core::compute_dominating_set(g, p);
+
+    solve_result out;
+    out.in_set = std::move(res.in_set);
+    out.x = std::move(res.fractional.x);
+    out.size = res.size;
+    out.objective = static_cast<double>(res.size);
+    out.ratio_bound = res.expected_ratio_bound;
+    out.metrics =
+        merge_metrics(res.fractional.metrics, res.rounding.metrics);
+    return out;
+  }
+};
+
+// ------------------------------------------------- fractional LP solvers
+
+/// Shared shape of the three fractional LP adapters (alg2, alg2_fresh,
+/// alg3): params are {k}, the result is the fractional record.
+template <core::lp_approx_result (*Run)(const graph::graph&,
+                                        const core::lp_approx_params&,
+                                        const core::alg2_observer*)>
+solve_result run_lp(const graph::graph& g, const exec::context& exec,
+                    const param_map& params) {
+  core::lp_approx_params p;
+  p.k = get_k(params);
+  p.exec = exec;
+  core::lp_approx_result res = Run(g, p, nullptr);
+
+  solve_result out;
+  out.x = std::move(res.x);
+  out.objective = res.objective;
+  out.ratio_bound = res.ratio_bound;
+  out.metrics = res.metrics;
+  return out;
+}
+
+class alg2_solver final : public solver {
+ public:
+  std::string_view name() const noexcept override { return "alg2"; }
+  std::string_view description() const noexcept override {
+    return "Theorem 4: fractional LP k*(Delta+1)^(2/k)-approximation in "
+           "2k^2 rounds (every node knows the global Delta)";
+  }
+  std::span<const std::string_view> param_keys() const noexcept override {
+    static constexpr std::array<std::string_view, 1> keys = {"k"};
+    return keys;
+  }
+
+ protected:
+  solve_result solve_impl(const graph::graph& g, const exec::context& exec,
+                          const param_map& params) const override {
+    return run_lp<&core::approximate_lp_known_delta>(g, exec, params);
+  }
+};
+
+class alg2_fresh_solver final : public solver {
+ public:
+  std::string_view name() const noexcept override { return "alg2_fresh"; }
+  std::string_view description() const noexcept override {
+    return "Algorithm 2 ablation with fresh dynamic degrees: same rounds, "
+           "exact Lemma 4 accounting (reproduction finding)";
+  }
+  std::span<const std::string_view> param_keys() const noexcept override {
+    static constexpr std::array<std::string_view, 1> keys = {"k"};
+    return keys;
+  }
+
+ protected:
+  solve_result solve_impl(const graph::graph& g, const exec::context& exec,
+                          const param_map& params) const override {
+    return run_lp<&core::approximate_lp_known_delta_fresh>(g, exec, params);
+  }
+};
+
+/// approximate_lp's observer type differs in name only; wrap to match the
+/// template's function-pointer shape.
+core::lp_approx_result run_alg3(const graph::graph& g,
+                                const core::lp_approx_params& p,
+                                const core::alg2_observer*) {
+  return core::approximate_lp(g, p, nullptr);
+}
+
+class alg3_solver final : public solver {
+ public:
+  std::string_view name() const noexcept override { return "alg3"; }
+  std::string_view description() const noexcept override {
+    return "Theorem 5: uniform fractional LP approximation, no global "
+           "knowledge, 4k^2 + O(k) rounds";
+  }
+  std::span<const std::string_view> param_keys() const noexcept override {
+    static constexpr std::array<std::string_view, 1> keys = {"k"};
+    return keys;
+  }
+
+ protected:
+  solve_result solve_impl(const graph::graph& g, const exec::context& exec,
+                          const param_map& params) const override {
+    return run_lp<&run_alg3>(g, exec, params);
+  }
+};
+
+// ------------------------------------------------------------- rounding
+
+class rounding_solver final : public solver {
+ public:
+  std::string_view name() const noexcept override { return "rounding"; }
+  std::string_view description() const noexcept override {
+    return "Theorem 3: randomized rounding of the uniform feasible LP "
+           "point x = 1/(min_degree+1) (standalone Algorithm 1 demo)";
+  }
+  std::span<const std::string_view> param_keys() const noexcept override {
+    static constexpr std::array<std::string_view, 2> keys = {"variant",
+                                                             "announce-final"};
+    return keys;
+  }
+
+  /// The trivially feasible uniform point the standalone solver rounds:
+  /// for every node v, sum over N[v] of 1/(d_min+1) = (deg(v)+1)/(d_min+1)
+  /// >= 1.  (Algorithm 1 accepts any feasible x; callers with a better
+  /// fractional solution use core::round_to_dominating_set directly or
+  /// the pipeline solver.)
+  [[nodiscard]] static std::vector<double> uniform_feasible_x(
+      const graph::graph& g) {
+    std::uint32_t d_min = ~std::uint32_t{0};
+    for (graph::node_id v = 0; v < g.node_count(); ++v)
+      d_min = std::min(d_min, g.degree(v));
+    if (g.node_count() == 0) d_min = 0;
+    return std::vector<double>(g.node_count(),
+                               1.0 / (static_cast<double>(d_min) + 1.0));
+  }
+
+ protected:
+  solve_result solve_impl(const graph::graph& g, const exec::context& exec,
+                          const param_map& params) const override {
+    core::rounding_params p;
+    p.variant = get_variant(params);
+    p.announce_final = params.get_bool("announce-final", false);
+    p.exec = exec;
+    const std::vector<double> x = uniform_feasible_x(g);
+    core::rounding_result res = core::round_to_dominating_set(g, x, p);
+
+    solve_result out;
+    out.in_set = std::move(res.in_set);
+    out.x = x;
+    out.size = res.size;
+    out.objective = static_cast<double>(res.size);
+    out.metrics = res.metrics;
+    return out;
+  }
+};
+
+// ------------------------------------------------------------ baselines
+
+class lrg_solver final : public solver {
+ public:
+  std::string_view name() const noexcept override { return "lrg"; }
+  std::string_view description() const noexcept override {
+    return "Jia-Rajaraman-Suel Local Randomized Greedy (PODC 2001): "
+           "O(log Delta) approximation in O(log n log Delta) rounds";
+  }
+  std::span<const std::string_view> param_keys() const noexcept override {
+    static constexpr std::array<std::string_view, 1> keys = {"max-rounds"};
+    return keys;
+  }
+
+ protected:
+  solve_result solve_impl(const graph::graph& g, const exec::context& exec,
+                          const param_map& params) const override {
+    baselines::lrg_params p;
+    p.max_rounds = params.get_uint("max-rounds", p.max_rounds);
+    p.exec = exec;
+    baselines::lrg_result res = baselines::lrg_mds(g, p);
+
+    solve_result out;
+    out.in_set = std::move(res.in_set);
+    out.size = res.size;
+    out.objective = static_cast<double>(res.size);
+    out.metrics = res.metrics;
+    return out;
+  }
+};
+
+class luby_solver final : public solver {
+ public:
+  std::string_view name() const noexcept override { return "luby"; }
+  std::string_view description() const noexcept override {
+    return "Luby's maximal independent set (1986) as a dominating set: "
+           "O(log n) rounds, no approximation guarantee";
+  }
+  std::span<const std::string_view> param_keys() const noexcept override {
+    static constexpr std::array<std::string_view, 1> keys = {"max-rounds"};
+    return keys;
+  }
+
+ protected:
+  solve_result solve_impl(const graph::graph& g, const exec::context& exec,
+                          const param_map& params) const override {
+    baselines::luby_params p;
+    p.max_rounds = params.get_uint("max-rounds", p.max_rounds);
+    p.exec = exec;
+    baselines::luby_result res = baselines::luby_mis(g, p);
+
+    solve_result out;
+    out.in_set = std::move(res.in_set);
+    out.size = res.size;
+    out.objective = static_cast<double>(res.size);
+    out.metrics = res.metrics;
+    return out;
+  }
+};
+
+class wu_li_solver final : public solver {
+ public:
+  std::string_view name() const noexcept override { return "wu_li"; }
+  std::string_view description() const noexcept override {
+    return "Wu-Li marking + Dai-Wu pruning (DialM 1999): constant rounds, "
+           "no non-trivial guarantee";
+  }
+
+ protected:
+  solve_result solve_impl(const graph::graph& g, const exec::context& exec,
+                          const param_map&) const override {
+    baselines::wu_li_params p;
+    p.exec = exec;
+    baselines::wu_li_result res = baselines::wu_li_mds(g, p);
+
+    solve_result out;
+    out.in_set = std::move(res.in_set);
+    out.size = res.size;
+    out.objective = static_cast<double>(res.size);
+    out.metrics = res.metrics;
+    return out;
+  }
+};
+
+class greedy_solver final : public solver {
+ public:
+  std::string_view name() const noexcept override { return "greedy"; }
+  std::string_view description() const noexcept override {
+    return "centralized sequential greedy (quality yardstick; H_(Delta+1) "
+           "guarantee, not a distributed algorithm -- metrics are zero)";
+  }
+
+ protected:
+  solve_result solve_impl(const graph::graph& g, const exec::context&,
+                          const param_map&) const override {
+    baselines::greedy_result res = baselines::greedy_mds(g);
+
+    solve_result out;
+    out.in_set = std::move(res.in_set);
+    out.size = res.size;
+    out.objective = static_cast<double>(res.size);
+    out.ratio_bound = baselines::greedy_ratio_bound(g.max_degree());
+    return out;
+  }
+};
+
+// -------------------------------------------------------- registrations
+
+template <typename Solver>
+std::unique_ptr<solver> make_solver() {
+  return std::make_unique<Solver>();
+}
+
+const solver_registrar reg_pipeline{&make_solver<pipeline_solver>};
+const solver_registrar reg_alg2{&make_solver<alg2_solver>};
+const solver_registrar reg_alg2_fresh{&make_solver<alg2_fresh_solver>};
+const solver_registrar reg_alg3{&make_solver<alg3_solver>};
+const solver_registrar reg_rounding{&make_solver<rounding_solver>};
+const solver_registrar reg_lrg{&make_solver<lrg_solver>};
+const solver_registrar reg_luby{&make_solver<luby_solver>};
+const solver_registrar reg_wu_li{&make_solver<wu_li_solver>};
+const solver_registrar reg_greedy{&make_solver<greedy_solver>};
+
+}  // namespace
+
+namespace detail {
+void link_builtin_solvers() {}
+}  // namespace detail
+
+}  // namespace domset::api

@@ -146,13 +146,8 @@ lrg_result lrg_mds(const graph::graph& g, const lrg_params& params) {
   result.in_set.assign(n, 0);
   if (n == 0) return result;
 
-  sim::engine_config cfg;
-  cfg.seed = params.seed;
+  sim::engine_config cfg = params.exec.engine_config();
   cfg.max_rounds = params.max_rounds;
-  cfg.drop_probability = params.drop_probability;
-  cfg.threads = params.threads;
-  cfg.pool = params.pool;
-  cfg.delivery = params.delivery;
   sim::typed_engine<lrg_program> engine(g, cfg);
   engine.load([](graph::node_id) { return lrg_program(); });
   result.metrics = engine.run();

@@ -76,12 +76,8 @@ luby_result luby_mis(const graph::graph& g, const luby_params& params) {
   const std::uint64_t bound =
       n < 2'000'000 ? static_cast<std::uint64_t>(n) * n * n : ~0ULL;
 
-  sim::engine_config cfg;
-  cfg.seed = params.seed;
+  sim::engine_config cfg = params.exec.engine_config();
   cfg.max_rounds = params.max_rounds;
-  cfg.threads = params.threads;
-  cfg.pool = params.pool;
-  cfg.delivery = params.delivery;
   sim::typed_engine<luby_program> engine(g, cfg);
   engine.load([bound](graph::node_id) { return luby_program(bound); });
   result.metrics = engine.run();

@@ -19,28 +19,17 @@
 #include <cstdint>
 #include <vector>
 
-#include <memory>
-
+#include "exec/context.hpp"
 #include "graph/graph.hpp"
-#include "sim/delivery.hpp"
 #include "sim/metrics.hpp"
-#include "sim/thread_pool.hpp"
 
 namespace domset::baselines {
 
 struct luby_params {
-  std::uint64_t seed = 1;
   std::size_t max_rounds = 100'000;
-  /// Simulator worker threads (1 = serial, 0 = hardware concurrency);
-  /// bit-identical results for every value.
-  std::size_t threads = 1;
-
-  /// Optional shared worker pool (see sim::engine_config::pool).
-  std::shared_ptr<sim::thread_pool> pool;
-
-  /// Message-delivery scheme (see sim::engine_config::delivery);
-  /// bit-identical results for every value.
-  sim::delivery_mode delivery = sim::delivery_mode::automatic;
+  /// Execution knobs (seed for the priority draws, threads, pool,
+  /// delivery) -- see exec::context.
+  exec::context exec;
 };
 
 struct luby_result {

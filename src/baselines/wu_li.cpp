@@ -184,21 +184,14 @@ class wu_li_program {
 
 }  // namespace
 
-wu_li_result wu_li_mds(const graph::graph& g, std::uint64_t seed,
-                       std::size_t threads,
-                       std::shared_ptr<sim::thread_pool> pool,
-                       sim::delivery_mode delivery) {
+wu_li_result wu_li_mds(const graph::graph& g, const wu_li_params& params) {
   const std::size_t n = g.node_count();
   wu_li_result result;
   result.in_set.assign(n, 0);
   if (n == 0) return result;
 
-  sim::engine_config cfg;
-  cfg.seed = seed;
+  sim::engine_config cfg = params.exec.engine_config();
   cfg.max_rounds = 8;
-  cfg.threads = threads;
-  cfg.pool = std::move(pool);
-  cfg.delivery = delivery;
   sim::typed_engine<wu_li_program> engine(g, cfg);
   engine.load([](graph::node_id) { return wu_li_program(); });
   result.metrics = engine.run();

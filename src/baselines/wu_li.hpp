@@ -23,14 +23,18 @@
 #include <cstdint>
 #include <vector>
 
-#include <memory>
-
+#include "exec/context.hpp"
 #include "graph/graph.hpp"
-#include "sim/delivery.hpp"
 #include "sim/metrics.hpp"
-#include "sim/thread_pool.hpp"
 
 namespace domset::baselines {
+
+struct wu_li_params {
+  /// Execution knobs (threads, pool, delivery; the algorithm itself is
+  /// deterministic, so the seed only matters under message loss) -- see
+  /// exec::context.
+  exec::context exec;
+};
 
 struct wu_li_result {
   std::vector<std::uint8_t> in_set;
@@ -42,14 +46,7 @@ struct wu_li_result {
   sim::run_metrics metrics;
 };
 
-/// `threads`: simulator worker threads (1 = serial, 0 = hardware
-/// concurrency); bit-identical results for every value.  `pool`
-/// optionally shares one set of workers across runs (see
-/// sim::engine_config::pool).  `delivery` selects the message-delivery
-/// scheme (see sim::engine_config::delivery) -- also bit-identical.
-[[nodiscard]] wu_li_result wu_li_mds(
-    const graph::graph& g, std::uint64_t seed = 1, std::size_t threads = 1,
-    std::shared_ptr<sim::thread_pool> pool = nullptr,
-    sim::delivery_mode delivery = sim::delivery_mode::automatic);
+[[nodiscard]] wu_li_result wu_li_mds(const graph::graph& g,
+                                     const wu_li_params& params = {});
 
 }  // namespace domset::baselines

@@ -20,6 +20,13 @@ void cli_parser::add_switch(const std::string& name, const std::string& help) {
   specs_[name] = flag_spec{"false", help, true};
 }
 
+void cli_parser::require_nonnegative_int(const std::string& name) {
+  const auto it = specs_.find(name);
+  if (it == specs_.end())
+    throw std::invalid_argument("unregistered flag: " + name);
+  it->second.nonnegative_int = true;
+}
+
 bool cli_parser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -77,6 +84,17 @@ bool cli_parser::parse(int argc, const char* const* argv) {
         return false;
       }
     }
+    if (spec.unit_interval) {
+      const std::string value = get_string(name);
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          !(parsed >= 0.0 && parsed <= 1.0)) {
+        std::fprintf(stderr, "flag '--%s' must be a probability in [0, 1]\n%s",
+                     name.c_str(), usage(argv[0]).c_str());
+        return false;
+      }
+    }
     if (!spec.nonnegative_int) continue;
     // Require a complete, in-range decimal integer: strtoll alone maps
     // typos like "eight" to 0 (for --threads: maximum parallelism) and
@@ -93,6 +111,10 @@ bool cli_parser::parse(int argc, const char* const* argv) {
     }
   }
   return true;
+}
+
+bool cli_parser::is_set(const std::string& name) const {
+  return values_.find(name) != values_.end();
 }
 
 std::string cli_parser::get_string(const std::string& name) const {
@@ -116,32 +138,48 @@ bool cli_parser::get_bool(const std::string& name) const {
   return v == "true" || v == "1" || v == "yes";
 }
 
-void cli_parser::add_threads_flag() {
+void cli_parser::add_exec_flags(std::uint64_t default_seed) {
+  add_flag("seed", std::to_string(default_seed), "random seed");
+  specs_["seed"].nonnegative_int = true;
   add_flag("threads", "1",
            "simulator worker threads (1 = serial, 0 = one per hardware "
            "thread); results are identical for every value");
   specs_["threads"].nonnegative_int = true;
-}
-
-void cli_parser::add_delivery_flag() {
   add_flag("delivery", "auto",
            "simulator message delivery: push (receiver-side slots), pull "
            "(sender lanes + receiver gather), or auto (pull iff the run is "
            "parallel and the degree distribution is hub-skewed); results "
            "are identical for every value");
   specs_["delivery"].one_of = {"push", "pull", "auto"};
+  add_flag("drop", "0",
+           "message-loss probability in [0, 1] (robustness extension; "
+           "0 = the paper's reliable model)");
+  specs_["drop"].unit_interval = true;
+  add_flag("congest-bits", "0",
+           "flag messages wider than this many bits as CONGEST violations "
+           "(0 = unchecked)");
+  specs_["congest-bits"].nonnegative_int = true;
 }
 
-std::string cli_parser::delivery() const { return get_string("delivery"); }
-
-std::size_t cli_parser::threads() const {
-  const std::int64_t raw = get_int("threads");
-  // parse() already rejected negatives with usage text; this throw is a
-  // backstop for callers that skipped parse().
-  if (raw < 0)
-    throw std::invalid_argument(
-        "--threads must be >= 0 (0 = one per hardware thread)");
-  return static_cast<std::size_t>(raw);
+exec::context cli_parser::exec() const {
+  exec::context ctx;
+  const std::int64_t seed = get_int("seed");
+  const std::int64_t threads = get_int("threads");
+  const std::int64_t congest = get_int("congest-bits");
+  // parse() already rejected negatives with usage text; these throws are
+  // a backstop for callers that skipped parse().
+  if (seed < 0 || threads < 0 || congest < 0)
+    throw std::invalid_argument("exec flags must be non-negative");
+  // The engine's limit field is 32-bit; a wider value would silently
+  // truncate (possibly to 0 = unchecked), defeating the meter it enables.
+  if (congest > 0xFFFFFFFFLL)
+    throw std::invalid_argument("--congest-bits must fit in 32 bits");
+  ctx.seed = static_cast<std::uint64_t>(seed);
+  ctx.threads = static_cast<std::size_t>(threads);
+  ctx.congest_bit_limit = static_cast<std::uint32_t>(congest);
+  ctx.drop_probability = get_double("drop");
+  ctx.delivery = sim::parse_delivery_mode(get_string("delivery"));
+  return ctx;
 }
 
 std::string cli_parser::usage(const std::string& program) const {

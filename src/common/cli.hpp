@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/context.hpp"
+
 namespace domset::common {
 
 class cli_parser {
@@ -25,8 +27,18 @@ class cli_parser {
   /// Registers a boolean switch (present => true).
   void add_switch(const std::string& name, const std::string& help);
 
+  /// Makes parse() reject a non-integer or negative value for an
+  /// already-registered flag (the validation --threads/--seed get from
+  /// add_exec_flags, for binary-specific flags like --n).
+  void require_nonnegative_int(const std::string& name);
+
   /// Parses argv.  Returns false (after printing usage) on error or --help.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// True iff the flag was explicitly supplied on the command line (vs
+  /// falling back to its default).  Lets the driver forward only the
+  /// params a user actually set.
+  [[nodiscard]] bool is_set(const std::string& name) const;
 
   [[nodiscard]] std::string get_string(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
@@ -36,25 +48,21 @@ class cli_parser {
   /// Usage text listing all registered flags.
   [[nodiscard]] std::string usage(const std::string& program) const;
 
-  /// Registers the standard `--threads` flag every parallel-capable binary
-  /// shares (default 1 = serial; 0 = one worker per hardware thread).
-  /// Read it back with threads().
-  void add_threads_flag();
+  /// Registers the standard execution flags every simulator-backed binary
+  /// shares, in one call: `--seed` (default `default_seed`), `--threads`
+  /// (1 = serial, 0 = one worker per hardware thread), `--delivery`
+  /// (push | pull | auto), `--drop` (message-loss probability in [0, 1])
+  /// and `--congest-bits` (0 = unchecked).  parse() validates each value
+  /// with the usual usage-and-exit path; read the result back as an
+  /// exec::context with exec().  This is the single CLI insertion point
+  /// for engine knobs -- a new exec::context field gets its flag here
+  /// once and appears in every binary.
+  void add_exec_flags(std::uint64_t default_seed = 1);
 
-  /// The parsed `--threads` value; throws std::invalid_argument for
-  /// negative input.  Outputs are bit-identical for every value -- this
-  /// is purely a wall-clock knob.
-  [[nodiscard]] std::size_t threads() const;
-
-  /// Registers the standard `--delivery` flag (push | pull | auto,
-  /// default auto) shared by every simulator-backed binary; parse()
-  /// rejects other values with usage text.  Read it back with delivery()
-  /// and convert via sim::parse_delivery_mode.  Like --threads, this is
-  /// purely a wall-clock knob: outputs are bit-identical for every value.
-  void add_delivery_flag();
-
-  /// The parsed `--delivery` value ("push", "pull" or "auto").
-  [[nodiscard]] std::string delivery() const;
+  /// The parsed execution flags as an exec::context (pool left null; call
+  /// exec::context::ensure_shared_pool() to share workers across runs).
+  /// Requires a prior add_exec_flags().
+  [[nodiscard]] exec::context exec() const;
 
  private:
   struct flag_spec {
@@ -64,6 +72,8 @@ class cli_parser {
     /// parse() rejects a negative integer value (used by --threads so a
     /// typo takes the usual usage-and-exit path, not an exception).
     bool nonnegative_int = false;
+    /// parse() rejects values outside [0, 1] (used by --drop).
+    bool unit_interval = false;
     /// When non-empty, parse() rejects values outside this set (used by
     /// --delivery; enum-shaped flags fail fast on typos).
     std::vector<std::string> one_of;

@@ -118,14 +118,8 @@ lp_approx_result approximate_lp_known_delta(const graph::graph& g,
   result.ratio_bound = alg2_ratio_bound(delta, k);
   if (n == 0) return result;
 
-  sim::engine_config cfg;
-  cfg.seed = params.seed;
-  cfg.drop_probability = params.drop_probability;
-  cfg.congest_bit_limit = params.congest_bit_limit;
+  sim::engine_config cfg = params.exec.engine_config();
   cfg.max_rounds = alg2_round_count(k) + 2;
-  cfg.threads = params.threads;
-  cfg.pool = params.pool;
-  cfg.delivery = params.delivery;
   sim::typed_engine<alg2_program> engine(g, cfg);
   engine.load([&](graph::node_id) {
     return alg2_program(k, delta, lp::feasibility_epsilon);

@@ -261,14 +261,8 @@ lp_approx_result approximate_lp(const graph::graph& g,
   result.ratio_bound = alg3_ratio_bound(result.delta, k);
   if (n == 0) return result;
 
-  sim::engine_config cfg;
-  cfg.seed = params.seed;
-  cfg.drop_probability = params.drop_probability;
-  cfg.congest_bit_limit = params.congest_bit_limit;
+  sim::engine_config cfg = params.exec.engine_config();
   cfg.max_rounds = alg3_round_count(k) + 2;
-  cfg.threads = params.threads;
-  cfg.pool = params.pool;
-  cfg.delivery = params.delivery;
   sim::typed_engine<alg3_program> engine(g, cfg);
   engine.load([&](graph::node_id) {
     return alg3_program(k, lp::feasibility_epsilon);

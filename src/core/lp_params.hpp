@@ -4,12 +4,10 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
-#include "sim/delivery.hpp"
+#include "exec/context.hpp"
 #include "sim/metrics.hpp"
-#include "sim/thread_pool.hpp"
 
 namespace domset::core {
 
@@ -18,32 +16,9 @@ struct lp_approx_params {
   /// time Theta(k^2).
   std::uint32_t k = 2;
 
-  /// Engine seed.  Algorithms 2 and 3 are deterministic; the seed only
-  /// matters when message loss is injected.
-  std::uint64_t seed = 1;
-
-  /// Message-loss probability (robustness extension; 0 = paper model).
-  double drop_probability = 0.0;
-
-  /// If nonzero, the engine flags any message whose declared width exceeds
-  /// this many bits (run_metrics::congest_violation) -- used to assert the
-  /// paper's O(log Delta) message-size claim mechanically.
-  std::uint32_t congest_bit_limit = 0;
-
-  /// Simulator worker threads (1 = serial, 0 = hardware concurrency).
-  /// Purely a wall-clock knob: outputs and metrics are bit-identical for
-  /// every value.
-  std::size_t threads = 1;
-
-  /// Optional shared worker pool (see sim::engine_config::pool).  Lets
-  /// consecutive runs -- pipeline stages, parameter sweeps -- reuse one
-  /// set of threads instead of building a pool per run.
-  std::shared_ptr<sim::thread_pool> pool;
-
-  /// Message-delivery scheme (push, pull, or resolve from degree skew;
-  /// see sim::engine_config::delivery).  Like `threads`, purely a
-  /// wall-clock knob: outputs are bit-identical for every value.
-  sim::delivery_mode delivery = sim::delivery_mode::automatic;
+  /// Execution knobs (seed, threads, pool, delivery, message loss,
+  /// CONGEST bit limit) -- see exec::context for the shared semantics.
+  exec::context exec;
 };
 
 struct lp_approx_result {

@@ -6,16 +6,12 @@ pipeline_result compute_dominating_set(const graph::graph& g,
                                        const pipeline_params& params) {
   // Both stages run on one worker pool: the rounding stage reuses the LP
   // stage's threads instead of paying a second pool construction.
-  std::shared_ptr<sim::thread_pool> pool = params.pool;
-  if (!pool) pool = sim::thread_pool::make_shared_if_parallel(params.threads);
+  exec::context exec = params.exec;
+  exec.ensure_shared_pool();
 
   lp_approx_params lp_params;
   lp_params.k = params.k;
-  lp_params.seed = params.seed;
-  lp_params.drop_probability = params.drop_probability;
-  lp_params.threads = params.threads;
-  lp_params.pool = pool;
-  lp_params.delivery = params.delivery;
+  lp_params.exec = exec;
 
   pipeline_result result;
   result.fractional = params.assume_known_delta
@@ -23,13 +19,10 @@ pipeline_result compute_dominating_set(const graph::graph& g,
                           : approximate_lp(g, lp_params);
 
   rounding_params r_params;
-  r_params.seed = params.seed + 1;  // independent stream for the coin flips
   r_params.variant = params.variant;
   r_params.announce_final = params.announce_final;
-  r_params.drop_probability = params.drop_probability;
-  r_params.threads = params.threads;
-  r_params.pool = pool;
-  r_params.delivery = params.delivery;
+  // Independent stream for the coin flips.
+  r_params.exec = exec.with_seed(exec.seed + 1);
   result.rounding =
       round_to_dominating_set(g, result.fractional.x, r_params);
 

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "core/alg2.hpp"
@@ -18,26 +17,17 @@ namespace domset::core {
 
 struct pipeline_params {
   std::uint32_t k = 2;
-  std::uint64_t seed = 1;
   /// If true, use Algorithm 2 (requires global knowledge of Delta; fewer
   /// rounds).  Default is the uniform Algorithm 3.
   bool assume_known_delta = false;
   rounding_variant variant = rounding_variant::plain;
   bool announce_final = false;
-  double drop_probability = 0.0;
-  /// Simulator worker threads for both stages (1 = serial, 0 = hardware
-  /// concurrency); bit-identical results for every value.
-  std::size_t threads = 1;
-
-  /// Optional shared worker pool for both stages (see
-  /// sim::engine_config::pool).  When parallelism is requested and no pool
-  /// is supplied, the pipeline builds one and shares it across the LP and
-  /// rounding stages rather than letting each stage spin up its own.
-  std::shared_ptr<sim::thread_pool> pool;
-
-  /// Message-delivery scheme for both stages (see
-  /// sim::engine_config::delivery); bit-identical results for every value.
-  sim::delivery_mode delivery = sim::delivery_mode::automatic;
+  /// Execution knobs, shared by both stages (see exec::context).  The
+  /// rounding stage derives its coin-flip stream from `exec.seed + 1`;
+  /// when parallelism is requested and no pool is supplied, the pipeline
+  /// builds one and shares it across the LP and rounding stages rather
+  /// than letting each stage spin up its own.
+  exec::context exec;
 };
 
 struct pipeline_result {

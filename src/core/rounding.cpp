@@ -148,13 +148,8 @@ rounding_result round_to_dominating_set(const graph::graph& g,
   result.dominator.assign(n, graph::invalid_node);
   if (n == 0) return result;
 
-  sim::engine_config cfg;
-  cfg.seed = params.seed;
-  cfg.drop_probability = params.drop_probability;
+  sim::engine_config cfg = params.exec.engine_config();
   cfg.max_rounds = 8;
-  cfg.threads = params.threads;
-  cfg.pool = params.pool;
-  cfg.delivery = params.delivery;
   sim::typed_engine<rounding_program> engine(g, cfg);
   engine.load([&](graph::node_id v) {
     return rounding_program(x[v], params.variant, params.announce_final);

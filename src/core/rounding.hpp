@@ -17,14 +17,12 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <vector>
 
+#include "exec/context.hpp"
 #include "graph/graph.hpp"
-#include "sim/delivery.hpp"
 #include "sim/metrics.hpp"
-#include "sim/thread_pool.hpp"
 
 namespace domset::core {
 
@@ -38,23 +36,14 @@ enum class rounding_variant {
 };
 
 struct rounding_params {
-  std::uint64_t seed = 1;
   rounding_variant variant = rounding_variant::plain;
   /// If true, members broadcast their final membership in one extra round
   /// so every node also knows its dominator (used by the clustering
   /// example).  The paper's algorithm does not need it.
   bool announce_final = false;
-  double drop_probability = 0.0;
-  /// Simulator worker threads (1 = serial, 0 = hardware concurrency);
-  /// bit-identical results for every value.
-  std::size_t threads = 1;
-
-  /// Optional shared worker pool (see sim::engine_config::pool).
-  std::shared_ptr<sim::thread_pool> pool;
-
-  /// Message-delivery scheme (see sim::engine_config::delivery);
-  /// bit-identical results for every value.
-  sim::delivery_mode delivery = sim::delivery_mode::automatic;
+  /// Execution knobs (seed for the rounding coins, threads, pool,
+  /// delivery, message loss) -- see exec::context.
+  exec::context exec;
 };
 
 struct rounding_result {

@@ -128,14 +128,8 @@ weighted_lp_result approximate_weighted_lp(const graph::graph& g,
   result.ratio_bound = weighted_ratio_bound(result.delta, params.k, c_max);
   if (n == 0) return result;
 
-  sim::engine_config cfg;
-  cfg.seed = params.seed;
-  cfg.drop_probability = params.drop_probability;
-  cfg.congest_bit_limit = params.congest_bit_limit;
+  sim::engine_config cfg = params.exec.engine_config();
   cfg.max_rounds = 2ULL * params.k * params.k + 2;
-  cfg.threads = params.threads;
-  cfg.pool = params.pool;
-  cfg.delivery = params.delivery;
   sim::typed_engine<weighted_alg2_program> engine(g, cfg);
   engine.load([&](graph::node_id v) {
     return weighted_alg2_program(params.k, result.delta, cost[v], c_max,

@@ -37,7 +37,7 @@ TEST(Adversarial, GreedyBaitVsLpPipeline) {
   for (std::uint64_t seed = 0; seed < 40; ++seed) {
     core::pipeline_params params;
     params.k = 3;
-    params.seed = seed;
+    params.exec.seed = seed;
     const auto res = core::compute_dominating_set(g, params);
     ASSERT_TRUE(verify::is_dominating_set(g, res.in_set));
     pipeline_sizes.add(static_cast<double>(res.size));
@@ -92,7 +92,7 @@ TEST(Adversarial, WuLiBlowsUpOnCyclesPipelineDoesNot) {
   for (std::uint64_t seed = 0; seed < 20; ++seed) {
     core::pipeline_params params;
     params.k = 4;
-    params.seed = seed;
+    params.exec.seed = seed;
     pipeline_sizes.add(static_cast<double>(
         core::compute_dominating_set(g, params).size));
   }

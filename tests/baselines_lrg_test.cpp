@@ -18,7 +18,7 @@ TEST(Lrg, AlwaysDominates) {
   for (int trial = 0; trial < 15; ++trial) {
     const graph::graph g = graph::gnp_random(60, 0.04 + 0.02 * trial, gen);
     lrg_params params;
-    params.seed = 900 + trial;
+    params.exec.seed = 900 + trial;
     const auto res = lrg_mds(g, params);
     EXPECT_FALSE(res.metrics.hit_round_limit);
     EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "trial " << trial;
@@ -46,7 +46,7 @@ TEST(Lrg, CompleteGraphSelectsFewNodes) {
   common::running_stats sizes;
   for (std::uint64_t seed = 0; seed < 30; ++seed) {
     lrg_params params;
-    params.seed = seed;
+    params.exec.seed = seed;
     const auto res = lrg_mds(g, params);
     ASSERT_TRUE(verify::is_dominating_set(g, res.in_set));
     sizes.add(static_cast<double>(res.size));
@@ -72,7 +72,7 @@ TEST(Lrg, QualityComparableToGreedyOnRandomGraphs) {
   common::running_stats sizes;
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     lrg_params params;
-    params.seed = seed;
+    params.exec.seed = seed;
     sizes.add(static_cast<double>(lrg_mds(g, params).size));
   }
   // Expected O(log Delta) approximation: allow a factor ~3 of greedy.
@@ -83,7 +83,7 @@ TEST(Lrg, DeterministicPerSeed) {
   common::rng gen(704);
   const graph::graph g = graph::gnp_random(50, 0.1, gen);
   lrg_params params;
-  params.seed = 42;
+  params.exec.seed = 42;
   const auto a = lrg_mds(g, params);
   const auto b = lrg_mds(g, params);
   EXPECT_EQ(a.in_set, b.in_set);

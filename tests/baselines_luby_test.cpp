@@ -30,7 +30,7 @@ TEST(LubyMis, IndependentAndDominatingAcrossFamilies) {
       graph::gnp_random(60, 0.1, gen), graph::barabasi_albert(50, 2, gen)};
   for (const auto& g : graphs) {
     luby_params params;
-    params.seed = 5;
+    params.exec.seed = 5;
     const auto res = luby_mis(g, params);
     EXPECT_FALSE(res.metrics.hit_round_limit) << g.summary();
     EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << g.summary();
@@ -42,7 +42,7 @@ TEST(LubyMis, IndependentAndDominatingAcrossFamilies) {
 TEST(LubyMis, CompleteGraphSelectsExactlyOne) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     luby_params params;
-    params.seed = seed;
+    params.exec.seed = seed;
     const auto res = luby_mis(graph::complete_graph(25), params);
     EXPECT_EQ(res.size, 1U);
     // One drawing phase settles everything; the losers consume the join
@@ -63,7 +63,7 @@ TEST(LubyMis, PhasesAreLogarithmicOnRandomGraphs) {
   common::running_stats phases;
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
     luby_params params;
-    params.seed = seed;
+    params.exec.seed = seed;
     const auto res = luby_mis(g, params);
     EXPECT_FALSE(res.metrics.hit_round_limit);
     phases.add(static_cast<double>(res.phases));
@@ -76,7 +76,7 @@ TEST(LubyMis, DeterministicPerSeed) {
   common::rng gen(1203);
   const graph::graph g = graph::gnp_random(60, 0.1, gen);
   luby_params params;
-  params.seed = 9;
+  params.exec.seed = 9;
   const auto a = luby_mis(g, params);
   const auto b = luby_mis(g, params);
   EXPECT_EQ(a.in_set, b.in_set);
@@ -89,7 +89,7 @@ TEST(LubyMis, StarCanBlowUp) {
   bool saw_leaves = false;
   for (std::uint64_t seed = 0; seed < 30 && !saw_leaves; ++seed) {
     luby_params params;
-    params.seed = seed;
+    params.exec.seed = seed;
     const auto res = luby_mis(graph::star_graph(12), params);
     EXPECT_TRUE(res.size == 1 || res.size == 11);
     saw_leaves = res.size == 11;

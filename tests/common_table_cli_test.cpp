@@ -88,29 +88,44 @@ TEST(CliParser, RejectsMissingValue) {
   EXPECT_FALSE(cli.parse(2, argv));
 }
 
-TEST(CliParser, ThreadsFlagParsesAndDefaultsToSerial) {
+TEST(CliParser, ExecFlagsDefaultToSerialReliableContext) {
   cli_parser cli("test tool");
-  cli.add_threads_flag();
-  const char* serial[] = {"prog"};
-  ASSERT_TRUE(cli.parse(1, serial));
-  EXPECT_EQ(cli.threads(), 1U);
+  cli.add_exec_flags(17);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  const domset::exec::context ctx = cli.exec();
+  EXPECT_EQ(ctx.seed, 17U);
+  EXPECT_EQ(ctx.threads, 1U);
+  EXPECT_EQ(ctx.drop_probability, 0.0);
+  EXPECT_EQ(ctx.congest_bit_limit, 0U);
+  EXPECT_EQ(ctx.delivery, domset::sim::delivery_mode::automatic);
+  EXPECT_EQ(ctx.pool, nullptr);
+}
 
-  cli_parser cli2("test tool");
-  cli2.add_threads_flag();
-  const char* argv[] = {"prog", "--threads", "4"};
-  ASSERT_TRUE(cli2.parse(3, argv));
-  EXPECT_EQ(cli2.threads(), 4U);
+TEST(CliParser, ExecFlagsParseEveryKnob) {
+  cli_parser cli("test tool");
+  cli.add_exec_flags();
+  const char* argv[] = {"prog",        "--seed", "9",      "--threads", "4",
+                        "--delivery",  "pull",   "--drop", "0.25",
+                        "--congest-bits", "12"};
+  ASSERT_TRUE(cli.parse(11, argv));
+  const domset::exec::context ctx = cli.exec();
+  EXPECT_EQ(ctx.seed, 9U);
+  EXPECT_EQ(ctx.threads, 4U);
+  EXPECT_EQ(ctx.delivery, domset::sim::delivery_mode::pull);
+  EXPECT_DOUBLE_EQ(ctx.drop_probability, 0.25);
+  EXPECT_EQ(ctx.congest_bit_limit, 12U);
 
-  cli_parser cli3("test tool");
-  cli3.add_threads_flag();
+  cli_parser autodetect_cli("test tool");
+  autodetect_cli.add_exec_flags();
   const char* autodetect[] = {"prog", "--threads=0"};
-  ASSERT_TRUE(cli3.parse(2, autodetect));
-  EXPECT_EQ(cli3.threads(), 0U);
+  ASSERT_TRUE(autodetect_cli.parse(2, autodetect));
+  EXPECT_EQ(autodetect_cli.exec().threads, 0U);
 }
 
 TEST(CliParser, NegativeThreadsRejectedAtParse) {
   cli_parser cli("test tool");
-  cli.add_threads_flag();
+  cli.add_exec_flags();
   const char* argv[] = {"prog", "--threads=-2"};
   EXPECT_FALSE(cli.parse(2, argv));  // usage-and-exit path, no exception
 }
@@ -120,10 +135,20 @@ TEST(CliParser, NonNumericThreadsRejectedAtParse) {
   // overflow to LLONG_MAX; parse must reject them all.
   for (const char* bad : {"eight", "4x", "", "99999999999999999999"}) {
     cli_parser cli("test tool");
-    cli.add_threads_flag();
+    cli.add_exec_flags();
     const std::string arg = std::string("--threads=") + bad;
     const char* argv[] = {"prog", arg.c_str()};
     EXPECT_FALSE(cli.parse(2, argv)) << arg;
+  }
+}
+
+TEST(CliParser, BadDeliveryAndDropRejectedAtParse) {
+  for (const char* bad : {"--delivery=teleport", "--drop=1.5", "--drop=-0.1",
+                          "--drop=lossy"}) {
+    cli_parser cli("test tool");
+    cli.add_exec_flags();
+    const char* argv[] = {"prog", bad};
+    EXPECT_FALSE(cli.parse(2, argv)) << bad;
   }
 }
 

@@ -198,14 +198,14 @@ TEST(Alg3, CongestLimitEnforcedByEngineMeter) {
   const std::uint32_t k = 3;
   lp_approx_params ok;
   ok.k = k;
-  ok.congest_bit_limit = static_cast<std::uint32_t>(
+  ok.exec.congest_bit_limit = static_cast<std::uint32_t>(
       std::bit_width(static_cast<std::uint64_t>(g.max_degree() + 2) * k));
   const auto res_ok = approximate_lp(g, ok);
   EXPECT_FALSE(res_ok.metrics.congest_violation);
 
   lp_approx_params tight;
   tight.k = k;
-  tight.congest_bit_limit = res_ok.metrics.max_message_bits - 1;
+  tight.exec.congest_bit_limit = res_ok.metrics.max_message_bits - 1;
   EXPECT_TRUE(approximate_lp(g, tight).metrics.congest_violation);
 }
 

@@ -65,7 +65,7 @@ TEST(Cds, PipelineOutputAcrossSeeds) {
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
     pipeline_params params;
     params.k = 2;
-    params.seed = seed;
+    params.exec.seed = seed;
     const auto ds = compute_dominating_set(g, params);
     expect_valid_cds(g, ds.in_set);
   }

@@ -20,7 +20,7 @@ TEST(Pipeline, EndToEndProducesDominatingSet) {
     const graph::graph g = graph::gnp_random(50, 0.1, gen);
     pipeline_params params;
     params.k = k;
-    params.seed = k;
+    params.exec.seed = k;
     const auto res = compute_dominating_set(g, params);
     EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "k=" << k;
     EXPECT_EQ(res.size, verify::set_size(res.in_set));
@@ -62,7 +62,7 @@ TEST(Pipeline, AverageSizeWithinTheorem6Bound) {
     for (std::uint64_t seed = 0; seed < 100; ++seed) {
       pipeline_params params;
       params.k = k;
-      params.seed = seed;
+      params.exec.seed = seed;
       const auto res = compute_dominating_set(g, params);
       ASSERT_TRUE(verify::is_dominating_set(g, res.in_set));
       sizes.add(static_cast<double>(res.size));
@@ -79,7 +79,7 @@ TEST(Pipeline, SizeNeverBelowCertifiedLowerBound) {
   for (int trial = 0; trial < 10; ++trial) {
     const graph::graph g = graph::gnp_random(60, 0.08, gen);
     pipeline_params params;
-    params.seed = 500 + trial;
+    params.exec.seed = 500 + trial;
     params.k = 2;
     const auto res = compute_dominating_set(g, params);
     EXPECT_GE(static_cast<double>(res.size),
@@ -92,7 +92,7 @@ TEST(Pipeline, DeterministicGivenSeed) {
   const graph::graph g = graph::gnp_random(40, 0.15, gen);
   pipeline_params params;
   params.k = 2;
-  params.seed = 99;
+  params.exec.seed = 99;
   const auto a = compute_dominating_set(g, params);
   const auto b = compute_dominating_set(g, params);
   EXPECT_EQ(a.in_set, b.in_set);
@@ -119,13 +119,14 @@ TEST(Pipeline, StarGraphStaysNearOptimal) {
   for (std::uint64_t seed = 0; seed < 50; ++seed) {
     pipeline_params params;
     params.k = 3;
-    params.seed = seed;
+    params.exec.seed = seed;
     const auto res = compute_dominating_set(g, params);
     ASSERT_TRUE(verify::is_dominating_set(g, res.in_set));
     sizes.add(static_cast<double>(res.size));
   }
-  EXPECT_LE(sizes.mean(), compute_dominating_set(g, {.k = 3, .seed = 0})
-                              .expected_ratio_bound);
+  EXPECT_LE(sizes.mean(),
+            compute_dominating_set(g, {.k = 3, .exec = {.seed = 0}})
+                .expected_ratio_bound);
 }
 
 TEST(Pipeline, LogLogVariantWorksEndToEnd) {

@@ -43,7 +43,7 @@ TEST(RoundingStats, MembershipFrequenciesMatchClosedForm) {
   std::vector<std::size_t> hits(g.node_count(), 0);
   for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
     rounding_params params;
-    params.seed = seed;
+    params.exec.seed = seed;
     const auto res = round_to_dominating_set(g, x, params);
     for (graph::node_id v = 0; v < g.node_count(); ++v)
       if (res.in_set[v]) ++hits[v];
@@ -75,7 +75,7 @@ TEST(RoundingStats, FixupRateDropsWithCoverage) {
     std::size_t total = 0;
     for (std::uint64_t seed = 0; seed < 300; ++seed) {
       rounding_params params;
-      params.seed = seed;
+      params.exec.seed = seed;
       total += round_to_dominating_set(g, x, params).selected_by_fixup;
     }
     return static_cast<double>(total) / 300.0;
@@ -117,7 +117,7 @@ TEST(RoundingStats, JointMembershipMatchesIndependentCoins) {
   std::size_t joint = 0;
   for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
     rounding_params params;
-    params.seed = seed;
+    params.exec.seed = seed;
     const auto res = round_to_dominating_set(g, x, params);
     if (res.in_set[10] && res.in_set[11]) ++joint;
   }

@@ -22,7 +22,7 @@ TEST(Rounding, AlwaysProducesDominatingSet) {
     const graph::graph g = graph::gnp_random(40, 0.08 + 0.01 * trial, gen);
     const auto lp_res = approximate_lp(g, {.k = 2});
     rounding_params params;
-    params.seed = 1000 + trial;
+    params.exec.seed = 1000 + trial;
     const auto res = round_to_dominating_set(g, lp_res.x, params);
     EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "trial " << trial;
     EXPECT_EQ(res.size, verify::set_size(res.in_set));
@@ -76,7 +76,7 @@ TEST(Rounding, ExpectedSizeWithinTheorem3Bound) {
   common::running_stats sizes;
   for (std::uint64_t seed = 0; seed < 200; ++seed) {
     rounding_params params;
-    params.seed = seed;
+    params.exec.seed = seed;
     const auto res = round_to_dominating_set(g, lp_opt->x, params);
     ASSERT_TRUE(verify::is_dominating_set(g, res.in_set));
     sizes.add(static_cast<double>(res.size));
@@ -94,7 +94,7 @@ TEST(Rounding, LogLogVariantAlsoDominates) {
   const auto lp_res = approximate_lp(g, {.k = 3});
   for (std::uint64_t seed = 0; seed < 20; ++seed) {
     rounding_params params;
-    params.seed = seed;
+    params.exec.seed = seed;
     params.variant = rounding_variant::log_log;
     const auto res = round_to_dominating_set(g, lp_res.x, params);
     EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "seed " << seed;
@@ -110,10 +110,10 @@ TEST(Rounding, LogLogSelectsFewerRandomNodesOnAverage) {
   std::size_t loglog_total = 0;
   for (std::uint64_t seed = 0; seed < 100; ++seed) {
     rounding_params p1;
-    p1.seed = seed;
+    p1.exec.seed = seed;
     plain_total += round_to_dominating_set(g, x, p1).selected_randomly;
     rounding_params p2;
-    p2.seed = seed;
+    p2.exec.seed = seed;
     p2.variant = rounding_variant::log_log;
     loglog_total += round_to_dominating_set(g, x, p2).selected_randomly;
   }
@@ -139,7 +139,7 @@ TEST(Rounding, SeedsChangeOutcomeDeterministically) {
   const graph::graph g = graph::grid_graph(6, 6);
   const auto lp_res = approximate_lp(g, {.k = 2});
   rounding_params a;
-  a.seed = 7;
+  a.exec.seed = 7;
   const auto res_a1 = round_to_dominating_set(g, lp_res.x, a);
   const auto res_a2 = round_to_dominating_set(g, lp_res.x, a);
   EXPECT_EQ(res_a1.in_set, res_a2.in_set);
@@ -148,7 +148,7 @@ TEST(Rounding, SeedsChangeOutcomeDeterministically) {
   bool any_diff = false;
   for (std::uint64_t seed = 8; seed < 13 && !any_diff; ++seed) {
     rounding_params b;
-    b.seed = seed;
+    b.exec.seed = seed;
     any_diff = round_to_dominating_set(g, lp_res.x, b).in_set != res_a1.in_set;
   }
   EXPECT_TRUE(any_diff);

@@ -27,8 +27,8 @@ TEST(FailureInjection, Alg2StaysFeasibleUnderLoss) {
   for (const double drop : {0.05, 0.2, 0.5, 0.9}) {
     core::lp_approx_params params;
     params.k = 3;
-    params.seed = 77;
-    params.drop_probability = drop;
+    params.exec.seed = 77;
+    params.exec.drop_probability = drop;
     const auto res = core::approximate_lp_known_delta(g, params);
     EXPECT_TRUE(lp::is_primal_feasible(g, res.x)) << "drop=" << drop;
     EXPECT_GT(res.metrics.messages_dropped, 0U);
@@ -43,8 +43,8 @@ TEST(FailureInjection, Alg3StaysFeasibleUnderLoss) {
   for (const double drop : {0.05, 0.2, 0.5, 0.9}) {
     core::lp_approx_params params;
     params.k = 2;
-    params.seed = 78;
-    params.drop_probability = drop;
+    params.exec.seed = 78;
+    params.exec.drop_probability = drop;
     const auto res = core::approximate_lp(g, params);
     EXPECT_TRUE(lp::is_primal_feasible(g, res.x)) << "drop=" << drop;
     EXPECT_EQ(res.metrics.rounds, core::alg3_round_count(2));
@@ -61,8 +61,8 @@ TEST(FailureInjection, LossInflatesObjectiveGracefully) {
   clean.k = 3;
   const double base = core::approximate_lp(g, clean).objective;
   core::lp_approx_params lossy = clean;
-  lossy.drop_probability = 0.8;
-  lossy.seed = 5;
+  lossy.exec.drop_probability = 0.8;
+  lossy.exec.seed = 5;
   const double degraded = core::approximate_lp(g, lossy).objective;
   EXPECT_GE(degraded, base - 1e-9);
   EXPECT_LE(degraded, static_cast<double>(g.node_count()) + 1e-9);
@@ -74,8 +74,8 @@ TEST(FailureInjection, PipelineStillDominatesUnderLoss) {
   for (const double drop : {0.1, 0.3, 0.6}) {
     core::pipeline_params params;
     params.k = 2;
-    params.seed = 40;
-    params.drop_probability = drop;
+    params.exec.seed = 40;
+    params.exec.drop_probability = drop;
     const auto res = core::compute_dominating_set(g, params);
     EXPECT_TRUE(verify::is_dominating_set(g, res.in_set)) << "drop=" << drop;
   }
@@ -91,9 +91,9 @@ TEST(FailureInjection, LossOnlyGrowsTheRoundedSet) {
   for (std::uint64_t seed = 0; seed < 20; ++seed) {
     core::pipeline_params params;
     params.k = 2;
-    params.seed = seed;
+    params.exec.seed = seed;
     clean_total += core::compute_dominating_set(g, params).size;
-    params.drop_probability = 0.5;
+    params.exec.drop_probability = 0.5;
     lossy_total += core::compute_dominating_set(g, params).size;
   }
   // Averaged over seeds; a small slack absorbs coin-flip noise (loss also
@@ -105,8 +105,8 @@ TEST(FailureInjection, LrgTerminatesAndDominatesUnderModerateLoss) {
   common::rng gen(906);
   const graph::graph g = graph::gnp_random(40, 0.15, gen);
   baselines::lrg_params params;
-  params.seed = 3;
-  params.drop_probability = 0.1;
+  params.exec.seed = 3;
+  params.exec.drop_probability = 0.1;
   const auto res = baselines::lrg_mds(g, params);
   EXPECT_FALSE(res.metrics.hit_round_limit);
   EXPECT_TRUE(verify::is_dominating_set(g, res.in_set));

@@ -45,7 +45,7 @@ TEST(Integration, FullStackOnUnitDisk) {
 
   core::pipeline_params params;
   params.k = 3;
-  params.seed = 9;
+  params.exec.seed = 9;
   const auto ds = core::compute_dominating_set(reparsed, params);
   EXPECT_TRUE(verify::is_dominating_set(reparsed, ds.in_set));
   EXPECT_GE(ds.fractional.objective, lp_opt->value - 1e-9);
@@ -73,15 +73,15 @@ TEST(Integration, EveryAlgorithmDominatesTheSameGraph) {
 
   core::pipeline_params kw;
   kw.k = 2;
-  kw.seed = 4;
+  kw.exec.seed = 4;
   check(core::compute_dominating_set(g, kw).in_set, "kw");
   check(baselines::greedy_mds(g).in_set, "greedy");
   baselines::lrg_params lrg;
-  lrg.seed = 4;
+  lrg.exec.seed = 4;
   check(baselines::lrg_mds(g, lrg).in_set, "lrg");
   check(baselines::wu_li_mds(g).in_set, "wu_li");
   baselines::luby_params luby;
-  luby.seed = 4;
+  luby.exec.seed = 4;
   check(baselines::luby_mis(g, luby).in_set, "luby");
   check(baselines::trivial_all_nodes(g), "trivial");
   check(baselines::centralized_lp_rounding(g, 4).in_set, "central_lp");
@@ -111,7 +111,7 @@ TEST(Integration, WeightedPipelineEndToEnd) {
   const auto frac = core::approximate_weighted_lp(g, costs, {.k = 3});
   ASSERT_TRUE(lp::is_primal_feasible(g, frac.x));
   core::rounding_params r;
-  r.seed = 2;
+  r.exec.seed = 2;
   const auto ds = core::round_to_dominating_set(g, frac.x, r);
   EXPECT_TRUE(verify::is_dominating_set(g, ds.in_set));
   // Weighted greedy should not be beaten by orders of magnitude...

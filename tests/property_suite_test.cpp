@@ -72,7 +72,7 @@ TEST_P(PipelineProperty, DominatesAndRespectsBounds) {
 
   core::pipeline_params params;
   params.k = k;
-  params.seed = static_cast<std::uint64_t>(seed) * 7919 + k;
+  params.exec.seed = static_cast<std::uint64_t>(seed) * 7919 + k;
   const auto res = core::compute_dominating_set(g, params);
 
   // (1) The output is a dominating set.

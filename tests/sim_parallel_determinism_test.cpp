@@ -47,13 +47,13 @@ TEST(ParallelDeterminism, Alg2IdenticalAcrossThreadCounts) {
   for (const auto& g : graphs) {
     core::lp_approx_params params;
     params.k = 3;
-    params.seed = 9;
-    params.delivery = delivery_mode::push;
+    params.exec.seed = 9;
+    params.exec.delivery = delivery_mode::push;
     const auto serial = core::approximate_lp_known_delta(g, params);
     for (const delivery_mode mode : delivery_modes) {
       for (const std::size_t t : thread_counts) {
-        params.delivery = mode;
-        params.threads = t;
+        params.exec.delivery = mode;
+        params.exec.threads = t;
         const auto run = core::approximate_lp_known_delta(g, params);
         // Bitwise-equal x vectors: the doubles decode from the same integer
         // exponents, so exact comparison is the correct assertion.
@@ -74,14 +74,14 @@ TEST(ParallelDeterminism, Alg3IdenticalUnderMessageLoss) {
   const graph::graph g = graph::gnp_random(250, 0.04, gen);
   core::lp_approx_params params;
   params.k = 2;
-  params.seed = 31;
-  params.drop_probability = 0.3;  // drop streams are per sender: order-free
-  params.delivery = delivery_mode::push;
+  params.exec.seed = 31;
+  params.exec.drop_probability = 0.3;  // drop streams are per sender: order-free
+  params.exec.delivery = delivery_mode::push;
   const auto serial = core::approximate_lp(g, params);
   for (const delivery_mode mode : delivery_modes) {
     for (const std::size_t t : thread_counts) {
-      params.delivery = mode;
-      params.threads = t;
+      params.exec.delivery = mode;
+      params.exec.threads = t;
       const auto run = core::approximate_lp(g, params);
       for (std::size_t v = 0; v < run.x.size(); ++v)
         EXPECT_EQ(run.x[v], serial.x[v])

@@ -177,11 +177,11 @@ TEST(ThreadPoolEngine, InjectedPoolSharedAcrossPipelineStages) {
   const graph::graph g = graph::gnp_random(250, 0.04, gen);
   core::pipeline_params params;
   params.k = 2;
-  params.seed = 5;
+  params.exec.seed = 5;
   const auto serial = core::compute_dominating_set(g, params);
 
-  params.threads = 4;
-  params.pool = std::make_shared<sim::thread_pool>(4);
+  params.exec.threads = 4;
+  params.exec.pool = std::make_shared<sim::thread_pool>(4);
   const auto pooled = core::compute_dominating_set(g, params);
   EXPECT_EQ(pooled.in_set, serial.in_set);
   EXPECT_EQ(pooled.total_rounds, serial.total_rounds);
@@ -221,12 +221,12 @@ TEST(ThreadPoolEngine, Alg2OnInjectedPoolMatchesSerial) {
   const graph::graph g = graph::barabasi_albert(180, 3, gen);
   core::lp_approx_params params;
   params.k = 3;
-  params.seed = 17;
+  params.exec.seed = 17;
   const auto serial = core::approximate_lp_known_delta(g, params);
 
   const auto pool = std::make_shared<sim::thread_pool>(8);
-  params.threads = 8;
-  params.pool = pool;
+  params.exec.threads = 8;
+  params.exec.pool = pool;
   for (int rep = 0; rep < 2; ++rep) {
     const auto run = core::approximate_lp_known_delta(g, params);
     ASSERT_EQ(run.x.size(), serial.x.size());

@@ -1,0 +1,194 @@
+/// \file domset_main.cpp
+/// \brief The `domset` driver binary: run any registered dominating-set
+/// solver on any named graph family from one command line.
+///
+///   domset list
+///       enumerate registered solvers and graph families
+///   domset run --alg pipeline --graph gnp --n 100000 --k 3 --json
+///       build the graph, run the solver under the shared exec flags
+///       (--seed --threads --delivery --drop --congest-bits), verify the
+///       output, and print a human summary or the stable domset-run/1
+///       JSON record (see api/result_json.hpp)
+///
+/// Exit status: 0 on success (integral outputs additionally verified
+/// dominating), 1 on an invalid solution, 2 on usage errors.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "api/graphs.hpp"
+#include "api/registry.hpp"
+#include "api/result_json.hpp"
+#include "api/solver.hpp"
+#include "common/cli.hpp"
+#include "exec/context.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using namespace domset;
+
+int cmd_list() {
+  std::printf("registered solvers (domset run --alg <name>):\n");
+  for (const api::solver* s : api::solver_registry::instance().list()) {
+    std::printf("  %-12s %s\n", std::string(s->name()).c_str(),
+                std::string(s->description()).c_str());
+    std::string keys;
+    for (const std::string_view k : s->param_keys()) {
+      if (!keys.empty()) keys += ", ";
+      keys += "--";
+      keys += k;
+    }
+    if (!keys.empty()) std::printf("  %-12s   params: %s\n", "", keys.c_str());
+  }
+  std::printf("\ngraph families (domset run --graph <name>):\n");
+  for (const api::graph_family& f : api::graph_families()) {
+    std::printf("  %-12s %s\n", std::string(f.name).c_str(),
+                std::string(f.description).c_str());
+    if (!f.params.empty())
+      std::printf("  %-12s   params: %s\n", "", std::string(f.params).c_str());
+  }
+  return 0;
+}
+
+/// Copies the flags the user explicitly set into a param_map, stripping
+/// the value of switches down to "true".
+void forward_set_flags(const common::cli_parser& cli,
+                       std::initializer_list<const char*> names,
+                       api::param_map& out) {
+  for (const char* name : names)
+    if (cli.is_set(name)) out.set(name, cli.get_string(name));
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  common::cli_parser cli(
+      "Run a registered dominating-set solver on a generated graph");
+  cli.add_flag("alg", "pipeline",
+               "solver name (see `domset list` for the registry)");
+  cli.add_flag("graph", "gnp", "graph family (see `domset list`)");
+  cli.add_flag("n", "1000", "approximate node count");
+  cli.require_nonnegative_int("n");
+  cli.add_exec_flags();
+  // Algorithm params -- forwarded into the solver's param_map only when
+  // explicitly set, so a solver that does not accept one rejects it.
+  cli.add_flag("k", "2", "paper trade-off parameter (LP/pipeline solvers)");
+  cli.add_flag("variant", "plain",
+               "rounding variant: plain | log_log (rounding/pipeline)");
+  cli.add_switch("known-delta",
+                 "pipeline: use Algorithm 2 (global Delta known)");
+  cli.add_switch("announce-final",
+                 "rounding/pipeline: members announce final membership");
+  cli.add_flag("max-rounds", "0", "round cap override (lrg/luby)");
+  cli.require_nonnegative_int("max-rounds");
+  // Graph params.
+  cli.add_flag("p", "0", "gnp: edge probability (default 8/n)");
+  cli.add_flag("radius", "0", "udg: radio range (default 1.6/sqrt(n))");
+  cli.add_flag("m", "3", "ba: attachments per node");
+  cli.require_nonnegative_int("m");
+  cli.add_flag("d", "4", "regular: node degree");
+  cli.require_nonnegative_int("d");
+  cli.add_flag("arity", "3", "tree: children per node");
+  cli.require_nonnegative_int("arity");
+  // Output.
+  cli.add_switch("json", "emit the domset-run/1 JSON record");
+  cli.add_flag("out", "", "write the record to this file instead of stdout");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const exec::context exec = cli.exec();
+  const std::string alg = cli.get_string("alg");
+  const std::string family = cli.get_string("graph");
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+
+  api::param_map solver_params;
+  forward_set_flags(
+      cli, {"k", "variant", "known-delta", "announce-final", "max-rounds"},
+      solver_params);
+  api::param_map graph_params;
+  forward_set_flags(cli, {"p", "radius", "m", "d", "arity"}, graph_params);
+
+  const graph::graph g = api::make_graph(family, n, exec.seed, graph_params);
+  const api::solver& solver = api::solver_registry::instance().find(alg);
+
+  const auto start = std::chrono::steady_clock::now();
+  api::run_record record;
+  record.result = solver.solve(g, exec, solver_params);
+  record.elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  record.alg = alg;
+  record.graph_family = family;
+  record.nodes = g.node_count();
+  record.edges = g.edge_count();
+  record.max_degree = g.max_degree();
+  record.exec = exec;
+  record.params = solver_params;
+  record.valid = record.result.integral()
+                     ? verify::is_dominating_set(g, record.result.in_set)
+                     : true;
+
+  if (cli.get_bool("json") || cli.is_set("out")) {
+    const std::string json = api::to_json(record);
+    const std::string out_path = cli.get_string("out");
+    if (out_path.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(out_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "domset: cannot write '%s'\n", out_path.c_str());
+        return 2;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    }
+  } else {
+    std::printf("graph   : %s (%s)\n", g.summary().c_str(), family.c_str());
+    std::printf("solver  : %s\n", alg.c_str());
+    if (record.result.integral())
+      std::printf("|DS|    : %zu (valid: %s)\n", record.result.size,
+                  record.valid ? "yes" : "NO");
+    std::printf("objective: %.3f", record.result.objective);
+    if (record.result.ratio_bound > 0.0)
+      std::printf("  (guarantee %.2f x OPT)", record.result.ratio_bound);
+    std::printf("\nrounds  : %zu, messages %llu, max %u-bit\n",
+                record.result.metrics.rounds,
+                static_cast<unsigned long long>(
+                    record.result.metrics.messages_sent),
+                record.result.metrics.max_message_bits);
+    std::printf("elapsed : %.1f ms\n", record.elapsed_ms);
+  }
+  return record.valid ? 0 : 1;
+}
+
+void print_usage() {
+  std::fputs(
+      "usage: domset <command> [flags]\n"
+      "  list   enumerate registered solvers and graph families\n"
+      "  run    run a solver: domset run --alg pipeline --graph gnp "
+      "--n 1000 --k 3 [--json]\n"
+      "run `domset run --help` for the full flag list\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const char* command = argv[1];
+  try {
+    if (std::strcmp(command, "list") == 0) return cmd_list();
+    if (std::strcmp(command, "run") == 0)
+      return cmd_run(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "domset: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "domset: unknown command '%s'\n", command);
+  print_usage();
+  return 2;
+}
