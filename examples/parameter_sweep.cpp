@@ -4,44 +4,21 @@
 //
 //   ./parameter_sweep [--family udg|gnp|grid|ba|star] [--n 400]
 //                     [--kmax 8] [--seeds 20] [--seed 3]
-#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
 
-#include "api/registry.hpp"
-#include "api/solver.hpp"
+#include "api/bench_runner.hpp"
+#include "api/graphs.hpp"
 #include "common/cli.hpp"
-#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
-#include "graph/generators.hpp"
 #include "graph/properties.hpp"
 #include "sim/delivery.hpp"
-#include "sim/thread_pool.hpp"
 #include "verify/verify.hpp"
-
-namespace {
-
-domset::graph::graph make_graph(const std::string& family, std::size_t n,
-                                domset::common::rng& gen) {
-  using namespace domset::graph;
-  if (family == "udg")
-    return random_geometric(n, 1.6 / std::sqrt(static_cast<double>(n)), gen).g;
-  if (family == "gnp") return gnp_random(n, 8.0 / static_cast<double>(n), gen);
-  if (family == "grid") {
-    const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
-    return grid_graph(side, side);
-  }
-  if (family == "ba") return barabasi_albert(n, 3, gen);
-  if (family == "star") return star_graph(n);
-  throw std::invalid_argument("unknown family: " + family);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace domset;
@@ -58,9 +35,12 @@ int main(int argc, char** argv) {
   exec::context exec = cli.exec();
   exec.ensure_shared_pool();
 
-  common::rng gen(exec.seed);
-  const graph::graph g = make_graph(
-      cli.get_string("family"), static_cast<std::size_t>(cli.get_int("n")), gen);
+  const std::string family = cli.get_string("family");
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  // The same named-family builder the `domset` driver uses, so this graph
+  // is identical to the one the bench sweep below constructs from
+  // (family, n, seed).
+  const graph::graph g = api::make_graph(family, n, exec.seed);
   const double lb = graph::dual_lower_bound(g);
   std::printf("graph: %s, certified dual lower bound %.1f\n",
               g.summary().c_str(), lb);
@@ -96,21 +76,28 @@ int main(int argc, char** argv) {
   std::puts("\nRead the table bottom-up to choose k: the smallest k whose "
             "quality you can accept costs the fewest rounds.");
 
-  // Second axis of the scenario space: sweep *across algorithms* through
-  // the registry -- same graph, same shared pool, same yardsticks.
+  // Second axis of the scenario space: sweep *across algorithms* -- no
+  // hand-rolled loop, the same api::run_bench substrate `domset bench`
+  // and the CI trend gate execute (same graph as above, same shared
+  // pool, k filtered to the solvers that accept it).
+  api::bench_spec spec;
+  spec.algs = {"alg2", "alg3", "pipeline", "lrg", "luby", "wu_li"};
+  spec.graphs = {family};
+  spec.ns = {n};
+  spec.seeds = {exec.seed};
+  spec.deliveries = {exec.delivery};
+  spec.threads = {exec.threads};
+  spec.repeats = 1;
+  spec.solver_params.set("k", "3");
+  spec.base_exec = exec;
+  const api::bench_document doc = api::run_bench(spec);
+
   common::text_table algs({"algorithm", "rounds", "msgs total", "objective",
                            "ratio vs LB"});
-  for (const char* name : {"alg2", "alg3", "pipeline", "lrg", "luby",
-                           "wu_li"}) {
-    const api::solver& solver = api::solver_registry::instance().find(name);
-    api::param_map params;
-    const auto keys = solver.param_keys();
-    if (std::find(keys.begin(), keys.end(), "k") != keys.end())
-      params.set("k", "3");
-    const auto res = solver.solve(g, exec, params);
-    if (res.integral() && !verify::is_dominating_set(g, res.in_set)) return 1;
+  for (const api::bench_cell& cell : doc.cells) {
+    const api::solve_result& res = cell.record.result;
     algs.add_row(
-        {std::string(name) + (res.integral() ? "" : " (LP)"),
+        {cell.record.alg + (res.integral() ? "" : " (LP)"),
          common::fmt_int(static_cast<long long>(res.metrics.rounds)),
          common::fmt_int(static_cast<long long>(res.metrics.messages_sent)),
          common::fmt_double(res.objective, 1),
@@ -119,6 +106,8 @@ int main(int argc, char** argv) {
   std::puts("");
   algs.print(std::cout);
   std::puts("\nOne harness, many algorithms: every solver above ran through "
-            "the registry on the same exec context and worker pool.");
+            "the bench runner (api/bench_runner.hpp) on the same exec "
+            "context and worker pool -- the path `domset bench` and the CI "
+            "trend gate exercise.");
   return 0;
 }

@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""CI trend gate over `domset bench` documents (schema domset-bench/1).
+
+Usage:
+    check_bench_trend.py CURRENT.json --baseline BASELINE.json
+                         [--tolerance 0.40] [--min-ms 2.0]
+                         [--allow-missing]
+    check_bench_trend.py CURRENT.json --write-baseline OUT.json
+    check_bench_trend.py --self-test
+
+Compares the current sweep against a committed baseline cell by cell
+(key: alg / graph / n / seed / delivery / threads) and FAILS when
+
+  * a cell's solution digest differs from the baseline's -- the solver
+    output changed for the same seed, which is either a determinism
+    regression or an intentional algorithm change that must ship with a
+    refreshed baseline;
+  * a cell's median wall-time regressed beyond --tolerance (default
+    40%: generous, because CI runs on shared runners) AND by more than
+    --min-ms absolute (sub-millisecond cells flap on timer noise);
+  * a baseline cell is absent from the current document (the sweep
+    silently shrank), unless --allow-missing.
+
+New cells (present now, absent from the baseline) are reported but do
+not fail; they start being gated once the baseline is refreshed.
+
+A per-cell delta table is printed to stdout and, when the
+GITHUB_STEP_SUMMARY environment variable is set, appended there as a
+Markdown job summary.
+
+--write-baseline strips CURRENT.json down to the committed baseline form
+(schema domset-bench-baseline/1: cell keys, digests, median timings) --
+the way bench/baselines/ci_baseline.json is produced and refreshed.
+Refresh it whenever the sweep spec, an algorithm, or the runner class
+changes:
+
+    ./build/domset bench ... --out current.json
+    python3 scripts/check_bench_trend.py current.json \
+        --write-baseline bench/baselines/ci_baseline.json
+
+--self-test exercises the gate on synthetic documents (pass, injected
+digest mismatch, injected slowdown, shrunk sweep) and exits nonzero if
+any expectation fails; CI runs it before the real comparison so the gate
+itself is tested.
+
+Stdlib only.  Exits 0 when the gate passes, 1 on regressions or invalid
+input.
+"""
+
+import json
+import os
+import sys
+
+BENCH_SCHEMA = "domset-bench/1"
+BASELINE_SCHEMA = "domset-bench-baseline/1"
+KEY_FIELDS = ("alg", "graph", "n", "seed", "delivery", "threads")
+
+
+def cell_key(cell):
+    return tuple(cell.get(k) for k in KEY_FIELDS)
+
+
+def key_label(key):
+    alg, graph, n, seed, delivery, threads = key
+    return f"{alg}/{graph}/n={n}/seed={seed}/{delivery}/t={threads}"
+
+
+def load_cells(path, expect_schemas):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"check_bench_trend: {path}: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") not in expect_schemas:
+        raise SystemExit(
+            f"check_bench_trend: {path}: schema is "
+            f"{doc.get('schema') if isinstance(doc, dict) else None!r}, "
+            f"want one of {expect_schemas}"
+        )
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise SystemExit(f"check_bench_trend: {path}: no cells")
+    return {cell_key(c): c for c in cells}
+
+
+def compare(current, baseline, tolerance, min_ms, allow_missing):
+    """Returns (failures, rows): failure strings + delta-table rows."""
+    failures = []
+    rows = []
+    for key in sorted(baseline, key=key_label):
+        base = baseline[key]
+        cur = current.get(key)
+        label = key_label(key)
+        if cur is None:
+            rows.append((label, base.get("median_ms"), None, None, "MISSING"))
+            if not allow_missing:
+                failures.append(
+                    f"{label}: present in the baseline but missing from the "
+                    "current sweep (did the CI spec shrink?)"
+                )
+            continue
+        base_ms = base.get("median_ms")
+        cur_ms = cur.get("median_ms")
+        delta = None
+        status = "ok"
+        if isinstance(base_ms, (int, float)) and isinstance(
+                cur_ms, (int, float)) and base_ms > 0:
+            delta = (cur_ms - base_ms) / base_ms
+            if delta > tolerance and (cur_ms - base_ms) > min_ms:
+                status = "SLOW"
+                failures.append(
+                    f"{label}: median {cur_ms:.2f} ms vs baseline "
+                    f"{base_ms:.2f} ms (+{delta * 100.0:.0f}% > "
+                    f"{tolerance * 100.0:.0f}% tolerance)"
+                )
+        if base.get("digest") != cur.get("digest"):
+            status = "DIGEST"
+            failures.append(
+                f"{label}: solution digest {cur.get('digest')} != baseline "
+                f"{base.get('digest')} (same seed must reproduce the same "
+                "solution; refresh the baseline only for intentional "
+                "algorithm changes)"
+            )
+        rows.append((label, base_ms, cur_ms, delta, status))
+    for key in sorted(set(current) - set(baseline), key=key_label):
+        rows.append(
+            (key_label(key), None, current[key].get("median_ms"), None, "new")
+        )
+    return failures, rows
+
+
+def fmt_ms(value):
+    return f"{value:.2f}" if isinstance(value, (int, float)) else "-"
+
+
+def fmt_delta(delta):
+    return f"{delta * +100.0:+.0f}%" if isinstance(delta, float) else "-"
+
+
+def render_table(rows):
+    lines = ["| cell | baseline ms | current ms | delta | status |",
+             "|---|---|---|---|---|"]
+    for label, base_ms, cur_ms, delta, status in rows:
+        lines.append(
+            f"| {label} | {fmt_ms(base_ms)} | {fmt_ms(cur_ms)} | "
+            f"{fmt_delta(delta)} | {status} |"
+        )
+    return "\n".join(lines)
+
+
+def write_baseline(current, out_path, source):
+    cells = []
+    for key in sorted(current, key=key_label):
+        cell = current[key]
+        slim = {k: cell.get(k) for k in KEY_FIELDS}
+        slim["median_ms"] = cell.get("median_ms")
+        slim["digest"] = cell.get("digest")
+        slim["rounds"] = cell.get("rounds")
+        cells.append(slim)
+    doc = {"schema": BASELINE_SCHEMA, "source": source, "cells": cells}
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"baseline with {len(cells)} cells written to {out_path}")
+
+
+def self_test():
+    def doc(ms_scale=1.0, digest="00000000000000aa", drop_last=False):
+        cells = [
+            {"alg": "pipeline", "graph": "gnp", "n": 1000, "seed": 1,
+             "delivery": "push", "threads": t,
+             "median_ms": 10.0 * t * ms_scale, "digest": digest}
+            for t in (1, 2)
+        ]
+        if drop_last:
+            cells.pop()
+        return {cell_key(c): c for c in cells}
+
+    failed = []
+
+    def expect(name, failures, want_fail):
+        if bool(failures) != want_fail:
+            failed.append(f"{name}: failures={failures} want_fail={want_fail}")
+
+    base = doc()
+    expect("identical docs pass", compare(base, doc(), 0.40, 2.0, False)[0],
+           False)
+    expect("small drift passes",
+           compare(doc(ms_scale=1.2), base, 0.40, 2.0, False)[0], False)
+    expect("2x slowdown fails",
+           compare(doc(ms_scale=2.0), base, 0.40, 2.0, False)[0], True)
+    expect("tiny absolute drift passes the --min-ms floor",
+           compare(doc(ms_scale=0.1), doc(ms_scale=0.001), 0.40, 2.0,
+                   False)[0], False)
+    expect("injected digest mismatch fails",
+           compare(doc(digest="00000000000000bb"), base, 0.40, 2.0,
+                   False)[0], True)
+    expect("shrunk sweep fails",
+           compare(doc(drop_last=True), base, 0.40, 2.0, False)[0], True)
+    expect("shrunk sweep passes with --allow-missing",
+           compare(doc(drop_last=True), base, 0.40, 2.0, True)[0], False)
+    expect("speedup passes", compare(doc(ms_scale=0.2), base, 0.40, 2.0,
+                                     False)[0], False)
+
+    if failed:
+        for line in failed:
+            print(f"self-test FAILED: {line}")
+        return 1
+    print("self-test OK: 8 gate expectations hold")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+
+    def take_option(name, default=None):
+        if name in argv:
+            index = argv.index(name)
+            argv.pop(index)
+            if index >= len(argv):
+                raise SystemExit(f"check_bench_trend: {name} needs a value")
+            return argv.pop(index)
+        return default
+
+    baseline_path = take_option("--baseline")
+    write_path = take_option("--write-baseline")
+    tolerance = float(take_option("--tolerance", "0.40"))
+    min_ms = float(take_option("--min-ms", "2.0"))
+    allow_missing = "--allow-missing" in argv
+    files = [a for a in argv if a != "--allow-missing"]
+    if len(files) != 1:
+        print(__doc__.strip())
+        return 1
+
+    current = load_cells(files[0], (BENCH_SCHEMA,))
+    if write_path:
+        write_baseline(current, write_path, os.path.basename(files[0]))
+        return 0
+    if not baseline_path:
+        print(__doc__.strip())
+        return 1
+    baseline = load_cells(baseline_path, (BASELINE_SCHEMA, BENCH_SCHEMA))
+
+    failures, rows = compare(current, baseline, tolerance, min_ms,
+                             allow_missing)
+    table = render_table(rows)
+    heading = (
+        f"### domset bench trend gate\n\n"
+        f"{len(rows)} cell(s), tolerance {tolerance * 100.0:.0f}%, "
+        f"floor {min_ms:g} ms, baseline `{os.path.basename(baseline_path)}`"
+        f"\n\n"
+    )
+    print(heading + table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as f:
+            f.write(heading + table + "\n\n")
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"\nOK: {len(rows)} cell(s) within tolerance, digests match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

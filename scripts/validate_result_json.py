@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""Schema check for the `domset run --json` record (schema domset-run/1).
+"""Schema check for the `domset` driver's JSON outputs.
 
 Usage:
-    validate_result_json.py RECORD.json [MORE.json ...] [--expect-identical]
+    validate_result_json.py FILE.json [MORE.json ...] [--expect-identical]
 
-Validates every file against the required keys and types of the
-domset-run/1 schema emitted by src/api/result_json.cpp.  With
---expect-identical, additionally asserts that all records carry the same
-solution digest -- the CI hook that proves push/pull/auto delivery (and
-any thread count) produce bit-identical solutions without shipping the
-solutions themselves.
+Each file must carry one of the two schemas emitted by the driver:
+
+  * ``domset-run/1`` -- one run record (``domset run --json``,
+    src/api/result_json.cpp).
+  * ``domset-bench/1`` -- one sweep document (``domset bench``,
+    src/api/bench_runner.cpp): per-cell key, repeat timings, median, and
+    an embedded domset-run/1 record, which is validated with the same
+    rules as a standalone record.
+
+With --expect-identical, additionally asserts that all domset-run/1
+records (standalone files only) carry the same solution digest -- the CI
+hook that proves push/pull/auto delivery (and any thread count) produce
+bit-identical solutions without shipping the solutions themselves.
 
 Exits 0 when every check passes, 1 otherwise, printing one line per
 problem.  Stdlib only, so the CI job needs nothing beyond python3.
@@ -18,11 +25,13 @@ problem.  Stdlib only, so the CI job needs nothing beyond python3.
 import json
 import sys
 
-SCHEMA_NAME = "domset-run/1"
+RUN_SCHEMA = "domset-run/1"
+BENCH_SCHEMA = "domset-bench/1"
+DELIVERY_MODES = ("push", "pull", "auto")
 
 # (path, type) pairs; bool is checked before int because bool is an int
 # subclass in Python.
-REQUIRED = [
+RUN_REQUIRED = [
     (("schema",), str),
     (("alg",), str),
     (("graph", "family"), str),
@@ -52,6 +61,21 @@ REQUIRED = [
     (("elapsed_ms",), (int, float)),
 ]
 
+# Cell keys of a domset-bench/1 document, next to the embedded record.
+CELL_REQUIRED = [
+    (("alg",), str),
+    (("graph",), str),
+    (("n",), int),
+    (("seed",), int),
+    (("delivery",), str),
+    (("threads",), int),
+    (("median_ms",), (int, float)),
+    (("times_ms",), list),
+    (("rounds",), int),
+    (("digest",), str),
+    (("run",), dict),
+]
+
 
 def lookup(record, path):
     node = record
@@ -62,44 +86,121 @@ def lookup(record, path):
     return node, True
 
 
-def validate(path):
+def check_required(record, required, label):
     problems = []
+    for key_path, expected in required:
+        value, found = lookup(record, key_path)
+        dotted = ".".join(key_path)
+        if not found:
+            problems.append(f"{label}: missing required key '{dotted}'")
+            continue
+        if expected is not bool and isinstance(value, bool):
+            problems.append(f"{label}: key '{dotted}' must not be a boolean")
+        elif not isinstance(value, expected):
+            problems.append(
+                f"{label}: key '{dotted}' has type {type(value).__name__}"
+            )
+    return problems
+
+
+def is_digest(value):
+    return (isinstance(value, str) and len(value) == 16
+            and all(c in "0123456789abcdef" for c in value))
+
+
+def validate_run_record(record, label):
+    """Problems with one domset-run/1 record (standalone or embedded)."""
+    problems = check_required(record, RUN_REQUIRED, label)
+    if record.get("schema") != RUN_SCHEMA:
+        problems.append(
+            f"{label}: schema is {record.get('schema')!r}, want {RUN_SCHEMA!r}"
+        )
+    if not is_digest(record.get("result", {}).get("digest", "")):
+        problems.append(f"{label}: digest must be 16 lowercase hex chars")
+    delivery = record.get("exec", {}).get("delivery")
+    if delivery not in DELIVERY_MODES:
+        problems.append(f"{label}: exec.delivery is {delivery!r}")
+    if record.get("result", {}).get("valid") is not True:
+        problems.append(f"{label}: result.valid is not true")
+    for key, value in record.get("params", {}).items():
+        if not isinstance(value, str):
+            problems.append(f"{label}: param '{key}' must be a string echo")
+    return problems
+
+
+def validate_bench_document(doc, label):
+    """Problems with one domset-bench/1 document, cells included."""
+    problems = []
+    repeats = doc.get("repeats")
+    if not isinstance(repeats, int) or isinstance(repeats, bool) or repeats < 1:
+        problems.append(f"{label}: repeats must be a positive integer")
+        repeats = None
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        problems.append(f"{label}: cells must be a non-empty list")
+        return problems
+    if doc.get("cell_count") != len(cells):
+        problems.append(
+            f"{label}: cell_count is {doc.get('cell_count')!r}, "
+            f"want {len(cells)}"
+        )
+    seen_keys = set()
+    for index, cell in enumerate(cells):
+        cell_label = f"{label}: cell[{index}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{cell_label}: not an object")
+            continue
+        problems.extend(check_required(cell, CELL_REQUIRED, cell_label))
+        if not is_digest(cell.get("digest", "")):
+            problems.append(
+                f"{cell_label}: digest must be 16 lowercase hex chars"
+            )
+        if cell.get("delivery") not in DELIVERY_MODES:
+            problems.append(
+                f"{cell_label}: delivery is {cell.get('delivery')!r}"
+            )
+        times = cell.get("times_ms", [])
+        if isinstance(times, list):
+            if repeats is not None and len(times) != repeats:
+                problems.append(
+                    f"{cell_label}: {len(times)} timings for "
+                    f"{repeats} repeats"
+                )
+            for t in times:
+                if isinstance(t, bool) or not isinstance(t, (int, float)):
+                    problems.append(
+                        f"{cell_label}: times_ms entries must be numbers"
+                    )
+                    break
+        run = cell.get("run")
+        if isinstance(run, dict):
+            problems.extend(validate_run_record(run, f"{cell_label}.run"))
+            run_digest = run.get("result", {}).get("digest")
+            if is_digest(cell.get("digest", "")) and run_digest is not None \
+                    and cell.get("digest") != run_digest:
+                problems.append(
+                    f"{cell_label}: cell digest {cell.get('digest')} != "
+                    f"embedded record digest {run_digest}"
+                )
+        key = tuple(cell.get(k) for k in
+                    ("alg", "graph", "n", "seed", "delivery", "threads"))
+        if key in seen_keys:
+            problems.append(f"{cell_label}: duplicate cell key {key}")
+        seen_keys.add(key)
+    return problems
+
+
+def validate(path):
     try:
         with open(path, encoding="utf-8") as f:
             record = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         return None, [f"{path}: unreadable or invalid JSON: {e}"]
 
-    for key_path, expected in REQUIRED:
-        value, found = lookup(record, key_path)
-        dotted = ".".join(key_path)
-        if not found:
-            problems.append(f"{path}: missing required key '{dotted}'")
-            continue
-        if expected is not bool and isinstance(value, bool):
-            problems.append(f"{path}: key '{dotted}' must not be a boolean")
-        elif not isinstance(value, expected):
-            problems.append(
-                f"{path}: key '{dotted}' has type {type(value).__name__}"
-            )
-
-    if record.get("schema") != SCHEMA_NAME:
-        problems.append(
-            f"{path}: schema is {record.get('schema')!r}, want {SCHEMA_NAME!r}"
-        )
-    digest = record.get("result", {}).get("digest", "")
-    if not (isinstance(digest, str) and len(digest) == 16
-            and all(c in "0123456789abcdef" for c in digest)):
-        problems.append(f"{path}: digest must be 16 lowercase hex chars")
-    delivery = record.get("exec", {}).get("delivery")
-    if delivery not in ("push", "pull", "auto"):
-        problems.append(f"{path}: exec.delivery is {delivery!r}")
-    if record.get("result", {}).get("valid") is not True:
-        problems.append(f"{path}: result.valid is not true")
-    for key, value in record.get("params", {}).items():
-        if not isinstance(value, str):
-            problems.append(f"{path}: param '{key}' must be a string echo")
-    return record, problems
+    schema = record.get("schema") if isinstance(record, dict) else None
+    if schema == BENCH_SCHEMA:
+        return record, validate_bench_document(record, path)
+    return record, validate_run_record(record, path)
 
 
 def main(argv):
@@ -114,7 +215,7 @@ def main(argv):
     for path in files:
         record, problems = validate(path)
         all_problems.extend(problems)
-        if record is not None:
+        if record is not None and record.get("schema") != BENCH_SCHEMA:
             digests[path] = record.get("result", {}).get("digest")
 
     if expect_identical and len(set(digests.values())) > 1:
@@ -128,7 +229,7 @@ def main(argv):
         print(problem)
     if not all_problems:
         suffix = " (identical digests)" if expect_identical else ""
-        print(f"OK: {len(files)} record(s) valid{suffix}")
+        print(f"OK: {len(files)} file(s) valid{suffix}")
     return 1 if all_problems else 0
 
 

@@ -1,11 +1,13 @@
 #include "api/graphs.hpp"
 
 #include <cmath>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 
 namespace domset::api {
 
@@ -27,27 +29,36 @@ void require_keys(const param_map& params,
 const std::vector<graph_family>& graph_families() {
   static const std::vector<graph_family> families = {
       {"ba", "Barabasi-Albert preferential attachment (heavy-tailed hubs)",
-       "m (attachments per node, default 3)"},
-      {"complete", "complete graph K_n (MDS = 1)", ""},
-      {"cycle", "cycle C_n (MDS = ceil(n/3))", ""},
-      {"gnp", "Erdos-Renyi G(n, p)", "p (edge probability, default 8/n)"},
-      {"grid", "sqrt(n) x sqrt(n) grid, 4-neighborhood", ""},
-      {"path", "path P_n (MDS = ceil(n/3))", ""},
+       "m (attachments per node, default 3)", {"m"}},
+      {"complete", "complete graph K_n (MDS = 1)", "", {}},
+      {"cycle", "cycle C_n (MDS = ceil(n/3))", "", {}},
+      {"file", "edge-list file loaded via graph/io (n is taken from the file)",
+       "path (required; see docs/architecture.md for the format)", {"path"}},
+      {"gnp", "Erdos-Renyi G(n, p)", "p (edge probability, default 8/n)",
+       {"p"}},
+      {"grid", "sqrt(n) x sqrt(n) grid, 4-neighborhood", "", {}},
+      {"path", "path P_n (MDS = ceil(n/3))", "", {}},
       {"regular", "random d-regular graph (configuration model)",
-       "d (degree, default 4)"},
-      {"star", "star S_n: one hub, n-1 leaves (MDS = 1)", ""},
-      {"torus", "sqrt(n) x sqrt(n) torus (4-regular for side >= 3)", ""},
+       "d (degree, default 4)", {"d"}},
+      {"star", "star S_n: one hub, n-1 leaves (MDS = 1)", "", {}},
+      {"torus", "sqrt(n) x sqrt(n) torus (4-regular for side >= 3)", "", {}},
       {"tree", "complete arity-ary tree grown to ~n nodes",
-       "arity (default 3, >= 2)"},
+       "arity (default 3, >= 2)", {"arity"}},
       {"udg", "random geometric / unit-disk graph in the unit square",
-       "radius (default 1.6/sqrt(n))"},
+       "radius (default 1.6/sqrt(n))", {"radius"}},
   };
   return families;
 }
 
+const graph_family* find_graph_family(std::string_view family) {
+  for (const graph_family& f : graph_families())
+    if (f.name == family) return &f;
+  return nullptr;
+}
+
 graph::graph make_graph(std::string_view family, std::size_t n,
                         std::uint64_t seed, const param_map& params) {
-  if (n == 0)
+  if (n == 0 && family != "file")
     throw std::invalid_argument("make_graph: n must be >= 1");
   common::rng gen(seed);
   if (family == "gnp") {
@@ -123,6 +134,23 @@ graph::graph make_graph(std::string_view family, std::size_t n,
   if (family == "complete") {
     require_keys(params, {});
     return graph::complete_graph(n);
+  }
+  if (family == "file") {
+    require_keys(params, {"path"});
+    const std::string path = params.get_string("path", "");
+    if (path.empty())
+      throw std::invalid_argument(
+          "family 'file': param 'path' is required (the edge-list file to "
+          "load); n is ignored");
+    std::ifstream in(path);
+    if (!in)
+      throw std::runtime_error("family 'file': cannot open '" + path + "'");
+    try {
+      return graph::read_edge_list(in);
+    } catch (const std::runtime_error& e) {
+      // read_edge_list reports what is malformed; prepend which file.
+      throw std::runtime_error("family 'file': '" + path + "': " + e.what());
+    }
   }
   std::string message =
       "unknown graph family '" + std::string(family) + "'; families:";

@@ -25,10 +25,18 @@ struct graph_family {
   /// Param keys this family accepts (e.g. "p" for gnp), comma-joined for
   /// display; empty when the family only takes n.
   std::string_view params;
+  /// The same accepted keys, machine-readable -- sweep drivers filter a
+  /// shared param_map down to each family's vocabulary through this.
+  std::vector<std::string_view> keys;
 };
 
 /// All registered families, sorted by name.
 [[nodiscard]] const std::vector<graph_family>& graph_families();
+
+/// The vocabulary row of `family`, or nullptr when the name is unknown
+/// (make_graph throws the teaching error; this is the non-throwing probe
+/// sweep drivers use to filter params up front).
+[[nodiscard]] const graph_family* find_graph_family(std::string_view family);
 
 /// Builds the named family at size ~n.  `params` may override the
 /// family's derived defaults (gnp: p; udg: radius; ba: m; regular: d;

@@ -71,70 +71,84 @@ std::uint64_t solution_digest(const solve_result& result) {
   return h;
 }
 
-std::string to_json(const run_record& record) {
-  std::string out;
-  out.reserve(1024);
+std::string digest_hex(const solve_result& result) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, solution_digest(result));
+  return buf;
+}
+
+void append_record_json(std::string& out, const run_record& record,
+                        std::string_view indent) {
   char buf[128];
   const auto num = [&buf](auto value) -> std::string {
     std::snprintf(buf, sizeof buf, "%" PRIu64,
                   static_cast<std::uint64_t>(value));
     return buf;
   };
+  const std::string in1 = std::string(indent) + "  ";
+  const std::string in2 = in1 + "  ";
 
-  out += "{\n  \"schema\": \"domset-run/1\",\n";
-  out += "  \"alg\": \"" + escape(record.alg) + "\",\n";
-  out += "  \"graph\": {\n";
-  out += "    \"family\": \"" + escape(record.graph_family) + "\",\n";
-  out += "    \"nodes\": " + num(record.nodes) + ",\n";
-  out += "    \"edges\": " + num(record.edges) + ",\n";
-  out += "    \"max_degree\": " + num(record.max_degree) + "\n  },\n";
-  out += "  \"exec\": {\n";
-  out += "    \"seed\": " + num(record.exec.seed) + ",\n";
-  out += "    \"threads\": " + num(record.exec.threads) + ",\n";
-  out += "    \"delivery\": \"" +
+  out += "{\n" + in1 + "\"schema\": \"domset-run/1\",\n";
+  out += in1 + "\"alg\": \"" + escape(record.alg) + "\",\n";
+  out += in1 + "\"graph\": {\n";
+  out += in2 + "\"family\": \"" + escape(record.graph_family) + "\",\n";
+  out += in2 + "\"nodes\": " + num(record.nodes) + ",\n";
+  out += in2 + "\"edges\": " + num(record.edges) + ",\n";
+  out += in2 + "\"max_degree\": " + num(record.max_degree) + "\n" + in1 +
+         "},\n";
+  out += in1 + "\"exec\": {\n";
+  out += in2 + "\"seed\": " + num(record.exec.seed) + ",\n";
+  out += in2 + "\"threads\": " + num(record.exec.threads) + ",\n";
+  out += in2 + "\"delivery\": \"" +
          std::string(sim::to_string(record.exec.delivery)) + "\",\n";
-  out += "    \"drop_probability\": " +
+  out += in2 + "\"drop_probability\": " +
          fmt_double(record.exec.drop_probability) + ",\n";
-  out += "    \"congest_bit_limit\": " + num(record.exec.congest_bit_limit) +
-         "\n  },\n";
-  out += "  \"params\": {";
+  out += in2 + "\"congest_bit_limit\": " + num(record.exec.congest_bit_limit) +
+         "\n" + in1 + "},\n";
+  out += in1 + "\"params\": {";
   bool first = true;
   for (const auto& [key, value] : record.params.entries()) {
     out += first ? "\n" : ",\n";
-    out += "    \"" + escape(key) + "\": \"" + escape(value) + "\"";
+    out += in2 + "\"" + escape(key) + "\": \"" + escape(value) + "\"";
     first = false;
   }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"result\": {\n";
-  out += "    \"integral\": ";
+  out += first ? "},\n" : "\n" + in1 + "},\n";
+  out += in1 + "\"result\": {\n";
+  out += in2 + "\"integral\": ";
   out += record.result.integral() ? "true" : "false";
   out += ",\n";
-  out += "    \"size\": " + num(record.result.size) + ",\n";
-  out += "    \"objective\": " + fmt_double(record.result.objective) + ",\n";
-  out += "    \"ratio_bound\": " + fmt_double(record.result.ratio_bound) +
+  out += in2 + "\"size\": " + num(record.result.size) + ",\n";
+  out += in2 + "\"objective\": " + fmt_double(record.result.objective) + ",\n";
+  out += in2 + "\"ratio_bound\": " + fmt_double(record.result.ratio_bound) +
          ",\n";
-  out += "    \"valid\": ";
+  out += in2 + "\"valid\": ";
   out += record.valid ? "true" : "false";
   out += ",\n";
-  std::snprintf(buf, sizeof buf, "%016" PRIx64, solution_digest(record.result));
-  out += "    \"digest\": \"";
-  out += buf;
-  out += "\"\n  },\n";
+  out += in2 + "\"digest\": \"" + digest_hex(record.result) + "\"\n" + in1 +
+         "},\n";
   const sim::run_metrics& m = record.result.metrics;
-  out += "  \"metrics\": {\n";
-  out += "    \"rounds\": " + num(m.rounds) + ",\n";
-  out += "    \"messages_sent\": " + num(m.messages_sent) + ",\n";
-  out += "    \"bits_sent\": " + num(m.bits_sent) + ",\n";
-  out += "    \"max_message_bits\": " + num(m.max_message_bits) + ",\n";
-  out += "    \"max_messages_per_node\": " + num(m.max_messages_per_node) +
+  out += in1 + "\"metrics\": {\n";
+  out += in2 + "\"rounds\": " + num(m.rounds) + ",\n";
+  out += in2 + "\"messages_sent\": " + num(m.messages_sent) + ",\n";
+  out += in2 + "\"bits_sent\": " + num(m.bits_sent) + ",\n";
+  out += in2 + "\"max_message_bits\": " + num(m.max_message_bits) + ",\n";
+  out += in2 + "\"max_messages_per_node\": " + num(m.max_messages_per_node) +
          ",\n";
-  out += "    \"messages_dropped\": " + num(m.messages_dropped) + ",\n";
-  out += "    \"congest_violation\": ";
+  out += in2 + "\"messages_dropped\": " + num(m.messages_dropped) + ",\n";
+  out += in2 + "\"congest_violation\": ";
   out += m.congest_violation ? "true" : "false";
-  out += ",\n    \"hit_round_limit\": ";
+  out += ",\n" + in2 + "\"hit_round_limit\": ";
   out += m.hit_round_limit ? "true" : "false";
-  out += "\n  },\n";
-  out += "  \"elapsed_ms\": " + fmt_double(record.elapsed_ms) + "\n}\n";
+  out += "\n" + in1 + "},\n";
+  out += in1 + "\"elapsed_ms\": " + fmt_double(record.elapsed_ms) + "\n" +
+         std::string(indent) + "}";
+}
+
+std::string to_json(const run_record& record) {
+  std::string out;
+  out.reserve(1024);
+  append_record_json(out, record, "");
+  out += '\n';
   return out;
 }
 

@@ -51,8 +51,19 @@ struct run_record {
 /// bit patterns of x).  Bit-identical runs <=> equal digests.
 [[nodiscard]] std::uint64_t solution_digest(const solve_result& result);
 
+/// The digest rendered the way every JSON surface spells it: 16 lowercase
+/// hex characters.
+[[nodiscard]] std::string digest_hex(const solve_result& result);
+
 /// Serializes the record as one pretty-printed JSON object (schema
 /// "domset-run/1", stable key order).
 [[nodiscard]] std::string to_json(const run_record& record);
+
+/// Appends the record object to `out` with every line prefixed by
+/// `indent` and no trailing newline -- the shared body of to_json and of
+/// the domset-bench/1 document, which embeds one record per sweep cell
+/// (api/bench_runner.hpp).
+void append_record_json(std::string& out, const run_record& record,
+                        std::string_view indent);
 
 }  // namespace domset::api

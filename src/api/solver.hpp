@@ -134,6 +134,12 @@ class solver {
     return {};
   }
 
+  /// Whether solve() produces an integral dominating set (true for every
+  /// solver except the fractional-only LP ones: alg2, alg2_fresh, alg3,
+  /// weighted).  Static knowledge, so composers like the cds post-pass
+  /// can reject an unusable base before paying for its run.
+  [[nodiscard]] virtual bool integral_output() const noexcept { return true; }
+
   /// Runs the algorithm on `g` under the shared execution context.
   /// Rejects unknown param keys (std::invalid_argument), then forwards to
   /// the algorithm-specific entry point.

@@ -11,8 +11,10 @@
 
 #include <algorithm>
 #include <array>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "api/registry.hpp"
 #include "api/solver.hpp"
@@ -20,11 +22,15 @@
 #include "baselines/lrg.hpp"
 #include "baselines/luby_mis.hpp"
 #include "baselines/wu_li.hpp"
+#include "common/rng.hpp"
 #include "core/alg2.hpp"
 #include "core/alg2_fresh.hpp"
 #include "core/alg3.hpp"
+#include "core/cds.hpp"
 #include "core/pipeline.hpp"
 #include "core/rounding.hpp"
+#include "core/weighted.hpp"
+#include "graph/generators.hpp"
 
 namespace domset::api {
 
@@ -136,6 +142,7 @@ class alg2_solver final : public solver {
     static constexpr std::array<std::string_view, 1> keys = {"k"};
     return keys;
   }
+  bool integral_output() const noexcept override { return false; }
 
  protected:
   solve_result solve_impl(const graph::graph& g, const exec::context& exec,
@@ -155,6 +162,7 @@ class alg2_fresh_solver final : public solver {
     static constexpr std::array<std::string_view, 1> keys = {"k"};
     return keys;
   }
+  bool integral_output() const noexcept override { return false; }
 
  protected:
   solve_result solve_impl(const graph::graph& g, const exec::context& exec,
@@ -182,6 +190,7 @@ class alg3_solver final : public solver {
     static constexpr std::array<std::string_view, 1> keys = {"k"};
     return keys;
   }
+  bool integral_output() const noexcept override { return false; }
 
  protected:
   solve_result solve_impl(const graph::graph& g, const exec::context& exec,
@@ -236,6 +245,155 @@ class rounding_solver final : public solver {
     out.size = res.size;
     out.objective = static_cast<double>(res.size);
     out.metrics = res.metrics;
+    return out;
+  }
+};
+
+// ------------------------------------------------------------- weighted
+
+/// Builds the cost vector named by the `costs` param:
+///   uniform       -- i.i.d. uniform in [1, cmax], drawn from rng(seed)
+///                    (the battery model of examples/weighted_cover.cpp)
+///   degree        -- cost(v) = 1 + deg(v), deterministic (hubs expensive)
+///   file:<path>   -- whitespace-separated doubles, one per node
+std::vector<double> make_cost_vector(const graph::graph& g,
+                                     const param_map& params,
+                                     std::uint64_t seed) {
+  const std::string spec = params.get_string("costs", "uniform");
+  if (spec == "uniform") {
+    const double c_max = params.get_double("cmax", 4.0);
+    if (!(c_max >= 1.0))
+      throw std::invalid_argument("param 'cmax': must be >= 1");
+    common::rng gen(seed);
+    return graph::uniform_costs(g.node_count(), c_max, gen);
+  }
+  if (params.contains("cmax"))
+    throw std::invalid_argument(
+        "param 'cmax': only applies to costs=uniform, got costs='" + spec +
+        "'");
+  if (spec == "degree") {
+    std::vector<double> cost(g.node_count());
+    for (graph::node_id v = 0; v < g.node_count(); ++v)
+      cost[v] = 1.0 + static_cast<double>(g.degree(v));
+    return cost;
+  }
+  if (spec.rfind("file:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    if (path.empty())
+      throw std::invalid_argument(
+          "param 'costs': the file scheme needs a path (costs=file:<path>)");
+    std::ifstream in(path);
+    if (!in)
+      throw std::invalid_argument("param 'costs': cannot open '" + path +
+                                  "'");
+    std::vector<double> cost;
+    cost.reserve(g.node_count());
+    double value = 0.0;
+    while (in >> value) {
+      if (!(value >= 1.0))
+        throw std::invalid_argument(
+            "param 'costs': '" + path + "' entry " +
+            std::to_string(cost.size()) + " is " + std::to_string(value) +
+            "; costs must be >= 1 (normalize first)");
+      cost.push_back(value);
+    }
+    if (!in.eof())
+      throw std::invalid_argument("param 'costs': '" + path +
+                                  "' has a non-numeric entry at index " +
+                                  std::to_string(cost.size()));
+    if (cost.size() != g.node_count())
+      throw std::invalid_argument(
+          "param 'costs': '" + path + "' holds " +
+          std::to_string(cost.size()) + " values for a graph of " +
+          std::to_string(g.node_count()) + " nodes");
+    return cost;
+  }
+  throw std::invalid_argument(
+      "param 'costs': must be 'uniform', 'degree' or 'file:<path>', got '" +
+      spec + "'");
+}
+
+class weighted_solver final : public solver {
+ public:
+  std::string_view name() const noexcept override { return "weighted"; }
+  std::string_view description() const noexcept override {
+    return "Remark after Theorem 4: weighted fractional LP (min c^T x) via "
+           "cost-effectiveness thresholds; costs from --costs";
+  }
+  std::span<const std::string_view> param_keys() const noexcept override {
+    static constexpr std::array<std::string_view, 3> keys = {"k", "costs",
+                                                             "cmax"};
+    return keys;
+  }
+  bool integral_output() const noexcept override { return false; }
+
+ protected:
+  solve_result solve_impl(const graph::graph& g, const exec::context& exec,
+                          const param_map& params) const override {
+    core::lp_approx_params p;
+    p.k = get_k(params);
+    p.exec = exec;
+    const std::vector<double> cost = make_cost_vector(g, params, exec.seed);
+    core::weighted_lp_result res = core::approximate_weighted_lp(g, cost, p);
+
+    solve_result out;
+    out.x = std::move(res.x);
+    out.objective = res.objective;
+    out.ratio_bound = res.ratio_bound;
+    out.metrics = res.metrics;
+    return out;
+  }
+};
+
+// ------------------------------------------------------------------ cds
+
+class cds_solver final : public solver {
+ public:
+  std::string_view name() const noexcept override { return "cds"; }
+  std::string_view description() const noexcept override {
+    return "connected dominating set: any integral base solver (base=<name>) "
+           "+ the centralized 3x connector post-pass (core/cds)";
+  }
+  std::span<const std::string_view> param_keys() const noexcept override {
+    // `base` plus the union of the integral base solvers' params; every
+    // key except `base` is forwarded verbatim, and the base solver's own
+    // require_known rejects what it does not accept.
+    static constexpr std::array<std::string_view, 6> keys = {
+        "base", "k", "variant", "known-delta", "announce-final", "max-rounds"};
+    return keys;
+  }
+
+ protected:
+  solve_result solve_impl(const graph::graph& g, const exec::context& exec,
+                          const param_map& params) const override {
+    const std::string base_name = params.get_string("base", "pipeline");
+    if (base_name == "cds")
+      throw std::invalid_argument(
+          "param 'base': cds cannot stack on itself");
+    // Unknown names throw here, listing the registry vocabulary; an
+    // unusable (fractional-only) base is rejected BEFORE its run is paid
+    // for -- on a large sweep cell that run can be minutes.
+    const solver& base = solver_registry::instance().find(base_name);
+    if (!base.integral_output())
+      throw std::invalid_argument(
+          "param 'base': solver '" + base_name +
+          "' is fractional-only; cds needs an integral dominating set "
+          "(try pipeline, greedy, lrg, luby, wu_li or rounding)");
+
+    param_map base_params;
+    for (const auto& [key, value] : params.entries())
+      if (key != "base") base_params.set(key, value);
+    solve_result out = base.solve(g, exec, base_params);
+
+    core::cds_result connected = core::connect_dominating_set(g, out.in_set);
+    out.in_set = std::move(connected.in_set);
+    out.size = connected.size;
+    out.objective = static_cast<double>(connected.size);
+    // |CDS| <= 3|DS| and |MDS_OPT| <= |MCDS_OPT|, so tripling the base
+    // guarantee is a valid bound against the connected optimum.
+    out.ratio_bound = out.ratio_bound > 0.0 ? 3.0 * out.ratio_bound : 0.0;
+    // metrics stay the base run's: the connector pass is the centralized
+    // sink-side computation, not message rounds.
     return out;
   }
 };
@@ -354,6 +512,8 @@ std::unique_ptr<solver> make_solver() {
 }
 
 const solver_registrar reg_pipeline{&make_solver<pipeline_solver>};
+const solver_registrar reg_weighted{&make_solver<weighted_solver>};
+const solver_registrar reg_cds{&make_solver<cds_solver>};
 const solver_registrar reg_alg2{&make_solver<alg2_solver>};
 const solver_registrar reg_alg2_fresh{&make_solver<alg2_fresh_solver>};
 const solver_registrar reg_alg3{&make_solver<alg3_solver>};

@@ -8,20 +8,25 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "api/graphs.hpp"
 #include "api/registry.hpp"
 #include "api/result_json.hpp"
 #include "api/solver.hpp"
+#include "baselines/greedy.hpp"
 #include "baselines/lrg.hpp"
 #include "baselines/luby_mis.hpp"
 #include "baselines/wu_li.hpp"
 #include "core/alg2.hpp"
 #include "core/alg2_fresh.hpp"
 #include "core/alg3.hpp"
+#include "core/cds.hpp"
 #include "core/pipeline.hpp"
 #include "core/rounding.hpp"
+#include "core/weighted.hpp"
 #include "graph/generators.hpp"
 #include "verify/verify.hpp"
 
@@ -56,8 +61,9 @@ void expect_x_identical(const std::vector<double>& a,
 
 TEST(ApiRegistry, EveryExpectedSolverResolvesByName) {
   const auto& registry = api::solver_registry::instance();
-  for (const char* name : {"pipeline", "alg2", "alg2_fresh", "alg3",
-                           "rounding", "lrg", "luby", "wu_li", "greedy"}) {
+  for (const char* name :
+       {"pipeline", "alg2", "alg2_fresh", "alg3", "rounding", "lrg", "luby",
+        "wu_li", "greedy", "weighted", "cds"}) {
     const api::solver& s = registry.find(name);
     EXPECT_EQ(s.name(), name);
     EXPECT_FALSE(s.description().empty());
@@ -275,6 +281,207 @@ TEST(ApiRegistry, RoundingAdapterMatchesDirectCallOnUniformPoint) {
   EXPECT_EQ(actual.in_set, expected.in_set);
   EXPECT_EQ(actual.size, expected.size);
   expect_metrics_equal(actual.metrics, expected.metrics);
+}
+
+TEST(ApiRegistry, WeightedAdapterIsBitIdenticalAcrossModesAndThreads) {
+  const graph::graph g = fixed_instance();
+  const api::solver& solver = api::solver_registry::instance().find("weighted");
+  // costs=degree is the deterministic scheme: cost(v) = 1 + deg(v).
+  std::vector<double> cost(g.node_count());
+  for (graph::node_id v = 0; v < g.node_count(); ++v)
+    cost[v] = 1.0 + static_cast<double>(g.degree(v));
+  api::param_map params;
+  params.set("k", "3");
+  params.set("costs", "degree");
+  for (const sim::delivery_mode mode :
+       {sim::delivery_mode::push, sim::delivery_mode::pull}) {
+    for (const std::size_t threads : {1U, 8U}) {
+      SCOPED_TRACE(std::string(sim::to_string(mode)) + "/threads=" +
+                   std::to_string(threads));
+      exec::context exec;
+      exec.seed = 21;
+      exec.threads = threads;
+      exec.delivery = mode;
+
+      core::lp_approx_params direct;
+      direct.k = 3;
+      direct.exec = exec;
+      const core::weighted_lp_result expected =
+          core::approximate_weighted_lp(g, cost, direct);
+
+      const api::solve_result actual = solver.solve(g, exec, params);
+      expect_x_identical(actual.x, expected.x);
+      EXPECT_DOUBLE_EQ(actual.objective, expected.objective);
+      EXPECT_DOUBLE_EQ(actual.ratio_bound, expected.ratio_bound);
+      expect_metrics_equal(actual.metrics, expected.metrics);
+    }
+  }
+}
+
+TEST(ApiRegistry, WeightedUniformCostsMatchTheSeededDraw) {
+  const graph::graph g = fixed_instance();
+  exec::context exec;
+  exec.seed = 33;
+  // costs=uniform draws from rng(exec.seed) -- reproduce the draw and the
+  // direct call must match bitwise.
+  common::rng gen(exec.seed);
+  const auto cost = graph::uniform_costs(g.node_count(), 5.0, gen);
+  core::lp_approx_params direct;
+  direct.k = 2;
+  direct.exec = exec;
+  const auto expected = core::approximate_weighted_lp(g, cost, direct);
+
+  api::param_map params;
+  params.set("costs", "uniform");
+  params.set("cmax", "5");
+  const auto actual =
+      api::solver_registry::instance().find("weighted").solve(g, exec, params);
+  expect_x_identical(actual.x, expected.x);
+  EXPECT_DOUBLE_EQ(actual.objective, expected.objective);
+  expect_metrics_equal(actual.metrics, expected.metrics);
+}
+
+TEST(ApiRegistry, WeightedRejectsBadCostParams) {
+  const graph::graph g = graph::path_graph(6);
+  const api::solver& solver = api::solver_registry::instance().find("weighted");
+  const exec::context exec;
+  const auto expect_rejected = [&](const char* key, const std::string& value,
+                                   const char* needle) {
+    api::param_map params;
+    params.set(key, value);
+    try {
+      (void)solver.solve(g, exec, params);
+      FAIL() << key << "=" << value << " must throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_rejected("costs", "file:", "needs a path");
+  expect_rejected("costs", "file:/does/not/exist.costs", "cannot open");
+  expect_rejected("costs", "banana", "'costs'");
+
+  // A cost below 1 (negative included) is rejected naming the file and
+  // the offending entry.
+  const std::string bad = testing::TempDir() + "bad.costs";
+  std::ofstream(bad) << "1.5 2 -3 1 1 1\n";
+  expect_rejected("costs", "file:" + bad, "must be >= 1");
+
+  // Count mismatch: 6-node graph, 2 values.
+  const std::string few = testing::TempDir() + "few.costs";
+  std::ofstream(few) << "1 2\n";
+  expect_rejected("costs", "file:" + few, "holds 2 values");
+
+  // Non-numeric content.
+  const std::string junk = testing::TempDir() + "junk.costs";
+  std::ofstream(junk) << "1 2 x 4 5 6\n";
+  expect_rejected("costs", "file:" + junk, "non-numeric");
+
+  // cmax only modifies the uniform draw.
+  api::param_map params;
+  params.set("costs", "degree");
+  params.set("cmax", "9");
+  EXPECT_THROW((void)solver.solve(g, exec, params), std::invalid_argument);
+}
+
+TEST(ApiRegistry, WeightedFileCostsMatchDirectCall) {
+  common::rng gen(8);
+  const graph::graph g = graph::gnp_random(40, 0.1, gen);
+  const std::string path = testing::TempDir() + "ok.costs";
+  {
+    std::ofstream out(path);
+    for (graph::node_id v = 0; v < g.node_count(); ++v)
+      out << 1.0 + (v % 5) * 0.5 << "\n";
+  }
+  std::vector<double> cost(g.node_count());
+  for (graph::node_id v = 0; v < g.node_count(); ++v)
+    cost[v] = 1.0 + (v % 5) * 0.5;
+
+  exec::context exec;
+  core::lp_approx_params direct;
+  direct.exec = exec;
+  const auto expected = core::approximate_weighted_lp(g, cost, direct);
+  api::param_map params;
+  params.set("costs", "file:" + path);
+  const auto actual =
+      api::solver_registry::instance().find("weighted").solve(g, exec, params);
+  expect_x_identical(actual.x, expected.x);
+  EXPECT_DOUBLE_EQ(actual.objective, expected.objective);
+}
+
+TEST(ApiRegistry, CdsAdapterIsBitIdenticalAcrossModesAndThreads) {
+  const graph::graph g = fixed_instance();
+  const api::solver& solver = api::solver_registry::instance().find("cds");
+  api::param_map params;
+  params.set("base", "pipeline");
+  params.set("k", "3");
+  for (const sim::delivery_mode mode :
+       {sim::delivery_mode::push, sim::delivery_mode::pull}) {
+    for (const std::size_t threads : {1U, 8U}) {
+      SCOPED_TRACE(std::string(sim::to_string(mode)) + "/threads=" +
+                   std::to_string(threads));
+      exec::context exec;
+      exec.seed = 17;
+      exec.threads = threads;
+      exec.delivery = mode;
+
+      core::pipeline_params direct;
+      direct.k = 3;
+      direct.exec = exec;
+      const core::pipeline_result base =
+          core::compute_dominating_set(g, direct);
+      const core::cds_result expected =
+          core::connect_dominating_set(g, base.in_set);
+
+      const api::solve_result actual = solver.solve(g, exec, params);
+      EXPECT_EQ(actual.in_set, expected.in_set);
+      EXPECT_EQ(actual.size, expected.size);
+      EXPECT_TRUE(core::is_connected_within_components(g, actual.in_set));
+      EXPECT_TRUE(verify::is_dominating_set(g, actual.in_set));
+      // The 3x connector guarantee triples the base's ratio bound.
+      EXPECT_DOUBLE_EQ(actual.ratio_bound,
+                       3.0 * base.expected_ratio_bound);
+    }
+  }
+}
+
+TEST(ApiRegistry, CdsOverGreedyMatchesDirectCall) {
+  const graph::graph g = fixed_instance();
+  const auto base = baselines::greedy_mds(g);
+  const auto expected = core::connect_dominating_set(g, base.in_set);
+  api::param_map params;
+  params.set("base", "greedy");
+  const auto actual = api::solver_registry::instance().find("cds").solve(
+      g, exec::context{}, params);
+  EXPECT_EQ(actual.in_set, expected.in_set);
+  EXPECT_EQ(actual.size, expected.size);
+}
+
+TEST(ApiRegistry, CdsRejectsBadBase) {
+  const graph::graph g = graph::path_graph(8);
+  const api::solver& solver = api::solver_registry::instance().find("cds");
+  const exec::context exec;
+  const auto expect_rejected = [&](const std::string& base,
+                                   const char* needle) {
+    api::param_map params;
+    params.set("base", base);
+    try {
+      (void)solver.solve(g, exec, params);
+      FAIL() << "base=" << base << " must throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_rejected("does_not_exist", "does_not_exist");
+  expect_rejected("alg2", "fractional-only");
+  expect_rejected("cds", "cannot stack on itself");
+  // Params the base does not accept fail through the base's own
+  // require_known, not silently.
+  api::param_map params;
+  params.set("base", "greedy");
+  params.set("k", "3");
+  EXPECT_THROW((void)solver.solve(g, exec, params), std::invalid_argument);
 }
 
 TEST(ApiRegistry, SolutionDigestSeparatesDifferentRuns) {

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
+#include "api/graphs.hpp"
+#include "api/registry.hpp"
+#include "api/result_json.hpp"
+#include "api/solver.hpp"
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 
@@ -80,6 +85,78 @@ TEST(GraphIo, RejectsSelfLoop) {
 TEST(GraphIo, RejectsMalformedEdgeLine) {
   std::stringstream s("3 1\nnot numbers\n");
   EXPECT_THROW(read_edge_list(s), std::runtime_error);
+}
+
+// ---- the `file` graph family: graph/io behind `domset run --graph file`
+
+/// Round trip a generated graph through write_edge_list into the API
+/// layer's "file" family (the path `domset run/bench --graph file` take)
+/// and prove a registry solve on the loaded graph is bit-identical to one
+/// on the original.
+TEST(GraphIoFileFamily, WriteReadRoundTripThroughTheRegistry) {
+  common::rng gen(11);
+  const graph g = gnp_random(80, 0.08, gen);
+  const std::string path = testing::TempDir() + "roundtrip.edges";
+  {
+    std::ofstream out(path);
+    write_edge_list(g, out);
+  }
+
+  api::param_map params;
+  params.set("path", path);
+  // n and seed are ignored by the file family; pass junk to prove it.
+  const graph h = api::make_graph("file", 0, 999, params);
+  ASSERT_EQ(h.node_count(), g.node_count());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = h.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+
+  domset::exec::context exec;
+  exec.seed = 4;
+  const api::solver& lrg = api::solver_registry::instance().find("lrg");
+  EXPECT_EQ(api::solution_digest(lrg.solve(g, exec)),
+            api::solution_digest(lrg.solve(h, exec)));
+}
+
+TEST(GraphIoFileFamily, MissingPathParamIsRequired) {
+  try {
+    (void)api::make_graph("file", 100, 1);
+    FAIL() << "file family without a path must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'path'"), std::string::npos);
+  }
+}
+
+TEST(GraphIoFileFamily, UnreadableFileNamesThePath) {
+  api::param_map params;
+  params.set("path", "/no/such/file.edges");
+  try {
+    (void)api::make_graph("file", 100, 1, params);
+    FAIL() << "unreadable file must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/no/such/file.edges"),
+              std::string::npos);
+  }
+}
+
+TEST(GraphIoFileFamily, MalformedContentNamesThePath) {
+  const std::string path = testing::TempDir() + "malformed.edges";
+  std::ofstream(path) << "4 2\n0 1\n";  // truncated: promises 2 edges
+  api::param_map params;
+  params.set("path", path);
+  try {
+    (void)api::make_graph("file", 100, 1, params);
+    FAIL() << "malformed file must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(path), std::string::npos);
+    // ...and keeps read_edge_list's description of what is wrong.
+    EXPECT_NE(message.find("edge"), std::string::npos);
+  }
 }
 
 }  // namespace

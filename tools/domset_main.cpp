@@ -9,21 +9,31 @@
 ///       (--seed --threads --delivery --drop --congest-bits), verify the
 ///       output, and print a human summary or the stable domset-run/1
 ///       JSON record (see api/result_json.hpp)
+///   domset bench --alg pipeline,greedy --graph gnp,star --n 5000
+///                --seeds 1,2 --delivery push,pull --threads 1,2 --json
+///       declarative sweep over the comma-listed axes through the bench
+///       runner (api/bench_runner.hpp): every cell on one shared worker
+///       pool, repeat-interleaved timings, one domset-bench/1 document
 ///
 /// Exit status: 0 on success (integral outputs additionally verified
 /// dominating), 1 on an invalid solution, 2 on usage errors.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "api/bench_runner.hpp"
 #include "api/graphs.hpp"
 #include "api/registry.hpp"
 #include "api/result_json.hpp"
 #include "api/solver.hpp"
 #include "common/cli.hpp"
+#include "common/table.hpp"
 #include "exec/context.hpp"
+#include "sim/delivery.hpp"
 #include "verify/verify.hpp"
 
 namespace {
@@ -53,13 +63,80 @@ int cmd_list() {
   return 0;
 }
 
-/// Copies the flags the user explicitly set into a param_map, stripping
-/// the value of switches down to "true".
+/// One param flag shared by `run` and `bench`: a single table row drives
+/// both CLI registration and forwarding into the param_map, so the two
+/// can never fall out of sync (a registered-but-unforwarded flag would
+/// be a silent no-op -- the exact bug class require_known exists for).
+struct param_flag {
+  const char* name;
+  const char* default_value;  // ignored for switches
+  const char* help;
+  bool is_switch = false;
+  bool nonnegative_int = false;
+};
+
+/// Algorithm params, forwarded into the solver param_map only when
+/// explicitly set.
+constexpr param_flag solver_param_flags[] = {
+    {"k", "2", "paper trade-off parameter (LP/pipeline solvers)"},
+    {"variant", "plain",
+     "rounding variant: plain | log_log (rounding/pipeline)"},
+    {"known-delta", "", "pipeline: use Algorithm 2 (global Delta known)",
+     true},
+    {"announce-final", "",
+     "rounding/pipeline: members announce final membership", true},
+    {"max-rounds", "0", "round cap override (lrg/luby)", false, true},
+    {"costs", "uniform",
+     "weighted: cost vector -- uniform | degree | file:<path>"},
+    {"cmax", "4", "weighted: cost ceiling for costs=uniform"},
+    {"base", "pipeline",
+     "cds: integral base solver to connect (base=<name>)"},
+};
+
+/// Graph-family params.
+constexpr param_flag graph_param_flags[] = {
+    {"p", "0", "gnp: edge probability (default 8/n)"},
+    {"radius", "0", "udg: radio range (default 1.6/sqrt(n))"},
+    {"m", "3", "ba: attachments per node", false, true},
+    {"d", "4", "regular: node degree", false, true},
+    {"arity", "3", "tree: children per node", false, true},
+    {"path", "", "file: edge-list file to load (--graph file)"},
+};
+
+template <std::size_t N>
+void add_param_flags(common::cli_parser& cli, const param_flag (&flags)[N]) {
+  for (const param_flag& flag : flags) {
+    if (flag.is_switch) {
+      cli.add_switch(flag.name, flag.help);
+    } else {
+      cli.add_flag(flag.name, flag.default_value, flag.help);
+      if (flag.nonnegative_int) cli.require_nonnegative_int(flag.name);
+    }
+  }
+}
+
+/// Copies the flags the user explicitly set into a param_map (switches
+/// arrive as "true").
+template <std::size_t N>
 void forward_set_flags(const common::cli_parser& cli,
-                       std::initializer_list<const char*> names,
-                       api::param_map& out) {
-  for (const char* name : names)
-    if (cli.is_set(name)) out.set(name, cli.get_string(name));
+                       const param_flag (&flags)[N], api::param_map& out) {
+  for (const param_flag& flag : flags)
+    if (cli.is_set(flag.name)) out.set(flag.name, cli.get_string(flag.name));
+}
+
+int write_output(const std::string& text, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "domset: cannot write '%s'\n", out_path.c_str());
+    return 2;
+  }
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  return 0;
 }
 
 int cmd_run(int argc, const char* const* argv) {
@@ -71,26 +148,8 @@ int cmd_run(int argc, const char* const* argv) {
   cli.add_flag("n", "1000", "approximate node count");
   cli.require_nonnegative_int("n");
   cli.add_exec_flags();
-  // Algorithm params -- forwarded into the solver's param_map only when
-  // explicitly set, so a solver that does not accept one rejects it.
-  cli.add_flag("k", "2", "paper trade-off parameter (LP/pipeline solvers)");
-  cli.add_flag("variant", "plain",
-               "rounding variant: plain | log_log (rounding/pipeline)");
-  cli.add_switch("known-delta",
-                 "pipeline: use Algorithm 2 (global Delta known)");
-  cli.add_switch("announce-final",
-                 "rounding/pipeline: members announce final membership");
-  cli.add_flag("max-rounds", "0", "round cap override (lrg/luby)");
-  cli.require_nonnegative_int("max-rounds");
-  // Graph params.
-  cli.add_flag("p", "0", "gnp: edge probability (default 8/n)");
-  cli.add_flag("radius", "0", "udg: radio range (default 1.6/sqrt(n))");
-  cli.add_flag("m", "3", "ba: attachments per node");
-  cli.require_nonnegative_int("m");
-  cli.add_flag("d", "4", "regular: node degree");
-  cli.require_nonnegative_int("d");
-  cli.add_flag("arity", "3", "tree: children per node");
-  cli.require_nonnegative_int("arity");
+  add_param_flags(cli, solver_param_flags);
+  add_param_flags(cli, graph_param_flags);
   // Output.
   cli.add_switch("json", "emit the domset-run/1 JSON record");
   cli.add_flag("out", "", "write the record to this file instead of stdout");
@@ -102,11 +161,9 @@ int cmd_run(int argc, const char* const* argv) {
   const auto n = static_cast<std::size_t>(cli.get_int("n"));
 
   api::param_map solver_params;
-  forward_set_flags(
-      cli, {"k", "variant", "known-delta", "announce-final", "max-rounds"},
-      solver_params);
+  forward_set_flags(cli, solver_param_flags, solver_params);
   api::param_map graph_params;
-  forward_set_flags(cli, {"p", "radius", "m", "d", "arity"}, graph_params);
+  forward_set_flags(cli, graph_param_flags, graph_params);
 
   const graph::graph g = api::make_graph(family, n, exec.seed, graph_params);
   const api::solver& solver = api::solver_registry::instance().find(alg);
@@ -130,19 +187,8 @@ int cmd_run(int argc, const char* const* argv) {
                      : true;
 
   if (cli.get_bool("json") || cli.is_set("out")) {
-    const std::string json = api::to_json(record);
-    const std::string out_path = cli.get_string("out");
-    if (out_path.empty()) {
-      std::fputs(json.c_str(), stdout);
-    } else {
-      std::FILE* f = std::fopen(out_path.c_str(), "w");
-      if (f == nullptr) {
-        std::fprintf(stderr, "domset: cannot write '%s'\n", out_path.c_str());
-        return 2;
-      }
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-    }
+    const int status = write_output(api::to_json(record), cli.get_string("out"));
+    if (status != 0) return status;
   } else {
     std::printf("graph   : %s (%s)\n", g.summary().c_str(), family.c_str());
     std::printf("solver  : %s\n", alg.c_str());
@@ -162,13 +208,140 @@ int cmd_run(int argc, const char* const* argv) {
   return record.valid ? 0 : 1;
 }
 
+/// Splits a comma-separated flag value ("push,pull" -> {"push", "pull"}).
+/// Empty items (a trailing or doubled comma) are rejected -- a sweep axis
+/// with a silent hole would skew the cross product.
+std::vector<std::string> split_list(const std::string& value,
+                                    const char* flag) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::string item =
+        value.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    if (item.empty())
+      throw std::invalid_argument(std::string("flag '--") + flag +
+                                  "': empty item in list '" + value + "'");
+    out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_uint(const std::string& value, const char* flag) {
+  std::size_t used = 0;
+  std::uint64_t parsed = 0;
+  try {
+    parsed = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != value.size() || value.empty() || value[0] == '-')
+    throw std::invalid_argument(std::string("flag '--") + flag +
+                                "': '" + value +
+                                "' is not a non-negative integer");
+  return parsed;
+}
+
+int cmd_bench(int argc, const char* const* argv) {
+  common::cli_parser cli(
+      "Sweep registered solvers over graph families (one shared worker "
+      "pool, repeat-interleaved timings, domset-bench/1 output)");
+  cli.add_flag("alg", "pipeline", "comma list of solver names");
+  cli.add_flag("graph", "gnp", "comma list of graph families");
+  cli.add_flag("n", "1000", "comma list of approximate node counts");
+  cli.add_flag("seeds", "1", "comma list of seeds (graph + run seed)");
+  cli.add_flag("delivery", "auto",
+               "comma list of delivery modes: push | pull | auto");
+  cli.add_flag("threads", "1",
+               "comma list of worker counts (0 = one per hardware thread)");
+  cli.add_flag("repeats", "3", "timed repetitions per cell (median reported)");
+  cli.require_nonnegative_int("repeats");
+  cli.add_flag("drop", "0", "message-loss probability in [0, 1]");
+  cli.add_flag("congest-bits", "0",
+               "flag messages wider than this many bits (0 = unchecked)");
+  cli.require_nonnegative_int("congest-bits");
+  add_param_flags(cli, solver_param_flags);
+  add_param_flags(cli, graph_param_flags);
+  cli.add_switch("json",
+                 "emit the domset-bench/1 JSON document instead of the "
+                 "summary table");
+  cli.add_flag("out", "",
+               "write the JSON document to this file instead of stdout");
+  if (!cli.parse(argc, argv)) return 2;
+
+  api::bench_spec spec;
+  spec.algs = split_list(cli.get_string("alg"), "alg");
+  spec.graphs = split_list(cli.get_string("graph"), "graph");
+  spec.ns.clear();
+  for (const std::string& item : split_list(cli.get_string("n"), "n"))
+    spec.ns.push_back(static_cast<std::size_t>(parse_uint(item, "n")));
+  spec.seeds.clear();
+  for (const std::string& item : split_list(cli.get_string("seeds"), "seeds"))
+    spec.seeds.push_back(parse_uint(item, "seeds"));
+  spec.deliveries.clear();
+  for (const std::string& item :
+       split_list(cli.get_string("delivery"), "delivery"))
+    spec.deliveries.push_back(sim::parse_delivery_mode(item));
+  spec.threads.clear();
+  for (const std::string& item :
+       split_list(cli.get_string("threads"), "threads"))
+    spec.threads.push_back(
+        static_cast<std::size_t>(parse_uint(item, "threads")));
+  spec.repeats = static_cast<std::size_t>(cli.get_int("repeats"));
+  spec.base_exec.drop_probability = cli.get_double("drop");
+  if (!(spec.base_exec.drop_probability >= 0.0 &&
+        spec.base_exec.drop_probability <= 1.0))
+    throw std::invalid_argument(
+        "flag '--drop': must be a probability in [0, 1]");
+  spec.base_exec.congest_bit_limit =
+      static_cast<std::uint32_t>(cli.get_int("congest-bits"));
+  forward_set_flags(cli, solver_param_flags, spec.solver_params);
+  forward_set_flags(cli, graph_param_flags, spec.graph_params);
+
+  const api::bench_document doc = api::run_bench(spec);
+  if (cli.get_bool("json") || cli.is_set("out")) {
+    const int status = write_output(api::to_json(doc), cli.get_string("out"));
+    if (status != 0) return status;
+    if (!cli.get_string("out").empty())
+      std::fprintf(stderr, "domset bench: %zu cells x %zu repeats -> %s\n",
+                   doc.cells.size(), doc.repeats,
+                   cli.get_string("out").c_str());
+    return 0;
+  }
+  common::text_table table({"alg", "graph", "n", "seed", "delivery",
+                            "threads", "median ms", "rounds", "digest"});
+  for (const api::bench_cell& cell : doc.cells) {
+    const api::run_record& r = cell.record;
+    table.add_row(
+        {r.alg, r.graph_family, common::fmt_int(static_cast<long long>(r.nodes)),
+         common::fmt_int(static_cast<long long>(r.exec.seed)),
+         sim::to_string(r.exec.delivery),
+         common::fmt_int(static_cast<long long>(r.exec.threads)),
+         common::fmt_double(cell.median_ms, 2),
+         common::fmt_int(static_cast<long long>(r.result.metrics.rounds)),
+         api::digest_hex(r.result)});
+  }
+  table.print(std::cout);
+  std::printf("\n%zu cells x %zu repeats (medians over interleaved repeats; "
+              "--json/--out for the domset-bench/1 document)\n",
+              doc.cells.size(), doc.repeats);
+  return 0;
+}
+
 void print_usage() {
   std::fputs(
       "usage: domset <command> [flags]\n"
       "  list   enumerate registered solvers and graph families\n"
       "  run    run a solver: domset run --alg pipeline --graph gnp "
       "--n 1000 --k 3 [--json]\n"
-      "run `domset run --help` for the full flag list\n",
+      "  bench  sweep solvers x graphs x seeds x delivery x threads:\n"
+      "         domset bench --alg pipeline,greedy --graph gnp,star "
+      "--n 5000 --repeats 3 --out bench.json\n"
+      "run `domset run --help` / `domset bench --help` for the full flag "
+      "lists\n",
       stderr);
 }
 
@@ -184,6 +357,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(command, "list") == 0) return cmd_list();
     if (std::strcmp(command, "run") == 0)
       return cmd_run(argc - 1, argv + 1);
+    if (std::strcmp(command, "bench") == 0)
+      return cmd_bench(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "domset: %s\n", e.what());
     return 2;
