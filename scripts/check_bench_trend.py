@@ -53,16 +53,34 @@ import sys
 
 BENCH_SCHEMA = "domset-bench/1"
 BASELINE_SCHEMA = "domset-bench-baseline/1"
-KEY_FIELDS = ("alg", "graph", "n", "seed", "delivery", "threads")
+KEY_FIELDS = ("alg", "graph", "n", "seed", "delivery", "threads",
+              "drop", "faults")
 
 
 def cell_key(cell):
-    return tuple(cell.get(k) for k in KEY_FIELDS)
+    """Cell identity including the degradation axes.  Baselines written
+    before those axes existed have no drop/faults keys; they normalize to
+    the reliable values (0, "none") so old baselines keep gating new
+    sweeps cell for cell."""
+    key = []
+    for field in KEY_FIELDS:
+        value = cell.get(field)
+        if field == "drop":
+            value = float(value) if isinstance(value, (int, float)) else 0.0
+        elif field == "faults":
+            value = value if isinstance(value, str) and value else "none"
+        key.append(value)
+    return tuple(key)
 
 
 def key_label(key):
-    alg, graph, n, seed, delivery, threads = key
-    return f"{alg}/{graph}/n={n}/seed={seed}/{delivery}/t={threads}"
+    alg, graph, n, seed, delivery, threads, drop, faults = key
+    label = f"{alg}/{graph}/n={n}/seed={seed}/{delivery}/t={threads}"
+    if drop:
+        label += f"/drop={drop:g}"
+    if faults != "none":
+        label += f"/faults={faults}"
+    return label
 
 
 def load_cells(path, expect_schemas):
@@ -152,7 +170,9 @@ def write_baseline(current, out_path, source):
     cells = []
     for key in sorted(current, key=key_label):
         cell = current[key]
-        slim = {k: cell.get(k) for k in KEY_FIELDS}
+        # Write the normalized key values so refreshed baselines carry the
+        # degradation axes explicitly.
+        slim = dict(zip(KEY_FIELDS, key))
         slim["median_ms"] = cell.get("median_ms")
         slim["digest"] = cell.get("digest")
         slim["rounds"] = cell.get("rounds")
@@ -202,11 +222,33 @@ def self_test():
     expect("speedup passes", compare(doc(ms_scale=0.2), base, 0.40, 2.0,
                                      False)[0], False)
 
+    # Degradation-axis compatibility: a baseline written before the
+    # drop/faults axes existed (no such keys) must match a current sweep
+    # that emits the reliable values explicitly.
+    def cells_with(extra, digest="00000000000000aa"):
+        cell = {"alg": "pipeline", "graph": "gnp", "n": 1000, "seed": 1,
+                "delivery": "push", "threads": 1,
+                "median_ms": 10.0, "digest": digest}
+        cell.update(extra)
+        return {cell_key(cell): cell}
+
+    expect("pre-fault baseline matches explicit reliable axes",
+           compare(cells_with({"drop": 0, "faults": "none"}),
+                   cells_with({}), 0.40, 2.0, False)[0], False)
+    expect("faulty cell is keyed separately from the reliable cell",
+           compare(cells_with({"faults": "crash=1@0"}),
+                   cells_with({}), 0.40, 2.0, False)[0], True)
+    expect("faulty cells gate on digests too",
+           compare(cells_with({"faults": "crash=1@0"},
+                              digest="00000000000000bb"),
+                   cells_with({"faults": "crash=1@0"}), 0.40, 2.0,
+                   False)[0], True)
+
     if failed:
         for line in failed:
             print(f"self-test FAILED: {line}")
         return 1
-    print("self-test OK: 8 gate expectations hold")
+    print("self-test OK: 11 gate expectations hold")
     return 0
 
 

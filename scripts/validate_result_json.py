@@ -42,6 +42,7 @@ RUN_REQUIRED = [
     (("exec", "threads"), int),
     (("exec", "delivery"), str),
     (("exec", "drop_probability"), (int, float)),
+    (("exec", "faults"), str),
     (("exec", "congest_bit_limit"), int),
     (("params",), dict),
     (("result", "integral"), bool),
@@ -56,9 +57,33 @@ RUN_REQUIRED = [
     (("metrics", "max_message_bits"), int),
     (("metrics", "max_messages_per_node"), int),
     (("metrics", "messages_dropped"), int),
+    (("metrics", "messages_lost_to_faults"), int),
+    (("metrics", "messages_duplicated"), int),
+    (("metrics", "node_rounds_down"), int),
+    (("metrics", "nodes_crashed"), int),
     (("metrics", "congest_violation"), bool),
     (("metrics", "hit_round_limit"), bool),
     (("elapsed_ms",), (int, float)),
+]
+
+# Optional result.repair block (present when a repair pass ran).
+REPAIR_REQUIRED = [
+    (("mode",), str),
+    (("radius",), int),
+    (("holes_before",), int),
+    (("holes_after",), int),
+    (("added",), int),
+    (("touched_nodes",), int),
+]
+
+# Optional top-level coverage block (present on degraded runs).
+COVERAGE_REQUIRED = [
+    (("nodes",), int),
+    (("holes",), int),
+    (("covered_fraction",), (int, float)),
+    (("max_hole_radius",), int),
+    (("fully_covered",), bool),
+    (("attribution",), list),
 ]
 
 # Cell keys of a domset-bench/1 document, next to the embedded record.
@@ -69,6 +94,8 @@ CELL_REQUIRED = [
     (("seed",), int),
     (("delivery",), str),
     (("threads",), int),
+    (("drop",), (int, float)),
+    (("faults",), str),
     (("median_ms",), (int, float)),
     (("times_ms",), list),
     (("rounds",), int),
@@ -108,6 +135,17 @@ def is_digest(value):
             and all(c in "0123456789abcdef" for c in value))
 
 
+def is_degraded(record):
+    """True when the record's exec injects unreliability (loss or faults):
+    only such runs may legitimately carry result.valid == false."""
+    exec_block = record.get("exec", {})
+    drop = exec_block.get("drop_probability", 0)
+    if isinstance(drop, (int, float)) and not isinstance(drop, bool) and \
+            drop > 0:
+        return True
+    return exec_block.get("faults", "none") != "none"
+
+
 def validate_run_record(record, label):
     """Problems with one domset-run/1 record (standalone or embedded)."""
     problems = check_required(record, RUN_REQUIRED, label)
@@ -120,11 +158,53 @@ def validate_run_record(record, label):
     delivery = record.get("exec", {}).get("delivery")
     if delivery not in DELIVERY_MODES:
         problems.append(f"{label}: exec.delivery is {delivery!r}")
-    if record.get("result", {}).get("valid") is not True:
-        problems.append(f"{label}: result.valid is not true")
+    if record.get("result", {}).get("valid") is not True \
+            and not is_degraded(record):
+        problems.append(
+            f"{label}: result.valid is not true on a reliable run"
+        )
     for key, value in record.get("params", {}).items():
         if not isinstance(value, str):
             problems.append(f"{label}: param '{key}' must be a string echo")
+    repair = record.get("result", {}).get("repair")
+    if repair is not None:
+        if isinstance(repair, dict):
+            problems.extend(
+                check_required(repair, REPAIR_REQUIRED, f"{label}.repair")
+            )
+            if repair.get("mode") not in ("radius", "greedy"):
+                problems.append(
+                    f"{label}.repair: mode is {repair.get('mode')!r}"
+                )
+            if repair.get("holes_after") != 0:
+                problems.append(
+                    f"{label}.repair: holes_after must be 0 (repair "
+                    "enforces validity)"
+                )
+        else:
+            problems.append(f"{label}: result.repair must be an object")
+    coverage = record.get("coverage")
+    if coverage is not None:
+        if isinstance(coverage, dict):
+            problems.extend(
+                check_required(coverage, COVERAGE_REQUIRED,
+                               f"{label}.coverage")
+            )
+            for i, entry in enumerate(coverage.get("attribution") or []):
+                if not isinstance(entry, dict) \
+                        or not isinstance(entry.get("fault"), str) \
+                        or isinstance(entry.get("holes"), bool) \
+                        or not isinstance(entry.get("holes"), int):
+                    problems.append(
+                        f"{label}.coverage: attribution[{i}] must be "
+                        "{{fault: str, holes: int}}"
+                    )
+            if not is_degraded(record):
+                problems.append(
+                    f"{label}: coverage block on a reliable run"
+                )
+        else:
+            problems.append(f"{label}: coverage must be an object")
     return problems
 
 
@@ -183,7 +263,8 @@ def validate_bench_document(doc, label):
                     f"embedded record digest {run_digest}"
                 )
         key = tuple(cell.get(k) for k in
-                    ("alg", "graph", "n", "seed", "delivery", "threads"))
+                    ("alg", "graph", "n", "seed", "delivery", "threads",
+                     "drop", "faults"))
         if key in seen_keys:
             problems.append(f"{cell_label}: duplicate cell key {key}")
         seen_keys.add(key)

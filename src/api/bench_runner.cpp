@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
 #include <set>
 #include <span>
 #include <stdexcept>
@@ -13,7 +14,9 @@
 #include "api/registry.hpp"
 #include "common/stats.hpp"
 #include "graph/graph.hpp"
+#include "sim/fault.hpp"
 #include "sim/thread_pool.hpp"
+#include "verify/coverage.hpp"
 #include "verify/verify.hpp"
 
 namespace domset::api {
@@ -53,11 +56,29 @@ void require_axis(bool ok, const char* what) {
     throw std::invalid_argument(std::string("bench spec: ") + what);
 }
 
+std::string fmt_drop(double drop) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", drop);
+  return buf;
+}
+
+std::string faults_spec(const run_record& r) {
+  return r.exec.faults ? sim::to_string(*r.exec.faults) : std::string("none");
+}
+
 std::string cell_label(const run_record& r) {
-  return r.alg + "/" + r.graph_family + "/n=" + std::to_string(r.nodes) +
-         "/seed=" + std::to_string(r.exec.seed) + "/" +
-         sim::to_string(r.exec.delivery) +
-         "/threads=" + std::to_string(r.exec.threads);
+  std::string label =
+      r.alg + "/" + r.graph_family + "/n=" + std::to_string(r.nodes) +
+      "/seed=" + std::to_string(r.exec.seed) + "/" +
+      std::string(sim::to_string(r.exec.delivery)) +
+      "/threads=" + std::to_string(r.exec.threads);
+  // The degradation axes only appear when active so labels (and the error
+  // messages built from them) keep their pre-fault shape on clean sweeps.
+  if (r.exec.drop_probability > 0.0)
+    label += "/drop=" + fmt_drop(r.exec.drop_probability);
+  if (r.exec.faults && !r.exec.faults->empty())
+    label += "/faults=" + faults_spec(r);
+  return label;
 }
 
 }  // namespace
@@ -70,6 +91,29 @@ bench_document run_bench(const bench_spec& spec) {
   require_axis(!spec.deliveries.empty(), "no delivery modes (--delivery)");
   require_axis(!spec.threads.empty(), "no thread counts (--threads)");
   require_axis(spec.repeats >= 1, "repeats must be >= 1");
+
+  // The degradation axes: empty means one implicit value from base_exec,
+  // so pre-fault specs keep their meaning.  Fault specs parse up front --
+  // a typo fails before any cell has run.
+  std::vector<double> drops = spec.drops;
+  if (drops.empty()) drops.push_back(spec.base_exec.drop_probability);
+  for (const double drop : drops)
+    require_axis(drop >= 0.0 && drop < 1.0, "drop must be in [0, 1)");
+  struct fault_axis {
+    std::shared_ptr<const sim::fault_plan> plan;  // null = reliable
+  };
+  std::vector<fault_axis> fault_axes;
+  if (spec.faults.empty()) {
+    fault_axes.push_back({spec.base_exec.faults});
+  } else {
+    for (const std::string& text : spec.faults) {
+      sim::fault_plan plan = sim::parse_fault_plan(text);
+      fault_axes.push_back(
+          {plan.empty() ? nullptr
+                        : std::make_shared<const sim::fault_plan>(
+                              std::move(plan))});
+    }
+  }
 
   // Resolve every axis value up front so a typo fails before minutes of
   // cells have run.
@@ -153,23 +197,29 @@ bench_document run_bench(const bench_spec& spec) {
           spec.solver_params, s->param_keys(), solver_keys_consumed);
       for (const sim::delivery_mode delivery : spec.deliveries) {
         for (const std::size_t threads : spec.threads) {
-          exec::context exec = spec.base_exec;
-          exec.seed = instance.seed;
-          exec.threads = threads;
-          exec.delivery = delivery;
-          exec.pool = pool_exec.pool;
-          pending.push_back({&instance.g, s, params, exec});
+          for (const double drop : drops) {
+            for (const fault_axis& fa : fault_axes) {
+              exec::context exec = spec.base_exec;
+              exec.seed = instance.seed;
+              exec.threads = threads;
+              exec.delivery = delivery;
+              exec.drop_probability = drop;
+              exec.faults = fa.plan;
+              exec.pool = pool_exec.pool;
+              pending.push_back({&instance.g, s, params, exec});
 
-          bench_cell cell;
-          cell.record.alg = std::string(s->name());
-          cell.record.graph_family = std::string(instance.family->name);
-          cell.record.nodes = instance.g.node_count();
-          cell.record.edges = instance.g.edge_count();
-          cell.record.max_degree = instance.g.max_degree();
-          cell.record.exec = exec;
-          cell.record.exec.pool = nullptr;  // process-local, not recorded
-          cell.record.params = params;
-          doc.cells.push_back(std::move(cell));
+              bench_cell cell;
+              cell.record.alg = std::string(s->name());
+              cell.record.graph_family = std::string(instance.family->name);
+              cell.record.nodes = instance.g.node_count();
+              cell.record.edges = instance.g.edge_count();
+              cell.record.max_degree = instance.g.max_degree();
+              cell.record.exec = exec;
+              cell.record.exec.pool = nullptr;  // process-local, not recorded
+              cell.record.params = params;
+              doc.cells.push_back(std::move(cell));
+            }
+          }
         }
       }
     }
@@ -192,12 +242,19 @@ bench_document run_bench(const bench_spec& spec) {
       const std::uint64_t digest = solution_digest(result);
       if (rep == 0) {
         digests[i] = digest;
+        const bool degraded = cell.exec.faulty();
         out.record.valid =
             result.integral() && spec.verify_solutions
                 ? verify::is_dominating_set(*cell.g, result.in_set)
                 : true;
+        // Degraded cells trade the binary verdict for the quantitative
+        // report: how many holes, how deep, which fault.  Reliable cells
+        // keep the hard throw -- an invalid set without faults is a bug.
+        if (degraded && result.integral() && spec.verify_solutions)
+          out.record.coverage = verify::coverage(*cell.g, result.in_set,
+                                                 cell.exec.faults.get());
         out.record.result = std::move(result);
-        if (!out.record.valid)
+        if (!out.record.valid && !degraded)
           throw std::runtime_error("bench cell " + cell_label(out.record) +
                                    ": output is not a dominating set");
       } else if (digest != digests[i]) {
@@ -248,6 +305,8 @@ std::string to_json(const bench_document& doc) {
     out += "      \"delivery\": \"" +
            std::string(sim::to_string(r.exec.delivery)) + "\",\n";
     out += "      \"threads\": " + num(r.exec.threads) + ",\n";
+    out += "      \"drop\": " + flt(r.exec.drop_probability) + ",\n";
+    out += "      \"faults\": \"" + faults_spec(r) + "\",\n";
     out += "      \"median_ms\": " + flt(cell.median_ms) + ",\n";
     out += "      \"times_ms\": [";
     for (std::size_t i = 0; i < cell.times_ms.size(); ++i) {

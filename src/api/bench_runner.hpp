@@ -36,9 +36,9 @@ namespace domset::api {
 
 /// The declarative sweep: every list is one axis of the cross product.
 /// Cells are enumerated in deterministic order -- graphs (family, n,
-/// seed) outermost, then solver, delivery, threads -- so two runs of the
-/// same spec produce cell-for-cell comparable documents (the property the
-/// CI trend gate keys on).
+/// seed) outermost, then solver, delivery, threads, drop, faults -- so
+/// two runs of the same spec produce cell-for-cell comparable documents
+/// (the property the CI trend gate keys on).
 struct bench_spec {
   /// Registry names to run (resolved up front; unknown names throw before
   /// any cell executes).
@@ -62,6 +62,19 @@ struct bench_spec {
 
   /// Worker counts to sweep (1 = serial, 0 = one per hardware thread).
   std::vector<std::size_t> threads = {1};
+
+  /// Message drop probabilities to sweep.  Empty (the default) means one
+  /// implicit value inherited from base_exec.drop_probability, so specs
+  /// written before this axis existed keep their meaning.
+  std::vector<double> drops;
+
+  /// Fault-plan specs to sweep (sim::parse_fault_plan grammar; "none" is
+  /// the reliable model).  Empty means one implicit value inherited from
+  /// base_exec.faults.  Cells with an active plan or a positive drop are
+  /// *degraded* cells: instead of failing verification they record a
+  /// verify::coverage_report, while the repeat-digest determinism check
+  /// still applies -- a faulty run must be exactly reproducible.
+  std::vector<std::string> faults;
 
   /// Timed repetitions per cell (>= 1); the document reports the median.
   std::size_t repeats = 3;

@@ -103,6 +103,10 @@ void append_record_json(std::string& out, const run_record& record,
          std::string(sim::to_string(record.exec.delivery)) + "\",\n";
   out += in2 + "\"drop_probability\": " +
          fmt_double(record.exec.drop_probability) + ",\n";
+  out += in2 + "\"faults\": \"" +
+         escape(record.exec.faults ? sim::to_string(*record.exec.faults)
+                                   : std::string("none")) +
+         "\",\n";
   out += in2 + "\"congest_bit_limit\": " + num(record.exec.congest_bit_limit) +
          "\n" + in1 + "},\n";
   out += in1 + "\"params\": {";
@@ -124,8 +128,20 @@ void append_record_json(std::string& out, const run_record& record,
   out += in2 + "\"valid\": ";
   out += record.valid ? "true" : "false";
   out += ",\n";
-  out += in2 + "\"digest\": \"" + digest_hex(record.result) + "\"\n" + in1 +
-         "},\n";
+  out += in2 + "\"digest\": \"" + digest_hex(record.result) + "\"";
+  if (record.result.repair.attempted) {
+    const repair_summary& r = record.result.repair;
+    const std::string in3 = in2 + "  ";
+    out += ",\n" + in2 + "\"repair\": {\n";
+    out += in3 + "\"mode\": \"" + escape(r.mode) + "\",\n";
+    out += in3 + "\"radius\": " + num(r.radius) + ",\n";
+    out += in3 + "\"holes_before\": " + num(r.holes_before) + ",\n";
+    out += in3 + "\"holes_after\": " + num(r.holes_after) + ",\n";
+    out += in3 + "\"added\": " + num(r.added) + ",\n";
+    out += in3 + "\"touched_nodes\": " + num(r.touched_nodes) + "\n" + in2 +
+           "}";
+  }
+  out += "\n" + in1 + "},\n";
   const sim::run_metrics& m = record.result.metrics;
   out += in1 + "\"metrics\": {\n";
   out += in2 + "\"rounds\": " + num(m.rounds) + ",\n";
@@ -135,11 +151,39 @@ void append_record_json(std::string& out, const run_record& record,
   out += in2 + "\"max_messages_per_node\": " + num(m.max_messages_per_node) +
          ",\n";
   out += in2 + "\"messages_dropped\": " + num(m.messages_dropped) + ",\n";
+  out += in2 + "\"messages_lost_to_faults\": " +
+         num(m.messages_lost_to_faults) + ",\n";
+  out += in2 + "\"messages_duplicated\": " + num(m.messages_duplicated) +
+         ",\n";
+  out += in2 + "\"node_rounds_down\": " + num(m.node_rounds_down) + ",\n";
+  out += in2 + "\"nodes_crashed\": " + num(m.nodes_crashed) + ",\n";
   out += in2 + "\"congest_violation\": ";
   out += m.congest_violation ? "true" : "false";
   out += ",\n" + in2 + "\"hit_round_limit\": ";
   out += m.hit_round_limit ? "true" : "false";
   out += "\n" + in1 + "},\n";
+  if (record.coverage.has_value()) {
+    const verify::coverage_report& c = *record.coverage;
+    const std::string in3 = in2 + "  ";
+    out += in1 + "\"coverage\": {\n";
+    out += in2 + "\"nodes\": " + num(c.nodes) + ",\n";
+    out += in2 + "\"holes\": " + num(c.holes()) + ",\n";
+    out += in2 + "\"covered_fraction\": " + fmt_double(c.covered_fraction) +
+           ",\n";
+    out += in2 + "\"max_hole_radius\": " + num(c.max_hole_radius) + ",\n";
+    out += in2 + "\"fully_covered\": ";
+    out += c.fully_covered() ? "true" : "false";
+    out += ",\n" + in2 + "\"attribution\": [";
+    bool first_fault = true;
+    for (const verify::fault_attribution& a : c.attribution) {
+      out += first_fault ? "\n" : ",\n";
+      out += in3 + "{\"fault\": \"" + escape(a.fault) +
+             "\", \"holes\": " + num(a.holes) + "}";
+      first_fault = false;
+    }
+    out += first_fault ? "]\n" : "\n" + in2 + "]\n";
+    out += in1 + "},\n";
+  }
   out += in1 + "\"elapsed_ms\": " + fmt_double(record.elapsed_ms) + "\n" +
          std::string(indent) + "}";
 }

@@ -14,11 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "api/solver.hpp"
 #include "exec/context.hpp"
 #include "graph/graph.hpp"
+#include "verify/coverage.hpp"
 
 namespace domset::api {
 
@@ -43,6 +45,10 @@ struct run_record {
   /// (reported true for fractional-only records, which have no set to
   /// check here; the LP invariants are asserted by the test suite).
   bool valid = false;
+  /// Degradation report for faulty runs (absent on reliable runs): hole
+  /// count, worst hole depth, per-fault attribution.  Serialized as the
+  /// top-level "coverage" object.
+  std::optional<verify::coverage_report> coverage;
   /// Wall-clock of the solve call, in milliseconds.
   double elapsed_ms = 0.0;
 };

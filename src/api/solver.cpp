@@ -1,7 +1,11 @@
 #include "api/solver.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <utility>
+
+#include "core/repair.hpp"
 
 namespace domset::api {
 
@@ -67,6 +71,73 @@ void param_map::require_known(std::span<const std::string_view> known) const {
   if (accepted.empty()) accepted = "none";
   throw std::invalid_argument("unknown param(s) " + unknown +
                               "; this solver accepts: " + accepted);
+}
+
+solve_result solver::solve(const graph::graph& g, const exec::context& exec,
+                           const param_map& params) const {
+  // The self-healing params are cross-cutting: strip them before
+  // require_known so every adapter accepts them without listing them.
+  const core::repair_mode mode =
+      core::parse_repair_mode(params.get_string("repair", "off"));
+  param_map inner;
+  for (const auto& [key, value] : params.entries())
+    if (key != "repair" && key != "repair-radius") inner.set(key, value);
+
+  if (mode == core::repair_mode::off) {
+    if (params.contains("repair-radius"))
+      throw std::invalid_argument(
+          "param 'repair-radius': only applies with repair=radius");
+    inner.require_known(param_keys());
+    return solve_impl(g, exec, inner);
+  }
+
+  if (!integral_output())
+    throw std::invalid_argument(
+        "param 'repair': solver '" + std::string(name()) +
+        "' is fractional-only; repair needs an integral dominating set");
+  if (mode != core::repair_mode::radius && params.contains("repair-radius"))
+    throw std::invalid_argument(
+        "param 'repair-radius': only applies with repair=radius");
+  const std::uint64_t radius = params.get_uint("repair-radius", 2);
+  if (radius < 1 || radius > 0xFFFFFFFFULL)
+    throw std::invalid_argument(
+        "param 'repair-radius': must be an integer >= 1");
+
+  inner.require_known(param_keys());
+  solve_result out = solve_impl(g, exec, inner);
+
+  core::repair_params rp;
+  rp.mode = mode;
+  rp.radius = static_cast<std::uint32_t>(radius);
+  // Repair models recovery *after* the faults: the dirty subgraph is
+  // re-solved on a clean copy of the context (same seed/threads/delivery,
+  // no drops, no fault plan) so the patch itself cannot be damaged.
+  exec::context clean = exec;
+  clean.drop_probability = 0.0;
+  clean.faults = nullptr;
+  if (mode == core::repair_mode::radius) {
+    rp.subsolver = [this, &clean, &inner](
+                       const graph::graph& sub,
+                       const std::vector<graph::node_id>&) {
+      // `inner` carries no repair keys, so this nested solve() cannot
+      // recurse into another repair pass.
+      return this->solve(sub, clean, inner).in_set;
+    };
+  }
+
+  core::repair_result repaired = core::repair(g, out.in_set, rp);
+  out.in_set = std::move(repaired.in_set);
+  out.size = static_cast<std::size_t>(
+      std::count(out.in_set.begin(), out.in_set.end(), std::uint8_t{1}));
+  out.objective = static_cast<double>(out.size);
+  out.repair.attempted = true;
+  out.repair.mode = std::string(core::to_string(mode));
+  out.repair.radius = rp.mode == core::repair_mode::radius ? rp.radius : 0;
+  out.repair.holes_before = repaired.holes_before;
+  out.repair.holes_after = repaired.holes_after;
+  out.repair.added = repaired.added;
+  out.repair.touched_nodes = repaired.touched_nodes;
+  return out;
 }
 
 }  // namespace domset::api

@@ -83,6 +83,28 @@ class param_map {
   std::map<std::string, std::string, std::less<>> values_;
 };
 
+/// What the self-healing pass did to a solver's output (all-zero when
+/// repair was off).  Populated by solver::solve when the caller passed
+/// `repair=radius` or `repair=greedy`; see core/repair.hpp for the
+/// strategies and the validity argument.
+struct repair_summary {
+  /// True when a repair pass ran (even if the set was already valid).
+  bool attempted = false;
+  /// "radius" or "greedy" (empty when not attempted).
+  std::string mode;
+  /// Dirty-region radius in hops (radius mode; 0 for greedy).
+  std::uint32_t radius = 0;
+  /// Coverage holes before/after the pass (after is always 0: repair
+  /// validity is enforced, failures throw).
+  std::size_t holes_before = 0;
+  std::size_t holes_after = 0;
+  /// Members added by the pass.
+  std::size_t added = 0;
+  /// Nodes in the dirty region the pass examined -- the locality receipt:
+  /// repair work proportional to the damage, not the graph.
+  std::size_t touched_nodes = 0;
+};
+
 /// Uniform result record of a registry-invoked run.  Integral solvers
 /// fill `in_set`/`size`; the fractional LP solvers (alg2, alg3,
 /// alg2_fresh) fill `x` and leave `in_set` empty; the pipeline fills
@@ -109,6 +131,9 @@ struct solve_result {
 
   /// Simulator metrics (all-zero for centralized reference solvers).
   sim::run_metrics metrics;
+
+  /// Self-healing pass record (attempted == false when repair was off).
+  repair_summary repair;
 
   /// True when the record carries an integral dominating set.
   [[nodiscard]] bool integral() const noexcept { return !in_set.empty(); }
@@ -143,12 +168,20 @@ class solver {
   /// Runs the algorithm on `g` under the shared execution context.
   /// Rejects unknown param keys (std::invalid_argument), then forwards to
   /// the algorithm-specific entry point.
+  ///
+  /// Every integral solver additionally accepts the cross-cutting
+  /// self-healing params, stripped here before require_known so the
+  /// adapters never see them:
+  ///   repair=off|radius|greedy   (default off)
+  ///   repair-radius=<hops>       (radius mode only; default 2)
+  /// With repair on, the adapter's output is patched back into a verified
+  /// dominating set by core::repair -- radius mode re-runs *this* solver
+  /// on the dirty subgraph under a fault-free copy of `exec` (recovery
+  /// happens on the healed network), greedy patches locally.  The pass is
+  /// recorded in solve_result::repair.
   [[nodiscard]] solve_result solve(const graph::graph& g,
                                    const exec::context& exec,
-                                   const param_map& params = {}) const {
-    params.require_known(param_keys());
-    return solve_impl(g, exec, params);
-  }
+                                   const param_map& params = {}) const;
 
  protected:
   /// The adapter body; `params` has already been validated.

@@ -66,6 +66,13 @@ sim::run_metrics merge_metrics(const sim::run_metrics& a,
   m.max_messages_per_node =
       std::max(a.max_messages_per_node, b.max_messages_per_node);
   m.messages_dropped = a.messages_dropped + b.messages_dropped;
+  m.messages_lost_to_faults =
+      a.messages_lost_to_faults + b.messages_lost_to_faults;
+  m.messages_duplicated = a.messages_duplicated + b.messages_duplicated;
+  m.node_rounds_down = a.node_rounds_down + b.node_rounds_down;
+  // A node crashed in either stage is one crashed node; the stages run the
+  // same plan, so the max is the exact union count.
+  m.nodes_crashed = std::max(a.nodes_crashed, b.nodes_crashed);
   m.congest_violation = a.congest_violation || b.congest_violation;
   m.hit_round_limit = a.hit_round_limit || b.hit_round_limit;
   return m;

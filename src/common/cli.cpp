@@ -3,7 +3,11 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
+#include <utility>
+
+#include "sim/fault.hpp"
 
 namespace domset::common {
 
@@ -95,6 +99,15 @@ bool cli_parser::parse(int argc, const char* const* argv) {
         return false;
       }
     }
+    if (spec.fault_spec) {
+      try {
+        (void)sim::parse_fault_plan(get_string(name));
+      } catch (const std::invalid_argument& err) {
+        std::fprintf(stderr, "flag '--%s': %s\n%s", name.c_str(), err.what(),
+                     usage(argv[0]).c_str());
+        return false;
+      }
+    }
     if (!spec.nonnegative_int) continue;
     // Require a complete, in-range decimal integer: strtoll alone maps
     // typos like "eight" to 0 (for --threads: maximum parallelism) and
@@ -155,6 +168,11 @@ void cli_parser::add_exec_flags(std::uint64_t default_seed) {
            "message-loss probability in [0, 1] (robustness extension; "
            "0 = the paper's reliable model)");
   specs_["drop"].unit_interval = true;
+  add_flag("faults", "none",
+           "deterministic fault schedule, e.g. "
+           "crash=7@10+link=0-3@4-9:flap=1/3+burst@5-6:p=0.5 "
+           "(none = reliable; see docs/robustness.md for the grammar)");
+  specs_["faults"].fault_spec = true;
   add_flag("congest-bits", "0",
            "flag messages wider than this many bits as CONGEST violations "
            "(0 = unchecked)");
@@ -179,6 +197,9 @@ exec::context cli_parser::exec() const {
   ctx.congest_bit_limit = static_cast<std::uint32_t>(congest);
   ctx.drop_probability = get_double("drop");
   ctx.delivery = sim::parse_delivery_mode(get_string("delivery"));
+  sim::fault_plan plan = sim::parse_fault_plan(get_string("faults"));
+  if (!plan.empty())
+    ctx.faults = std::make_shared<const sim::fault_plan>(std::move(plan));
   return ctx;
 }
 

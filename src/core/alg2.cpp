@@ -29,6 +29,13 @@ class alg2_program {
     if (ctx.round() == 0) dyn_degree_ = ctx.degree() + 1;  // line 1
 
     const std::size_t iteration = ctx.round() / 2;
+    // Only reachable when a crash window swallowed the finishing round:
+    // the schedule is over, and the phase arithmetic below would
+    // underflow, so a recovered node simply retires with its current x.
+    if (iteration >= static_cast<std::size_t>(k_) * k_) {
+      finished_ = true;
+      return;
+    }
     const bool phase_a = ctx.round() % 2 == 0;
     if (phase_a) {
       // Line 12 of the previous iteration: color update from x-messages.

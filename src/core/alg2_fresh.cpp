@@ -23,6 +23,12 @@ class alg2_fresh_program {
                 std::span<const sim::message> inbox) {
     if (finished_) return;
     const std::size_t iteration = ctx.round() / 2;
+    // Past the schedule (a crash window swallowed the finishing round):
+    // retire instead of underflowing the phase arithmetic.
+    if (iteration >= static_cast<std::size_t>(k_) * k_) {
+      finished_ = true;
+      return;
+    }
     const bool phase_a = ctx.round() % 2 == 0;
     if (phase_a) {
       // Line 12 of the previous iteration, then line 9: announce color.

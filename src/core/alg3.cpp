@@ -78,6 +78,12 @@ class alg3_program {
                 std::span<const sim::message> inbox) {
     if (finished_) return;
     const alg3_position pos = locate(ctx.round(), k_);
+    // Past the schedule (a crash window swallowed the finishing round):
+    // retire instead of underflowing the ell arithmetic below.
+    if (pos.outer >= k_) {
+      finished_ = true;
+      return;
+    }
 
     if (pos.prelude0) {
       // Line 2, first half: exchange degrees.

@@ -1,0 +1,187 @@
+#include "core/repair.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+#include "graph/properties.hpp"
+#include "verify/verify.hpp"
+
+namespace domset::core {
+
+std::string_view to_string(repair_mode mode) {
+  switch (mode) {
+    case repair_mode::off: return "off";
+    case repair_mode::radius: return "radius";
+    case repair_mode::greedy: return "greedy";
+  }
+  return "off";
+}
+
+repair_mode parse_repair_mode(std::string_view text) {
+  if (text == "off") return repair_mode::off;
+  if (text == "radius") return repair_mode::radius;
+  if (text == "greedy") return repair_mode::greedy;
+  throw std::invalid_argument("repair mode '" + std::string(text) +
+                              "': expected off, radius or greedy");
+}
+
+namespace {
+
+/// Indicator of the r-hop ball around `seeds` (multi-source BFS).
+std::vector<std::uint8_t> dirty_region(const graph::graph& g,
+                                       std::span<const graph::node_id> seeds,
+                                       std::uint32_t radius) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint8_t> in_region(n, 0);
+  std::vector<std::uint32_t> depth(n, 0);
+  std::deque<graph::node_id> queue;
+  for (const graph::node_id v : seeds) {
+    if (in_region[v]) continue;
+    in_region[v] = 1;
+    queue.push_back(v);
+  }
+  while (!queue.empty()) {
+    const graph::node_id v = queue.front();
+    queue.pop_front();
+    if (depth[v] == radius) continue;
+    for (const graph::node_id u : g.neighbors(v)) {
+      if (in_region[u]) continue;
+      in_region[u] = 1;
+      depth[u] = depth[v] + 1;
+      queue.push_back(u);
+    }
+  }
+  return in_region;
+}
+
+repair_result repair_radius(const graph::graph& g,
+                            std::span<const std::uint8_t> in_set,
+                            const std::vector<graph::node_id>& holes,
+                            const repair_params& params) {
+  if (!params.subsolver)
+    throw std::invalid_argument("repair: radius mode needs a subsolver");
+
+  repair_result result;
+  result.in_set.assign(in_set.begin(), in_set.end());
+  result.holes_before = holes.size();
+
+  const std::vector<std::uint8_t> region =
+      dirty_region(g, holes, params.radius);
+  result.touched_nodes = static_cast<std::size_t>(
+      std::count(region.begin(), region.end(), std::uint8_t{1}));
+
+  graph::induced_subgraph_result sub = graph::induced_subgraph(g, region);
+  const std::vector<std::uint8_t> sub_set =
+      params.subsolver(sub.g, sub.original_id);
+  if (sub_set.size() != sub.g.node_count())
+    throw std::runtime_error(
+        "repair: subsolver returned a wrong-sized solution");
+  if (!verify::is_dominating_set(sub.g, sub_set))
+    throw std::runtime_error(
+        "repair: subsolver failed to dominate the dirty subgraph");
+
+  // Union only: old coverage survives, and every hole is dominated inside
+  // the subgraph, whose closed neighborhoods are subsets of the full
+  // graph's -- so the union dominates g (see repair.hpp).
+  for (graph::node_id s = 0; s < sub.g.node_count(); ++s) {
+    if (sub_set[s] == 0) continue;
+    std::uint8_t& bit = result.in_set[sub.original_id[s]];
+    if (bit == 0) {
+      bit = 1;
+      ++result.added;
+    }
+  }
+  return result;
+}
+
+repair_result repair_greedy(const graph::graph& g,
+                            std::span<const std::uint8_t> in_set,
+                            const std::vector<graph::node_id>& holes) {
+  repair_result result;
+  result.in_set.assign(in_set.begin(), in_set.end());
+  result.holes_before = holes.size();
+
+  // Candidates: the holes and their direct neighbors -- any node able to
+  // cover at least one hole.  That set is also the touched region.
+  std::vector<std::uint8_t> uncovered(g.node_count(), 0);
+  for (const graph::node_id v : holes) uncovered[v] = 1;
+  std::vector<graph::node_id> candidates;
+  std::vector<std::uint8_t> seen(g.node_count(), 0);
+  for (const graph::node_id v : holes) {
+    if (!seen[v]) {
+      seen[v] = 1;
+      candidates.push_back(v);
+    }
+    for (const graph::node_id u : g.neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        candidates.push_back(u);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  result.touched_nodes = candidates.size();
+
+  std::size_t remaining = holes.size();
+  while (remaining > 0) {
+    // Most holes newly covered wins; candidates are scanned in ascending
+    // id, so ties resolve to the smallest id -- fully deterministic.
+    graph::node_id best = graph::invalid_node;
+    std::size_t best_gain = 0;
+    for (const graph::node_id c : candidates) {
+      if (result.in_set[c]) continue;
+      std::size_t gain = uncovered[c] != 0 ? 1 : 0;
+      for (const graph::node_id u : g.neighbors(c)) gain += uncovered[u] != 0;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    // Every hole covers itself, so a positive-gain candidate always
+    // exists while holes remain.
+    result.in_set[best] = 1;
+    ++result.added;
+    if (uncovered[best]) {
+      uncovered[best] = 0;
+      --remaining;
+    }
+    for (const graph::node_id u : g.neighbors(best)) {
+      if (uncovered[u]) {
+        uncovered[u] = 0;
+        --remaining;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+repair_result repair(const graph::graph& g,
+                     std::span<const std::uint8_t> in_set,
+                     const repair_params& params) {
+  if (in_set.size() != g.node_count())
+    throw std::invalid_argument("repair: |in_set| != node count");
+  if (params.mode == repair_mode::off)
+    throw std::invalid_argument("repair: mode is off");
+
+  const std::vector<graph::node_id> holes =
+      verify::undominated_nodes(g, in_set);
+  if (holes.empty()) {
+    repair_result result;
+    result.in_set.assign(in_set.begin(), in_set.end());
+    return result;
+  }
+
+  repair_result result = params.mode == repair_mode::radius
+                             ? repair_radius(g, in_set, holes, params)
+                             : repair_greedy(g, in_set, holes);
+  result.holes_after = verify::undominated_nodes(g, result.in_set).size();
+  if (result.holes_after != 0)
+    throw std::runtime_error("repair: result still has coverage holes");
+  return result;
+}
+
+}  // namespace domset::core

@@ -1,0 +1,84 @@
+/// \file repair.hpp
+/// \brief Bounded-radius self-healing of a damaged dominating set.
+//
+// The LOCAL-model locality that gives the paper its constant-time bound
+// also bounds the *repair* work after faults: a node's coverage depends
+// only on its closed neighborhood, so a coverage hole can be fixed by
+// decisions within a constant radius of it -- no global recomputation.
+// Two strategies:
+//   * `radius`: collect the uncovered nodes, grow an r-hop dirty region
+//     around them (r = repair_params::radius), cut out the induced
+//     subgraph, and re-run a solver on it (the caller supplies the
+//     subsolver -- typically the same registry solver that produced the
+//     damaged set, now on a fault-free context).  The sub-solution is
+//     verified to dominate the subgraph and unioned into the original
+//     set.  Validity of the union is structural: old members are never
+//     removed, so previously covered nodes stay covered, and every hole
+//     lies inside the subgraph, where the verified sub-solution gives it
+//     a dominator from its own closed neighborhood (closed neighborhoods
+//     only shrink under induced subgraphs, never gain impostors).
+//   * `greedy`: classic deterministic greedy set cover over the holes'
+//     closed neighborhoods (most new holes covered first, smallest id on
+//     ties) -- at most |holes| nodes added, touching only the holes and
+//     their direct neighbors.  The cheap patch for small damage.
+// Both report `touched_nodes`, the size of the dirty region examined, so
+// callers (and the acceptance tests) can assert repair work stayed
+// proportional to the damage, not to the graph.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace domset::core {
+
+enum class repair_mode : std::uint8_t { off, radius, greedy };
+
+[[nodiscard]] std::string_view to_string(repair_mode mode);
+/// Parses "off" | "radius" | "greedy" (throws std::invalid_argument).
+[[nodiscard]] repair_mode parse_repair_mode(std::string_view text);
+
+/// Solves the dirty subgraph: receives the induced subgraph and the
+/// new-id -> original-id map, returns the subgraph-indexed indicator
+/// vector of the chosen dominating set.
+using repair_subsolver = std::function<std::vector<std::uint8_t>(
+    const graph::graph& sub, const std::vector<graph::node_id>& original_id)>;
+
+struct repair_params {
+  repair_mode mode = repair_mode::radius;
+  /// Dirty-region radius in hops around each uncovered node (radius
+  /// mode).  1 already suffices for validity (the hole's own neighborhood
+  /// enters the subgraph); larger radii give the subsolver room to make
+  /// globally better choices, mirroring the O(k)-hop locality of the
+  /// solver being repaired.
+  std::uint32_t radius = 2;
+  /// Required in radius mode; ignored by greedy.
+  repair_subsolver subsolver;
+};
+
+struct repair_result {
+  /// The repaired set (a superset of the input set).
+  std::vector<std::uint8_t> in_set;
+  std::size_t holes_before = 0;
+  std::size_t holes_after = 0;  ///< always 0 on return (validity is enforced)
+  /// Members added by the repair pass.
+  std::size_t added = 0;
+  /// Nodes in the dirty region the pass examined: the r-hop ball around
+  /// the holes (radius mode) or the holes plus their direct neighbors
+  /// (greedy).  0 when the input set was already dominating.
+  std::size_t touched_nodes = 0;
+};
+
+/// Repairs `in_set` into a verified dominating set of `g`.  Throws
+/// std::invalid_argument when params are inconsistent (radius mode
+/// without a subsolver, mode == off) and std::runtime_error if the
+/// subsolver's output fails to dominate the dirty subgraph.
+[[nodiscard]] repair_result repair(const graph::graph& g,
+                                   std::span<const std::uint8_t> in_set,
+                                   const repair_params& params);
+
+}  // namespace domset::core

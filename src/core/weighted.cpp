@@ -33,6 +33,12 @@ class weighted_alg2_program {
     if (ctx.round() == 0) dyn_degree_ = ctx.degree() + 1;
 
     const std::size_t iteration = ctx.round() / 2;
+    // Past the schedule (a crash window swallowed the finishing round):
+    // retire instead of underflowing the phase arithmetic.
+    if (iteration >= static_cast<std::size_t>(k_) * k_) {
+      finished_ = true;
+      return;
+    }
     const bool phase_a = ctx.round() % 2 == 0;
     if (phase_a) {
       if (iteration > 0) apply_color_update(inbox);

@@ -18,6 +18,7 @@
 
 #include "sim/delivery.hpp"
 #include "sim/engine_config.hpp"
+#include "sim/fault.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace domset::exec {
@@ -39,6 +40,13 @@ struct context {
   /// Message-loss probability (robustness extension; 0 = the paper's
   /// reliable model).
   double drop_probability = 0.0;
+
+  /// Scheduled fault plan (crash/link/burst/dup events; see
+  /// sim/fault.hpp).  Null or empty = no injected faults.  Like
+  /// drop_probability, faults influence a run's *output* but never its
+  /// determinism: the same plan plus the same seed reproduces the run bit
+  /// for bit at every thread count and delivery mode.
+  std::shared_ptr<const sim::fault_plan> faults;
 
   /// If nonzero, the engine flags any message whose declared width
   /// exceeds this many bits (run_metrics::congest_violation) -- used to
@@ -66,11 +74,19 @@ struct context {
     sim::engine_config cfg;
     cfg.seed = seed;
     cfg.drop_probability = drop_probability;
+    cfg.faults = faults;
     cfg.congest_bit_limit = congest_bit_limit;
     cfg.threads = threads;
     cfg.pool = pool;
     cfg.delivery = delivery;
     return cfg;
+  }
+
+  /// True when this context injects any unreliability (message loss or a
+  /// non-empty fault plan); callers use it to decide whether a run may
+  /// legitimately produce a degraded solution.
+  [[nodiscard]] bool faulty() const {
+    return drop_probability > 0.0 || (faults && !faults->empty());
   }
 
   /// Returns a copy whose `seed` is replaced (pipelines derive

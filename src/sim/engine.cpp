@@ -9,6 +9,10 @@ namespace {
 /// Salt decorrelating the per-sender drop streams from the node streams.
 constexpr std::uint64_t drop_stream_salt = 0xAD5E'05A1'DEAD'BEEFULL;
 
+/// Salt for the per-sender duplication streams (distinct from both the
+/// node and drop salts, so enabling duplication never perturbs either).
+constexpr std::uint64_t dup_stream_salt = 0xD0B1'E5A1'0B5E'55EDULL;
+
 /// `auto` delivery thresholds: pull engages when the maximum degree is at
 /// least this many slots (below it a hub row spans a handful of cache
 /// lines and push's scatter is harmless) ...
@@ -45,13 +49,22 @@ mailbox_state::mailbox_state(const graph::graph& g, engine_config cfg)
   const std::size_t n = g.node_count();
   const std::size_t directed_edges = 2 * g.edge_count();
 
+  if (cfg.faults && !cfg.faults->empty())
+    faults_ = compiled_faults(g, *cfg.faults);
+
   node_rngs_.reserve(n);
   for (graph::node_id v = 0; v < n; ++v) node_rngs_.emplace_back(cfg.seed, v);
-  if (cfg.drop_probability > 0.0) {
+  if (cfg.drop_probability > 0.0 || faults_.any_burst()) {
     const std::uint64_t drop_seed =
         common::derive_seed(cfg.seed, drop_stream_salt);
     drop_rngs_.reserve(n);
     for (graph::node_id v = 0; v < n; ++v) drop_rngs_.emplace_back(drop_seed, v);
+  }
+  if (faults_.any_dup()) {
+    const std::uint64_t dup_seed =
+        common::derive_seed(cfg.seed, dup_stream_salt);
+    dup_rngs_.reserve(n);
+    for (graph::node_id v = 0; v < n; ++v) dup_rngs_.emplace_back(dup_seed, v);
   }
 
   // Mirror index: visiting receivers v in ascending order visits, for each
@@ -89,6 +102,9 @@ mailbox_state::mailbox_state(const graph::graph& g, engine_config cfg)
   bits_.assign(n, 0);
   max_bits_.assign(n, 0);
   congested_.assign(n, 0);
+  fault_lost_.assign(n, 0);
+  duplicated_.assign(n, 0);
+  down_rounds_.assign(n, 0);
 }
 
 void mailbox_state::finish_round(thread_pool* pool, std::size_t workers,
@@ -159,6 +175,10 @@ void mailbox_state::aggregate(run_metrics& metrics) const {
   metrics.max_message_bits = 0;
   metrics.max_messages_per_node = 0;
   metrics.messages_dropped = 0;
+  metrics.messages_lost_to_faults = 0;
+  metrics.messages_duplicated = 0;
+  metrics.node_rounds_down = 0;
+  metrics.nodes_crashed = 0;
   metrics.congest_violation = false;
   const std::size_t n = attempted_.size();
   for (std::size_t v = 0; v < n; ++v) {
@@ -169,6 +189,10 @@ void mailbox_state::aggregate(run_metrics& metrics) const {
     metrics.max_messages_per_node =
         std::max(metrics.max_messages_per_node, delivered_[v]);
     metrics.messages_dropped += dropped_[v];
+    metrics.messages_lost_to_faults += fault_lost_[v];
+    metrics.messages_duplicated += duplicated_[v];
+    metrics.node_rounds_down += down_rounds_[v];
+    metrics.nodes_crashed += down_rounds_[v] > 0 ? 1 : 0;
     metrics.congest_violation |= congested_[v] != 0;
   }
 }

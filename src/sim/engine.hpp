@@ -73,6 +73,16 @@
 // every thread count: serial and parallel executions produce identical
 // message sequences, program states, and metrics.
 //
+// Fault plane.  An engine_config may carry a sim::fault_plan (fault.hpp):
+// crash windows make the compute phase skip a node (its inbox is drained
+// and discarded by its owner worker, so buffer hygiene is untouched),
+// link cuts filter individual deposits at the sender, bursts fold into
+// the per-sender drop rolls, and duplication re-deposits a copy through
+// the overflow path.  Every fault decision is a pure function of (plan,
+// sender, edge position, round) plus the per-sender drop/dup streams --
+// never of thread count or delivery mode -- so faulty runs keep the
+// bit-reproducibility contract below.
+//
 // Engines.  typed_engine<Program> stores the per-node programs
 // contiguously by value and dispatches on_round statically (no vtable,
 // no per-program allocation).  The classic virtual `engine` +
@@ -94,6 +104,7 @@
 #include "graph/graph.hpp"
 #include "sim/delivery.hpp"
 #include "sim/engine_config.hpp"
+#include "sim/fault.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/partition.hpp"
@@ -248,16 +259,78 @@ class mailbox_state {
   }
 
   /// Folds one send of `count` equal-width messages into the per-sender
-  /// counters; returns true if the drop roll must run per message.
-  bool account(graph::node_id from, std::uint64_t count, std::uint32_t bits) {
+  /// counters; returns true if the per-message path (drop rolls, link
+  /// filters, duplication) must run.  The decision depends only on the
+  /// config, the fault plan, the sender and the round, so it is identical
+  /// in every thread/delivery configuration.
+  bool account(graph::node_id from, std::uint64_t count, std::uint32_t bits,
+               std::size_t round) {
     attempted_[from] += count;
     bits_[from] += bits * count;
     if (bits > max_bits_[from]) max_bits_[from] = bits;
     if (config_.congest_bit_limit != 0 && bits > config_.congest_bit_limit)
       congested_[from] = 1;
-    if (config_.drop_probability > 0.0) return true;
+    if (config_.drop_probability > 0.0 ||
+        (faults_.any() && faults_.sender_path(from, round)))
+      return true;
     delivered_[from] += count;
     return false;
+  }
+
+  /// The round's message-loss probability: the base drop_probability
+  /// combined with any active burst window (independent losses compose).
+  [[nodiscard]] double effective_drop(std::size_t round) const {
+    double p = config_.drop_probability;
+    if (faults_.any_burst()) {
+      const double b = faults_.burst_probability(round);
+      if (b > 0.0) p = 1.0 - (1.0 - p) * (1.0 - b);
+    }
+    return p;
+  }
+
+  /// Per-message slow path shared by send() and broadcast(): link-cut
+  /// filter (no RNG consumed), drop roll on the per-sender drop stream,
+  /// deposit, then a duplication roll on the per-sender dup stream (the
+  /// copy re-deposits down the same edge via the overflow machinery).
+  void deliver_one(mail_buffer& out, graph::node_id from, std::size_t i,
+                   graph::node_id to, const message& msg, std::size_t round,
+                   double eff_drop, double dup_p) {
+    if (faults_.link_down(graph_->edge_begin(from) + i, round)) {
+      fault_lost_[from] += 1;
+      return;
+    }
+    if (eff_drop > 0.0 && drop_rngs_[from].next_bernoulli(eff_drop)) {
+      dropped_[from] += 1;
+      return;
+    }
+    delivered_[from] += 1;
+    deposit(out, from, i, to, msg, round);
+    if (dup_p > 0.0 && dup_rngs_[from].next_bernoulli(dup_p)) {
+      duplicated_[from] += 1;
+      deposit(out, from, i, to, msg, round);
+    }
+  }
+
+  /// True iff node v is dark (crashed) at `round`.
+  [[nodiscard]] bool node_down(graph::node_id v, std::size_t round) const {
+    return faults_.node_down(v, round);
+  }
+
+  /// True iff node v crashed at or before `round` and never recovers.
+  [[nodiscard]] bool node_crash_stopped(graph::node_id v,
+                                        std::size_t round) const {
+    return faults_.permanently_down(v, round);
+  }
+
+  /// Stands in for on_round when v is dark: drains and discards v's inbox
+  /// (the radio is off; losses are counted) while keeping the buffer
+  /// hygiene collect/release normally provides.  Only v's owner worker
+  /// may call this -- same ownership rule as collect_inbox.
+  void skip_down_node(graph::node_id v, std::size_t round) {
+    const std::span<const message> inbox = collect_inbox(v, round);
+    fault_lost_[v] += inbox.size();
+    down_rounds_[v] += 1;
+    release_inbox(v, inbox);
   }
 
   /// Replays an earlier broadcast-lane entry of `from` into its per-edge
@@ -278,16 +351,17 @@ class mailbox_state {
   /// Sends one message to every neighbor of `from` -- no adjacency check,
   /// metrics folded once for the whole broadcast.  Fast path: a sender
   /// whose round is broadcast-only (the paper's algorithms, every round)
-  /// publishes one broadcast-lane entry.  Mixed rounds and lossy runs
-  /// (per-edge drop rolls) walk the sender's CSR row through the mirror
-  /// index into the per-edge slots.
+  /// publishes one broadcast-lane entry.  Mixed rounds, lossy runs, and
+  /// rounds where a fault touches this sender (per-edge link filters,
+  /// drop rolls, duplication) walk the sender's CSR row through the
+  /// mirror index into the per-edge slots.
   void broadcast(graph::node_id from, std::uint16_t tag, std::uint64_t payload,
                  std::uint32_t bits, std::size_t round) {
     const auto nbrs = graph_->neighbors(from);
     if (nbrs.empty()) return;
     mail_buffer& out = buffers_[out_buf_];
     const message msg{payload, from, wire_bits(bits), tag};
-    if (!account(from, nbrs.size(), bits)) {
+    if (!account(from, nbrs.size(), bits, round)) {
       if (last_slotted_round_[from] != round + 1 &&
           out.bcast[from].from == graph::invalid_node) {
         out.bcast[from] = msg;
@@ -302,14 +376,11 @@ class mailbox_state {
     }
     last_slotted_round_[from] = round + 1;
     demote_broadcast(from, round);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (drop_rngs_[from].next_bernoulli(config_.drop_probability)) {
-        dropped_[from] += 1;
-        continue;
-      }
-      delivered_[from] += 1;
-      deposit(out, from, i, nbrs[i], msg, round);
-    }
+    const double eff_drop = effective_drop(round);
+    const double dup_p =
+        faults_.any_dup() ? faults_.dup_probability(round) : 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      deliver_one(out, from, i, nbrs[i], msg, round, eff_drop, dup_p);
   }
 
   /// Sends one message to the adjacent node `to` (throws std::logic_error
@@ -323,15 +394,14 @@ class mailbox_state {
     last_slotted_round_[from] = round + 1;
     demote_broadcast(from, round);  // keep send order exact across the mix
     const auto i = static_cast<std::size_t>(it - nbrs.begin());
-    if (account(from, 1, bits)) {
-      if (drop_rngs_[from].next_bernoulli(config_.drop_probability)) {
-        dropped_[from] += 1;
-        return;
-      }
-      delivered_[from] += 1;
+    const message msg{payload, from, wire_bits(bits), tag};
+    if (account(from, 1, bits, round)) {
+      deliver_one(buffers_[out_buf_], from, i, to, msg, round,
+                  effective_drop(round),
+                  faults_.any_dup() ? faults_.dup_probability(round) : 0.0);
+      return;
     }
-    deposit(buffers_[out_buf_], from, i, to,
-            message{payload, from, wire_bits(bits), tag}, round);
+    deposit(buffers_[out_buf_], from, i, to, msg, round);
   }
 
   /// Drains node v's inbox from the in-buffer and returns it as one
@@ -505,8 +575,15 @@ class mailbox_state {
   mail_buffer buffers_[2];
   int out_buf_ = 0;
 
+  /// The run's fault plan compiled against the graph (empty = reliable).
+  compiled_faults faults_;
+
   std::vector<common::rng> node_rngs_;
-  std::vector<common::rng> drop_rngs_;  // populated iff drop_probability > 0
+  /// Populated iff drop_probability > 0 or the plan has burst windows.
+  std::vector<common::rng> drop_rngs_;
+  /// Populated iff the plan has duplication windows (own salt, so dup
+  /// rolls never perturb the drop stream).
+  std::vector<common::rng> dup_rngs_;
   std::vector<std::vector<message>> scratch_;  // per-receiver overflow gather
   /// round + 1 of each sender's most recent per-edge slot use (targeted
   /// send, demotion, or repeat broadcast); gates the broadcast fast path
@@ -523,6 +600,13 @@ class mailbox_state {
   std::vector<std::uint64_t> bits_;
   std::vector<std::uint32_t> max_bits_;
   std::vector<std::uint8_t> congested_;
+  // Fault-plane counters.  fault_lost_[x] mixes x's sender-side link
+  // losses and x's receiver-side dark-round inbox discards; both are
+  // written inside x's own compute slot, so the single array stays
+  // race-free under the ownership schedule.
+  std::vector<std::uint64_t> fault_lost_;
+  std::vector<std::uint64_t> duplicated_;
+  std::vector<std::uint64_t> down_rounds_;
 };
 
 }  // namespace detail
@@ -707,6 +791,20 @@ class typed_engine {
                             graph::node_id hi) {
     std::size_t newly_finished = 0;
     for (graph::node_id v = lo; v < hi; ++v) {
+      if (state_.node_down(v, round)) {
+        // Dark node: no on_round, no sends, no RNG draws; the inbox is
+        // discarded (and counted) by skip_down_node.  A crash-*stop* node
+        // will never compute again, so it is treated as finished at its
+        // crash round -- its silence, not its cooperation, is what the
+        // surviving nodes observe.  Crash-recover nodes resume later and
+        // finish (or hit the round limit) on their own.
+        state_.skip_down_node(v, round);
+        if (!finished_flag_[v] && state_.node_crash_stopped(v, round)) {
+          finished_flag_[v] = 1;
+          ++newly_finished;
+        }
+        continue;
+      }
       const std::span<const message> inbox = state_.collect_inbox(v, round);
       round_context ctx(state_, v, round);
       programs_[v].on_round(ctx, inbox);

@@ -14,6 +14,7 @@
 namespace domset::sim {
 
 class thread_pool;
+struct fault_plan;
 
 struct engine_config {
   /// Global seed; node v's stream is derive_seed(seed, v).
@@ -30,6 +31,12 @@ struct engine_config {
   /// If nonzero, any message with declared bits above this limit sets
   /// run_metrics::congest_violation.
   std::uint32_t congest_bit_limit = 0;
+
+  /// Scheduled fault plan (sim/fault.hpp): crash windows, link cuts,
+  /// bursts, duplication.  Null or empty = the reliable model.  Fault
+  /// decisions derive from the plan and per-sender streams only, so runs
+  /// stay bit-identical across thread counts and delivery modes.
+  std::shared_ptr<const fault_plan> faults;
 
   /// Worker threads for the parallel phases.  1 = serial; 0 = one per
   /// hardware thread (or the whole injected pool).  Results are

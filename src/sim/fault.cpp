@@ -1,0 +1,242 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace domset::sim {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, std::string_view why) {
+  throw std::invalid_argument("fault spec '" + std::string(spec) +
+                              "': " + std::string(why));
+}
+
+std::size_t parse_number(std::string_view spec, std::string_view& rest,
+                         std::string_view what) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), value);
+  if (ec != std::errc{} || ptr == rest.data())
+    bad_spec(spec, "expected " + std::string(what));
+  rest.remove_prefix(static_cast<std::size_t>(ptr - rest.data()));
+  return value;
+}
+
+double parse_probability(std::string_view spec, std::string_view& rest) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), value);
+  if (ec != std::errc{} || ptr == rest.data())
+    bad_spec(spec, "expected a probability");
+  if (value < 0.0 || value > 1.0)
+    bad_spec(spec, "probability must be in [0, 1]");
+  rest.remove_prefix(static_cast<std::size_t>(ptr - rest.data()));
+  return value;
+}
+
+bool consume(std::string_view& rest, std::string_view prefix) {
+  if (!rest.starts_with(prefix)) return false;
+  rest.remove_prefix(prefix.size());
+  return true;
+}
+
+/// window := round | round "-" | round "-" round
+fault_window parse_window(std::string_view spec, std::string_view& rest,
+                          bool single_means_forever) {
+  fault_window w;
+  w.first = parse_number(spec, rest, "a round number");
+  if (consume(rest, "-")) {
+    if (rest.empty() || !(rest.front() >= '0' && rest.front() <= '9'))
+      w.last = fault_window::forever;
+    else
+      w.last = parse_number(spec, rest, "a round number");
+  } else {
+    w.last = single_means_forever ? fault_window::forever : w.first;
+  }
+  if (!w.open_ended() && w.last < w.first)
+    bad_spec(spec, "window ends before it starts");
+  return w;
+}
+
+void render_window(std::string& out, const fault_window& w,
+                   bool single_means_forever) {
+  out += std::to_string(w.first);
+  if (w.open_ended()) {
+    if (!single_means_forever) out += '-';
+    return;
+  }
+  if (w.last != w.first || single_means_forever) {
+    out += '-';
+    out += std::to_string(w.last);
+  }
+}
+
+std::string render_probability(double p) {
+  // Probabilities enter through the same parser, so a plain round-trip
+  // via shortest-representation formatting is exact.
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, p);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::to_string(p);
+}
+
+}  // namespace
+
+fault_plan parse_fault_plan(std::string_view spec) {
+  fault_plan plan;
+  if (spec.empty() || spec == "none") {
+    plan.spec = "none";
+    return plan;
+  }
+  std::string_view rest = spec;
+  while (true) {
+    if (consume(rest, "crash=")) {
+      node_fault f;
+      f.node = static_cast<graph::node_id>(
+          parse_number(spec, rest, "a node id after crash="));
+      if (!consume(rest, "@")) bad_spec(spec, "expected '@' after crash node");
+      f.window = parse_window(spec, rest, /*single_means_forever=*/true);
+      plan.node_faults.push_back(f);
+    } else if (consume(rest, "link=")) {
+      link_fault f;
+      f.u = static_cast<graph::node_id>(
+          parse_number(spec, rest, "a node id after link="));
+      if (!consume(rest, "-")) bad_spec(spec, "expected '-' between link ends");
+      f.v = static_cast<graph::node_id>(
+          parse_number(spec, rest, "the link's second node id"));
+      if (f.u == f.v) bad_spec(spec, "link endpoints must differ");
+      if (!consume(rest, "@")) bad_spec(spec, "expected '@' after link ends");
+      f.window = parse_window(spec, rest, /*single_means_forever=*/false);
+      if (consume(rest, ":flap=")) {
+        f.flap_down = static_cast<std::uint32_t>(
+            parse_number(spec, rest, "flap down-rounds"));
+        if (!consume(rest, "/")) bad_spec(spec, "expected flap=<down>/<period>");
+        f.flap_period = static_cast<std::uint32_t>(
+            parse_number(spec, rest, "a flap period"));
+        if (f.flap_period == 0) bad_spec(spec, "flap period must be positive");
+        if (f.flap_down > f.flap_period)
+          bad_spec(spec, "flap down-rounds exceed the period");
+      }
+      plan.link_faults.push_back(f);
+    } else if (consume(rest, "burst@")) {
+      burst_fault f;
+      f.window = parse_window(spec, rest, /*single_means_forever=*/false);
+      if (consume(rest, ":p=")) f.probability = parse_probability(spec, rest);
+      plan.bursts.push_back(f);
+    } else if (consume(rest, "dup@")) {
+      dup_fault f;
+      f.window = parse_window(spec, rest, /*single_means_forever=*/false);
+      if (consume(rest, ":p=")) f.probability = parse_probability(spec, rest);
+      plan.dups.push_back(f);
+    } else {
+      bad_spec(spec, "expected crash=, link=, burst@ or dup@");
+    }
+    if (rest.empty()) break;
+    if (!consume(rest, "+")) bad_spec(spec, "expected '+' between faults");
+    if (rest.empty()) bad_spec(spec, "trailing '+'");
+  }
+  plan.spec = to_string(plan);
+  return plan;
+}
+
+std::string to_string(const node_fault& f) {
+  std::string out = "crash=" + std::to_string(f.node) + "@";
+  render_window(out, f.window, /*single_means_forever=*/true);
+  return out;
+}
+
+std::string to_string(const link_fault& f) {
+  std::string out = "link=" + std::to_string(f.u) + "-" + std::to_string(f.v) +
+                    "@";
+  render_window(out, f.window, /*single_means_forever=*/false);
+  if (f.flap_period != 0)
+    out += ":flap=" + std::to_string(f.flap_down) + "/" +
+           std::to_string(f.flap_period);
+  return out;
+}
+
+std::string to_string(const burst_fault& f) {
+  std::string out = "burst@";
+  render_window(out, f.window, /*single_means_forever=*/false);
+  if (f.probability != 1.0) out += ":p=" + render_probability(f.probability);
+  return out;
+}
+
+std::string to_string(const dup_fault& f) {
+  std::string out = "dup@";
+  render_window(out, f.window, /*single_means_forever=*/false);
+  if (f.probability != 1.0) out += ":p=" + render_probability(f.probability);
+  return out;
+}
+
+std::string to_string(const fault_plan& plan) {
+  if (plan.empty()) return "none";
+  std::string out;
+  const auto append = [&out](std::string atom) {
+    if (!out.empty()) out += '+';
+    out += atom;
+  };
+  for (const node_fault& f : plan.node_faults) append(to_string(f));
+  for (const link_fault& f : plan.link_faults) append(to_string(f));
+  for (const burst_fault& f : plan.bursts) append(to_string(f));
+  for (const dup_fault& f : plan.dups) append(to_string(f));
+  return out;
+}
+
+compiled_faults::compiled_faults(const graph::graph& g,
+                                 const fault_plan& plan) {
+  const std::size_t n = g.node_count();
+  const auto check_node = [&](graph::node_id v, const char* what) {
+    if (v >= n)
+      throw std::invalid_argument(
+          std::string("fault plan: ") + what + " node " + std::to_string(v) +
+          " out of range for a " + std::to_string(n) + "-node graph");
+  };
+
+  for (const node_fault& f : plan.node_faults) {
+    check_node(f.node, "crash");
+    if (node_flag_.empty()) node_flag_.assign(n, 0);
+    node_flag_[f.node] = 1;
+    nodes_.push_back(f);
+  }
+
+  for (const link_fault& f : plan.link_faults) {
+    check_node(f.u, "link");
+    check_node(f.v, "link");
+    // Resolve the edge to its two sender-side CSR positions; absent edges
+    // are documented no-ops (fault specs are swept across graph families).
+    const auto position_of = [&](graph::node_id from,
+                                 graph::node_id to) -> std::size_t {
+      const auto nbrs = g.neighbors(from);
+      const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
+      if (it == nbrs.end() || *it != to) return fault_window::forever;
+      return g.edge_begin(from) +
+             static_cast<std::size_t>(it - nbrs.begin());
+    };
+    const std::size_t uv = position_of(f.u, f.v);
+    if (uv == fault_window::forever) continue;  // non-adjacent: no-op
+    const std::size_t vu = position_of(f.v, f.u);
+    if (sender_flag_.empty()) sender_flag_.assign(n, 0);
+    sender_flag_[f.u] = 1;
+    sender_flag_[f.v] = 1;
+    links_.push_back({uv, f});
+    links_.push_back({vu, f});
+  }
+  std::sort(links_.begin(), links_.end(),
+            [](const link_entry& a, const link_entry& b) {
+              return a.pos < b.pos;
+            });
+
+  for (const burst_fault& f : plan.bursts) {
+    if (f.probability > 0.0) bursts_.push_back(f);
+  }
+  for (const dup_fault& f : plan.dups) {
+    if (f.probability > 0.0) dups_.push_back(f);
+  }
+
+  any_ = !nodes_.empty() || !links_.empty() || !bursts_.empty() ||
+         !dups_.empty();
+}
+
+}  // namespace domset::sim

@@ -32,8 +32,25 @@ struct run_metrics {
   /// per-node message-complexity claims this counter backs.
   std::uint64_t max_messages_per_node = 0;
 
-  /// Messages removed by the loss adversary (0 in the reliable model).
+  /// Messages removed by the loss adversary: the i.i.d. drop_probability
+  /// plus any burst-fault windows (0 in the reliable model).
   std::uint64_t messages_dropped = 0;
+
+  /// Messages removed by *scheduled* faults: sends across a cut link plus
+  /// inboxes discarded because their receiver was dark that round.
+  /// Disjoint from messages_dropped (no RNG is consumed for these).
+  std::uint64_t messages_lost_to_faults = 0;
+
+  /// Extra copies injected by duplication faults (the original delivery is
+  /// counted normally; only the adversarial copy lands here).
+  std::uint64_t messages_duplicated = 0;
+
+  /// Total node-rounds spent dark: one per node per round it was crashed.
+  std::uint64_t node_rounds_down = 0;
+
+  /// Nodes that were dark for at least one round of the run (crash-stop
+  /// and crash-recover both count).
+  std::uint64_t nodes_crashed = 0;
 
   /// True if a configured CONGEST bit limit was exceeded by any message.
   bool congest_violation = false;

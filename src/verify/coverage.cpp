@@ -1,0 +1,101 @@
+#include "verify/coverage.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "verify/verify.hpp"
+
+namespace domset::verify {
+
+namespace {
+
+/// Multi-source BFS distance from every node to the nearest set member.
+/// Distance `n` (impossible: paths have at most n-1 edges) marks nodes
+/// whose component holds no member.
+std::vector<std::size_t> distance_to_set(const graph::graph& g,
+                                         std::span<const std::uint8_t> in_set) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> dist(n, n);
+  std::deque<graph::node_id> queue;
+  for (graph::node_id v = 0; v < n; ++v) {
+    if (in_set[v] != 0) {
+      dist[v] = 0;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const graph::node_id v = queue.front();
+    queue.pop_front();
+    for (const graph::node_id u : g.neighbors(v)) {
+      if (dist[u] != n) continue;
+      dist[u] = dist[v] + 1;
+      queue.push_back(u);
+    }
+  }
+  return dist;
+}
+
+/// Holes within the closed neighborhood of `center`.  `hole` is the
+/// indicator vector of the undominated nodes.
+std::size_t holes_near(const graph::graph& g,
+                       std::span<const std::uint8_t> hole,
+                       graph::node_id center) {
+  std::size_t count = hole[center] != 0 ? 1 : 0;
+  for (const graph::node_id u : g.neighbors(center)) count += hole[u] != 0;
+  return count;
+}
+
+}  // namespace
+
+coverage_report coverage(const graph::graph& g,
+                         std::span<const std::uint8_t> in_set,
+                         const sim::fault_plan* plan) {
+  coverage_report report;
+  report.nodes = g.node_count();
+  report.undominated = undominated_nodes(g, in_set);
+  report.covered_fraction =
+      report.nodes == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(report.undominated.size()) /
+                      static_cast<double>(report.nodes);
+  if (!report.undominated.empty()) {
+    const std::vector<std::size_t> dist = distance_to_set(g, in_set);
+    for (const graph::node_id v : report.undominated)
+      report.max_hole_radius = std::max(report.max_hole_radius, dist[v]);
+  }
+
+  if (plan != nullptr && !plan->empty()) {
+    std::vector<std::uint8_t> hole(report.nodes, 0);
+    for (const graph::node_id v : report.undominated) hole[v] = 1;
+    const std::size_t total = report.undominated.size();
+    for (const sim::node_fault& f : plan->node_faults) {
+      fault_attribution a;
+      a.fault = sim::to_string(f);
+      if (f.node < report.nodes) a.holes = holes_near(g, hole, f.node);
+      report.attribution.push_back(std::move(a));
+    }
+    for (const sim::link_fault& f : plan->link_faults) {
+      fault_attribution a;
+      a.fault = sim::to_string(f);
+      std::size_t near = 0;
+      if (f.u < report.nodes) near += holes_near(g, hole, f.u);
+      if (f.v < report.nodes) near += holes_near(g, hole, f.v);
+      // The two endpoint neighborhoods overlap (each contains both
+      // endpoints at least); cap at the true hole count so the estimate
+      // stays a count, not a multiset size.
+      a.holes = std::min(near, total);
+      report.attribution.push_back(std::move(a));
+    }
+    for (const sim::burst_fault& f : plan->bursts) {
+      report.attribution.push_back({sim::to_string(f), total});
+    }
+    for (const sim::dup_fault& f : plan->dups) {
+      // Duplication never removes coverage; it is listed with zero blame
+      // so reports enumerate the full plan.
+      report.attribution.push_back({sim::to_string(f), 0});
+    }
+  }
+  return report;
+}
+
+}  // namespace domset::verify

@@ -1,0 +1,67 @@
+/// \file coverage.hpp
+/// \brief Graceful-degradation report for faulty runs.
+//
+// Under the reliable model a solution either dominates or the run is
+// broken -- verify::is_dominating_set is the right (binary) check.  A
+// faulty run degrades *locally* (the paper's algorithms are LOCAL-model:
+// a node's output depends on its O(k)-hop neighborhood, so a crash can
+// only poke holes near itself), and the interesting questions become
+// quantitative: how many nodes lost coverage, how far is the nearest
+// surviving dominator, and which scheduled fault is to blame.  This
+// report answers all three and is what `domset run --allow-partial`
+// serializes instead of failing outright.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/fault.hpp"
+
+namespace domset::verify {
+
+/// One fault's share of the damage.
+struct fault_attribution {
+  /// Canonical textual form of the fault (sim::to_string).
+  std::string fault;
+  /// Coverage holes inside the fault's blast radius: the crashed node's
+  /// closed neighborhood for crashes, both endpoints' closed
+  /// neighborhoods for link cuts, the whole graph for bursts/dups (their
+  /// loss is i.i.d., so every hole is plausibly theirs).  Holes near two
+  /// faults count for both -- attribution localizes blame, it does not
+  /// partition it.
+  std::size_t holes = 0;
+};
+
+/// Post-run degradation report.
+struct coverage_report {
+  std::size_t nodes = 0;
+  /// Nodes with no dominator in their closed neighborhood (sorted).
+  std::vector<graph::node_id> undominated;
+  /// Fraction of nodes dominated (1.0 = a valid dominating set).
+  double covered_fraction = 1.0;
+  /// Maximum over the undominated nodes of the BFS distance to the
+  /// nearest set member: how deep the worst hole is.  0 when there are no
+  /// holes; `nodes` (an impossible distance) when a hole's component
+  /// contains no member at all.
+  std::size_t max_hole_radius = 0;
+  /// Per-scheduled-fault damage estimates (empty without a plan).
+  std::vector<fault_attribution> attribution;
+
+  [[nodiscard]] std::size_t holes() const noexcept {
+    return undominated.size();
+  }
+  [[nodiscard]] bool fully_covered() const noexcept {
+    return undominated.empty();
+  }
+};
+
+/// Builds the degradation report for `in_set` on `g`.  With a fault plan,
+/// each scheduled fault is charged the holes inside its blast radius.
+[[nodiscard]] coverage_report coverage(const graph::graph& g,
+                                       std::span<const std::uint8_t> in_set,
+                                       const sim::fault_plan* plan = nullptr);
+
+}  // namespace domset::verify

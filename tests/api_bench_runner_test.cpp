@@ -192,6 +192,81 @@ TEST(BenchRunner, WeightedAndCdsSweepThroughTheRunner) {
       g, doc.cells[1].record.result.in_set));
 }
 
+TEST(BenchRunner, DropAndFaultAxesExpandTheGrid) {
+  api::bench_spec spec;
+  spec.algs = {"wu_li"};
+  spec.graphs = {"gnp"};
+  spec.ns = {40};
+  spec.seeds = {1};
+  spec.repeats = 1;
+  spec.drops = {0.0, 0.2};
+  spec.faults = {"none", "crash=1@0-1"};
+  const api::bench_document doc = api::run_bench(spec);
+  ASSERT_EQ(doc.cells.size(), 4U);
+  // Axis order: drop outer, faults innermost.
+  EXPECT_DOUBLE_EQ(doc.cells[0].record.exec.drop_probability, 0.0);
+  EXPECT_EQ(doc.cells[0].record.exec.faults, nullptr);
+  EXPECT_FALSE(doc.cells[0].record.exec.faulty());
+  ASSERT_NE(doc.cells[1].record.exec.faults, nullptr);
+  EXPECT_EQ(doc.cells[1].record.exec.faults->spec, "crash=1@0-1");
+  EXPECT_DOUBLE_EQ(doc.cells[2].record.exec.drop_probability, 0.2);
+  EXPECT_EQ(doc.cells[2].record.exec.faults, nullptr);
+  EXPECT_TRUE(doc.cells[2].record.exec.faulty());  // drop alone degrades
+  EXPECT_DOUBLE_EQ(doc.cells[3].record.exec.drop_probability, 0.2);
+  ASSERT_NE(doc.cells[3].record.exec.faults, nullptr);
+  // The faulty cells actually lost something to the crash.
+  EXPECT_GT(doc.cells[1].record.result.metrics.nodes_crashed, 0U);
+}
+
+TEST(BenchRunner, DegradedCellsRecordCoverageInsteadOfFailing) {
+  // A crash cluster that swallows node 55's whole closed neighborhood on
+  // the 10x10 grid: the cell's solution cannot dominate, and the runner
+  // must record a degradation report instead of throwing -- with the
+  // digest still bit-identical across delivery modes and thread counts.
+  api::bench_spec spec;
+  spec.algs = {"pipeline"};
+  spec.graphs = {"grid"};
+  spec.ns = {100};
+  spec.seeds = {2};
+  spec.repeats = 1;
+  spec.deliveries = {sim::delivery_mode::push, sim::delivery_mode::pull};
+  spec.threads = {1, 2};
+  spec.solver_params.set("k", "2");
+  spec.faults = {"crash=55@0+crash=45@0+crash=54@0+crash=56@0+crash=65@0"};
+  const api::bench_document doc = api::run_bench(spec);
+  ASSERT_EQ(doc.cells.size(), 4U);
+  const std::uint64_t digest = api::solution_digest(doc.cells[0].record.result);
+  for (const api::bench_cell& cell : doc.cells) {
+    EXPECT_FALSE(cell.record.valid);
+    ASSERT_TRUE(cell.record.coverage.has_value());
+    EXPECT_FALSE(cell.record.coverage->fully_covered());
+    EXPECT_GE(cell.record.coverage->holes(), 1U);
+    EXPECT_FALSE(cell.record.coverage->attribution.empty());
+    EXPECT_EQ(api::solution_digest(cell.record.result), digest);
+  }
+  const std::string json = api::to_json(doc);
+  EXPECT_NE(json.find("\"faults\": \"crash=55@0"), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\""), std::string::npos);
+}
+
+TEST(BenchRunner, RejectsBadDropAndFaultAxes) {
+  {
+    api::bench_spec spec = small_spec();
+    spec.drops = {1.0};  // certain loss can never terminate convergecasts
+    EXPECT_THROW((void)api::run_bench(spec), std::invalid_argument);
+  }
+  {
+    api::bench_spec spec = small_spec();
+    spec.drops = {-0.1};
+    EXPECT_THROW((void)api::run_bench(spec), std::invalid_argument);
+  }
+  {
+    api::bench_spec spec = small_spec();
+    spec.faults = {"not-a-fault"};
+    EXPECT_THROW((void)api::run_bench(spec), std::invalid_argument);
+  }
+}
+
 TEST(BenchRunner, JsonDocumentCarriesTheSchemaAndCells) {
   api::bench_spec spec;
   spec.algs = {"greedy"};

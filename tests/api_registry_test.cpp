@@ -9,8 +9,11 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "sim/fault.hpp"
 
 #include "api/graphs.hpp"
 #include "api/registry.hpp"
@@ -45,6 +48,10 @@ void expect_metrics_equal(const sim::run_metrics& a, const sim::run_metrics& b) 
   EXPECT_EQ(a.max_message_bits, b.max_message_bits);
   EXPECT_EQ(a.max_messages_per_node, b.max_messages_per_node);
   EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.messages_lost_to_faults, b.messages_lost_to_faults);
+  EXPECT_EQ(a.messages_duplicated, b.messages_duplicated);
+  EXPECT_EQ(a.node_rounds_down, b.node_rounds_down);
+  EXPECT_EQ(a.nodes_crashed, b.nodes_crashed);
   EXPECT_EQ(a.congest_violation, b.congest_violation);
   EXPECT_EQ(a.hit_round_limit, b.hit_round_limit);
 }
@@ -482,6 +489,133 @@ TEST(ApiRegistry, CdsRejectsBadBase) {
   params.set("base", "greedy");
   params.set("k", "3");
   EXPECT_THROW((void)solver.solve(g, exec, params), std::invalid_argument);
+}
+
+// A crash cluster covering node 55's whole closed neighborhood on the
+// 10x10 grid: nobody inside the hole survives to self-select, so the
+// damaged output is guaranteed invalid (the repairable test fixture).
+constexpr const char* kClusterPlan =
+    "crash=55@0+crash=45@0+crash=54@0+crash=56@0+crash=65@0";
+
+exec::context cluster_exec() {
+  exec::context exec;
+  exec.seed = 2;
+  exec.faults = std::make_shared<const sim::fault_plan>(
+      sim::parse_fault_plan(kClusterPlan));
+  return exec;
+}
+
+TEST(ApiRegistry, RepairRadiusHealsACrashCluster) {
+  const graph::graph g = api::make_graph("grid", 100, 2);
+  const api::solver& solver = api::solver_registry::instance().find("pipeline");
+  const exec::context exec = cluster_exec();
+  api::param_map params;
+  params.set("k", "2");
+
+  const api::solve_result damaged = solver.solve(g, exec, params);
+  EXPECT_FALSE(verify::is_dominating_set(g, damaged.in_set));
+  EXPECT_FALSE(damaged.repair.attempted);
+  EXPECT_EQ(damaged.metrics.nodes_crashed, 5U);
+
+  params.set("repair", "radius");
+  params.set("repair-radius", "2");
+  const api::solve_result healed = solver.solve(g, exec, params);
+  EXPECT_TRUE(verify::is_dominating_set(g, healed.in_set));
+  EXPECT_TRUE(healed.repair.attempted);
+  EXPECT_EQ(healed.repair.mode, "radius");
+  EXPECT_EQ(healed.repair.radius, 2U);
+  EXPECT_GE(healed.repair.holes_before, 1U);
+  EXPECT_EQ(healed.repair.holes_after, 0U);
+  EXPECT_GT(healed.repair.added, 0U);
+  // The acceptance bound: repair work confined to the dirty frontier, not
+  // proportional to the graph.
+  EXPECT_LT(healed.repair.touched_nodes, g.node_count() / 2);
+  // Union only: the repaired set extends the damaged one.
+  ASSERT_EQ(healed.in_set.size(), damaged.in_set.size());
+  for (graph::node_id v = 0; v < g.node_count(); ++v)
+    EXPECT_GE(healed.in_set[v], damaged.in_set[v]);
+  EXPECT_EQ(healed.size, verify::set_size(healed.in_set));
+  EXPECT_DOUBLE_EQ(healed.objective, static_cast<double>(healed.size));
+}
+
+TEST(ApiRegistry, RepairGreedyHealsACrashCluster) {
+  const graph::graph g = api::make_graph("grid", 100, 2);
+  const api::solver& solver = api::solver_registry::instance().find("pipeline");
+  api::param_map params;
+  params.set("k", "2");
+  params.set("repair", "greedy");
+  const api::solve_result healed = solver.solve(g, cluster_exec(), params);
+  EXPECT_TRUE(verify::is_dominating_set(g, healed.in_set));
+  EXPECT_EQ(healed.repair.mode, "greedy");
+  EXPECT_GE(healed.repair.holes_before, 1U);
+  EXPECT_GT(healed.repair.added, 0U);
+  // Greedy touches only the holes and their direct neighbors.
+  EXPECT_LE(healed.repair.touched_nodes, 5U * healed.repair.holes_before);
+}
+
+TEST(ApiRegistry, RepairOnACleanRunIsANoOp) {
+  const graph::graph g = api::make_graph("grid", 100, 2);
+  const api::solver& solver = api::solver_registry::instance().find("pipeline");
+  exec::context exec;
+  exec.seed = 2;
+  api::param_map params;
+  params.set("k", "2");
+  const api::solve_result plain = solver.solve(g, exec, params);
+  params.set("repair", "radius");
+  const api::solve_result repaired = solver.solve(g, exec, params);
+  EXPECT_TRUE(repaired.repair.attempted);
+  EXPECT_EQ(repaired.repair.holes_before, 0U);
+  EXPECT_EQ(repaired.repair.added, 0U);
+  EXPECT_EQ(repaired.repair.touched_nodes, 0U);
+  EXPECT_EQ(repaired.in_set, plain.in_set);
+  EXPECT_EQ(api::solution_digest(repaired), api::solution_digest(plain));
+}
+
+TEST(ApiRegistry, RepairParamRules) {
+  const graph::graph g = graph::path_graph(8);
+  const auto& registry = api::solver_registry::instance();
+  const exec::context exec;
+  const auto expect_rejected = [&](const char* solver_name,
+                                   const api::param_map& params) {
+    EXPECT_THROW((void)registry.find(solver_name).solve(g, exec, params),
+                 std::invalid_argument);
+  };
+  {
+    // repair-radius without radius mode is a contradiction, not a no-op.
+    api::param_map params;
+    params.set("repair-radius", "2");
+    expect_rejected("greedy", params);
+    params.set("repair", "greedy");
+    expect_rejected("greedy", params);
+  }
+  {
+    api::param_map params;
+    params.set("repair", "bogus");
+    expect_rejected("greedy", params);
+  }
+  {
+    // Radius 0 would repair nothing; reject rather than silently no-op.
+    api::param_map params;
+    params.set("repair", "radius");
+    params.set("repair-radius", "0");
+    expect_rejected("greedy", params);
+  }
+  {
+    // Fractional solvers have no set to repair.
+    api::param_map params;
+    params.set("repair", "greedy");
+    expect_rejected("alg2", params);
+    params.set("repair", "radius");
+    expect_rejected("weighted", params);
+  }
+  {
+    // Unknown solver params still fail through require_known even when
+    // repair keys are present (the strip must not swallow them).
+    api::param_map params;
+    params.set("repair", "greedy");
+    params.set("bogus", "1");
+    expect_rejected("greedy", params);
+  }
 }
 
 TEST(ApiRegistry, SolutionDigestSeparatesDifferentRuns) {

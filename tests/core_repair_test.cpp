@@ -1,0 +1,159 @@
+// Bounded-radius self-healing: union-only semantics, dirty-region size
+// proportional to the damage (never the graph), greedy determinism, and
+// every documented error path.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/repair.hpp"
+#include "graph/generators.hpp"
+#include "verify/verify.hpp"
+
+namespace domset {
+namespace {
+
+using core::repair_mode;
+using core::repair_params;
+using core::repair_result;
+
+TEST(RepairMode, ParseRoundTrips) {
+  for (const repair_mode mode :
+       {repair_mode::off, repair_mode::radius, repair_mode::greedy}) {
+    EXPECT_EQ(core::parse_repair_mode(core::to_string(mode)), mode);
+  }
+  EXPECT_THROW((void)core::parse_repair_mode("bogus"), std::invalid_argument);
+}
+
+TEST(Repair, AlreadyValidSetIsUntouched) {
+  const graph::graph g = graph::path_graph(3);
+  const std::vector<std::uint8_t> in_set = {0, 1, 0};
+  repair_params params;
+  params.mode = repair_mode::greedy;
+  const repair_result result = core::repair(g, in_set, params);
+  EXPECT_EQ(result.in_set, in_set);
+  EXPECT_EQ(result.holes_before, 0U);
+  EXPECT_EQ(result.added, 0U);
+  EXPECT_EQ(result.touched_nodes, 0U);
+}
+
+TEST(Repair, GreedyPicksBestCoveringNode) {
+  // Ends of a 7-path are members; holes are {2, 3, 4}.  Node 3 covers all
+  // three at once, so greedy repairs with a single addition while touching
+  // only the holes and their direct neighbors.
+  const graph::graph g = graph::path_graph(7);
+  const std::vector<std::uint8_t> in_set = {1, 0, 0, 0, 0, 0, 1};
+  repair_params params;
+  params.mode = repair_mode::greedy;
+  const repair_result result = core::repair(g, in_set, params);
+  EXPECT_TRUE(verify::is_dominating_set(g, result.in_set));
+  EXPECT_EQ(result.holes_before, 3U);
+  EXPECT_EQ(result.holes_after, 0U);
+  EXPECT_EQ(result.added, 1U);
+  EXPECT_EQ(result.touched_nodes, 5U);  // {1, 2, 3, 4, 5}
+  EXPECT_EQ(result.in_set, (std::vector<std::uint8_t>{1, 0, 0, 1, 0, 0, 1}));
+}
+
+TEST(Repair, GreedyBreaksTiesTowardSmallestId) {
+  // Both nodes of an edge cover both holes; the scan order makes node 0
+  // the deterministic winner.
+  const graph::graph g = graph::path_graph(2);
+  const std::vector<std::uint8_t> in_set = {0, 0};
+  repair_params params;
+  params.mode = repair_mode::greedy;
+  const repair_result result = core::repair(g, in_set, params);
+  EXPECT_EQ(result.in_set, (std::vector<std::uint8_t>{1, 0}));
+  EXPECT_EQ(result.added, 1U);
+}
+
+TEST(Repair, RadiusHandsSubsolverTheDirtyBall) {
+  // radius=1 around holes {2, 3, 4} of the 7-path is exactly {1..5}; the
+  // subsolver sees that induced path and its original-id map.
+  const graph::graph g = graph::path_graph(7);
+  const std::vector<std::uint8_t> in_set = {1, 0, 0, 0, 0, 0, 1};
+  repair_params params;
+  params.mode = repair_mode::radius;
+  params.radius = 1;
+  std::vector<graph::node_id> seen_ids;
+  params.subsolver = [&](const graph::graph& sub,
+                         const std::vector<graph::node_id>& original_id) {
+    seen_ids = original_id;
+    // Dominate the 5-node sub-path with {1, 3} (its domination number is 2).
+    std::vector<std::uint8_t> sub_set(sub.node_count(), 0);
+    sub_set[1] = 1;
+    sub_set[3] = 1;
+    return sub_set;
+  };
+  const repair_result result = core::repair(g, in_set, params);
+  EXPECT_EQ(seen_ids, (std::vector<graph::node_id>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(verify::is_dominating_set(g, result.in_set));
+  EXPECT_EQ(result.touched_nodes, 5U);
+  EXPECT_EQ(result.added, 2U);  // original nodes 2 and 4
+  // Union only: no original member was evicted.
+  for (graph::node_id v = 0; v < g.node_count(); ++v)
+    EXPECT_GE(result.in_set[v], in_set[v]);
+}
+
+TEST(Repair, RadiusWorkStaysLocalOnLongPath) {
+  // Members every third node on a 50-path, with the member at 25 knocked
+  // out: holes {24, 25, 26}.  The radius-2 dirty ball is {22..28} -- 7
+  // nodes regardless of the other 43 -- and re-adding 25 alone heals it.
+  const std::size_t n = 50;
+  const graph::graph g = graph::path_graph(n);
+  std::vector<std::uint8_t> in_set(n, 0);
+  for (std::size_t v = 0; v < n; ++v) in_set[v] = v % 3 == 1 ? 1 : 0;
+  in_set[25] = 0;
+  repair_params params;
+  params.mode = repair_mode::radius;
+  params.radius = 2;
+  params.subsolver = [](const graph::graph& sub,
+                        const std::vector<graph::node_id>& original_id) {
+    std::vector<std::uint8_t> sub_set(sub.node_count(), 0);
+    for (graph::node_id s = 0; s < sub.node_count(); ++s)
+      sub_set[s] = original_id[s] % 3 == 1 || original_id[s] == 25 ? 1 : 0;
+    return sub_set;
+  };
+  const repair_result result = core::repair(g, in_set, params);
+  EXPECT_TRUE(verify::is_dominating_set(g, result.in_set));
+  EXPECT_EQ(result.holes_before, 3U);
+  EXPECT_EQ(result.touched_nodes, 7U);
+  EXPECT_LE(result.touched_nodes,
+            result.holes_before * (2 * params.radius + 1));
+  EXPECT_EQ(result.added, 1U);
+}
+
+TEST(Repair, SubsolverFailuresThrow) {
+  const graph::graph g = graph::path_graph(5);
+  const std::vector<std::uint8_t> in_set = {0, 0, 0, 0, 0};
+  repair_params params;
+  params.mode = repair_mode::radius;
+  params.radius = 1;
+  params.subsolver = [](const graph::graph& sub,
+                        const std::vector<graph::node_id>&) {
+    return std::vector<std::uint8_t>(sub.node_count(), 0);  // dominates nothing
+  };
+  EXPECT_THROW((void)core::repair(g, in_set, params), std::runtime_error);
+  params.subsolver = [](const graph::graph&,
+                        const std::vector<graph::node_id>&) {
+    return std::vector<std::uint8_t>{1};  // wrong size
+  };
+  EXPECT_THROW((void)core::repair(g, in_set, params), std::runtime_error);
+}
+
+TEST(Repair, ParameterErrorPaths) {
+  const graph::graph g = graph::path_graph(3);
+  const std::vector<std::uint8_t> in_set = {0, 0, 0};
+  repair_params params;
+  params.mode = repair_mode::off;
+  EXPECT_THROW((void)core::repair(g, in_set, params), std::invalid_argument);
+  params.mode = repair_mode::radius;
+  params.subsolver = nullptr;
+  EXPECT_THROW((void)core::repair(g, in_set, params), std::invalid_argument);
+  params.mode = repair_mode::greedy;
+  const std::vector<std::uint8_t> wrong_size = {0, 0};
+  EXPECT_THROW((void)core::repair(g, wrong_size, params),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace domset

@@ -9,6 +9,10 @@
 // dominator, so the rounded set stays dominating.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <utility>
+
 #include "baselines/lrg.hpp"
 #include "common/rng.hpp"
 #include "core/alg2.hpp"
@@ -16,6 +20,7 @@
 #include "core/pipeline.hpp"
 #include "graph/generators.hpp"
 #include "lp/lp_mds.hpp"
+#include "sim/fault.hpp"
 #include "verify/verify.hpp"
 
 namespace domset {
@@ -99,6 +104,86 @@ TEST(FailureInjection, LossOnlyGrowsTheRoundedSet) {
   // Averaged over seeds; a small slack absorbs coin-flip noise (loss also
   // shrinks the delta^(2) estimates, which lowers selection probabilities).
   EXPECT_GE(lossy_total + 5, clean_total);
+}
+
+TEST(FailureInjection, FaultPlanBitIdenticalAcrossDeliveryAndThreads) {
+  // The acceptance criterion of the fault plane: a run with every fault
+  // kind scheduled at once -- crash-stop, crash-recover, a flapping link,
+  // a loss burst stacked on base drop, duplication -- produces the same
+  // set, the same objective, and the same fault counters for every
+  // delivery mode and thread count.
+  common::rng gen(907);
+  const graph::graph g = graph::gnp_random(60, 0.1, gen);
+  auto plan = std::make_shared<const sim::fault_plan>(sim::parse_fault_plan(
+      "crash=3@2+crash=8@1-4+link=0-1@0-9:flap=1/2+burst@2-4:p=0.3+"
+      "dup@1-6:p=0.25"));
+  core::pipeline_params params;
+  params.k = 2;
+  params.exec.seed = 19;
+  params.exec.drop_probability = 0.1;
+  params.exec.delivery = sim::delivery_mode::push;
+  params.exec.faults = plan;
+  const auto serial = core::compute_dominating_set(g, params);
+  // Exact fault bookkeeping on the reference run: both scheduled crashes
+  // fired in both engine runs (the plan's rounds are run-relative, so the
+  // rounding stage replays the schedule) and each fault meter is active.
+  for (const sim::run_metrics* m :
+       {&serial.fractional.metrics, &serial.rounding.metrics}) {
+    EXPECT_EQ(m->nodes_crashed, 2U);
+    EXPECT_GT(m->node_rounds_down, 0U);
+    EXPECT_GT(m->messages_lost_to_faults, 0U);
+    EXPECT_GT(m->messages_duplicated, 0U);
+    EXPECT_GT(m->messages_dropped, 0U);
+  }
+  for (const sim::delivery_mode mode :
+       {sim::delivery_mode::push, sim::delivery_mode::pull,
+        sim::delivery_mode::automatic}) {
+    for (const std::size_t threads :
+         std::array<std::size_t, 3>{1, 2, 8}) {
+      params.exec.delivery = mode;
+      params.exec.threads = threads;
+      const auto run = core::compute_dominating_set(g, params);
+      EXPECT_EQ(run.in_set, serial.in_set)
+          << "threads=" << threads << " delivery=" << to_string(mode);
+      EXPECT_EQ(run.size, serial.size);
+      EXPECT_EQ(run.total_rounds, serial.total_rounds);
+      EXPECT_EQ(run.total_messages, serial.total_messages);
+      const auto pairs = {
+          std::make_pair(&run.fractional.metrics, &serial.fractional.metrics),
+          std::make_pair(&run.rounding.metrics, &serial.rounding.metrics)};
+      for (const auto& [a, b] : pairs) {
+        EXPECT_EQ(a->messages_dropped, b->messages_dropped);
+        EXPECT_EQ(a->messages_lost_to_faults, b->messages_lost_to_faults);
+        EXPECT_EQ(a->messages_duplicated, b->messages_duplicated);
+        EXPECT_EQ(a->node_rounds_down, b->node_rounds_down);
+        EXPECT_EQ(a->nodes_crashed, b->nodes_crashed);
+      }
+    }
+  }
+}
+
+TEST(FailureInjection, CrashClusterLeavesHolesAlg1CannotFix) {
+  // "Join if in doubt" heals every loss-shaped failure, so a guaranteed
+  // hole needs a crashed node whose whole closed neighborhood crashed
+  // with it: nobody inside the hole can self-select.  A 5-node plus-sign
+  // cluster on the grid does exactly that.
+  const graph::graph g = graph::grid_graph(10, 10);
+  auto plan = std::make_shared<const sim::fault_plan>(sim::parse_fault_plan(
+      "crash=55@0+crash=45@0+crash=54@0+crash=56@0+crash=65@0"));
+  core::pipeline_params params;
+  params.k = 2;
+  params.exec.seed = 2;
+  params.exec.faults = plan;
+  const auto res = core::compute_dominating_set(g, params);
+  EXPECT_FALSE(verify::is_dominating_set(g, res.in_set));
+  const auto holes = verify::undominated_nodes(g, res.in_set);
+  ASSERT_FALSE(holes.empty());
+  // The damage is confined to the crashed cluster.
+  for (const graph::node_id v : holes) {
+    const bool in_cluster =
+        v == 55 || v == 45 || v == 54 || v == 56 || v == 65;
+    EXPECT_TRUE(in_cluster) << "hole outside the crash cluster: " << v;
+  }
 }
 
 TEST(FailureInjection, LrgTerminatesAndDominatesUnderModerateLoss) {

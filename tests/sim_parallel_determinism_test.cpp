@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -15,6 +18,7 @@
 #include "core/alg3.hpp"
 #include "graph/generators.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace domset {
 namespace {
@@ -35,6 +39,12 @@ void expect_same_metrics(const sim::run_metrics& a, const sim::run_metrics& b,
   EXPECT_EQ(a.max_messages_per_node, b.max_messages_per_node)
       << "threads=" << threads;
   EXPECT_EQ(a.messages_dropped, b.messages_dropped) << "threads=" << threads;
+  EXPECT_EQ(a.messages_lost_to_faults, b.messages_lost_to_faults)
+      << "threads=" << threads;
+  EXPECT_EQ(a.messages_duplicated, b.messages_duplicated)
+      << "threads=" << threads;
+  EXPECT_EQ(a.node_rounds_down, b.node_rounds_down) << "threads=" << threads;
+  EXPECT_EQ(a.nodes_crashed, b.nodes_crashed) << "threads=" << threads;
   EXPECT_EQ(a.congest_violation, b.congest_violation) << "threads=" << threads;
   EXPECT_EQ(a.hit_round_limit, b.hit_round_limit) << "threads=" << threads;
 }
@@ -140,13 +150,17 @@ struct chaos_outcome {
 
 chaos_outcome run_chaos(const graph::graph& g, std::uint64_t seed, double drop,
                         std::size_t threads,
-                        delivery_mode delivery = delivery_mode::automatic) {
+                        delivery_mode delivery = delivery_mode::automatic,
+                        const std::string& faults = "none") {
   sim::engine_config cfg;
   cfg.seed = seed;
   cfg.drop_probability = drop;
   cfg.max_rounds = 100;
   cfg.threads = threads;
   cfg.delivery = delivery;
+  sim::fault_plan plan = sim::parse_fault_plan(faults);
+  if (!plan.empty())
+    cfg.faults = std::make_shared<const sim::fault_plan>(std::move(plan));
   sim::engine eng(g, cfg);
   common::rng lifetimes(seed ^ 0x5eedULL);
   eng.load([&](node_id) {
@@ -210,6 +224,38 @@ TEST(ParallelDeterminism, ChaosFuzzAcrossDeliveryModes) {
                 << " delivery=" << to_string(mode);
             expect_same_metrics(run.metrics, serial.metrics, t);
           }
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ChaosFuzzWithFaultPlan) {
+  // The fault plane's decisions are pure functions of (plan, sender, edge
+  // position, round) plus per-sender streams, so chaos runs stay
+  // bit-identical across the whole grid even with every fault kind active
+  // at once, stacked on base message loss.
+  common::rng gen(4716);
+  const graph::graph graphs[] = {graph::star_graph(96),
+                                 graph::grid_graph(10, 10),
+                                 graph::gnp_random(120, 0.08, gen)};
+  const std::string plan =
+      "crash=5@4+crash=2@2-6+link=0-1@1-8:flap=2/3+burst@3-5:p=0.35+"
+      "dup@2-9:p=0.2";
+  for (const auto& g : graphs) {
+    for (const double drop : {0.0, 0.25}) {
+      const auto serial = run_chaos(g, 11, drop, 1, delivery_mode::push, plan);
+      EXPECT_EQ(serial.metrics.nodes_crashed, 2U) << g.summary();
+      EXPECT_GT(serial.metrics.node_rounds_down, 0U) << g.summary();
+      for (const delivery_mode mode : delivery_modes) {
+        for (const std::size_t t : thread_counts) {
+          const auto run = run_chaos(g, 11, drop, t, mode, plan);
+          EXPECT_EQ(run.digests, serial.digests)
+              << g.summary() << " threads=" << t
+              << " delivery=" << to_string(mode) << " drop=" << drop;
+          EXPECT_EQ(run.received, serial.received)
+              << g.summary() << " threads=" << t;
+          expect_same_metrics(run.metrics, serial.metrics, t);
         }
       }
     }

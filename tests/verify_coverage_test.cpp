@@ -1,0 +1,91 @@
+// Degradation reports: hole enumeration, covered fraction, worst-hole
+// BFS radius (including the no-member-in-component sentinel), and
+// per-fault blame attribution -- all on hand-checkable paths.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sim/fault.hpp"
+#include "verify/coverage.hpp"
+
+namespace domset {
+namespace {
+
+TEST(Coverage, FullyCoveredReport) {
+  const graph::graph g = graph::path_graph(5);
+  const std::vector<std::uint8_t> in_set = {1, 0, 1, 0, 1};
+  const verify::coverage_report report = verify::coverage(g, in_set);
+  EXPECT_EQ(report.nodes, 5U);
+  EXPECT_TRUE(report.fully_covered());
+  EXPECT_EQ(report.holes(), 0U);
+  EXPECT_DOUBLE_EQ(report.covered_fraction, 1.0);
+  EXPECT_EQ(report.max_hole_radius, 0U);
+  EXPECT_TRUE(report.attribution.empty());
+}
+
+TEST(Coverage, HolesAndWorstRadius) {
+  // Only the path's center is a member: the two ends are undominated and
+  // each sits 2 BFS hops from the nearest member.
+  const graph::graph g = graph::path_graph(5);
+  const std::vector<std::uint8_t> in_set = {0, 0, 1, 0, 0};
+  const verify::coverage_report report = verify::coverage(g, in_set);
+  EXPECT_EQ(report.undominated, (std::vector<graph::node_id>{0, 4}));
+  EXPECT_FALSE(report.fully_covered());
+  EXPECT_DOUBLE_EQ(report.covered_fraction, 0.6);
+  EXPECT_EQ(report.max_hole_radius, 2U);
+}
+
+TEST(Coverage, MemberlessComponentSentinel) {
+  // No member anywhere: every node is a hole and the radius reports the
+  // impossible distance n (no path can be that long).
+  const graph::graph g = graph::path_graph(3);
+  const std::vector<std::uint8_t> in_set = {0, 0, 0};
+  const verify::coverage_report report = verify::coverage(g, in_set);
+  EXPECT_EQ(report.holes(), 3U);
+  EXPECT_DOUBLE_EQ(report.covered_fraction, 0.0);
+  EXPECT_EQ(report.max_hole_radius, 3U);
+}
+
+TEST(Coverage, SingleIsolatedNode) {
+  const graph::graph g = graph::path_graph(1);
+  const std::vector<std::uint8_t> in_set = {0};
+  const verify::coverage_report report = verify::coverage(g, in_set);
+  EXPECT_EQ(report.holes(), 1U);
+  EXPECT_EQ(report.max_hole_radius, 1U);  // sentinel n = 1
+}
+
+TEST(Coverage, AttributionChargesBlastRadii) {
+  // Holes {0, 4} on the path.  The crash at node 0 sees only hole 0 in
+  // its closed neighborhood; the 3-4 link cut sees hole 4 from both
+  // endpoints but the estimate is capped at the true hole count; a burst
+  // is charged everything; duplication never removes coverage.
+  const graph::graph g = graph::path_graph(5);
+  const std::vector<std::uint8_t> in_set = {0, 0, 1, 0, 0};
+  const sim::fault_plan plan =
+      sim::parse_fault_plan("crash=0@0+link=3-4@1+burst@2:p=0.5+dup@3");
+  const verify::coverage_report report = verify::coverage(g, in_set, &plan);
+  ASSERT_EQ(report.attribution.size(), 4U);
+  EXPECT_EQ(report.attribution[0].fault, "crash=0@0");
+  EXPECT_EQ(report.attribution[0].holes, 1U);
+  EXPECT_EQ(report.attribution[1].fault, "link=3-4@1");
+  EXPECT_EQ(report.attribution[1].holes, 2U);
+  EXPECT_EQ(report.attribution[2].fault, "burst@2:p=0.5");
+  EXPECT_EQ(report.attribution[2].holes, 2U);
+  EXPECT_EQ(report.attribution[3].fault, "dup@3");
+  EXPECT_EQ(report.attribution[3].holes, 0U);
+}
+
+TEST(Coverage, AttributionIgnoresOutOfRangeFaultNodes) {
+  // A plan can be swept across graph families; a fault naming a node the
+  // current graph does not have is listed with zero blame, not an error.
+  const graph::graph g = graph::path_graph(3);
+  const std::vector<std::uint8_t> in_set = {0, 0, 0};
+  const sim::fault_plan plan = sim::parse_fault_plan("crash=9@0");
+  const verify::coverage_report report = verify::coverage(g, in_set, &plan);
+  ASSERT_EQ(report.attribution.size(), 1U);
+  EXPECT_EQ(report.attribution[0].holes, 0U);
+}
+
+}  // namespace
+}  // namespace domset

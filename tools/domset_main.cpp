@@ -16,9 +16,12 @@
 ///       pool, repeat-interleaved timings, one domset-bench/1 document
 ///
 /// Exit status: 0 on success (integral outputs additionally verified
-/// dominating), 1 on an invalid solution, 2 on usage errors.
+/// dominating), 1 on an invalid solution, 2 on usage errors.  With
+/// `--allow-partial`, a run degraded by --faults/--drop exits 0 and the
+/// record carries a quantitative coverage report instead.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <stdexcept>
@@ -91,6 +94,12 @@ constexpr param_flag solver_param_flags[] = {
     {"cmax", "4", "weighted: cost ceiling for costs=uniform"},
     {"base", "pipeline",
      "cds: integral base solver to connect (base=<name>)"},
+    {"repair", "off",
+     "self-healing pass on any integral solver: off | radius (re-run the "
+     "solver on the dirty subgraph) | greedy (local patch)"},
+    {"repair-radius", "2",
+     "repair=radius: dirty-region radius in hops around each hole", false,
+     true},
 };
 
 /// Graph-family params.
@@ -153,6 +162,9 @@ int cmd_run(int argc, const char* const* argv) {
   // Output.
   cli.add_switch("json", "emit the domset-run/1 JSON record");
   cli.add_flag("out", "", "write the record to this file instead of stdout");
+  cli.add_switch("allow-partial",
+                 "faulty runs (--faults/--drop) whose output degraded exit 0 "
+                 "with a machine-readable coverage report instead of failing");
   if (!cli.parse(argc, argv)) return 2;
 
   const exec::context exec = cli.exec();
@@ -185,6 +197,9 @@ int cmd_run(int argc, const char* const* argv) {
   record.valid = record.result.integral()
                      ? verify::is_dominating_set(g, record.result.in_set)
                      : true;
+  if (exec.faulty() && record.result.integral())
+    record.coverage =
+        verify::coverage(g, record.result.in_set, exec.faults.get());
 
   if (cli.get_bool("json") || cli.is_set("out")) {
     const int status = write_output(api::to_json(record), cli.get_string("out"));
@@ -203,8 +218,35 @@ int cmd_run(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(
                     record.result.metrics.messages_sent),
                 record.result.metrics.max_message_bits);
+    if (exec.faulty()) {
+      const sim::run_metrics& m = record.result.metrics;
+      std::printf("faults  : dropped %llu, lost-to-faults %llu, duplicated "
+                  "%llu, node-rounds down %llu, crashed %llu\n",
+                  static_cast<unsigned long long>(m.messages_dropped),
+                  static_cast<unsigned long long>(m.messages_lost_to_faults),
+                  static_cast<unsigned long long>(m.messages_duplicated),
+                  static_cast<unsigned long long>(m.node_rounds_down),
+                  static_cast<unsigned long long>(m.nodes_crashed));
+    }
+    if (record.coverage.has_value())
+      std::printf("coverage: %zu/%zu holes (%.4f covered, worst hole %zu "
+                  "hops from a dominator)\n",
+                  record.coverage->holes(), record.coverage->nodes,
+                  record.coverage->covered_fraction,
+                  record.coverage->max_hole_radius);
+    if (record.result.repair.attempted)
+      std::printf("repair  : %s healed %zu hole(s), added %zu node(s), "
+                  "touched %zu\n",
+                  record.result.repair.mode.c_str(),
+                  record.result.repair.holes_before,
+                  record.result.repair.added,
+                  record.result.repair.touched_nodes);
     std::printf("elapsed : %.1f ms\n", record.elapsed_ms);
   }
+  // --allow-partial only forgives fault-induced degradation; an invalid
+  // set on a reliable run is a bug and still fails.
+  if (!record.valid && cli.get_bool("allow-partial") && exec.faulty())
+    return 0;
   return record.valid ? 0 : 1;
 }
 
@@ -259,7 +301,11 @@ int cmd_bench(int argc, const char* const* argv) {
                "comma list of worker counts (0 = one per hardware thread)");
   cli.add_flag("repeats", "3", "timed repetitions per cell (median reported)");
   cli.require_nonnegative_int("repeats");
-  cli.add_flag("drop", "0", "message-loss probability in [0, 1]");
+  cli.add_flag("drop", "0",
+               "comma list of message-loss probabilities in [0, 1)");
+  cli.add_flag("faults", "none",
+               "comma list of fault schedules (atoms within one schedule "
+               "join with '+', e.g. crash=7@10+burst@5-6:p=0.5)");
   cli.add_flag("congest-bits", "0",
                "flag messages wider than this many bits (0 = unchecked)");
   cli.require_nonnegative_int("congest-bits");
@@ -291,11 +337,16 @@ int cmd_bench(int argc, const char* const* argv) {
     spec.threads.push_back(
         static_cast<std::size_t>(parse_uint(item, "threads")));
   spec.repeats = static_cast<std::size_t>(cli.get_int("repeats"));
-  spec.base_exec.drop_probability = cli.get_double("drop");
-  if (!(spec.base_exec.drop_probability >= 0.0 &&
-        spec.base_exec.drop_probability <= 1.0))
-    throw std::invalid_argument(
-        "flag '--drop': must be a probability in [0, 1]");
+  for (const std::string& item : split_list(cli.get_string("drop"), "drop")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(item.c_str(), &end);
+    if (item.empty() || end != item.c_str() + item.size() ||
+        !(parsed >= 0.0 && parsed < 1.0))
+      throw std::invalid_argument(
+          "flag '--drop': '" + item + "' is not a probability in [0, 1)");
+    spec.drops.push_back(parsed);
+  }
+  spec.faults = split_list(cli.get_string("faults"), "faults");
   spec.base_exec.congest_bit_limit =
       static_cast<std::uint32_t>(cli.get_int("congest-bits"));
   forward_set_flags(cli, solver_param_flags, spec.solver_params);
@@ -312,7 +363,8 @@ int cmd_bench(int argc, const char* const* argv) {
     return 0;
   }
   common::text_table table({"alg", "graph", "n", "seed", "delivery",
-                            "threads", "median ms", "rounds", "digest"});
+                            "threads", "drop", "faults", "median ms",
+                            "rounds", "dropped", "digest"});
   for (const api::bench_cell& cell : doc.cells) {
     const api::run_record& r = cell.record;
     table.add_row(
@@ -320,8 +372,12 @@ int cmd_bench(int argc, const char* const* argv) {
          common::fmt_int(static_cast<long long>(r.exec.seed)),
          sim::to_string(r.exec.delivery),
          common::fmt_int(static_cast<long long>(r.exec.threads)),
+         common::fmt_double(r.exec.drop_probability, 2),
+         r.exec.faults ? sim::to_string(*r.exec.faults) : "none",
          common::fmt_double(cell.median_ms, 2),
          common::fmt_int(static_cast<long long>(r.result.metrics.rounds)),
+         common::fmt_int(
+             static_cast<long long>(r.result.metrics.messages_dropped)),
          api::digest_hex(r.result)});
   }
   table.print(std::cout);
@@ -337,7 +393,8 @@ void print_usage() {
       "  list   enumerate registered solvers and graph families\n"
       "  run    run a solver: domset run --alg pipeline --graph gnp "
       "--n 1000 --k 3 [--json]\n"
-      "  bench  sweep solvers x graphs x seeds x delivery x threads:\n"
+      "  bench  sweep solvers x graphs x seeds x delivery x threads x drop "
+      "x faults:\n"
       "         domset bench --alg pipeline,greedy --graph gnp,star "
       "--n 5000 --repeats 3 --out bench.json\n"
       "run `domset run --help` / `domset bench --help` for the full flag "
