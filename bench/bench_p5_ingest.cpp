@@ -1,0 +1,240 @@
+/// \file bench_p5_ingest.cpp
+/// \brief P5: graph ingestion throughput -- text parse (serial and
+/// parallel) vs binary .dcsr load (mmap) vs compressed load.
+///
+/// Generates one deterministic power-law graph (Barabasi-Albert, fixed
+/// seed), writes it in every on-disk format, then times each ingestion
+/// path end to end (open -> validated graph) over --repeats repetitions,
+/// reporting medians.  Every loaded graph's format-independent digest
+/// (graph/csr_file.hpp) must agree -- the bench doubles as a
+/// cross-format agreement check.
+///
+/// Output: a human table plus, with --out, a machine-readable
+/// domset-ingest/1 document gated in CI by scripts/check_bench_trend.py
+/// against bench/baselines/ingest_baseline.json (same semantics as the
+/// solver sweep gate: digest equality always; wall-time within
+/// tolerance).
+///
+///   bench_p5_ingest --edges 1000000 --repeats 3 --out bench_p5_ci.json
+///       [--min-speedup 10]
+///
+/// --min-speedup N exits nonzero unless the mmap binary load is at least
+/// N times faster than the serial text parse (the subsystem's reason to
+/// exist; 0 = report only).
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/graphs.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "graph/csr_file.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace domset;
+
+double time_ms(const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct cell {
+  std::string op;      // "parse" | "load" | "write"
+  std::string format;  // "text" | "binary" | "compressed"
+  std::size_t threads = 1;
+  std::vector<double> times_ms;
+  double median_ms = 0.0;
+  std::string digest;
+};
+
+std::string json_escape_free(const std::string& s) { return s; }  // ids only
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::cli_parser cli(
+      "P5: ingestion throughput -- text parse vs mmap .dcsr load");
+  cli.add_flag("edges", "1000000", "approximate undirected edge count");
+  cli.require_nonnegative_int("edges");
+  cli.add_flag("repeats", "3", "timed repetitions per cell (median reported)");
+  cli.require_nonnegative_int("repeats");
+  cli.add_flag("parse-threads", "4",
+               "worker count for the parallel text-parse cell");
+  cli.require_nonnegative_int("parse-threads");
+  cli.add_flag("out", "", "write the domset-ingest/1 JSON document here");
+  cli.add_flag("dir", "",
+               "directory for the on-disk fixtures (default: a fresh "
+               "directory under the system temp dir, removed afterwards)");
+  cli.add_flag("min-speedup", "0",
+               "fail unless mmap load is at least this many times faster "
+               "than the serial text parse (0 = report only)");
+  cli.require_nonnegative_int("min-speedup");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto edges = static_cast<std::size_t>(cli.get_int("edges"));
+  const auto repeats =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cli.get_int("repeats")));
+  const auto parse_threads =
+      static_cast<std::size_t>(cli.get_int("parse-threads"));
+  const auto min_speedup = static_cast<std::size_t>(cli.get_int("min-speedup"));
+
+  // Deterministic power-law fixture: BA with 10 attachments per node has
+  // ~10n edges, heavy-tailed degrees (the shape real graphs ingest).
+  constexpr std::size_t k_attach = 10;
+  const std::size_t n = std::max<std::size_t>(100, edges / k_attach);
+  api::param_map ba_params;
+  ba_params.set("m", std::to_string(k_attach));
+  const graph::graph g = api::make_graph("ba", n, /*seed=*/1, ba_params);
+  const std::string expected_digest = graph::graph_digest_hex(g);
+
+  std::filesystem::path dir = cli.get_string("dir");
+  const bool own_dir = dir.empty();
+  if (own_dir) {
+    dir = std::filesystem::temp_directory_path() /
+          ("domset_ingest_p5_" +
+           std::to_string(std::chrono::steady_clock::now()
+                              .time_since_epoch()
+                              .count()));
+  }
+  std::filesystem::create_directories(dir);
+  const std::string text_path = (dir / "p5.txt").string();
+  const std::string binary_path = (dir / "p5.dcsr").string();
+  const std::string compressed_path = (dir / "p5z.dcsr").string();
+
+  {
+    std::ofstream out(text_path, std::ios::binary | std::ios::trunc);
+    graph::write_edge_list(g, out);
+  }
+  graph::write_csr(g, binary_path, /*compress=*/false);
+  graph::write_csr(g, compressed_path, /*compress=*/true);
+
+  std::vector<cell> cells;
+  const auto run_cell = [&](const std::string& op, const std::string& format,
+                            std::size_t threads, auto&& load) {
+    cell c{op, format, threads, {}, 0.0, {}};
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      graph::graph loaded;
+      c.times_ms.push_back(time_ms([&] { loaded = load(); }));
+      if (rep == 0) c.digest = graph::graph_digest_hex(loaded);
+    }
+    c.median_ms = common::median(c.times_ms);
+    cells.push_back(std::move(c));
+  };
+
+  run_cell("parse", "text", 1, [&] {
+    return graph::read_edge_list_file(text_path, {.threads = 1});
+  });
+  run_cell("parse", "text", parse_threads, [&] {
+    return graph::read_edge_list_file(text_path, {.threads = parse_threads});
+  });
+  run_cell("load", "binary", 1, [&] { return graph::load_csr(binary_path); });
+  run_cell("load", "compressed", 1,
+           [&] { return graph::load_csr(compressed_path); });
+
+  if (own_dir) std::filesystem::remove_all(dir);
+
+  bool digests_ok = true;
+  for (const cell& c : cells) digests_ok &= c.digest == expected_digest;
+
+  const auto median_of = [&](const char* op, const char* format,
+                             std::size_t threads) {
+    for (const cell& c : cells)
+      if (c.op == op && c.format == format && c.threads == threads)
+        return c.median_ms;
+    return 0.0;
+  };
+  const double text_ms = median_of("parse", "text", 1);
+  const double mmap_ms = median_of("load", "binary", 1);
+  const double speedup = mmap_ms > 0.0 ? text_ms / mmap_ms : 0.0;
+
+  common::text_table table(
+      {"op", "format", "threads", "median ms", "Medges/s", "digest"});
+  for (const cell& c : cells) {
+    table.add_row({c.op, c.format,
+                   common::fmt_int(static_cast<long long>(c.threads)),
+                   common::fmt_double(c.median_ms, 2),
+                   common::fmt_double(c.median_ms > 0.0
+                                          ? static_cast<double>(g.edge_count()) /
+                                                (c.median_ms * 1e3)
+                                          : 0.0,
+                                      1),
+                   c.digest});
+  }
+  table.print(std::cout);
+  std::printf("\n%s, %zu repeats; mmap binary load is %.1fx the serial text "
+              "parse; digests %s\n",
+              g.summary().c_str(), repeats, speedup,
+              digests_ok ? "agree" : "DISAGREE");
+
+  const std::string out_path = cli.get_string("out");
+  if (!out_path.empty()) {
+    std::string json;
+    json += "{\n  \"schema\": \"domset-ingest/1\",\n";
+    json += "  \"nodes\": " + std::to_string(g.node_count()) + ",\n";
+    json += "  \"edges\": " + std::to_string(g.edge_count()) + ",\n";
+    json += "  \"repeats\": " + std::to_string(repeats) + ",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", speedup);
+    json += "  \"speedup_mmap_vs_text\": " + std::string(buf) + ",\n";
+    json += "  \"cells\": [";
+    bool first = true;
+    for (const cell& c : cells) {
+      json += first ? "\n" : ",\n";
+      first = false;
+      json += "    {\n";
+      json += "      \"op\": \"" + json_escape_free(c.op) + "\",\n";
+      json += "      \"format\": \"" + json_escape_free(c.format) + "\",\n";
+      json += "      \"edges\": " + std::to_string(g.edge_count()) + ",\n";
+      json += "      \"threads\": " + std::to_string(c.threads) + ",\n";
+      std::snprintf(buf, sizeof buf, "%.17g", c.median_ms);
+      json += "      \"median_ms\": " + std::string(buf) + ",\n";
+      json += "      \"times_ms\": [";
+      for (std::size_t i = 0; i < c.times_ms.size(); ++i) {
+        if (i != 0) json += ", ";
+        std::snprintf(buf, sizeof buf, "%.17g", c.times_ms[i]);
+        json += buf;
+      }
+      json += "],\n";
+      json += "      \"digest\": \"" + c.digest + "\"\n";
+      json += "    }";
+    }
+    json += "\n  ]\n}\n";
+    std::ofstream out(out_path, std::ios::trunc);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "bench_p5_ingest: cannot write '%s'\n",
+                   out_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "bench_p5_ingest: wrote %s\n", out_path.c_str());
+  }
+
+  if (!digests_ok) {
+    std::fprintf(stderr,
+                 "bench_p5_ingest: FAIL: loaded digests disagree with the "
+                 "generated graph (%s)\n",
+                 expected_digest.c_str());
+    return 1;
+  }
+  if (min_speedup > 0 && speedup < static_cast<double>(min_speedup)) {
+    std::fprintf(stderr,
+                 "bench_p5_ingest: FAIL: mmap load is only %.1fx the serial "
+                 "text parse (want >= %zux)\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -43,6 +43,15 @@ digest mismatch, injected slowdown, shrunk sweep) and exits nonzero if
 any expectation fails; CI runs it before the real comparison so the gate
 itself is tested.
 
+The same gate covers the ingestion bench: a domset-ingest/1 document
+(bench_p5_ingest --out) compared against an ingest baseline
+(domset-ingest-baseline/1, committed as
+bench/baselines/ingest_baseline.json) keys cells by
+op / format / edges / threads and applies identical semantics -- graph
+digests must match exactly, medians must stay within tolerance.  The
+schema family is detected from the documents; comparing a bench
+document against an ingest baseline is an error.
+
 Stdlib only.  Exits 0 when the gate passes, 1 on regressions or invalid
 input.
 """
@@ -53,17 +62,37 @@ import sys
 
 BENCH_SCHEMA = "domset-bench/1"
 BASELINE_SCHEMA = "domset-bench-baseline/1"
-KEY_FIELDS = ("alg", "graph", "n", "seed", "delivery", "threads",
-              "drop", "faults")
+INGEST_SCHEMA = "domset-ingest/1"
+INGEST_BASELINE_SCHEMA = "domset-ingest-baseline/1"
+
+# Cell-identity fields per schema family.  The first entry is the solver
+# sweep; "ingest" keys the ingestion bench's cells.
+KEY_FIELDS_BY_FAMILY = {
+    "bench": ("alg", "graph", "n", "seed", "delivery", "threads",
+              "drop", "faults"),
+    "ingest": ("op", "format", "edges", "threads"),
+}
+FAMILY_BY_SCHEMA = {
+    BENCH_SCHEMA: "bench",
+    BASELINE_SCHEMA: "bench",
+    INGEST_SCHEMA: "ingest",
+    INGEST_BASELINE_SCHEMA: "ingest",
+}
+BASELINE_SCHEMA_BY_FAMILY = {
+    "bench": BASELINE_SCHEMA,
+    "ingest": INGEST_BASELINE_SCHEMA,
+}
+# Back-compat alias: the bench family's fields under the historical name.
+KEY_FIELDS = KEY_FIELDS_BY_FAMILY["bench"]
 
 
-def cell_key(cell):
+def cell_key(cell, key_fields=KEY_FIELDS):
     """Cell identity including the degradation axes.  Baselines written
     before those axes existed have no drop/faults keys; they normalize to
     the reliable values (0, "none") so old baselines keep gating new
     sweeps cell for cell."""
     key = []
-    for field in KEY_FIELDS:
+    for field in key_fields:
         value = cell.get(field)
         if field == "drop":
             value = float(value) if isinstance(value, (int, float)) else 0.0
@@ -73,7 +102,9 @@ def cell_key(cell):
     return tuple(key)
 
 
-def key_label(key):
+def key_label(key, key_fields=KEY_FIELDS):
+    if key_fields is not KEY_FIELDS:
+        return "/".join(f"{f}={v}" for f, v in zip(key_fields, key))
     alg, graph, n, seed, delivery, threads, drop, faults = key
     label = f"{alg}/{graph}/n={n}/seed={seed}/{delivery}/t={threads}"
     if drop:
@@ -83,32 +114,40 @@ def key_label(key):
     return label
 
 
-def load_cells(path, expect_schemas):
+def load_cells(path, expect_family=None):
+    """Returns ({key: cell}, family) for a bench or ingest document."""
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         raise SystemExit(f"check_bench_trend: {path}: {e}")
-    if not isinstance(doc, dict) or doc.get("schema") not in expect_schemas:
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    family = FAMILY_BY_SCHEMA.get(schema)
+    if family is None or (expect_family and family != expect_family):
         raise SystemExit(
-            f"check_bench_trend: {path}: schema is "
-            f"{doc.get('schema') if isinstance(doc, dict) else None!r}, "
-            f"want one of {expect_schemas}"
+            f"check_bench_trend: {path}: schema is {schema!r}, want "
+            + (f"a {expect_family} document"
+               if expect_family else f"one of {sorted(FAMILY_BY_SCHEMA)}")
         )
     cells = doc.get("cells")
     if not isinstance(cells, list) or not cells:
         raise SystemExit(f"check_bench_trend: {path}: no cells")
-    return {cell_key(c): c for c in cells}
+    key_fields = KEY_FIELDS_BY_FAMILY[family]
+    return {cell_key(c, key_fields): c for c in cells}, family
 
 
-def compare(current, baseline, tolerance, min_ms, allow_missing):
+def compare(current, baseline, tolerance, min_ms, allow_missing,
+            key_fields=KEY_FIELDS):
     """Returns (failures, rows): failure strings + delta-table rows."""
+    def label_of(key):
+        return key_label(key, key_fields)
+
     failures = []
     rows = []
-    for key in sorted(baseline, key=key_label):
+    for key in sorted(baseline, key=label_of):
         base = baseline[key]
         cur = current.get(key)
-        label = key_label(key)
+        label = label_of(key)
         if cur is None:
             rows.append((label, base.get("median_ms"), None, None, "MISSING"))
             if not allow_missing:
@@ -140,9 +179,9 @@ def compare(current, baseline, tolerance, min_ms, allow_missing):
                 "algorithm changes)"
             )
         rows.append((label, base_ms, cur_ms, delta, status))
-    for key in sorted(set(current) - set(baseline), key=key_label):
+    for key in sorted(set(current) - set(baseline), key=label_of):
         rows.append(
-            (key_label(key), None, current[key].get("median_ms"), None, "new")
+            (label_of(key), None, current[key].get("median_ms"), None, "new")
         )
     return failures, rows
 
@@ -166,18 +205,21 @@ def render_table(rows):
     return "\n".join(lines)
 
 
-def write_baseline(current, out_path, source):
+def write_baseline(current, out_path, source, family="bench"):
+    key_fields = KEY_FIELDS_BY_FAMILY[family]
     cells = []
-    for key in sorted(current, key=key_label):
+    for key in sorted(current, key=lambda k: key_label(k, key_fields)):
         cell = current[key]
         # Write the normalized key values so refreshed baselines carry the
         # degradation axes explicitly.
-        slim = dict(zip(KEY_FIELDS, key))
+        slim = dict(zip(key_fields, key))
         slim["median_ms"] = cell.get("median_ms")
         slim["digest"] = cell.get("digest")
-        slim["rounds"] = cell.get("rounds")
+        if family == "bench":
+            slim["rounds"] = cell.get("rounds")
         cells.append(slim)
-    doc = {"schema": BASELINE_SCHEMA, "source": source, "cells": cells}
+    doc = {"schema": BASELINE_SCHEMA_BY_FAMILY[family], "source": source,
+           "cells": cells}
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
@@ -244,11 +286,45 @@ def self_test():
                    cells_with({"faults": "crash=1@0"}), 0.40, 2.0,
                    False)[0], True)
 
+    # Ingest-schema cells: keyed by op/format/edges/threads, same gate
+    # semantics (digest equality always, medians within tolerance).
+    ingest_fields = KEY_FIELDS_BY_FAMILY["ingest"]
+
+    def ingest_doc(ms_scale=1.0, digest="00000000000000aa"):
+        cells = [
+            {"op": op, "format": fmt, "edges": 1000000, "threads": 1,
+             "median_ms": ms * ms_scale, "digest": digest}
+            for op, fmt, ms in (("parse", "text", 300.0),
+                                ("load", "binary", 3.0),
+                                ("load", "compressed", 11.0))
+        ]
+        return {cell_key(c, ingest_fields): c for c in cells}
+
+    def ingest_compare(cur, base, **kwargs):
+        return compare(cur, base, kwargs.get("tolerance", 0.40),
+                       kwargs.get("min_ms", 2.0),
+                       kwargs.get("allow_missing", False),
+                       key_fields=ingest_fields)[0]
+
+    expect("identical ingest docs pass",
+           ingest_compare(ingest_doc(), ingest_doc()), False)
+    expect("ingest 2x slowdown fails",
+           ingest_compare(ingest_doc(ms_scale=2.0), ingest_doc()), True)
+    expect("ingest digest mismatch fails",
+           ingest_compare(ingest_doc(digest="00000000000000bb"),
+                          ingest_doc()), True)
+    expect("ingest cells key on format (binary != compressed)",
+           ingest_compare(
+               {k: c for k, c in ingest_doc().items()
+                if c["format"] != "compressed"}, ingest_doc()), True)
+    expect("ingest speedup passes",
+           ingest_compare(ingest_doc(ms_scale=0.2), ingest_doc()), False)
+
     if failed:
         for line in failed:
             print(f"self-test FAILED: {line}")
         return 1
-    print("self-test OK: 11 gate expectations hold")
+    print("self-test OK: 16 gate expectations hold")
     return 0
 
 
@@ -275,17 +351,19 @@ def main(argv):
         print(__doc__.strip())
         return 1
 
-    current = load_cells(files[0], (BENCH_SCHEMA,))
+    current, family = load_cells(files[0])
     if write_path:
-        write_baseline(current, write_path, os.path.basename(files[0]))
+        write_baseline(current, write_path, os.path.basename(files[0]),
+                       family)
         return 0
     if not baseline_path:
         print(__doc__.strip())
         return 1
-    baseline = load_cells(baseline_path, (BASELINE_SCHEMA, BENCH_SCHEMA))
+    baseline, _ = load_cells(baseline_path, expect_family=family)
 
     failures, rows = compare(current, baseline, tolerance, min_ms,
-                             allow_missing)
+                             allow_missing,
+                             key_fields=KEY_FIELDS_BY_FAMILY[family])
     table = render_table(rows)
     heading = (
         f"### domset bench trend gate\n\n"

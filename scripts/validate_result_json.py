@@ -16,7 +16,13 @@ Each file must carry one of the two schemas emitted by the driver:
 With --expect-identical, additionally asserts that all domset-run/1
 records (standalone files only) carry the same solution digest -- the CI
 hook that proves push/pull/auto delivery (and any thread count) produce
-bit-identical solutions without shipping the solutions themselves.
+bit-identical solutions without shipping the solutions themselves.  The
+real-graph CI job reuses it to prove the text, binary, and compressed
+loaders feed the solver the same graph.
+
+Records whose graph came from a file (family "file") must carry a
+graph.source block (path, format in text|binary|compressed, load_ms);
+generated families must not.
 
 Exits 0 when every check passes, 1 otherwise, printing one line per
 problem.  Stdlib only, so the CI job needs nothing beyond python3.
@@ -65,6 +71,15 @@ RUN_REQUIRED = [
     (("metrics", "hit_round_limit"), bool),
     (("elapsed_ms",), (int, float)),
 ]
+
+# graph.source block: required on records whose graph came from a file
+# (family "file"), forbidden on generated families.
+SOURCE_REQUIRED = [
+    (("path",), str),
+    (("format",), str),
+    (("load_ms",), (int, float)),
+]
+SOURCE_FORMATS = ("text", "binary", "compressed")
 
 # Optional result.repair block (present when a repair pass ran).
 REPAIR_REQUIRED = [
@@ -166,6 +181,41 @@ def validate_run_record(record, label):
     for key, value in record.get("params", {}).items():
         if not isinstance(value, str):
             problems.append(f"{label}: param '{key}' must be a string echo")
+    graph = record.get("graph", {})
+    source = graph.get("source") if isinstance(graph, dict) else None
+    family = graph.get("family") if isinstance(graph, dict) else None
+    if family == "file" and source is None:
+        problems.append(
+            f"{label}: file-loaded graphs must carry a graph.source block"
+        )
+    if source is not None:
+        if isinstance(source, dict):
+            problems.extend(
+                check_required(source, SOURCE_REQUIRED,
+                               f"{label}.graph.source")
+            )
+            if family != "file":
+                problems.append(
+                    f"{label}: graph.source on a generated family "
+                    f"({family!r})"
+                )
+            if not source.get("path"):
+                problems.append(
+                    f"{label}.graph.source: path must be non-empty"
+                )
+            if source.get("format") not in SOURCE_FORMATS:
+                problems.append(
+                    f"{label}.graph.source: format is "
+                    f"{source.get('format')!r}, want one of {SOURCE_FORMATS}"
+                )
+            load_ms = source.get("load_ms")
+            if isinstance(load_ms, (int, float)) \
+                    and not isinstance(load_ms, bool) and load_ms < 0:
+                problems.append(
+                    f"{label}.graph.source: load_ms must be >= 0"
+                )
+        else:
+            problems.append(f"{label}: graph.source must be an object")
     repair = record.get("result", {}).get("repair")
     if repair is not None:
         if isinstance(repair, dict):

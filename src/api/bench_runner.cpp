@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <set>
 #include <span>
 #include <stdexcept>
@@ -154,6 +155,7 @@ bench_document run_bench(const bench_spec& spec) {
     std::size_t n;
     std::uint64_t seed;
     graph::graph g;
+    std::optional<graph_source> source;  // set for file-loaded graphs
   };
   std::vector<graph_instance> instances;
   std::set<std::string> solver_keys_consumed;
@@ -162,7 +164,8 @@ bench_document run_bench(const bench_spec& spec) {
         filter_params(spec.graph_params, family->keys, graph_keys_consumed);
     for (const std::size_t n : spec.ns)
       for (const std::uint64_t seed : spec.seeds) {
-        graph::graph g = make_graph(family->name, n, seed, params);
+        graph_source source;
+        graph::graph g = make_graph(family->name, n, seed, params, &source);
         // Families whose size is derived (file ignores n entirely; grid/
         // tree round to the nearest feasible shape) can map distinct
         // requested n to the same built graph.  Such cells would be
@@ -174,8 +177,12 @@ bench_document run_bench(const bench_spec& spec) {
           duplicate |= seen.family == family && seen.seed == seed &&
                        seen.g.node_count() == g.node_count() &&
                        seen.g.edge_count() == g.edge_count();
-        if (!duplicate)
-          instances.push_back({family, n, seed, std::move(g)});
+        if (!duplicate) {
+          std::optional<graph_source> provenance;
+          if (!source.path.empty()) provenance = std::move(source);
+          instances.push_back(
+              {family, n, seed, std::move(g), std::move(provenance)});
+        }
       }
   }
   require_all_consumed(spec.graph_params, graph_keys_consumed, "graph");
@@ -214,6 +221,7 @@ bench_document run_bench(const bench_spec& spec) {
               cell.record.nodes = instance.g.node_count();
               cell.record.edges = instance.g.edge_count();
               cell.record.max_degree = instance.g.max_degree();
+              cell.record.source = instance.source;
               cell.record.exec = exec;
               cell.record.exec.pool = nullptr;  // process-local, not recorded
               cell.record.params = params;

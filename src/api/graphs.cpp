@@ -1,11 +1,13 @@
 #include "api/graphs.hpp"
 
+#include <chrono>
 #include <cmath>
-#include <fstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "common/rng.hpp"
+#include "graph/csr_file.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 
@@ -32,8 +34,12 @@ const std::vector<graph_family>& graph_families() {
        "m (attachments per node, default 3)", {"m"}},
       {"complete", "complete graph K_n (MDS = 1)", "", {}},
       {"cycle", "cycle C_n (MDS = ceil(n/3))", "", {}},
-      {"file", "edge-list file loaded via graph/io (n is taken from the file)",
-       "path (required; see docs/architecture.md for the format)", {"path"}},
+      {"file",
+       "graph file: text edge list or binary .dcsr (n is taken from the file)",
+       "path (required), format (auto|text|binary, default auto), "
+       "parse-threads (text parser workers, default 1, 0 = hardware; see "
+       "docs/ingestion.md)",
+       {"path", "format", "parse-threads"}},
       {"gnp", "Erdos-Renyi G(n, p)", "p (edge probability, default 8/n)",
        {"p"}},
       {"grid", "sqrt(n) x sqrt(n) grid, 4-neighborhood", "", {}},
@@ -57,7 +63,8 @@ const graph_family* find_graph_family(std::string_view family) {
 }
 
 graph::graph make_graph(std::string_view family, std::size_t n,
-                        std::uint64_t seed, const param_map& params) {
+                        std::uint64_t seed, const param_map& params,
+                        graph_source* source) {
   if (n == 0 && family != "file")
     throw std::invalid_argument("make_graph: n must be >= 1");
   common::rng gen(seed);
@@ -136,20 +143,45 @@ graph::graph make_graph(std::string_view family, std::size_t n,
     return graph::complete_graph(n);
   }
   if (family == "file") {
-    require_keys(params, {"path"});
+    require_keys(params, {"path", "format", "parse-threads"});
     const std::string path = params.get_string("path", "");
     if (path.empty())
       throw std::invalid_argument(
-          "family 'file': param 'path' is required (the edge-list file to "
+          "family 'file': param 'path' is required (the graph file to "
           "load); n is ignored");
-    std::ifstream in(path);
-    if (!in)
-      throw std::runtime_error("family 'file': cannot open '" + path + "'");
+    const std::string format = params.get_string("format", "auto");
+    if (format != "auto" && format != "text" && format != "binary")
+      throw std::invalid_argument(
+          "family 'file': param 'format': must be auto, text, or binary");
+    const std::size_t threads =
+        static_cast<std::size_t>(params.get_uint("parse-threads", 1));
     try {
-      return graph::read_edge_list(in);
+      const auto start = std::chrono::steady_clock::now();
+      const bool binary =
+          format == "binary" ||
+          (format == "auto" && graph::is_csr_file(path));
+      graph::graph g;
+      std::string loaded_as;
+      if (binary) {
+        graph::csr_file_info info;
+        g = graph::load_csr(path, &info);
+        loaded_as = info.compressed ? "compressed" : "binary";
+      } else {
+        g = graph::read_edge_list_file(path, {.threads = threads});
+        loaded_as = "text";
+      }
+      if (source != nullptr) {
+        source->path = path;
+        source->format = std::move(loaded_as);
+        source->load_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      }
+      return g;
     } catch (const std::runtime_error& e) {
-      // read_edge_list reports what is malformed; prepend which file.
-      throw std::runtime_error("family 'file': '" + path + "': " + e.what());
+      // The loaders report what is malformed and name the path; prepend
+      // which family asked.
+      throw std::runtime_error("family 'file': " + std::string(e.what()));
     }
   }
   std::string message =

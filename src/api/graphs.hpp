@@ -38,13 +38,33 @@ struct graph_family {
 /// sweep drivers use to filter params up front).
 [[nodiscard]] const graph_family* find_graph_family(std::string_view family);
 
+/// Provenance of a graph that came from a file rather than a generator:
+/// what `domset run --json` reports as the "graph.source" block so a
+/// result can be traced back to its input bytes.  Families that
+/// generate their graph leave it unset.
+struct graph_source {
+  /// The file the graph was loaded from.
+  std::string path;
+  /// How the bytes were interpreted: "text" (edge list), "binary" (raw
+  /// .dcsr, mmap'ed), or "compressed" (varint-delta .dcsr).
+  std::string format;
+  /// Wall-clock of the load alone, in milliseconds.
+  double load_ms = 0.0;
+};
+
 /// Builds the named family at size ~n.  `params` may override the
 /// family's derived defaults (gnp: p; udg: radius; ba: m; regular: d;
-/// tree: arity).  Randomized families draw from a fresh rng seeded with
-/// `seed`.  Throws std::invalid_argument for an unknown family, unknown
-/// params, or infeasible sizes.
+/// tree: arity).  The "file" family loads from disk instead: "path"
+/// names the file, "format" picks the loader (auto | text | binary,
+/// default auto = sniff the .dcsr magic), "parse-threads" sets the text
+/// parser's worker count (0 = hardware).  Randomized families draw from
+/// a fresh rng seeded with `seed`.  When `source` is non-null and the
+/// family loads from a file, it receives the load provenance.  Throws
+/// std::invalid_argument for an unknown family, unknown params, or
+/// infeasible sizes.
 [[nodiscard]] graph::graph make_graph(std::string_view family, std::size_t n,
                                       std::uint64_t seed,
-                                      const param_map& params = {});
+                                      const param_map& params = {},
+                                      graph_source* source = nullptr);
 
 }  // namespace domset::api

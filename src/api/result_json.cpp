@@ -94,8 +94,16 @@ void append_record_json(std::string& out, const run_record& record,
   out += in2 + "\"family\": \"" + escape(record.graph_family) + "\",\n";
   out += in2 + "\"nodes\": " + num(record.nodes) + ",\n";
   out += in2 + "\"edges\": " + num(record.edges) + ",\n";
-  out += in2 + "\"max_degree\": " + num(record.max_degree) + "\n" + in1 +
-         "},\n";
+  out += in2 + "\"max_degree\": " + num(record.max_degree);
+  if (record.source.has_value()) {
+    const std::string in3 = in2 + "  ";
+    out += ",\n" + in2 + "\"source\": {\n";
+    out += in3 + "\"path\": \"" + escape(record.source->path) + "\",\n";
+    out += in3 + "\"format\": \"" + escape(record.source->format) + "\",\n";
+    out += in3 + "\"load_ms\": " + fmt_double(record.source->load_ms) + "\n" +
+           in2 + "}";
+  }
+  out += "\n" + in1 + "},\n";
   out += in1 + "\"exec\": {\n";
   out += in2 + "\"seed\": " + num(record.exec.seed) + ",\n";
   out += in2 + "\"threads\": " + num(record.exec.threads) + ",\n";

@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "api/graphs.hpp"
 #include "api/solver.hpp"
 #include "exec/context.hpp"
 #include "graph/graph.hpp"
@@ -34,6 +35,10 @@ struct run_record {
   std::size_t nodes = 0;
   std::size_t edges = 0;
   std::uint32_t max_degree = 0;
+  /// Load provenance for file-backed graphs (path, format, load time),
+  /// serialized as the "graph.source" block; absent for generated
+  /// families.
+  std::optional<graph_source> source;
   /// The execution context the run used (pool is process-local state and
   /// is not recorded; threads/delivery are).
   exec::context exec;

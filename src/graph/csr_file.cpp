@@ -1,0 +1,385 @@
+#include "graph/csr_file.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DOMSET_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace domset::graph {
+
+namespace {
+
+constexpr unsigned char k_magic[8] = {'D', 'C', 'S', 'R', 'G', 'R', 'F', '1'};
+constexpr std::uint32_t k_version = 1;
+constexpr std::uint32_t k_endian_tag = 0x01020304;
+constexpr std::uint32_t k_flag_compressed = 0x1;
+constexpr std::size_t k_header_bytes = 64;
+
+/// The digest and the mmap view both reinterpret the file's uint64
+/// offsets as std::size_t; that identity only holds on 64-bit
+/// little-endian hosts, which is all this container supports (the file
+/// carries an endianness tag so a foreign file is rejected, not
+/// misread).
+void require_supported_host() {
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+                "csr_file requires a 64-bit host");
+  if constexpr (std::endian::native != std::endian::little)
+    throw std::runtime_error("csr_file: big-endian hosts are not supported");
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("'" + path + "': " + what);
+}
+
+/// 64-bit FNV-1a folding whole uint64 words (not bytes): the arrays are
+/// word-shaped already, and word folding keeps the validation sweep an
+/// order of magnitude cheaper than a byte fold at multi-million-edge
+/// sizes.
+struct fnv64 {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  void word(std::uint64_t w) {
+    h ^= w;
+    h *= 0x100000001B3ULL;
+  }
+};
+
+std::uint64_t digest_arrays(std::uint64_t nodes, std::uint64_t edges,
+                            std::span<const std::size_t> offsets,
+                            std::span<const node_id> adjacency) {
+  fnv64 f;
+  f.word(nodes);
+  f.word(edges);
+  for (const std::size_t o : offsets) f.word(o);
+  // 2m uint32 values fold as m uint64 words; the tail element of an odd
+  // count (never produced by a well-formed CSR, where 2m is even) would
+  // fold alone.
+  std::size_t i = 0;
+  for (; i + 1 < adjacency.size(); i += 2)
+    f.word(static_cast<std::uint64_t>(adjacency[i]) |
+           (static_cast<std::uint64_t>(adjacency[i + 1]) << 32));
+  if (i < adjacency.size()) f.word(adjacency[i]);
+  return f.h;
+}
+
+void put_u32(unsigned char* at, std::uint32_t v) { std::memcpy(at, &v, 4); }
+void put_u64(unsigned char* at, std::uint64_t v) { std::memcpy(at, &v, 8); }
+
+std::uint32_t get_u32(const unsigned char* at) {
+  std::uint32_t v;
+  std::memcpy(&v, at, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* at) {
+  std::uint64_t v;
+  std::memcpy(&v, at, 8);
+  return v;
+}
+
+void append_varint(std::vector<unsigned char>& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<unsigned char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<unsigned char>(v));
+}
+
+/// Varint-delta encoding of every neighbor row: first neighbor verbatim,
+/// then successive gaps minus one (rows are strictly increasing).
+std::vector<unsigned char> compress_adjacency(const graph& g) {
+  std::vector<unsigned char> blob;
+  blob.reserve(g.edge_count());  // gaps on sparse graphs are mostly 1 byte
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    const auto row = g.neighbors(v);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      append_varint(blob, i == 0 ? row[0] : row[i] - row[i - 1] - 1);
+  }
+  return blob;
+}
+
+/// Heap backing store for loads that cannot view the file directly
+/// (compressed containers, hosts without mmap).
+struct csr_arrays {
+  std::vector<std::size_t> offsets;
+  std::vector<node_id> adjacency;
+};
+
+#ifdef DOMSET_HAVE_MMAP
+/// Keeps a read-only file mapping alive for graphs viewing it.
+struct mmap_holder {
+  void* addr = nullptr;
+  std::size_t len = 0;
+  ~mmap_holder() {
+    if (addr != nullptr) ::munmap(addr, len);
+  }
+  mmap_holder() = default;
+  mmap_holder(const mmap_holder&) = delete;
+  mmap_holder& operator=(const mmap_holder&) = delete;
+};
+#endif
+
+struct parsed_header {
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t adjacency_bytes = 0;
+  std::uint64_t digest = 0;
+  bool compressed = false;
+};
+
+parsed_header parse_header(const std::string& path, const unsigned char* h,
+                           std::uint64_t file_size) {
+  if (std::memcmp(h, k_magic, sizeof k_magic) != 0)
+    fail(path, "not a .dcsr file (bad magic)");
+  if (get_u32(h + 8) != k_version)
+    fail(path, "unsupported .dcsr version " + std::to_string(get_u32(h + 8)));
+  if (get_u32(h + 12) != k_endian_tag)
+    fail(path,
+         "endianness mismatch (file written on a byte-swapped host?)");
+  const std::uint32_t flags = get_u32(h + 16);
+  if ((flags & ~k_flag_compressed) != 0)
+    fail(path, "unknown flags 0x" + std::to_string(flags));
+  parsed_header out;
+  out.compressed = (flags & k_flag_compressed) != 0;
+  out.nodes = get_u64(h + 24);
+  out.edges = get_u64(h + 32);
+  out.adjacency_bytes = get_u64(h + 40);
+  out.digest = get_u64(h + 48);
+  if (out.nodes > std::numeric_limits<node_id>::max())
+    fail(path, "node count exceeds the 32-bit node id space");
+  const std::uint64_t offsets_bytes = 8 * (out.nodes + 1);
+  if (!out.compressed && out.adjacency_bytes != 8 * out.edges)
+    fail(path, "adjacency section size disagrees with the edge count");
+  if (file_size != k_header_bytes + offsets_bytes + out.adjacency_bytes)
+    fail(path, "truncated or oversized file (header declares " +
+                   std::to_string(k_header_bytes + offsets_bytes +
+                                  out.adjacency_bytes) +
+                   " bytes, file has " + std::to_string(file_size) + ")");
+  return out;
+}
+
+/// Decodes the varint-delta adjacency stream into `arrays.adjacency`
+/// (already sized to 2m) using the offsets for row boundaries.
+void decode_adjacency(const std::string& path, const unsigned char* blob,
+                      std::size_t blob_size, std::uint64_t nodes,
+                      csr_arrays& arrays) {
+  std::size_t at = 0;
+  const auto next_varint = [&]() -> std::uint32_t {
+    std::uint64_t value = 0;
+    unsigned shift = 0;
+    while (true) {
+      if (at >= blob_size || shift > 28)
+        fail(path, "corrupt varint adjacency stream");
+      const unsigned char byte = blob[at++];
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    if (value > std::numeric_limits<std::uint32_t>::max())
+      fail(path, "corrupt varint adjacency stream");
+    return static_cast<std::uint32_t>(value);
+  };
+  for (std::size_t v = 0; v + 1 < arrays.offsets.size(); ++v) {
+    node_id prev = 0;
+    for (std::size_t i = arrays.offsets[v]; i < arrays.offsets[v + 1]; ++i) {
+      const std::uint32_t raw = next_varint();
+      const std::uint64_t value =
+          i == arrays.offsets[v]
+              ? raw
+              : static_cast<std::uint64_t>(prev) + raw + 1;
+      if (value >= nodes) fail(path, "adjacency entry out of range");
+      prev = static_cast<node_id>(value);
+      arrays.adjacency[i] = prev;
+    }
+  }
+  if (at != blob_size)
+    fail(path, "trailing bytes after the adjacency stream");
+}
+
+}  // namespace
+
+std::uint64_t graph_digest(const graph& g) {
+  std::vector<std::size_t> offsets(g.node_count() + 1);
+  offsets[0] = 0;
+  for (node_id v = 0; v < g.node_count(); ++v) offsets[v + 1] = g.edge_end(v);
+  const std::span<const node_id> adjacency{
+      g.node_count() == 0 ? nullptr : g.neighbors(0).data(),
+      2 * g.edge_count()};
+  return digest_arrays(g.node_count(), g.edge_count(), offsets, adjacency);
+}
+
+std::string graph_digest_hex(const graph& g) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, graph_digest(g));
+  return buf;
+}
+
+csr_file_info write_csr(const graph& g, const std::string& path,
+                        bool compress) {
+  require_supported_host();
+  const std::uint64_t n = g.node_count();
+  const std::uint64_t m = g.edge_count();
+
+  std::vector<std::size_t> offsets(n + 1);
+  offsets[0] = 0;
+  for (node_id v = 0; v < n; ++v) offsets[v + 1] = g.edge_end(v);
+  const std::span<const node_id> adjacency{
+      n == 0 ? nullptr : g.neighbors(0).data(), 2 * g.edge_count()};
+
+  std::vector<unsigned char> blob;
+  std::uint64_t adjacency_bytes = 8 * m;
+  if (compress) {
+    blob = compress_adjacency(g);
+    adjacency_bytes = blob.size();
+  }
+
+  csr_file_info info;
+  info.nodes = n;
+  info.edges = m;
+  info.compressed = compress;
+  info.digest = digest_arrays(n, m, offsets, adjacency);
+  info.bytes = k_header_bytes + 8 * (n + 1) + adjacency_bytes;
+
+  unsigned char header[k_header_bytes] = {};
+  std::memcpy(header, k_magic, sizeof k_magic);
+  put_u32(header + 8, k_version);
+  put_u32(header + 12, k_endian_tag);
+  put_u32(header + 16, compress ? k_flag_compressed : 0);
+  put_u64(header + 24, n);
+  put_u64(header + 32, m);
+  put_u64(header + 40, adjacency_bytes);
+  put_u64(header + 48, info.digest);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail(path, "cannot open for writing");
+  out.write(reinterpret_cast<const char*>(header), sizeof header);
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(8 * offsets.size()));
+  if (compress) {
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+  } else if (!adjacency.empty()) {
+    out.write(reinterpret_cast<const char*>(adjacency.data()),
+              static_cast<std::streamsize>(4 * adjacency.size()));
+  }
+  out.flush();
+  if (!out) fail(path, "write failed");
+  return info;
+}
+
+bool is_csr_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  unsigned char head[sizeof k_magic];
+  in.read(reinterpret_cast<char*>(head), sizeof head);
+  return in.gcount() == sizeof head &&
+         std::memcmp(head, k_magic, sizeof head) == 0;
+}
+
+graph load_csr(const std::string& path, csr_file_info* info) {
+  require_supported_host();
+
+  // Bring the file in: mmap when available (the raw fast path views it in
+  // place), a plain read otherwise.
+  std::shared_ptr<const void> holder;
+  const unsigned char* base = nullptr;
+  std::uint64_t file_size = 0;
+  bool mapped = false;
+#ifdef DOMSET_HAVE_MMAP
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) fail(path, "cannot open");
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      fail(path, "cannot stat");
+    }
+    file_size = static_cast<std::uint64_t>(st.st_size);
+    if (file_size < k_header_bytes) {
+      ::close(fd);
+      fail(path, "not a .dcsr file (smaller than the header)");
+    }
+    void* addr = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference
+    if (addr == MAP_FAILED) fail(path, "mmap failed");
+    auto m = std::make_shared<mmap_holder>();
+    m->addr = addr;
+    m->len = file_size;
+    base = static_cast<const unsigned char*>(addr);
+    holder = std::move(m);
+    mapped = true;
+  }
+#else
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) fail(path, "cannot open");
+    file_size = static_cast<std::uint64_t>(in.tellg());
+    if (file_size < k_header_bytes)
+      fail(path, "not a .dcsr file (smaller than the header)");
+    auto bytes = std::make_shared<std::vector<unsigned char>>(file_size);
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(bytes->data()),
+            static_cast<std::streamsize>(file_size));
+    if (!in) fail(path, "read failed");
+    base = bytes->data();
+    holder = std::move(bytes);
+  }
+#endif
+
+  const parsed_header h = parse_header(path, base, file_size);
+  const auto* offsets_ptr =
+      reinterpret_cast<const std::size_t*>(base + k_header_bytes);
+  const std::span<const std::size_t> offsets{offsets_ptr, h.nodes + 1};
+  const unsigned char* adjacency_base = base + k_header_bytes + 8 * (h.nodes + 1);
+
+  if (offsets[0] != 0 || offsets[h.nodes] != 2 * h.edges)
+    fail(path, "offsets array disagrees with the edge count");
+  for (std::size_t v = 0; v < h.nodes; ++v)
+    if (offsets[v] > offsets[v + 1])
+      fail(path, "offsets array is not monotone");
+
+  if (info != nullptr) {
+    info->nodes = h.nodes;
+    info->edges = h.edges;
+    info->digest = h.digest;
+    info->bytes = file_size;
+    info->compressed = h.compressed;
+    info->mapped = false;
+  }
+
+  if (!h.compressed) {
+    const std::span<const node_id> adjacency{
+        reinterpret_cast<const node_id*>(adjacency_base), 2 * h.edges};
+    const std::uint64_t computed =
+        digest_arrays(h.nodes, h.edges, offsets, adjacency);
+    if (computed != h.digest)
+      fail(path, "digest mismatch (file corrupt?)");
+    if (info != nullptr) info->mapped = mapped;
+    return graph::adopt_csr(std::move(holder), offsets, adjacency);
+  }
+
+  // Compressed: decode into heap arrays, then validate the digest over
+  // the decoded values (the digest is format-independent by design).
+  auto arrays = std::make_shared<csr_arrays>();
+  arrays->offsets.assign(offsets.begin(), offsets.end());
+  arrays->adjacency.resize(2 * h.edges);
+  decode_adjacency(path, adjacency_base, h.adjacency_bytes, h.nodes, *arrays);
+  const std::uint64_t computed =
+      digest_arrays(h.nodes, h.edges, arrays->offsets, arrays->adjacency);
+  if (computed != h.digest) fail(path, "digest mismatch (file corrupt?)");
+  return graph::adopt_csr(arrays, arrays->offsets, arrays->adjacency);
+}
+
+}  // namespace domset::graph

@@ -1,0 +1,96 @@
+/// \file csr_file.hpp
+/// \brief The `.dcsr` binary CSR container: write once, load with mmap
+/// and zero parse.
+///
+/// The text edge-list format (graph/io.hpp) pays a per-character parse on
+/// every load; real-graph workloads load the same multi-million-edge
+/// graph thousands of times.  This container stores the graph's CSR
+/// arrays directly, so loading is mmap + header validation + one digest
+/// sweep -- no tokenising, no graph_builder sort, no allocation
+/// proportional to the graph.  The loaded graph *views* the mapped file
+/// through graph::adopt_csr; the mapping is unmapped when the last copy
+/// of the graph dies.
+///
+/// Byte layout (all fields little-endian; documented normatively in
+/// docs/ingestion.md):
+///
+///   offset size field
+///   0      8    magic "DCSRGRF1"
+///   8      4    version (currently 1)
+///   12     4    endianness tag 0x01020304 (a byte-swapped file is
+///               rejected, not transparently converted)
+///   16     4    flags: bit 0 = varint-delta compressed adjacency
+///   20     4    reserved (zero)
+///   24     8    node count n
+///   32     8    undirected edge count m
+///   40     8    adjacency section size in bytes
+///   48     8    FNV-1a digest over (n, m, offsets bytes, adjacency
+///               values) -- see graph_digest()
+///   56     8    reserved (zero)
+///   64     ...  offsets array: (n+1) x uint64
+///   ...    ...  adjacency: raw (2m x uint32, rows sorted ascending) or
+///               the varint-delta stream when flags bit 0 is set
+///
+/// The compressed variant encodes each neighbor row as LEB128 varints:
+/// the first neighbor as-is, then successive gaps minus one (rows are
+/// strictly increasing).  Compressed files decode into heap arrays at
+/// load (they trade load-time zero-copy for bytes on disk); raw files
+/// are the mmap fast path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace domset::graph {
+
+/// 64-bit FNV-1a folding the graph's logical content as uint64 words:
+/// node count and edge count, each offsets entry, then the adjacency
+/// values packed two uint32 per word.  Identical graphs have identical digests no
+/// matter how they were loaded (text, raw binary, compressed binary) --
+/// the cross-format agreement CI asserts -- and the .dcsr header stores
+/// this value so a corrupted or truncated payload is rejected at load.
+[[nodiscard]] std::uint64_t graph_digest(const graph& g);
+
+/// graph_digest rendered as 16 lowercase hex characters (the spelling
+/// every JSON surface and CI log uses).
+[[nodiscard]] std::string graph_digest_hex(const graph& g);
+
+/// What write_csr produced / load_csr consumed.
+struct csr_file_info {
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t digest = 0;
+  /// Total file size in bytes.
+  std::uint64_t bytes = 0;
+  /// Varint-delta compressed adjacency?
+  bool compressed = false;
+  /// True when the loaded graph views the mapped file (raw containers);
+  /// false when it was decoded into heap arrays (compressed containers,
+  /// or platforms without mmap).  Writers always report false.
+  bool mapped = false;
+};
+
+/// Writes `g` to `path` in .dcsr form.  `compress` selects the
+/// varint-delta adjacency encoding.  Throws std::runtime_error on I/O
+/// failure, naming the path.
+csr_file_info write_csr(const graph& g, const std::string& path,
+                        bool compress = false);
+
+/// True iff `path` exists and starts with the .dcsr magic -- the probe
+/// `format=auto` uses to dispatch between the binary and text loaders
+/// without paying two opens.
+[[nodiscard]] bool is_csr_file(const std::string& path);
+
+/// Loads a .dcsr container.  Raw containers are mmap'ed and the returned
+/// graph views the mapping (zero parse, zero copy); compressed containers
+/// decode into heap arrays.  Every load validates the magic, version,
+/// endianness tag, declared sizes against the file size, and the header
+/// digest against a recomputed one, and throws std::runtime_error naming
+/// the path and the failing check otherwise.  `info`, when non-null,
+/// receives the container metadata.
+[[nodiscard]] graph load_csr(const std::string& path,
+                             csr_file_info* info = nullptr);
+
+}  // namespace domset::graph

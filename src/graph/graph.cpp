@@ -5,6 +5,18 @@
 
 namespace domset::graph {
 
+namespace {
+
+/// Heap backing store for builder-produced graphs: the vectors never
+/// reallocate once built, so the graph's spans into them stay valid for
+/// the storage's lifetime.
+struct csr_arrays {
+  std::vector<std::size_t> offsets;
+  std::vector<node_id> adjacency;
+};
+
+}  // namespace
+
 graph_builder::graph_builder(std::size_t node_count)
     : node_count_(node_count) {}
 
@@ -35,31 +47,41 @@ graph graph_builder::build() && {
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
 
-  graph g;
-  g.offsets_.assign(node_count_ + 1, 0);
+  auto arrays = std::make_shared<csr_arrays>();
+  arrays->offsets.assign(node_count_ + 1, 0);
   for (const auto& [u, v] : edges_) {
-    ++g.offsets_[u + 1];
-    ++g.offsets_[v + 1];
+    ++arrays->offsets[u + 1];
+    ++arrays->offsets[v + 1];
   }
   for (std::size_t i = 1; i <= node_count_; ++i)
-    g.offsets_[i] += g.offsets_[i - 1];
+    arrays->offsets[i] += arrays->offsets[i - 1];
 
-  g.adjacency_.resize(edges_.size() * 2);
-  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  arrays->adjacency.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(arrays->offsets.begin(),
+                                  arrays->offsets.end() - 1);
   for (const auto& [u, v] : edges_) {
-    g.adjacency_[cursor[u]++] = v;
-    g.adjacency_[cursor[v]++] = u;
+    arrays->adjacency[cursor[u]++] = v;
+    arrays->adjacency[cursor[v]++] = u;
   }
   // Edges were processed in sorted order, so each neighbor list is already
-  // sorted; assert-level check in debug builds only.
-  for (std::size_t v = 0; v < node_count_; ++v) {
-    g.max_degree_ = std::max(
-        g.max_degree_,
-        static_cast<std::uint32_t>(g.offsets_[v + 1] - g.offsets_[v]));
-  }
+  // sorted.
   edges_.clear();
   edge_index_.clear();
   indexed_upto_ = 0;
+  return graph::adopt_csr(arrays, arrays->offsets, arrays->adjacency);
+}
+
+graph graph::adopt_csr(std::shared_ptr<const void> storage,
+                       std::span<const std::size_t> offsets,
+                       std::span<const node_id> adjacency) {
+  graph g;
+  g.storage_ = std::move(storage);
+  g.offsets_ = offsets;
+  g.adjacency_ = adjacency;
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    g.max_degree_ = std::max(
+        g.max_degree_, static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]));
+  }
   return g;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -65,10 +66,30 @@ class graph_builder {
 
 /// Immutable undirected simple graph.  Neighbor lists are sorted, enabling
 /// O(log d) adjacency queries and cache-friendly traversal.
+///
+/// The CSR arrays live behind a shared, immutable storage handle and the
+/// graph itself only holds views into them.  Two consequences: copying a
+/// graph is O(1) (copies share the arrays -- safe because a graph never
+/// mutates after construction), and the storage can be something other
+/// than heap vectors -- adopt_csr() lets graph/csr_file.hpp back a graph
+/// directly by an mmap'ed binary container, so loading a .dcsr file
+/// builds no arrays at all.
 class graph {
  public:
   /// Empty graph with zero nodes.
   graph() = default;
+
+  /// Adopts externally owned CSR arrays without copying them.  `storage`
+  /// keeps the memory behind `offsets` / `adjacency` alive (e.g. an mmap
+  /// holder, or a struct owning the vectors) for as long as any copy of
+  /// the returned graph exists.  Preconditions (trusted, the caller
+  /// validates -- csr_file.hpp does so via the header digest): offsets has
+  /// n+1 monotone entries starting at 0, adjacency holds the 2m sorted
+  /// neighbor rows offsets describes.  The maximum degree is recomputed
+  /// here from `offsets` rather than trusted.
+  [[nodiscard]] static graph adopt_csr(std::shared_ptr<const void> storage,
+                                       std::span<const std::size_t> offsets,
+                                       std::span<const node_id> adjacency);
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
@@ -129,8 +150,13 @@ class graph {
  private:
   friend class graph_builder;
 
-  std::vector<std::size_t> offsets_;   // size n+1
-  std::vector<node_id> adjacency_;     // size 2m, sorted per node
+  /// Keeps the CSR arrays alive: either the builder's heap vectors or an
+  /// external backing store (mmap'ed file) adopted via adopt_csr().
+  /// Shared between copies -- the graph is immutable, so aliasing the
+  /// arrays is unobservable and makes copies O(1).
+  std::shared_ptr<const void> storage_;
+  std::span<const std::size_t> offsets_;  // size n+1, into storage_
+  std::span<const node_id> adjacency_;    // size 2m, sorted per node
   std::uint32_t max_degree_ = 0;
 };
 

@@ -1,12 +1,194 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/thread_pool.hpp"
 
 namespace domset::graph {
+
+namespace {
+
+bool is_field_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\v' || c == '\f';
+}
+
+/// One physical line with the trailing '\r' of a CRLF ending stripped.
+std::string_view strip_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+bool is_blank(std::string_view line) {
+  return std::all_of(line.begin(), line.end(), is_field_ws);
+}
+
+bool is_comment(std::string_view line) {
+  return !line.empty() && (line.front() == '#' || line.front() == '%');
+}
+
+/// Parses one base-10 uint64 at the front of `s`; returns the number of
+/// characters consumed (0 = no digits or overflow).
+std::size_t parse_u64(std::string_view s, std::uint64_t& out) {
+  std::size_t used = 0;
+  std::uint64_t value = 0;
+  while (used < s.size() && s[used] >= '0' && s[used] <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(s[used] - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+      return 0;
+    value = value * 10 + digit;
+    ++used;
+  }
+  if (used == 0) return 0;
+  out = value;
+  return used;
+}
+
+/// Parses "u v" (arbitrary field whitespace, nothing else on the line).
+/// Returns a static error description, or nullptr on success.
+const char* parse_pair_line(std::string_view line, std::uint64_t& u,
+                            std::uint64_t& v) {
+  std::size_t pos = 0;
+  while (pos < line.size() && is_field_ws(line[pos])) ++pos;
+  std::size_t used = parse_u64(line.substr(pos), u);
+  if (used == 0) return "expected two non-negative integers";
+  pos += used;
+  if (pos >= line.size() || !is_field_ws(line[pos]))
+    return "expected whitespace between the two fields";
+  while (pos < line.size() && is_field_ws(line[pos])) ++pos;
+  used = parse_u64(line.substr(pos), v);
+  if (used == 0) return "expected two non-negative integers";
+  pos += used;
+  while (pos < line.size() && is_field_ws(line[pos])) ++pos;
+  if (pos != line.size()) return "trailing characters after the two fields";
+  return nullptr;
+}
+
+[[noreturn]] void fail(std::uint64_t line, const std::string& what) {
+  throw std::runtime_error("edge list: line " + std::to_string(line) + ": " +
+                           what);
+}
+
+/// Extracts "Nodes: <n> ... Edges: <m>" from a SNAP-style comment line.
+bool parse_snap_counts(std::string_view comment, std::uint64_t& n,
+                       std::uint64_t& m) {
+  const auto value_after = [&](std::string_view tag,
+                               std::uint64_t& out) -> bool {
+    const std::size_t at = comment.find(tag);
+    if (at == std::string_view::npos) return false;
+    std::size_t pos = at + tag.size();
+    while (pos < comment.size() && is_field_ws(comment[pos])) ++pos;
+    return parse_u64(comment.substr(pos), out) != 0;
+  };
+  return value_after("Nodes:", n) && value_after("Edges:", m);
+}
+
+/// Everything the serial prologue scan learns before chunks dispatch.
+struct header_info {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::size_t body_offset = 0;      // first byte after the header line
+  std::uint64_t body_first_line = 1;  // 1-based line number at body_offset
+};
+
+header_info scan_header(std::string_view text) {
+  header_info h;
+  std::size_t pos = 0;
+  std::uint64_t line_no = 0;
+  bool snap = false;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    const std::string_view line = strip_cr(text.substr(pos, end - pos));
+    ++line_no;
+    const std::size_t next =
+        nl == std::string_view::npos ? text.size() : nl + 1;
+    if (is_comment(line)) {
+      snap = snap || parse_snap_counts(line, h.n, h.m);
+    } else if (!is_blank(line)) {
+      if (snap) {
+        // A SNAP-style comment already supplied the counts; this first
+        // data line is an edge and belongs to the body.
+        h.body_offset = pos;
+        h.body_first_line = line_no;
+        return h;
+      }
+      const char* err = parse_pair_line(line, h.n, h.m);
+      if (err != nullptr)
+        fail(line_no, std::string("malformed header (want 'n m'): ") + err);
+      h.body_offset = next;
+      h.body_first_line = line_no + 1;
+      return h;
+    }
+    pos = next;
+  }
+  if (snap) {
+    // Counts but no data lines; legitimate iff the file declares m == 0
+    // (the edge-count check in parse_edge_list enforces that).
+    h.body_offset = text.size();
+    h.body_first_line = line_no + 1;
+    return h;
+  }
+  throw std::runtime_error("edge list: missing header line");
+}
+
+/// What one worker produced from its byte range.  Line numbers are
+/// chunk-relative (0-based) until the merge adds the chunk's absolute
+/// start line.
+struct chunk_result {
+  std::vector<std::pair<node_id, node_id>> edges;  // normalized u < v
+  std::vector<std::uint64_t> edge_lines;           // per edge, chunk-relative
+  std::uint64_t lines = 0;                         // physical lines consumed
+  std::string error;                               // first error, if any
+  std::uint64_t error_line = 0;                    // chunk-relative
+};
+
+void parse_chunk(std::string_view body, std::size_t begin, std::size_t end,
+                 std::uint64_t n, chunk_result& out) {
+  std::size_t pos = begin;
+  while (pos < end) {
+    const std::size_t nl = body.find('\n', pos);
+    const std::size_t line_end = nl == std::string_view::npos ? end : nl;
+    const std::string_view line = strip_cr(body.substr(pos, line_end - pos));
+    const std::uint64_t line_index = out.lines++;
+    pos = nl == std::string_view::npos ? end : nl + 1;
+    if (is_blank(line) || is_comment(line)) continue;
+    if (!out.error.empty()) continue;  // count remaining lines, parse nothing
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    const char* err = parse_pair_line(line, u, v);
+    std::string message;
+    if (err != nullptr) {
+      message = std::string("malformed edge ('") + std::string(line) +
+                "'): " + err;
+    } else if (u == v) {
+      message = "self-loop '" + std::to_string(u) + " " + std::to_string(v) +
+                "'";
+    } else if (u >= n || v >= n) {
+      message = "endpoint out of range in '" + std::to_string(u) + " " +
+                std::to_string(v) + "' (node count " + std::to_string(n) + ")";
+    }
+    if (!message.empty()) {
+      out.error = std::move(message);
+      out.error_line = line_index;
+      continue;
+    }
+    if (u > v) std::swap(u, v);
+    out.edges.emplace_back(static_cast<node_id>(u), static_cast<node_id>(v));
+    out.edge_lines.push_back(line_index);
+  }
+}
+
+}  // namespace
 
 void write_edge_list(const graph& g, std::ostream& out) {
   out << g.node_count() << ' ' << g.edge_count() << '\n';
@@ -17,38 +199,122 @@ void write_edge_list(const graph& g, std::ostream& out) {
   }
 }
 
-graph read_edge_list(std::istream& in) {
-  std::string line;
-  const auto next_data_line = [&]() -> bool {
-    while (std::getline(in, line)) {
-      if (!line.empty() && line[0] != '#') return true;
-    }
-    return false;
+graph parse_edge_list(std::string_view text, const parse_options& opts) {
+  const header_info header = scan_header(text);
+  if (header.n > std::numeric_limits<node_id>::max())
+    throw std::runtime_error(
+        "edge list: node count " + std::to_string(header.n) +
+        " exceeds the 32-bit node id space");
+  const std::string_view body = text.substr(header.body_offset);
+
+  // One newline-aligned chunk per worker.  A boundary that lands inside a
+  // line is advanced past the next '\n', so every physical line belongs to
+  // exactly one chunk and the concatenation of chunk results is the
+  // serial parse.
+  std::size_t workers =
+      opts.pool != nullptr
+          ? opts.pool->size()
+          : (opts.threads == 0 ? sim::thread_pool::hardware_workers()
+                               : opts.threads);
+  workers = std::max<std::size_t>(1, std::min(workers, std::size_t{256}));
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  for (std::size_t w = 1; w < workers; ++w) {
+    std::size_t at = std::max(bounds.back(), body.size() * w / workers);
+    const std::size_t nl = body.find('\n', at);
+    at = nl == std::string_view::npos ? body.size() : nl + 1;
+    if (at > bounds.back()) bounds.push_back(at);
+  }
+  bounds.push_back(body.size());
+
+  std::vector<chunk_result> chunks(bounds.size() - 1);
+  const auto parse_one = [&](std::size_t c) {
+    parse_chunk(body, bounds[c], bounds[c + 1], header.n, chunks[c]);
   };
+  if (chunks.size() == 1) {
+    parse_one(0);
+  } else if (opts.pool != nullptr) {
+    opts.pool->run_chunked(chunks.size(), chunks.size(),
+                           [&](std::size_t, std::size_t lo, std::size_t hi) {
+                             for (std::size_t c = lo; c < hi; ++c)
+                               parse_one(c);
+                           });
+  } else {
+    sim::thread_pool local(chunks.size());
+    local.run_chunked(chunks.size(), chunks.size(),
+                      [&](std::size_t, std::size_t lo, std::size_t hi) {
+                        for (std::size_t c = lo; c < hi; ++c) parse_one(c);
+                      });
+  }
 
-  if (!next_data_line())
-    throw std::runtime_error("read_edge_list: missing header line");
-  std::istringstream header(line);
-  std::size_t n = 0;
-  std::size_t m = 0;
-  if (!(header >> n >> m))
-    throw std::runtime_error("read_edge_list: malformed header");
+  // Merge phase: resolve chunk-relative line numbers, surface the earliest
+  // error, enforce the declared edge count, and reject duplicates.
+  std::vector<std::uint64_t> chunk_start_line(chunks.size() + 1,
+                                              header.body_first_line);
+  for (std::size_t c = 0; c < chunks.size(); ++c)
+    chunk_start_line[c + 1] = chunk_start_line[c] + chunks[c].lines;
+  std::size_t total_edges = 0;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    if (!chunks[c].error.empty())
+      fail(chunk_start_line[c] + chunks[c].error_line, chunks[c].error);
+    total_edges += chunks[c].edges.size();
+  }
+  if (total_edges != header.m) {
+    if (total_edges < header.m)
+      throw std::runtime_error(
+          "edge list: truncated: header declares " + std::to_string(header.m) +
+          " edges, found " + std::to_string(total_edges));
+    // Name the first edge beyond the declared count.
+    std::size_t seen = 0;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      if (seen + chunks[c].edges.size() > header.m) {
+        fail(chunk_start_line[c] + chunks[c].edge_lines[header.m - seen],
+             "edge beyond the declared count of " + std::to_string(header.m));
+      }
+      seen += chunks[c].edges.size();
+    }
+  }
 
-  graph_builder b(n);
-  for (std::size_t i = 0; i < m; ++i) {
-    if (!next_data_line())
-      throw std::runtime_error("read_edge_list: truncated edge list");
-    std::istringstream edge(line);
-    std::size_t u = 0;
-    std::size_t v = 0;
-    if (!(edge >> u >> v))
-      throw std::runtime_error("read_edge_list: malformed edge line");
-    if (u >= n || v >= n)
-      throw std::runtime_error("read_edge_list: endpoint out of range");
-    if (u == v) throw std::runtime_error("read_edge_list: self-loop");
-    b.add_edge(static_cast<node_id>(u), static_cast<node_id>(v));
+  graph_builder b(static_cast<std::size_t>(header.n));
+  std::unordered_set<std::uint64_t> seen_edges;
+  seen_edges.reserve(total_edges * 2);
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    for (std::size_t i = 0; i < chunks[c].edges.size(); ++i) {
+      const auto [u, v] = chunks[c].edges[i];
+      const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+      if (!seen_edges.insert(key).second)
+        fail(chunk_start_line[c] + chunks[c].edge_lines[i],
+             "duplicate edge '" + std::to_string(u) + " " + std::to_string(v) +
+                 "' (undirected edges must be listed once)");
+      b.add_edge(u, v);
+    }
   }
   return std::move(b).build();
+}
+
+graph read_edge_list(std::istream& in) {
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  return parse_edge_list(text);
+}
+
+graph read_edge_list_file(const std::string& path, const parse_options& opts) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("'" + path + "': cannot open");
+  std::string text;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size > 0) {
+    text.resize(static_cast<std::size_t>(size));
+    in.seekg(0, std::ios::beg);
+    in.read(text.data(), size);
+    if (!in) throw std::runtime_error("'" + path + "': read failed");
+  }
+  try {
+    return parse_edge_list(text, opts);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("'" + path + "': " + e.what());
+  }
 }
 
 }  // namespace domset::graph

@@ -1,22 +1,70 @@
-// Plain-text edge-list serialisation.
-//
-// Format:
-//   line 1:  "n m"            (node count, undirected edge count)
-//   lines 2..m+1:  "u v"      (0-based endpoints, u < v)
-// Comment lines starting with '#' are permitted anywhere and ignored.
+/// \file io.hpp
+/// \brief Plain-text edge-list serialisation with a chunk-parallel parser.
+///
+/// Format:
+///   line 1:  "n m"            (node count, undirected edge count)
+///   lines 2..m+1:  "u v"      (0-based endpoints, u != v)
+/// Comment lines starting with '#' or '%' are permitted anywhere and
+/// ignored; blank (or whitespace-only) lines are skipped; fields may be
+/// separated by any run of spaces/tabs and lines may end in CRLF.  A
+/// SNAP-style comment header ("# Nodes: 123 Edges: 456") may replace the
+/// "n m" line, in which case every data line is an edge.
+///
+/// The parser reports every error with its 1-based line number, rejects
+/// duplicate edges (the text format declares a simple graph; a repeated
+/// edge is corrupt input, not a multigraph), and rejects trailing edges
+/// beyond the declared count.  parse_edge_list() can split the input
+/// into byte ranges and parse them concurrently on a sim::thread_pool;
+/// the result is bit-identical to the serial parse (chunks are disjoint
+/// in-order line ranges, so the merged edge sequence is the serial one).
+/// See docs/ingestion.md for the determinism contract and the binary
+/// container that skips parsing entirely (graph/csr_file.hpp).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <string>
+#include <string_view>
 
 #include "graph/graph.hpp"
 
+namespace domset::sim {
+class thread_pool;
+}  // namespace domset::sim
+
 namespace domset::graph {
 
-/// Writes `g` in edge-list format.
+/// Knobs for parse_edge_list / read_edge_list_file.
+struct parse_options {
+  /// Parser worker count: 1 = serial, 0 = one per hardware thread.
+  /// Ignored when `pool` is set (the pool's size rules).
+  std::size_t threads = 1;
+  /// Optional shared worker pool (borrowed, not owned).  Lets the parser
+  /// ride the same workers the solvers use instead of spawning its own.
+  sim::thread_pool* pool = nullptr;
+};
+
+/// Writes `g` in edge-list format ("n m" header, one "u v" line per edge,
+/// u < v).
 void write_edge_list(const graph& g, std::ostream& out);
 
-/// Parses an edge-list stream.  Throws std::runtime_error on malformed
-/// input (bad counts, out-of-range endpoints, self-loops).
+/// Parses an edge-list stream serially.  Throws std::runtime_error on
+/// malformed input (bad counts, out-of-range endpoints, self-loops,
+/// duplicate edges, truncated or overlong edge lists), naming the
+/// offending 1-based line.
 [[nodiscard]] graph read_edge_list(std::istream& in);
+
+/// Parses a complete edge-list text, optionally in parallel: the byte
+/// range after the header is split into one newline-aligned chunk per
+/// worker, chunks parse concurrently, and the per-chunk edge runs are
+/// concatenated in chunk order -- bit-identical to the serial parse for
+/// every worker count.  Error reporting matches read_edge_list.
+[[nodiscard]] graph parse_edge_list(std::string_view text,
+                                    const parse_options& opts = {});
+
+/// Reads `path` and parses it with parse_edge_list.  Errors (including
+/// an unreadable file) are prefixed with the path.
+[[nodiscard]] graph read_edge_list_file(const std::string& path,
+                                        const parse_options& opts = {});
 
 }  // namespace domset::graph

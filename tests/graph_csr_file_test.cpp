@@ -1,0 +1,277 @@
+// The .dcsr binary container (graph/csr_file.hpp): round-trip identity
+// for both encodings, rejection of every corrupted-header shape, and the
+// end-to-end contract that a solver run on an mmap-loaded graph is
+// bit-identical to one on the text-parsed original.
+#include "graph/csr_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/graphs.hpp"
+#include "api/registry.hpp"
+#include "api/result_json.hpp"
+#include "common/rng.hpp"
+#include "exec/context.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace domset::graph {
+namespace {
+
+graph sample_graph(std::uint64_t seed = 5) {
+  common::rng gen(seed);
+  return gnp_random(200, 0.06, gen);
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+void expect_same_graph(const graph& a, const graph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  ASSERT_EQ(a.max_degree(), b.max_degree());
+  for (node_id v = 0; v < a.node_count(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "v=" << v;
+    for (std::size_t i = 0; i < na.size(); ++i) ASSERT_EQ(na[i], nb[i]);
+  }
+}
+
+/// Loads the file, patches bytes [at, at+patch.size()), writes it back.
+void corrupt_file(const std::string& path, std::size_t at,
+                  const std::vector<unsigned char>& patch) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(static_cast<std::streamoff>(at));
+  f.write(reinterpret_cast<const char*>(patch.data()),
+          static_cast<std::streamsize>(patch.size()));
+  ASSERT_TRUE(f.good());
+}
+
+std::string load_error(const std::string& path) {
+  try {
+    (void)load_csr(path);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(CsrFile, RawRoundTripIsIdenticalAndMapped) {
+  const graph g = sample_graph();
+  const std::string path = temp_path("raw.dcsr");
+  const csr_file_info written = write_csr(g, path, /*compress=*/false);
+  EXPECT_EQ(written.nodes, g.node_count());
+  EXPECT_EQ(written.edges, g.edge_count());
+  EXPECT_FALSE(written.compressed);
+  EXPECT_EQ(written.digest, graph_digest(g));
+
+  csr_file_info loaded_info;
+  const graph h = load_csr(path, &loaded_info);
+  expect_same_graph(g, h);
+  EXPECT_EQ(loaded_info.digest, written.digest);
+  EXPECT_FALSE(loaded_info.compressed);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(loaded_info.mapped);
+#endif
+  EXPECT_EQ(graph_digest(h), graph_digest(g));
+}
+
+TEST(CsrFile, CompressedRoundTripIsIdentical) {
+  const graph g = sample_graph(9);
+  const std::string raw_path = temp_path("z_raw.dcsr");
+  const std::string z_path = temp_path("z.dcsr");
+  const csr_file_info raw = write_csr(g, raw_path, /*compress=*/false);
+  const csr_file_info z = write_csr(g, z_path, /*compress=*/true);
+  EXPECT_TRUE(z.compressed);
+  // Same logical content => same digest, fewer bytes on disk.
+  EXPECT_EQ(z.digest, raw.digest);
+  EXPECT_LT(z.bytes, raw.bytes);
+
+  csr_file_info info;
+  const graph h = load_csr(z_path, &info);
+  EXPECT_TRUE(info.compressed);
+  EXPECT_FALSE(info.mapped);  // compressed containers decode to the heap
+  expect_same_graph(g, h);
+}
+
+TEST(CsrFile, EmptyAndEdgelessGraphsRoundTrip) {
+  graph_builder lonely(3);  // nodes without edges
+  const graph graphs[] = {graph{}, std::move(lonely).build()};
+  for (const graph& g : graphs) {
+    for (const bool compress : {false, true}) {
+      const std::string path = temp_path("tiny.dcsr");
+      write_csr(g, path, compress);
+      const graph h = load_csr(path);
+      expect_same_graph(g, h);
+    }
+  }
+}
+
+TEST(CsrFile, IsCsrFileSniffsTheMagic) {
+  const std::string bin = temp_path("sniff.dcsr");
+  write_csr(sample_graph(), bin);
+  EXPECT_TRUE(is_csr_file(bin));
+
+  const std::string text = temp_path("sniff.txt");
+  std::ofstream(text) << "2 1\n0 1\n";
+  EXPECT_FALSE(is_csr_file(text));
+  EXPECT_FALSE(is_csr_file(temp_path("does_not_exist.dcsr")));
+}
+
+TEST(CsrFile, RejectsCorruptMagic) {
+  const std::string path = temp_path("badmagic.dcsr");
+  write_csr(sample_graph(), path);
+  corrupt_file(path, 0, {'X'});
+  const std::string message = load_error(path);
+  EXPECT_NE(message.find("magic"), std::string::npos) << message;
+  EXPECT_NE(message.find(path), std::string::npos);
+}
+
+TEST(CsrFile, RejectsUnsupportedVersion) {
+  const std::string path = temp_path("badversion.dcsr");
+  write_csr(sample_graph(), path);
+  corrupt_file(path, 8, {0x63});
+  EXPECT_NE(load_error(path).find("version"), std::string::npos);
+}
+
+TEST(CsrFile, RejectsWrongEndianness) {
+  const std::string path = temp_path("badendian.dcsr");
+  write_csr(sample_graph(), path);
+  // Little-endian stores the 0x01020304 tag as bytes 04 03 02 01; a
+  // byte-swapped writer would lay down 01 02 03 04 instead.
+  corrupt_file(path, 12, {0x01, 0x02, 0x03, 0x04});
+  EXPECT_NE(load_error(path).find("endian"), std::string::npos);
+}
+
+TEST(CsrFile, RejectsTruncatedFile) {
+  const std::string path = temp_path("trunc.dcsr");
+  const csr_file_info info = write_csr(sample_graph(), path);
+  std::filesystem::resize_file(path, info.bytes - 16);
+  EXPECT_NE(load_error(path).find("truncated"), std::string::npos);
+  // Shorter than the header itself is its own message.
+  std::filesystem::resize_file(path, 10);
+  EXPECT_NE(load_error(path).find("header"), std::string::npos);
+}
+
+TEST(CsrFile, RejectsPayloadDigestMismatch) {
+  for (const bool compress : {false, true}) {
+    const std::string path = temp_path("digest.dcsr");
+    write_csr(sample_graph(), path, compress);
+    // Flip one byte in the stored digest; the payload no longer matches.
+    corrupt_file(path, 48, {0x5A});
+    EXPECT_NE(load_error(path).find("digest mismatch"), std::string::npos)
+        << "compress=" << compress;
+  }
+}
+
+TEST(CsrFile, RejectsCorruptCompressedStream) {
+  const graph g = sample_graph(21);
+  const std::string path = temp_path("zcorrupt.dcsr");
+  write_csr(g, path, /*compress=*/true);
+  // Set every continuation bit in the first adjacency bytes: the varint
+  // either overruns the stream or overflows 32 bits -- both must be
+  // caught before the digest is even checked.
+  const std::size_t adjacency_at = 64 + 8 * (g.node_count() + 1);
+  corrupt_file(path, adjacency_at,
+               {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  EXPECT_FALSE(load_error(path).empty());
+}
+
+TEST(CsrFile, GraphDigestIsFormatIndependent) {
+  const graph g = sample_graph(33);
+
+  // Text round trip.
+  const std::string text_path = temp_path("fmt.txt");
+  {
+    std::ofstream out(text_path);
+    write_edge_list(g, out);
+  }
+  const graph from_text = read_edge_list_file(text_path);
+
+  // Raw and compressed binary round trips.
+  const std::string raw_path = temp_path("fmt.dcsr");
+  const std::string z_path = temp_path("fmtz.dcsr");
+  write_csr(g, raw_path, false);
+  write_csr(g, z_path, true);
+
+  const std::uint64_t expected = graph_digest(g);
+  EXPECT_EQ(graph_digest(from_text), expected);
+  EXPECT_EQ(graph_digest(load_csr(raw_path)), expected);
+  EXPECT_EQ(graph_digest(load_csr(z_path)), expected);
+  EXPECT_EQ(graph_digest_hex(g).size(), 16U);
+}
+
+/// End to end: `domset run --graph file` on the mmap'ed binary must
+/// produce the bit-identical solution to the text path (the agreement
+/// the real-graph CI job asserts with --expect-identical).
+TEST(CsrFile, SolverRunOnMappedGraphMatchesTextPath) {
+  const graph g = sample_graph(41);
+  const std::string text_path = temp_path("solve.txt");
+  const std::string bin_path = temp_path("solve.dcsr");
+  {
+    std::ofstream out(text_path);
+    write_edge_list(g, out);
+  }
+  write_csr(g, bin_path);
+
+  api::graph_source text_source;
+  api::param_map text_params;
+  text_params.set("path", text_path);
+  const graph from_text =
+      api::make_graph("file", 0, 1, text_params, &text_source);
+  EXPECT_EQ(text_source.format, "text");
+
+  api::graph_source bin_source;
+  api::param_map bin_params;
+  bin_params.set("path", bin_path);  // format=auto sniffs the magic
+  const graph from_bin = api::make_graph("file", 0, 1, bin_params, &bin_source);
+  EXPECT_EQ(bin_source.format, "binary");
+  EXPECT_EQ(bin_source.path, bin_path);
+  EXPECT_GE(bin_source.load_ms, 0.0);
+
+  expect_same_graph(from_text, from_bin);
+  exec::context exec;
+  exec.seed = 7;
+  const api::solver& pipeline =
+      api::solver_registry::instance().find("pipeline");
+  EXPECT_EQ(api::solution_digest(pipeline.solve(from_text, exec)),
+            api::solution_digest(pipeline.solve(from_bin, exec)));
+}
+
+TEST(CsrFile, FileFamilyFormatParamIsValidated) {
+  api::param_map params;
+  params.set("path", temp_path("whatever.txt"));
+  params.set("format", "yaml");
+  EXPECT_THROW((void)api::make_graph("file", 0, 1, params),
+               std::invalid_argument);
+}
+
+TEST(CsrFile, FileFamilyFormatBinaryRejectsTextInput) {
+  const std::string path = temp_path("really_text.txt");
+  {
+    // Longer than the 64-byte .dcsr header, so the rejection is the
+    // magic check, not the file-size floor.
+    std::ofstream out(path);
+    write_edge_list(sample_graph(), out);
+  }
+  api::param_map params;
+  params.set("path", path);
+  params.set("format", "binary");
+  try {
+    (void)api::make_graph("file", 0, 1, params);
+    FAIL() << "binary loader on a text file must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace domset::graph

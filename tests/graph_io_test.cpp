@@ -87,6 +87,109 @@ TEST(GraphIo, RejectsMalformedEdgeLine) {
   EXPECT_THROW(read_edge_list(s), std::runtime_error);
 }
 
+/// Collects the parser's message for malformed `text`.
+std::string parse_error(std::string_view text, std::size_t threads = 1) {
+  try {
+    (void)parse_edge_list(text, {.threads = threads});
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(GraphIo, ErrorsCarryOneBasedLineNumbers) {
+  // Comments and blank lines count toward the physical line number.
+  EXPECT_NE(parse_error("3 1\nnot numbers\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(parse_error("# c\n3 2\n0 1\n\nbad line\n").find("line 5"),
+            std::string::npos);
+  EXPECT_NE(parse_error("3 2\n0 1\n1 1\n").find("line 3"), std::string::npos);
+  EXPECT_NE(parse_error("3 2\n0 1\n0 7\n").find("line 3"), std::string::npos);
+  EXPECT_NE(parse_error("bad header\n").find("line 1"), std::string::npos);
+  // An edge beyond the declared count names the first overlong line.
+  const std::string overlong = parse_error("3 1\n0 1\n1 2\n");
+  EXPECT_NE(overlong.find("line 3"), std::string::npos);
+  EXPECT_NE(overlong.find("declared count"), std::string::npos);
+}
+
+TEST(GraphIo, RejectsDuplicateEdges) {
+  const std::string repeated = parse_error("3 2\n0 1\n0 1\n");
+  EXPECT_NE(repeated.find("duplicate edge"), std::string::npos);
+  EXPECT_NE(repeated.find("line 3"), std::string::npos);
+  // The reversed spelling is the same undirected edge.
+  EXPECT_NE(parse_error("3 2\n0 1\n1 0\n").find("duplicate edge"),
+            std::string::npos);
+}
+
+TEST(GraphIo, AcceptsSnapStyleCommentHeader) {
+  const graph g =
+      parse_edge_list("# made by somebody\n# Nodes: 4 Edges: 2\n0 1\n2 3\n");
+  EXPECT_EQ(g.node_count(), 4U);
+  EXPECT_EQ(g.edge_count(), 2U);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  // Counts but no data lines: fine iff Edges: 0.
+  EXPECT_EQ(parse_edge_list("# Nodes: 3 Edges: 0\n").node_count(), 3U);
+  EXPECT_THROW((void)parse_edge_list("# Nodes: 3 Edges: 1\n"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, ToleratesCrlfTabsAndPercentComments) {
+  const graph g =
+      parse_edge_list("% matrix-market style comment\r\n3  2\r\n0\t1\r\n"
+                      "  1 \t 2  \r\n");
+  EXPECT_EQ(g.node_count(), 3U);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphIo, RejectsTrailingGarbageOnEdgeLines) {
+  EXPECT_NE(parse_error("3 1\n0 1 junk\n").find("line 2"), std::string::npos);
+  EXPECT_NE(parse_error("3 1\n0 1 2\n").find("trailing"), std::string::npos);
+}
+
+/// The determinism contract: the chunk-parallel parse is bit-identical
+/// to the serial one for every worker count, on shapes with short lines
+/// (star), heavy tails (ba), and random structure (gnp).
+TEST(GraphIo, ParallelParseIsBitIdenticalToSerial) {
+  common::rng gen(17);
+  const graph shapes[] = {gnp_random(400, 0.05, gen), star_graph(500),
+                          barabasi_albert(300, 4, gen)};
+  for (const graph& g : shapes) {
+    std::stringstream s;
+    write_edge_list(g, s);
+    const std::string text = s.str();
+    const graph serial = parse_edge_list(text, {.threads = 1});
+    for (const std::size_t threads : {2UL, 8UL}) {
+      const graph parallel = parse_edge_list(text, {.threads = threads});
+      ASSERT_EQ(parallel.node_count(), serial.node_count());
+      ASSERT_EQ(parallel.edge_count(), serial.edge_count());
+      for (node_id v = 0; v < serial.node_count(); ++v) {
+        const auto a = serial.neighbors(v);
+        const auto b = parallel.neighbors(v);
+        ASSERT_EQ(a.size(), b.size()) << "threads=" << threads << " v=" << v;
+        for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+      }
+    }
+  }
+}
+
+/// Errors (and their line numbers) must not depend on the worker count
+/// either -- the earliest error in document order wins even when a later
+/// chunk fails first in wall-clock.
+TEST(GraphIo, ParallelParseReportsTheSameErrorAsSerial) {
+  std::string text = "600 600\n";
+  for (int i = 0; i < 300; ++i)
+    text += std::to_string(i) + " " + std::to_string(i + 1) + "\n";
+  text += "5 5\n";  // line 302: self-loop
+  for (int i = 300; i < 599; ++i)
+    text += std::to_string(i) + " " + std::to_string(i + 1) + "\n";
+  const std::string serial = parse_error(text, 1);
+  ASSERT_NE(serial.find("line 302"), std::string::npos) << serial;
+  for (const std::size_t threads : {2UL, 8UL})
+    EXPECT_EQ(parse_error(text, threads), serial) << "threads=" << threads;
+}
+
 // ---- the `file` graph family: graph/io behind `domset run --graph file`
 
 /// Round trip a generated graph through write_edge_list into the API

@@ -14,6 +14,13 @@
 ///       declarative sweep over the comma-listed axes through the bench
 ///       runner (api/bench_runner.hpp): every cell on one shared worker
 ///       pool, repeat-interleaved timings, one domset-bench/1 document
+///   domset gen --graph ba --n 100000 --seed 1 --out graph.txt
+///       write a generated family as a text edge list (CI fixtures,
+///       reproducible by seed)
+///   domset convert --in graph.txt --out graph.dcsr [--compress] [--verify]
+///       convert between the text edge-list format and the binary .dcsr
+///       container (graph/csr_file.hpp); --verify round-trips the output
+///       and asserts digest equality
 ///
 /// Exit status: 0 on success (integral outputs additionally verified
 /// dominating), 1 on an invalid solution, 2 on usage errors.  With
@@ -23,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
@@ -36,6 +44,8 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "exec/context.hpp"
+#include "graph/csr_file.hpp"
+#include "graph/io.hpp"
 #include "sim/delivery.hpp"
 #include "verify/verify.hpp"
 
@@ -109,7 +119,13 @@ constexpr param_flag graph_param_flags[] = {
     {"m", "3", "ba: attachments per node", false, true},
     {"d", "4", "regular: node degree", false, true},
     {"arity", "3", "tree: children per node", false, true},
-    {"path", "", "file: edge-list file to load (--graph file)"},
+    {"path", "", "file: graph file to load (--graph file)"},
+    {"format", "auto",
+     "file: how to read --path -- auto | text | binary (auto sniffs the "
+     ".dcsr magic)"},
+    {"parse-threads", "1",
+     "file: text parser worker count (0 = one per hardware thread)", false,
+     true},
 };
 
 template <std::size_t N>
@@ -177,7 +193,9 @@ int cmd_run(int argc, const char* const* argv) {
   api::param_map graph_params;
   forward_set_flags(cli, graph_param_flags, graph_params);
 
-  const graph::graph g = api::make_graph(family, n, exec.seed, graph_params);
+  api::graph_source source;
+  const graph::graph g =
+      api::make_graph(family, n, exec.seed, graph_params, &source);
   const api::solver& solver = api::solver_registry::instance().find(alg);
 
   const auto start = std::chrono::steady_clock::now();
@@ -192,6 +210,7 @@ int cmd_run(int argc, const char* const* argv) {
   record.nodes = g.node_count();
   record.edges = g.edge_count();
   record.max_degree = g.max_degree();
+  if (!source.path.empty()) record.source = source;
   record.exec = exec;
   record.params = solver_params;
   record.valid = record.result.integral()
@@ -206,6 +225,9 @@ int cmd_run(int argc, const char* const* argv) {
     if (status != 0) return status;
   } else {
     std::printf("graph   : %s (%s)\n", g.summary().c_str(), family.c_str());
+    if (record.source.has_value())
+      std::printf("loaded  : %s (%s, %.1f ms)\n", record.source->path.c_str(),
+                  record.source->format.c_str(), record.source->load_ms);
     std::printf("solver  : %s\n", alg.c_str());
     if (record.result.integral())
       std::printf("|DS|    : %zu (valid: %s)\n", record.result.size,
@@ -387,6 +409,142 @@ int cmd_bench(int argc, const char* const* argv) {
   return 0;
 }
 
+/// `domset gen`: write a generated graph family as a text edge list --
+/// the reproducible-fixture producer the real-graph CI job feeds into
+/// `domset convert`.
+int cmd_gen(int argc, const char* const* argv) {
+  common::cli_parser cli(
+      "Write a generated graph family as a text edge list");
+  cli.add_flag("graph", "gnp", "graph family (see `domset list`)");
+  cli.add_flag("n", "1000", "approximate node count");
+  cli.require_nonnegative_int("n");
+  cli.add_flag("seed", "1", "generator seed");
+  cli.require_nonnegative_int("seed");
+  add_param_flags(cli, graph_param_flags);
+  cli.add_flag("out", "", "output path (required)");
+  if (!cli.parse(argc, argv)) return 2;
+  const std::string out_path = cli.get_string("out");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "domset gen: --out is required\n");
+    return 2;
+  }
+
+  api::param_map graph_params;
+  forward_set_flags(cli, graph_param_flags, graph_params);
+  const std::string family = cli.get_string("graph");
+  const graph::graph g =
+      api::make_graph(family, static_cast<std::size_t>(cli.get_int("n")),
+                      static_cast<std::uint64_t>(cli.get_int("seed")),
+                      graph_params);
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "domset gen: cannot write '%s'\n", out_path.c_str());
+    return 2;
+  }
+  graph::write_edge_list(g, out);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "domset gen: write to '%s' failed\n",
+                 out_path.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "domset gen: %s (%s) -> %s, digest %s\n",
+               g.summary().c_str(), family.c_str(), out_path.c_str(),
+               graph::graph_digest_hex(g).c_str());
+  return 0;
+}
+
+/// `domset convert`: text edge list <-> binary .dcsr container.  The
+/// input format is sniffed (a .dcsr input re-encodes, e.g. to toggle
+/// compression); `--verify` reloads the output and asserts the
+/// format-independent graph digest survived the round trip.
+int cmd_convert(int argc, const char* const* argv) {
+  common::cli_parser cli(
+      "Convert a graph file between the text edge-list format and the "
+      "binary .dcsr container");
+  cli.add_flag("in", "", "input graph file, text or .dcsr (required)");
+  cli.add_flag("out", "", "output path (required)");
+  cli.add_switch("compress",
+                 "write the varint-delta compressed adjacency encoding");
+  cli.add_switch("text", "write a text edge list instead of .dcsr");
+  cli.add_switch("verify",
+                 "reload the output and assert the graph digest matches");
+  cli.add_flag("parse-threads", "0",
+               "text parser worker count (0 = one per hardware thread)");
+  cli.require_nonnegative_int("parse-threads");
+  if (!cli.parse(argc, argv)) return 2;
+  const std::string in_path = cli.get_string("in");
+  const std::string out_path = cli.get_string("out");
+  if (in_path.empty() || out_path.empty()) {
+    std::fprintf(stderr, "domset convert: --in and --out are required\n");
+    return 2;
+  }
+  if (cli.get_bool("text") && cli.get_bool("compress")) {
+    std::fprintf(stderr,
+                 "domset convert: --text and --compress are exclusive "
+                 "(compression is a .dcsr encoding)\n");
+    return 2;
+  }
+  const graph::parse_options parse_opts{
+      .threads = static_cast<std::size_t>(cli.get_int("parse-threads"))};
+
+  const bool in_binary = graph::is_csr_file(in_path);
+  const graph::graph g = in_binary
+                             ? graph::load_csr(in_path)
+                             : graph::read_edge_list_file(in_path, parse_opts);
+  const std::string digest = graph::graph_digest_hex(g);
+  std::fprintf(stderr, "domset convert: read %s (%s), digest %s\n",
+               in_path.c_str(), in_binary ? "binary" : "text", digest.c_str());
+
+  std::string wrote;
+  if (cli.get_bool("text")) {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "domset convert: cannot write '%s'\n",
+                   out_path.c_str());
+      return 2;
+    }
+    graph::write_edge_list(g, out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "domset convert: write to '%s' failed\n",
+                   out_path.c_str());
+      return 2;
+    }
+    wrote = "text";
+  } else {
+    const graph::csr_file_info info =
+        graph::write_csr(g, out_path, cli.get_bool("compress"));
+    wrote = info.compressed ? "compressed" : "binary";
+    std::fprintf(stderr,
+                 "domset convert: wrote %s (%s, %llu bytes, n=%llu m=%llu)\n",
+                 out_path.c_str(), wrote.c_str(),
+                 static_cast<unsigned long long>(info.bytes),
+                 static_cast<unsigned long long>(info.nodes),
+                 static_cast<unsigned long long>(info.edges));
+  }
+
+  if (cli.get_bool("verify")) {
+    const graph::graph back =
+        cli.get_bool("text") ? graph::read_edge_list_file(out_path, parse_opts)
+                             : graph::load_csr(out_path);
+    const std::string back_digest = graph::graph_digest_hex(back);
+    if (back_digest != digest) {
+      std::fprintf(stderr,
+                   "domset convert: round-trip digest mismatch: wrote %s, "
+                   "reloaded %s\n",
+                   digest.c_str(), back_digest.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "domset convert: verify ok (%s round-trip)\n",
+                 wrote.c_str());
+  }
+  // The one stdout line: machine-readable for CI digest-agreement checks.
+  std::printf("digest %s\n", digest.c_str());
+  return 0;
+}
+
 void print_usage() {
   std::fputs(
       "usage: domset <command> [flags]\n"
@@ -397,8 +555,11 @@ void print_usage() {
       "x faults:\n"
       "         domset bench --alg pipeline,greedy --graph gnp,star "
       "--n 5000 --repeats 3 --out bench.json\n"
-      "run `domset run --help` / `domset bench --help` for the full flag "
-      "lists\n",
+      "  gen    write a generated family as a text edge list: domset gen "
+      "--graph ba --n 100000 --out g.txt\n"
+      "  convert  text edge list <-> binary .dcsr: domset convert --in "
+      "g.txt --out g.dcsr [--compress] [--verify]\n"
+      "run `domset <command> --help` for the full flag lists\n",
       stderr);
 }
 
@@ -416,6 +577,9 @@ int main(int argc, char** argv) {
       return cmd_run(argc - 1, argv + 1);
     if (std::strcmp(command, "bench") == 0)
       return cmd_bench(argc - 1, argv + 1);
+    if (std::strcmp(command, "gen") == 0) return cmd_gen(argc - 1, argv + 1);
+    if (std::strcmp(command, "convert") == 0)
+      return cmd_convert(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "domset: %s\n", e.what());
     return 2;
