@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""CLI contract test for the `domset` driver binary.
+
+Usage:
+    check_cli.py --bin PATH/TO/domset
+
+Drives the real binary end to end (registered as the DomsetCli.ExitCodes
+ctest) and checks the documented exit-code contract:
+
+    0  success (solution verified dominating)
+    1  invalid solution
+    2  usage errors -- unknown subcommand, unknown solver or family name,
+       malformed parameter values
+
+plus a few output-shape facts the docs promise: `domset list` names the
+portfolio solvers, and an `--alg auto --json` run carries the
+`selection` block recording the dispatch.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run(bin_path: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [bin_path, *args], capture_output=True, text=True, timeout=300
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bin", required=True, help="path to the domset binary")
+    bin_path = parser.parse_args().bin
+
+    failures: list[str] = []
+
+    def check(name: str, proc: subprocess.CompletedProcess,
+              expect_exit: int) -> subprocess.CompletedProcess:
+        if proc.returncode != expect_exit:
+            failures.append(
+                f"{name}: exit {proc.returncode}, expected {expect_exit}\n"
+                f"  stdout: {proc.stdout[:300]!r}\n"
+                f"  stderr: {proc.stderr[:300]!r}"
+            )
+        return proc
+
+    # `list` succeeds and teaches the vocabulary, portfolio included.
+    listing = check("list", run(bin_path, "list"), 0)
+    for solver in ("pipeline", "arboricity", "auto", "greedy"):
+        if solver not in listing.stdout:
+            failures.append(f"list: solver '{solver}' missing from output")
+
+    # Unknown names are usage errors (exit 2) with a teaching message.
+    unknown_alg = check(
+        "unknown --alg",
+        run(bin_path, "run", "--alg", "nosuch", "--graph", "gnp", "--n", "30"),
+        2,
+    )
+    if "nosuch" not in unknown_alg.stderr:
+        failures.append("unknown --alg: error does not name the bad solver")
+    check(
+        "unknown --graph",
+        run(bin_path, "run", "--alg", "pipeline", "--graph", "nosuch",
+            "--n", "30"),
+        2,
+    )
+    check("unknown subcommand", run(bin_path, "frobnicate"), 2)
+
+    # Malformed parameter values are usage errors too.
+    check(
+        "bad epsilon",
+        run(bin_path, "run", "--alg", "arboricity", "--graph", "star",
+            "--n", "40", "--epsilon", "-1"),
+        2,
+    )
+    # A solver rejects params it does not accept (arboricity has no k).
+    check(
+        "foreign param",
+        run(bin_path, "run", "--alg", "arboricity", "--graph", "star",
+            "--n", "40", "--k", "3"),
+        2,
+    )
+
+    # Plain valid runs exit 0.
+    check(
+        "valid arboricity run",
+        run(bin_path, "run", "--alg", "arboricity", "--graph", "tree",
+            "--n", "40", "--seed", "2"),
+        0,
+    )
+
+    # An auto run records its dispatch in the JSON record.
+    auto = check(
+        "auto --json",
+        run(bin_path, "run", "--alg", "auto", "--graph", "ba", "--n", "60",
+            "--seed", "3", "--json"),
+        0,
+    )
+    if auto.returncode == 0:
+        record = json.loads(auto.stdout)
+        selection = record.get("result", {}).get("selection")
+        if not isinstance(selection, dict):
+            failures.append("auto --json: no result.selection block")
+        elif not selection.get("selected_solver"):
+            failures.append("auto --json: selection.selected_solver empty")
+
+    if failures:
+        print("check_cli: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("check_cli: OK (8 cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,6 +91,17 @@ REPAIR_REQUIRED = [
     (("touched_nodes",), int),
 ]
 
+# Optional result.selection block (present on `--alg auto` runs: the
+# probe evidence the meta-solver dispatched on, src/graph/probe.hpp).
+SELECTION_REQUIRED = [
+    (("selected_solver",), str),
+    (("degeneracy",), int),
+    (("arboricity_lower",), (int, float)),
+    (("triangle_density",), (int, float)),
+    (("degree_skew",), (int, float)),
+    (("avg_degree",), (int, float)),
+]
+
 # Optional top-level coverage block (present on degraded runs).
 COVERAGE_REQUIRED = [
     (("nodes",), int),
@@ -233,6 +244,27 @@ def validate_run_record(record, label):
                 )
         else:
             problems.append(f"{label}: result.repair must be an object")
+    selection = record.get("result", {}).get("selection")
+    if selection is not None:
+        if isinstance(selection, dict):
+            problems.extend(
+                check_required(selection, SELECTION_REQUIRED,
+                               f"{label}.selection")
+            )
+            if not selection.get("selected_solver"):
+                problems.append(
+                    f"{label}.selection: selected_solver must be non-empty"
+                )
+            for key in ("arboricity_lower", "triangle_density",
+                        "degree_skew", "avg_degree"):
+                value = selection.get(key)
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool) and value < 0:
+                    problems.append(
+                        f"{label}.selection: {key} must be >= 0"
+                    )
+        else:
+            problems.append(f"{label}: result.selection must be an object")
     coverage = record.get("coverage")
     if coverage is not None:
         if isinstance(coverage, dict):

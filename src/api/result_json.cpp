@@ -149,6 +149,21 @@ void append_record_json(std::string& out, const run_record& record,
     out += in3 + "\"touched_nodes\": " + num(r.touched_nodes) + "\n" + in2 +
            "}";
   }
+  if (record.result.selection.attempted) {
+    const selection_summary& s = record.result.selection;
+    const std::string in3 = in2 + "  ";
+    out += ",\n" + in2 + "\"selection\": {\n";
+    out += in3 + "\"selected_solver\": \"" + escape(s.selected_solver) +
+           "\",\n";
+    out += in3 + "\"degeneracy\": " + num(s.degeneracy) + ",\n";
+    out += in3 + "\"arboricity_lower\": " + fmt_double(s.arboricity_lower) +
+           ",\n";
+    out += in3 + "\"triangle_density\": " + fmt_double(s.triangle_density) +
+           ",\n";
+    out += in3 + "\"degree_skew\": " + fmt_double(s.degree_skew) + ",\n";
+    out += in3 + "\"avg_degree\": " + fmt_double(s.avg_degree) + "\n" + in2 +
+           "}";
+  }
   out += "\n" + in1 + "},\n";
   const sim::run_metrics& m = record.result.metrics;
   out += in1 + "\"metrics\": {\n";

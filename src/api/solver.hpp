@@ -105,6 +105,28 @@ struct repair_summary {
   std::size_t touched_nodes = 0;
 };
 
+/// How the `auto` meta-solver picked its base solver (attempted == false
+/// for directly-invoked solvers).  Carries the probe values the selection
+/// rule actually saw (graph/probe.hpp), so a recorded run explains its
+/// own dispatch; serialized as the optional `result.selection` block of
+/// the domset-run/1 record.
+struct selection_summary {
+  /// True when the run went through the `auto` meta-solver.
+  bool attempted = false;
+  /// Registry name of the solver `auto` dispatched to.
+  std::string selected_solver;
+  /// Exact degeneracy from the core peel (arboricity bracket).
+  std::uint32_t degeneracy = 0;
+  /// (degeneracy + 1) / 2 <= arboricity lower bracket.
+  double arboricity_lower = 0.0;
+  /// Sampled wedge-closure rate (1.0 on cliques, 0.0 triangle-free).
+  double triangle_density = 0.0;
+  /// max_degree / avg_degree (graph::degree_stats).
+  double degree_skew = 0.0;
+  /// Average degree 2m/n.
+  double avg_degree = 0.0;
+};
+
 /// Uniform result record of a registry-invoked run.  Integral solvers
 /// fill `in_set`/`size`; the fractional LP solvers (alg2, alg3,
 /// alg2_fresh) fill `x` and leave `in_set` empty; the pipeline fills
@@ -134,6 +156,10 @@ struct solve_result {
 
   /// Self-healing pass record (attempted == false when repair was off).
   repair_summary repair;
+
+  /// Portfolio dispatch record (attempted == false unless the run came
+  /// through the `auto` meta-solver).
+  selection_summary selection;
 
   /// True when the record carries an integral dominating set.
   [[nodiscard]] bool integral() const noexcept { return !in_set.empty(); }

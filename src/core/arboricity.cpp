@@ -1,0 +1,147 @@
+#include "core/arboricity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/probe.hpp"
+#include "sim/engine.hpp"
+
+namespace domset::core {
+
+namespace {
+
+using graph::node_id;
+
+enum arb_tag : std::uint16_t {
+  tag_join = 1,
+  tag_covered = 2,
+};
+
+/// One node of the threshold sweep.  Phase t occupies rounds 2t (decision)
+/// and 2t + 1 (transition); the phase after the schedule is the cleanup.
+///
+/// Decision round:  fold the COVERED announcements sent last round into
+/// the residual count, then join (and announce JOIN) iff the residual
+/// coverage w(v) = |uncovered in N[v]| reaches the phase threshold --
+/// or, in cleanup, iff v itself is still uncovered.
+/// Transition round: a JOIN heard (or made) covers this node; the
+/// white->covered transition is announced exactly once, so residual
+/// counts decrement exactly once per neighbor.
+class arb_program {
+ public:
+  arb_program() = default;
+  arb_program(const std::vector<std::uint32_t>* schedule, std::uint32_t degree)
+      : schedule_(schedule), uncovered_nbrs_(degree) {}
+
+  void on_round(sim::round_context& ctx, std::span<const sim::message> inbox) {
+    if (finished_) return;
+    if (ctx.round() % 2 == 0) {
+      for (const sim::message& msg : inbox)
+        if (msg.tag == tag_covered) --uncovered_nbrs_;
+      const std::size_t phase = ctx.round() / 2;
+      const std::uint64_t w =
+          static_cast<std::uint64_t>(uncovered_nbrs_) + (covered_ ? 0 : 1);
+      bool join = false;
+      if (phase < schedule_->size()) {
+        join = !in_set_ && w >= (*schedule_)[phase];
+      } else {
+        join = !in_set_ && !covered_;
+      }
+      if (join) {
+        in_set_ = true;
+        ctx.broadcast(tag_join, 1, 1);
+      } else if (covered_ && announced_ && uncovered_nbrs_ == 0) {
+        // Covered, transition announced, every neighbor covered too:
+        // w = 0 stays below every threshold, so no future round can act.
+        finished_ = true;
+      }
+    } else {
+      bool covered_now = in_set_;
+      for (const sim::message& msg : inbox)
+        if (msg.tag == tag_join) covered_now = true;
+      if (covered_now) covered_ = true;
+      if (covered_ && !announced_) {
+        announced_ = true;
+        ctx.broadcast(tag_covered, 1, 1);
+      }
+    }
+  }
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] bool in_set() const { return in_set_; }
+
+ private:
+  const std::vector<std::uint32_t>* schedule_ = nullptr;
+  std::uint32_t uncovered_nbrs_ = 0;
+  bool in_set_ = false;
+  bool covered_ = false;
+  bool announced_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> threshold_schedule(std::uint32_t max_degree,
+                                              std::uint32_t degeneracy,
+                                              double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon))
+    throw std::invalid_argument(
+        "param 'epsilon': must be a positive finite value");
+  const std::uint64_t floor_tau = 2ULL * degeneracy + 2;
+  std::vector<std::uint32_t> taus;
+  std::uint64_t tau = static_cast<std::uint64_t>(max_degree) + 1;
+  while (tau >= floor_tau) {
+    taus.push_back(static_cast<std::uint32_t>(tau));
+    const auto next =
+        static_cast<std::uint64_t>(static_cast<double>(tau) / (1.0 + epsilon));
+    // floor(tau / (1 + eps)) < tau mathematically; the min guards the one
+    // way that can fail in floating point (epsilon denormally small).
+    tau = std::min(tau - 1, next);
+  }
+  return taus;
+}
+
+double arboricity_ratio_bound(std::uint32_t max_degree,
+                              std::uint32_t degeneracy,
+                              std::span<const std::uint32_t> schedule) {
+  const double a = static_cast<double>(degeneracy);
+  double prev = static_cast<double>(max_degree) + 1.0;
+  double ratio = 0.0;
+  for (const std::uint32_t tau : schedule) {
+    ratio += 2.0 * a * prev / (static_cast<double>(tau) - 2.0 * a - 1.0);
+    prev = static_cast<double>(tau);
+  }
+  return ratio + prev;
+}
+
+arboricity_result arboricity_mds(const graph::graph& g,
+                                 const arboricity_params& params) {
+  const std::size_t n = g.node_count();
+  arboricity_result result;
+  result.in_set.assign(n, 0);
+  result.degeneracy = graph::degeneracy(g);
+  const std::vector<std::uint32_t> schedule =
+      threshold_schedule(g.max_degree(), result.degeneracy, params.epsilon);
+  result.phases = schedule.size();
+  result.ratio_bound =
+      arboricity_ratio_bound(g.max_degree(), result.degeneracy, schedule);
+  if (n == 0) return result;
+
+  sim::engine_config cfg = params.exec.engine_config();
+  // Schedule phases + cleanup, 2 rounds each, + the final settle rounds
+  // (cleanup transition, residual drain, last finish check).
+  cfg.max_rounds = 2 * (schedule.size() + 1) + 4;
+  sim::typed_engine<arb_program> engine(g, cfg);
+  engine.load([&](node_id v) { return arb_program(&schedule, g.degree(v)); });
+  result.metrics = engine.run();
+
+  for (node_id v = 0; v < n; ++v) {
+    if (engine.program(v).in_set()) {
+      result.in_set[v] = 1;
+      ++result.size;
+    }
+  }
+  return result;
+}
+
+}  // namespace domset::core

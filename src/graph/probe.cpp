@@ -1,0 +1,126 @@
+#include "graph/probe.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace domset::graph {
+
+std::uint32_t degeneracy(const graph& g) {
+  const std::size_t n = g.node_count();
+  if (n == 0) return 0;
+
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (node_id v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  // Batagelj-Zaversnik: vertices bucketed by current degree, peeled in
+  // nondecreasing order; each peel decrements its still-unpeeled
+  // neighbors and moves them one bucket down via an O(1) swap.
+  std::vector<std::size_t> bin(static_cast<std::size_t>(max_deg) + 1, 0);
+  for (node_id v = 0; v < n; ++v) ++bin[deg[v]];
+  std::size_t start = 0;
+  for (std::size_t d = 0; d <= max_deg; ++d) {
+    const std::size_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<node_id> vert(n);
+  std::vector<std::size_t> pos(n);
+  for (node_id v = 0; v < n; ++v) {
+    pos[v] = bin[deg[v]]++;
+    vert[pos[v]] = v;
+  }
+  for (std::size_t d = max_deg; d >= 1; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  std::uint32_t core = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const node_id v = vert[i];
+    core = std::max(core, deg[v]);
+    for (const node_id u : g.neighbors(v)) {
+      if (deg[u] <= deg[v]) continue;
+      const std::uint32_t du = deg[u];
+      const std::size_t pu = pos[u];
+      const std::size_t pw = bin[du];
+      const node_id w = vert[pw];
+      if (u != w) {
+        vert[pu] = w;
+        vert[pw] = u;
+        pos[u] = pw;
+        pos[w] = pu;
+      }
+      ++bin[du];
+      --deg[u];
+    }
+  }
+  return core;
+}
+
+namespace {
+
+/// Closed-wedge count over samples [lo, hi): sample s draws from its own
+/// stream rng(seed, s), so the partition into worker chunks cannot change
+/// any draw -- the estimate is bit-identical for every thread count.
+std::size_t sample_range(const graph& g, std::uint64_t seed, std::size_t lo,
+                         std::size_t hi, std::size_t& wedges) {
+  const std::size_t n = g.node_count();
+  std::size_t closed = 0;
+  for (std::size_t s = lo; s < hi; ++s) {
+    common::rng gen(seed, s);
+    const node_id v = static_cast<node_id>(gen.next_below(n));
+    const auto nbrs = g.neighbors(v);
+    if (nbrs.size() < 2) continue;
+    const std::size_t i = gen.next_below(nbrs.size());
+    std::size_t j = gen.next_below(nbrs.size() - 1);
+    if (j >= i) ++j;
+    ++wedges;
+    const auto row = g.neighbors(nbrs[i]);
+    if (std::binary_search(row.begin(), row.end(), nbrs[j])) ++closed;
+  }
+  return closed;
+}
+
+}  // namespace
+
+probe_result probe(const graph& g, const probe_params& params) {
+  probe_result out;
+  out.degrees = degree_stats(g);
+  out.degeneracy = degeneracy(g);
+  out.arboricity_lower = (static_cast<double>(out.degeneracy) + 1.0) / 2.0;
+  out.arboricity_upper = out.degeneracy;
+
+  const std::size_t samples = params.triangle_samples;
+  if (g.node_count() == 0 || samples == 0) return out;
+
+  std::shared_ptr<sim::thread_pool> pool = params.pool;
+  if (!pool) pool = sim::thread_pool::make_shared_if_parallel(params.threads);
+  if (pool) {
+    const std::size_t workers = pool->size();
+    std::vector<std::size_t> closed(workers, 0), wedges(workers, 0);
+    pool->run_chunked(samples, workers,
+                      [&](std::size_t w, std::size_t lo, std::size_t hi) {
+                        closed[w] = sample_range(g, params.sample_seed, lo, hi,
+                                                 wedges[w]);
+                      });
+    for (std::size_t w = 0; w < workers; ++w) {
+      out.triangles_closed += closed[w];
+      out.wedges_sampled += wedges[w];
+    }
+  } else {
+    out.triangles_closed =
+        sample_range(g, params.sample_seed, 0, samples, out.wedges_sampled);
+  }
+  if (out.wedges_sampled > 0)
+    out.triangle_density = static_cast<double>(out.triangles_closed) /
+                           static_cast<double>(out.wedges_sampled);
+  return out;
+}
+
+}  // namespace domset::graph

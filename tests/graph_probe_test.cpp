@@ -1,0 +1,127 @@
+// graph::probe against known ground truth (ISSUE 8 satellite): exact
+// degeneracy on families where the core number is a textbook fact, the
+// Nash-Williams / Matula-Beck arboricity bracket around it, triangle
+// density at its extremes, and the determinism contract -- the probe
+// steers the `auto` meta-solver, so its values must be bit-identical at
+// every thread count.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/probe.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace domset {
+namespace {
+
+TEST(GraphProbe, DegeneracyGroundTruth) {
+  EXPECT_EQ(graph::degeneracy(graph::empty_graph(5)), 0U);
+  // Any forest peels down at degree 1.
+  EXPECT_EQ(graph::degeneracy(graph::balanced_tree(3, 4)), 1U);
+  EXPECT_EQ(graph::degeneracy(graph::star_graph(50)), 1U);
+  EXPECT_EQ(graph::degeneracy(graph::path_graph(17)), 1U);
+  // A cycle is 2-regular: min degree 2 everywhere.
+  EXPECT_EQ(graph::degeneracy(graph::cycle_graph(20)), 2U);
+  // Grids peel from the corners at degree 2.
+  EXPECT_EQ(graph::degeneracy(graph::grid_graph(8, 8)), 2U);
+  // K_n is (n-1)-degenerate and nothing less.
+  EXPECT_EQ(graph::degeneracy(graph::complete_graph(12)), 11U);
+}
+
+TEST(GraphProbe, ArboricityBracketFromDegeneracy) {
+  const graph::probe_result tree = graph::probe(graph::balanced_tree(3, 4));
+  EXPECT_EQ(tree.degeneracy, 1U);
+  EXPECT_DOUBLE_EQ(tree.arboricity_lower, 1.0);  // a tree IS one forest
+  EXPECT_EQ(tree.arboricity_upper, 1U);
+
+  const graph::probe_result clique = graph::probe(graph::complete_graph(12));
+  EXPECT_EQ(clique.degeneracy, 11U);
+  EXPECT_DOUBLE_EQ(clique.arboricity_lower, 6.0);  // ceil(n/2) = true value
+  EXPECT_EQ(clique.arboricity_upper, 11U);
+
+  const graph::probe_result grid = graph::probe(graph::grid_graph(8, 8));
+  EXPECT_DOUBLE_EQ(grid.arboricity_lower, 1.5);
+  EXPECT_EQ(grid.arboricity_upper, 2U);
+}
+
+TEST(GraphProbe, TriangleDensityAtTheExtremes) {
+  // Every wedge of a clique closes.
+  const graph::probe_result clique = graph::probe(graph::complete_graph(16));
+  EXPECT_GT(clique.wedges_sampled, 0U);
+  EXPECT_DOUBLE_EQ(clique.triangle_density, 1.0);
+  EXPECT_EQ(clique.triangles_closed, clique.wedges_sampled);
+
+  // Trees and grids are triangle-free.
+  EXPECT_DOUBLE_EQ(graph::probe(graph::balanced_tree(3, 5)).triangle_density,
+                   0.0);
+  EXPECT_DOUBLE_EQ(graph::probe(graph::grid_graph(10, 10)).triangle_density,
+                   0.0);
+
+  // No wedge exists below degree 2: the star's leaves are never centers.
+  const graph::probe_result star = graph::probe(graph::star_graph(40));
+  EXPECT_DOUBLE_EQ(star.triangle_density, 0.0);
+
+  graph::probe_params no_sampling;
+  no_sampling.triangle_samples = 0;
+  const graph::probe_result skipped =
+      graph::probe(graph::complete_graph(8), no_sampling);
+  EXPECT_EQ(skipped.wedges_sampled, 0U);
+  EXPECT_DOUBLE_EQ(skipped.triangle_density, 0.0);
+}
+
+TEST(GraphProbe, DegreeStatsRideAlong) {
+  const graph::probe_result star = graph::probe(graph::star_graph(41));
+  EXPECT_EQ(star.degrees.max_degree, 40U);
+  EXPECT_GT(star.degrees.skew, 10.0);
+
+  const graph::probe_result cycle = graph::probe(graph::cycle_graph(30));
+  EXPECT_EQ(cycle.degrees.max_degree, 2U);
+  EXPECT_DOUBLE_EQ(cycle.degrees.skew, 1.0);
+}
+
+/// The determinism contract: identical values for every worker count,
+/// with and without a shared pool.  (Each wedge sample draws from its own
+/// derived rng stream, so the partition into workers cannot matter.)
+TEST(GraphProbe, BitIdenticalAcrossThreadCounts) {
+  common::rng gen(99);
+  const graph::graph g = graph::gnp_random(300, 0.04, gen);
+
+  const graph::probe_result reference = graph::probe(g);
+  for (const std::size_t threads : {2UL, 8UL}) {
+    graph::probe_params params;
+    params.threads = threads;
+    const graph::probe_result probe = graph::probe(g, params);
+    EXPECT_EQ(probe.degeneracy, reference.degeneracy);
+    EXPECT_EQ(probe.wedges_sampled, reference.wedges_sampled);
+    EXPECT_EQ(probe.triangles_closed, reference.triangles_closed);
+    EXPECT_DOUBLE_EQ(probe.triangle_density, reference.triangle_density);
+  }
+
+  graph::probe_params pooled;
+  pooled.threads = 4;
+  pooled.pool = std::make_shared<sim::thread_pool>(4);
+  const graph::probe_result probe = graph::probe(g, pooled);
+  EXPECT_EQ(probe.triangles_closed, reference.triangles_closed);
+  EXPECT_EQ(probe.wedges_sampled, reference.wedges_sampled);
+}
+
+/// The probe deliberately ignores the run seed: selection must be a
+/// function of the graph alone (see probe_params::sample_seed).
+TEST(GraphProbe, SampleSeedChangesEstimateNotStructure) {
+  common::rng gen(7);
+  const graph::graph g = graph::gnp_random(200, 0.06, gen);
+
+  graph::probe_params other_seed;
+  other_seed.sample_seed = 12345;
+  const graph::probe_result a = graph::probe(g);
+  const graph::probe_result b = graph::probe(g, other_seed);
+  // Structural values are exact and seed-free...
+  EXPECT_EQ(a.degeneracy, b.degeneracy);
+  EXPECT_EQ(a.arboricity_upper, b.arboricity_upper);
+  // ...while the sampled estimate may move (and the default is stable).
+  const graph::probe_result c = graph::probe(g);
+  EXPECT_EQ(a.triangles_closed, c.triangles_closed);
+}
+
+}  // namespace
+}  // namespace domset

@@ -1,0 +1,88 @@
+// Differential fuzz (ISSUE 8 satellite): seeded random instances, every
+// registered integral solver, outputs cross-checked against the exact
+// branch-and-bound optimum (small n) or the validity oracle (larger n).
+// Instances are built through api::make_graph with the CLI's own family
+// vocabulary and default parameters, so every failure message is a
+// ready-to-paste reproducer:
+//
+//   domset run --alg <solver> --graph <family> --n <n> --seed <seed>
+//
+// The seeds are fixed (gtest params, not wall-clock entropy): the suite
+// is a regression corpus that happens to have been found by fuzzing, not
+// a flaky roll of the dice.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/graphs.hpp"
+#include "api/registry.hpp"
+#include "api/solver.hpp"
+#include "exact/exact_mds.hpp"
+#include "exec/context.hpp"
+#include "support/families.hpp"
+#include "verify/verify.hpp"
+
+namespace domset {
+namespace {
+
+std::string reproducer(const std::string& solver, const std::string& family,
+                       std::size_t n, std::uint64_t seed) {
+  return "reproduce with: domset run --alg " + solver + " --graph " + family +
+         " --n " + std::to_string(n) + " --seed " + std::to_string(seed);
+}
+
+void check_instance(const std::string& family, std::size_t n,
+                    std::uint64_t seed, bool against_exact) {
+  const graph::graph g = api::make_graph(family, n, seed);
+  std::size_t opt = 0;
+  if (against_exact) {
+    const auto exact = exact::solve_mds(g);
+    ASSERT_TRUE(exact.has_value());
+    opt = exact->size;
+  }
+
+  exec::context exec;
+  exec.seed = seed;
+  for (const std::string& name : testsupport::integral_solver_names()) {
+    const api::solve_result result =
+        api::solver_registry::instance().find(name).solve(g, exec);
+    EXPECT_TRUE(verify::is_dominating_set(g, result.in_set))
+        << name << " returned a non-dominating set ("
+        << verify::undominated_nodes(g, result.in_set).size()
+        << " holes); " << reproducer(name, family, n, seed);
+    EXPECT_EQ(result.size, verify::set_size(result.in_set))
+        << reproducer(name, family, n, seed);
+    if (against_exact) {
+      EXPECT_GE(result.size, opt)
+          << name << " reported a set below the exact optimum " << opt
+          << "; " << reproducer(name, family, n, seed);
+    }
+  }
+}
+
+class SolverDifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SolverDifferentialFuzz, SmallInstancesMatchExactOptimum) {
+  const std::uint64_t seed = GetParam();
+  // n in [20, 60], exact-checked.
+  const std::size_t n = 20 + (seed * 13) % 41;
+  check_instance("gnp", n, seed, /*against_exact=*/true);
+  check_instance("ba", n, seed + 100, /*against_exact=*/true);
+}
+
+TEST_P(SolverDifferentialFuzz, LargerInstancesStayValid) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 120 + (seed * 29) % 81;  // n in [120, 200]
+  check_instance("gnp", n, seed, /*against_exact=*/false);
+  check_instance("ba", n, seed + 100, /*against_exact=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SolverDifferentialFuzz, ::testing::Range<std::uint64_t>(1, 7),
+    [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+      return "seed" + std::to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace domset

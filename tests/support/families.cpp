@@ -1,0 +1,143 @@
+#include "support/families.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "api/graphs.hpp"
+#include "api/registry.hpp"
+#include "api/solver.hpp"
+#include "common/rng.hpp"
+#include "graph/csr_file.hpp"
+#include "graph/generators.hpp"
+
+namespace domset::testsupport {
+
+namespace {
+
+graph::graph make_gnp(std::size_t n, std::uint64_t seed) {
+  common::rng gen(seed);
+  const double p = std::min(1.0, 8.0 / static_cast<double>(std::max<std::size_t>(n, 1)));
+  return graph::gnp_random(n, p, gen);
+}
+
+graph::graph make_ba(std::size_t n, std::uint64_t seed) {
+  common::rng gen(seed);
+  return graph::barabasi_albert(n, 2, gen);
+}
+
+graph::graph make_star(std::size_t n, std::uint64_t) {
+  return graph::star_graph(n);
+}
+
+graph::graph make_grid(std::size_t n, std::uint64_t) {
+  const auto w = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(std::max<std::size_t>(n, 1)))));
+  return graph::grid_graph(w, (n + w - 1) / w);
+}
+
+graph::graph make_tree(std::size_t n, std::uint64_t) {
+  // Deepest complete 3-ary tree within ~n nodes (>= 1 level).
+  std::size_t depth = 1, count = 4;
+  while (count * 3 + 1 <= n) {
+    count = count * 3 + 1;
+    ++depth;
+  }
+  return graph::balanced_tree(3, depth);
+}
+
+/// ba(n, m=2, seed) written once to a temp .dcsr and re-loaded through
+/// the api "file" family -- the harness's coverage of the binary
+/// container and loader (graph/csr_file.hpp).
+graph::graph make_dcsr(std::size_t n, std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  char name[96];
+  std::snprintf(name, sizeof name, "domset_harness_ba_%zu_%llu.dcsr", n,
+                static_cast<unsigned long long>(seed));
+  const fs::path path = fs::temp_directory_path() / name;
+  if (!fs::exists(path)) {
+    common::rng gen(seed);
+    const graph::graph g = graph::barabasi_albert(n, 2, gen);
+    (void)graph::write_csr(g, path.string(), /*compress=*/false);
+  }
+  api::param_map params;
+  params.set("path", path.string());
+  params.set("format", "binary");
+  return api::make_graph("file", 0, seed, params);
+}
+
+}  // namespace
+
+const std::vector<family_spec>& families() {
+  static const std::vector<family_spec> all = {
+      {"gnp", "gnp", &make_gnp},   {"ba", "ba", &make_ba},
+      {"star", "star", &make_star}, {"grid", "grid", &make_grid},
+      {"tree", "tree", &make_tree}, {"dcsr", "", &make_dcsr},
+  };
+  return all;
+}
+
+const std::vector<std::string>& family_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const family_spec& f : families()) out.push_back(f.name);
+    return out;
+  }();
+  return names;
+}
+
+graph::graph make_family(const std::string& name, std::size_t n,
+                         std::uint64_t seed) {
+  for (const family_spec& f : families())
+    if (f.name == name) return f.make(n, seed);
+  throw std::invalid_argument("unknown harness family '" + name + "'");
+}
+
+std::vector<std::string> integral_solver_names() {
+  std::vector<std::string> out;
+  for (const api::solver* s : api::solver_registry::instance().list())
+    if (s->integral_output()) out.emplace_back(s->name());
+  return out;
+}
+
+std::vector<graph::node_id> random_permutation(std::size_t n,
+                                               std::uint64_t seed) {
+  std::vector<graph::node_id> pi(n);
+  for (std::size_t i = 0; i < n; ++i) pi[i] = static_cast<graph::node_id>(i);
+  common::rng gen(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = gen.next_below(i);
+    std::swap(pi[i - 1], pi[j]);
+  }
+  return pi;
+}
+
+graph::graph relabel(const graph::graph& g,
+                     const std::vector<graph::node_id>& pi) {
+  graph::graph_builder builder(g.node_count());
+  for (graph::node_id v = 0; v < g.node_count(); ++v)
+    for (const graph::node_id u : g.neighbors(v))
+      if (v < u) builder.add_edge(pi[v], pi[u]);
+  return std::move(builder).build();
+}
+
+graph::graph with_extra_edge(const graph::graph& g, std::uint64_t seed) {
+  const std::size_t n = g.node_count();
+  graph::graph_builder builder(n);
+  for (graph::node_id v = 0; v < n; ++v)
+    for (const graph::node_id u : g.neighbors(v))
+      if (v < u) builder.add_edge(v, u);
+  common::rng gen(seed);
+  for (int attempt = 0; attempt < 256 && n >= 2; ++attempt) {
+    const auto u = static_cast<graph::node_id>(gen.next_below(n));
+    const auto v = static_cast<graph::node_id>(gen.next_below(n));
+    if (u != v && !builder.has_edge_slow(u, v)) {
+      builder.add_edge(u, v);
+      break;
+    }
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace domset::testsupport

@@ -1,0 +1,64 @@
+// Shared fixture library of the registry-generic property harness
+// (tests/solver_properties_test.cpp, tests/solver_differential_fuzz_test.cpp):
+// named graph families at arbitrary (n, seed), the registry's integral
+// solver vocabulary, and a reusable on-disk .dcsr fixture so the harness
+// also sweeps the binary-container load path.
+//
+// Every builder is a pure function of (n, seed) -- same inputs, same
+// graph, byte for byte -- so any failure a harness test reports is
+// reproducible from the parameters in its name alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace domset::testsupport {
+
+/// One family of the harness matrix.
+struct family_spec {
+  /// Harness name; for the cli_family below it doubles as the
+  /// `domset run --graph` vocabulary.
+  std::string name;
+  /// `domset run --graph` family reproducing this builder ("" when the
+  /// builder has no CLI equivalent, e.g. the temp-file .dcsr fixture).
+  std::string cli_family;
+  graph::graph (*make)(std::size_t n, std::uint64_t seed);
+};
+
+/// The harness matrix: gnp, ba, star, grid, tree and a .dcsr-file-loaded
+/// ba graph (exercising graph/csr_file + api::make_graph("file")).
+const std::vector<family_spec>& families();
+
+/// Just the names, for gtest ValuesIn.
+const std::vector<std::string>& family_names();
+
+/// Builds `name` at ~n nodes; throws std::invalid_argument for a name
+/// not in families().
+[[nodiscard]] graph::graph make_family(const std::string& name, std::size_t n,
+                                       std::uint64_t seed);
+
+/// Names of every registered solver with integral_output() == true, in
+/// registry (sorted) order -- the auto-enrollment list: a newly
+/// registered integral solver appears here, and in every harness sweep,
+/// with zero test-code changes.
+std::vector<std::string> integral_solver_names();
+
+/// Seeded permutation pi of [0, n); relabels ids for the metamorphic
+/// tests.
+[[nodiscard]] std::vector<graph::node_id> random_permutation(
+    std::size_t n, std::uint64_t seed);
+
+/// The graph with every node v renamed pi[v] (same edges up to the
+/// renaming).
+[[nodiscard]] graph::graph relabel(const graph::graph& g,
+                                   const std::vector<graph::node_id>& pi);
+
+/// Adds one seeded non-edge to g; returns g unchanged when the graph is
+/// complete.
+[[nodiscard]] graph::graph with_extra_edge(const graph::graph& g,
+                                           std::uint64_t seed);
+
+}  // namespace domset::testsupport

@@ -99,6 +99,8 @@ constexpr param_flag solver_param_flags[] = {
     {"announce-final", "",
      "rounding/pipeline: members announce final membership", true},
     {"max-rounds", "0", "round cap override (lrg/luby)", false, true},
+    {"epsilon", "0.5",
+     "arboricity/auto: threshold decay rate (tau <- tau/(1+epsilon))"},
     {"costs", "uniform",
      "weighted: cost vector -- uniform | degree | file:<path>"},
     {"cmax", "4", "weighted: cost ceiling for costs=uniform"},
