@@ -1,0 +1,191 @@
+/// \file bench_p6_dynamic.cpp
+/// \brief P6: incremental repair vs from-scratch re-solve under churn.
+///
+/// Replays seeded mutation streams (dyn::workload, hub-biased) against a
+/// resident instance for {gnp, ba} x --batches batch sizes, timing every
+/// epoch's frontier-restricted repair and sampling full re-solves of the
+/// same snapshots for comparison (dyn::run_replay).  Reports p50/p99
+/// repair latency, the sampled full-re-solve median, and the speedup; the
+/// per-run final digest doubles as a determinism check -- the replay is a
+/// pure function of the seed.
+///
+/// Output: a human table plus, with --out, a machine-readable
+/// domset-dynamic-bench/1 document gated in CI by
+/// scripts/check_bench_trend.py against
+/// bench/baselines/dynamic_baseline.json (digest equality always;
+/// medians within tolerance).  Cells are keyed graph/n/batch/mode with
+/// mode "repair" (incremental median) and "full" (sampled re-solve
+/// median).
+///
+///   bench_p6_dynamic --n 20000 --epochs 16 --batches 8,64
+///       --out bench_p6_ci.json [--min-speedup 5]
+///
+/// --min-speedup N exits nonzero unless every cell pair's
+/// full-median / repair-median is at least N (the subsystem's reason to
+/// exist; 0 = report only).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/graphs.hpp"
+#include "api/result_json.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dyn/replay.hpp"
+#include "dyn/workload.hpp"
+
+namespace {
+
+using namespace domset;
+
+struct cell {
+  std::string graph;
+  std::size_t n = 0;
+  std::size_t batch = 0;
+  std::string mode;  // "repair" | "full"
+  double median_ms = 0.0;
+  double p99_ms = 0.0;    // repair rows only
+  double speedup = 0.0;   // repair rows only
+  std::size_t size = 0;   // final solution size
+  std::string digest;     // per-run final digest (determinism gate)
+};
+
+std::vector<std::size_t> parse_batches(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    out.push_back(std::stoul(spec.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::cli_parser cli(
+      "P6: incremental repair vs full re-solve under mutation replay");
+  cli.add_flag("n", "20000", "nodes in the initial graph");
+  cli.require_nonnegative_int("n");
+  cli.add_flag("epochs", "16", "epochs per replay");
+  cli.require_nonnegative_int("epochs");
+  cli.add_flag("batches", "8,64", "comma-separated mutations per epoch");
+  cli.add_flag("sample-full", "4", "full re-solve every k-th epoch");
+  cli.require_nonnegative_int("sample-full");
+  cli.add_flag("alg", "pipeline", "incumbent registry solver");
+  cli.add_flag("out", "", "write the domset-dynamic-bench/1 document here");
+  cli.add_flag("min-speedup", "0",
+               "fail unless full/repair median ratio is at least this in "
+               "every configuration (0 = report only)");
+  cli.require_nonnegative_int("min-speedup");
+  cli.add_exec_flags(1);
+  if (!cli.parse(argc, argv)) return 2;
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  const auto sample_full =
+      static_cast<std::size_t>(cli.get_int("sample-full"));
+  const auto min_speedup =
+      static_cast<double>(cli.get_int("min-speedup"));
+  const std::vector<std::size_t> batches =
+      parse_batches(cli.get_string("batches"));
+  exec::context exec = cli.exec();
+  exec.ensure_shared_pool();
+
+  std::vector<cell> cells;
+  bool speedup_ok = true;
+  for (const char* family : {"gnp", "ba"}) {
+    const graph::graph g = api::make_graph(family, n, exec.seed, {});
+    for (const std::size_t batch : batches) {
+      dyn::replay_spec spec;
+      spec.inc.solver = cli.get_string("alg");
+      spec.inc.exec = exec;
+      spec.batch = batch;
+      spec.epochs = epochs;
+      spec.sample_full = sample_full;
+      spec.gen.bias = dyn::workload_bias::hub;
+      spec.gen.seed = exec.seed;
+      spec.mutations_label = "gen:hub";
+      const dyn::replay_result r = dyn::run_replay(g, family, spec);
+
+      cells.push_back({family, n, batch, "repair",
+                       r.summary.median_repair_ms, r.summary.p99_repair_ms,
+                       r.summary.speedup, r.summary.final_size,
+                       r.summary.final_digest});
+      cells.push_back({family, n, batch, "full",
+                       r.summary.median_full_resolve_ms, 0.0, 0.0,
+                       r.summary.final_size, r.summary.final_digest});
+      if (min_speedup > 0.0 && r.summary.speedup < min_speedup)
+        speedup_ok = false;
+    }
+  }
+
+  common::text_table table({"graph", "batch", "mode", "median ms", "p99 ms",
+                            "speedup", "size", "digest"});
+  for (const cell& c : cells) {
+    table.add_row({c.graph, common::fmt_int(static_cast<long long>(c.batch)),
+                   c.mode, common::fmt_double(c.median_ms, 2),
+                   c.mode == "repair" ? common::fmt_double(c.p99_ms, 2) : "-",
+                   c.mode == "repair" ? common::fmt_double(c.speedup, 1) : "-",
+                   common::fmt_int(static_cast<long long>(c.size)),
+                   c.digest});
+  }
+  table.print(std::cout);
+  std::printf("\nn=%zu, %zu epochs per replay, full re-solve sampled every "
+              "%zu epochs, seed %llu\n",
+              n, epochs, sample_full,
+              static_cast<unsigned long long>(exec.seed));
+
+  const std::string out_path = cli.get_string("out");
+  if (!out_path.empty()) {
+    char buf[64];
+    std::string json;
+    json += "{\n  \"schema\": \"domset-dynamic-bench/1\",\n";
+    json += "  \"alg\": \"" + api::json_escape(cli.get_string("alg")) +
+            "\",\n";
+    json += "  \"epochs\": " + std::to_string(epochs) + ",\n";
+    json += "  \"seed\": " + std::to_string(exec.seed) + ",\n";
+    json += "  \"cells\": [";
+    bool first = true;
+    for (const cell& c : cells) {
+      json += first ? "\n" : ",\n";
+      first = false;
+      json += "    {\n";
+      json += "      \"graph\": \"" + api::json_escape(c.graph) + "\",\n";
+      json += "      \"n\": " + std::to_string(c.n) + ",\n";
+      json += "      \"batch\": " + std::to_string(c.batch) + ",\n";
+      json += "      \"mode\": \"" + c.mode + "\",\n";
+      std::snprintf(buf, sizeof buf, "%.17g", c.median_ms);
+      json += "      \"median_ms\": " + std::string(buf) + ",\n";
+      std::snprintf(buf, sizeof buf, "%.17g", c.p99_ms);
+      json += "      \"p99_ms\": " + std::string(buf) + ",\n";
+      std::snprintf(buf, sizeof buf, "%.17g", c.speedup);
+      json += "      \"speedup\": " + std::string(buf) + ",\n";
+      json += "      \"size\": " + std::to_string(c.size) + ",\n";
+      json += "      \"digest\": \"" + c.digest + "\"\n";
+      json += "    }";
+    }
+    json += "\n  ]\n}\n";
+    std::ofstream out(out_path, std::ios::trunc);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "bench_p6_dynamic: cannot write '%s'\n",
+                   out_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "bench_p6_dynamic: wrote %s\n", out_path.c_str());
+  }
+
+  if (!speedup_ok) {
+    std::fprintf(stderr,
+                 "bench_p6_dynamic: FAIL: a configuration's full/repair "
+                 "median ratio fell below %.1fx\n",
+                 min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -2,23 +2,29 @@
 //
 // The paper's introduction argues that ad-hoc networks change so often
 // that recomputing a dominating set must be cheap.  This example simulates
-// epochs of node movement (random waypoint-ish jitter) and re-runs the
-// constant-round pipeline after each epoch, tracking how the head set and
-// its quality evolve.  The cost per epoch is O(k^2) rounds regardless of
-// network size -- the property that makes per-epoch recomputation viable.
+// epochs of node movement (random waypoint-ish jitter) over a unit-disk
+// graph, but instead of re-solving from scratch it feeds the per-epoch
+// edge diff to the dyn:: subsystem: dyn::incremental_engine commits each
+// batch of `add=`/`del=` mutations and repairs only the dirty ball around
+// the moved links, falling back to a full re-solve when movement dirties
+// too much of the graph.  The per-epoch cost tracks how much the topology
+// changed, not how large it is -- the dynamic-network motivation from the
+// paper, now with the re-solve itself incremental (docs/dynamic.md).
 //
 //   ./dynamic_network [--n 300] [--radius 0.1] [--epochs 8] [--step 0.02]
-//                     [--k 2] [--seed 11]
+//                     [--movers 0.02] [--k 2] [--ball-radius 2]
+//                     [--full-fraction 0.5] [--seed 11]
 #include <cmath>
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
-#include "core/pipeline.hpp"
+#include "dyn/incremental.hpp"
+#include "dyn/mutation.hpp"
 #include "exec/context.hpp"
-#include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "graph/properties.hpp"
 #include "verify/verify.hpp"
 
@@ -26,7 +32,8 @@ namespace {
 
 using namespace domset;
 
-/// Rebuilds the unit-disk graph from positions.
+/// Builds the unit-disk graph from positions (initial epoch only; later
+/// epochs are expressed as mutation batches against the resident graph).
 graph::graph build_udg(const std::vector<double>& x,
                        const std::vector<double>& y, double radius) {
   graph::graph_builder b(x.size());
@@ -41,25 +48,56 @@ graph::graph build_udg(const std::vector<double>& x,
   return std::move(b).build();
 }
 
+/// Diffs the geometric adjacency against the committed graph and returns
+/// the mutation batch that carries one epoch of movement.
+std::vector<dyn::mutation> movement_batch(const dyn::dynamic_graph& g,
+                                          const std::vector<double>& x,
+                                          const std::vector<double>& y,
+                                          double radius) {
+  std::vector<dyn::mutation> batch;
+  const double r2 = radius * radius;
+  for (graph::node_id i = 0; i < x.size(); ++i) {
+    for (graph::node_id j = i + 1; j < x.size(); ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      const bool now = dx * dx + dy * dy <= r2;
+      const bool before = g.has_edge(i, j);
+      if (now == before) continue;
+      batch.push_back({now ? dyn::mutation_kind::add_edge
+                           : dyn::mutation_kind::del_edge,
+                       i, j});
+    }
+  }
+  return batch;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  common::cli_parser cli("Recompute cluster heads under topology churn");
+  common::cli_parser cli("Repair cluster heads under topology churn");
   cli.add_flag("n", "300", "number of mobile nodes");
   cli.add_flag("radius", "0.1", "radio range");
   cli.add_flag("epochs", "8", "movement epochs to simulate");
   cli.add_flag("step", "0.02", "max movement per epoch");
+  cli.add_flag("movers", "0.02",
+               "fraction of nodes that move each epoch (1 = everyone)");
   cli.add_flag("k", "2", "trade-off parameter");
+  cli.add_flag("ball-radius", "2", "dirty-ball repair radius (hops)");
+  // Dense little demo graphs dirty a large fraction per batch; a higher
+  // threshold than the production default keeps the demo incremental.
+  cli.add_flag("full-fraction", "0.5",
+               "full re-solve when the ball exceeds this graph fraction");
   cli.add_exec_flags(11);
   if (!cli.parse(argc, argv)) return 1;
-  // One worker pool serves every epoch; recomputation under churn is
-  // exactly the many-consecutive-runs shape the shared pool exists for.
+  // One worker pool serves every epoch; repair under churn is exactly the
+  // many-consecutive-runs shape the shared pool exists for.
   exec::context exec = cli.exec();
   exec.ensure_shared_pool();
 
   const auto n = static_cast<std::size_t>(cli.get_int("n"));
   const double radius = cli.get_double("radius");
   const double step = cli.get_double("step");
+  const double movers = cli.get_double("movers");
   common::rng gen(exec.seed);
 
   std::vector<double> x(n);
@@ -69,42 +107,49 @@ int main(int argc, char** argv) {
     y[i] = gen.next_double();
   }
 
-  std::printf("%6s %10s %8s %8s %10s %10s %9s\n", "epoch", "edges", "Delta",
-              "heads", "churn", "dual LB", "rounds");
-  std::vector<std::uint8_t> previous_heads;
-  for (int epoch = 0; epoch < cli.get_int("epochs"); ++epoch) {
-    const graph::graph g = build_udg(x, y, radius);
+  dyn::incremental_params params;
+  params.solver = "pipeline";
+  params.solver_params.set("k", std::to_string(cli.get_int("k")));
+  params.exec = exec;
+  params.radius = static_cast<std::uint32_t>(cli.get_int("ball-radius"));
+  params.full_fraction = cli.get_double("full-fraction");
+  dyn::incremental_engine engine(build_udg(x, y, radius), params);
 
-    core::pipeline_params params;
-    params.k = static_cast<std::uint32_t>(cli.get_int("k"));
-    params.exec = exec.with_seed(static_cast<std::uint64_t>(epoch) + 100);
-    const auto res = core::compute_dominating_set(g, params);
-    if (!verify::is_dominating_set(g, res.in_set)) {
+  std::printf("%6s %10s %6s %8s %8s %6s %8s %10s\n", "epoch", "edges",
+              "muts", "ball", "mode", "heads", "churn", "dual LB");
+  for (int epoch = 0; epoch < cli.get_int("epochs"); ++epoch) {
+    // Move a `movers` fraction of the nodes (reflecting at the borders);
+    // epoch 0 keeps the initial placement so the first row shows the
+    // from-scratch solve's graph.  Partial movement is the realistic
+    // mobility shape -- and the regime where the dirty ball stays small
+    // enough for incremental repair to win over the escape hatch.
+    if (epoch > 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (gen.next_double() >= movers) continue;
+        x[i] = std::fabs(x[i] + (gen.next_double() * 2.0 - 1.0) * step);
+        y[i] = std::fabs(y[i] + (gen.next_double() * 2.0 - 1.0) * step);
+        if (x[i] > 1.0) x[i] = 2.0 - x[i];
+        if (y[i] > 1.0) y[i] = 2.0 - y[i];
+      }
+    }
+
+    const std::vector<dyn::mutation> batch =
+        movement_batch(engine.network(), x, y, radius);
+    const dyn::epoch_report rep = engine.step(batch);
+
+    const graph::graph g = engine.snapshot();
+    if (!verify::is_dominating_set(g, engine.solution())) {
       std::fprintf(stderr, "BUG: invalid head set at epoch %d\n", epoch);
       return 1;
     }
 
-    // Churn: heads that changed since the previous epoch.
-    std::size_t churn = 0;
-    if (!previous_heads.empty()) {
-      for (std::size_t i = 0; i < n; ++i)
-        if (res.in_set[i] != previous_heads[i]) ++churn;
-    }
-    previous_heads = res.in_set;
-
-    std::printf("%6d %10zu %8u %8zu %10zu %10.1f %9zu\n", epoch,
-                g.edge_count(), g.max_degree(), res.size, churn,
-                graph::dual_lower_bound(g), res.total_rounds);
-
-    // Move nodes (reflecting at the borders).
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] = std::fabs(x[i] + (gen.next_double() * 2.0 - 1.0) * step);
-      y[i] = std::fabs(y[i] + (gen.next_double() * 2.0 - 1.0) * step);
-      if (x[i] > 1.0) x[i] = 2.0 - x[i];
-      if (y[i] > 1.0) y[i] = 2.0 - y[i];
-    }
+    std::printf("%6d %10zu %6zu %8zu %8s %6zu %8zu %10.1f\n", epoch,
+                rep.edges, rep.mutations, rep.ball_nodes,
+                rep.full_resolve ? "full" : "repair", rep.size, rep.changed,
+                graph::dual_lower_bound(g));
   }
-  std::puts("\nrounds per epoch are constant in n -- recomputation stays "
-            "affordable at any scale (the paper's motivation).");
+  std::puts("\nrepair cost tracks the movement diff, not the network size "
+            "-- churn stays affordable at any scale (the paper's "
+            "motivation, served incrementally).");
   return 0;
 }

@@ -52,6 +52,13 @@ digests must match exactly, medians must stay within tolerance.  The
 schema family is detected from the documents; comparing a bench
 document against an ingest baseline is an error.
 
+The dynamic-replay bench (bench_p6_dynamic --out, schema
+domset-dynamic-bench/1, baseline domset-dynamic-bench-baseline/1
+committed as bench/baselines/dynamic_baseline.json) joins the same
+gate: cells are keyed graph / n / batch / mode ("repair" = incremental
+median, "full" = sampled re-solve median) and the per-run final digest
+must reproduce exactly -- the replay is a pure function of its seed.
+
 Stdlib only.  Exits 0 when the gate passes, 1 on regressions or invalid
 input.
 """
@@ -64,23 +71,30 @@ BENCH_SCHEMA = "domset-bench/1"
 BASELINE_SCHEMA = "domset-bench-baseline/1"
 INGEST_SCHEMA = "domset-ingest/1"
 INGEST_BASELINE_SCHEMA = "domset-ingest-baseline/1"
+DYNAMIC_SCHEMA = "domset-dynamic-bench/1"
+DYNAMIC_BASELINE_SCHEMA = "domset-dynamic-bench-baseline/1"
 
 # Cell-identity fields per schema family.  The first entry is the solver
-# sweep; "ingest" keys the ingestion bench's cells.
+# sweep; "ingest" keys the ingestion bench's cells; "dynamic" keys the
+# replay bench's repair-vs-full cells (bench_p6_dynamic).
 KEY_FIELDS_BY_FAMILY = {
     "bench": ("alg", "graph", "n", "seed", "delivery", "threads",
               "drop", "faults"),
     "ingest": ("op", "format", "edges", "threads"),
+    "dynamic": ("graph", "n", "batch", "mode"),
 }
 FAMILY_BY_SCHEMA = {
     BENCH_SCHEMA: "bench",
     BASELINE_SCHEMA: "bench",
     INGEST_SCHEMA: "ingest",
     INGEST_BASELINE_SCHEMA: "ingest",
+    DYNAMIC_SCHEMA: "dynamic",
+    DYNAMIC_BASELINE_SCHEMA: "dynamic",
 }
 BASELINE_SCHEMA_BY_FAMILY = {
     "bench": BASELINE_SCHEMA,
     "ingest": INGEST_BASELINE_SCHEMA,
+    "dynamic": DYNAMIC_BASELINE_SCHEMA,
 }
 # Back-compat alias: the bench family's fields under the historical name.
 KEY_FIELDS = KEY_FIELDS_BY_FAMILY["bench"]
@@ -320,11 +334,41 @@ def self_test():
     expect("ingest speedup passes",
            ingest_compare(ingest_doc(ms_scale=0.2), ingest_doc()), False)
 
+    # Dynamic-replay cells: keyed by graph/n/batch/mode, same gate
+    # semantics (the per-run final digest is the determinism check).
+    dynamic_fields = KEY_FIELDS_BY_FAMILY["dynamic"]
+
+    def dynamic_doc(ms_scale=1.0, digest="00000000000000aa"):
+        cells = [
+            {"graph": gr, "n": 20000, "batch": b, "mode": mode,
+             "median_ms": ms * ms_scale, "digest": digest}
+            for gr, b, mode, ms in (("ba", 8, "repair", 5.0),
+                                    ("ba", 8, "full", 40.0),
+                                    ("gnp", 8, "repair", 30.0))
+        ]
+        return {cell_key(c, dynamic_fields): c for c in cells}
+
+    def dynamic_compare(cur, base):
+        return compare(cur, base, 0.40, 2.0, False,
+                       key_fields=dynamic_fields)[0]
+
+    expect("identical dynamic docs pass",
+           dynamic_compare(dynamic_doc(), dynamic_doc()), False)
+    expect("dynamic 2x slowdown fails",
+           dynamic_compare(dynamic_doc(ms_scale=2.0), dynamic_doc()), True)
+    expect("dynamic digest mismatch fails",
+           dynamic_compare(dynamic_doc(digest="00000000000000bb"),
+                           dynamic_doc()), True)
+    expect("dynamic cells key on mode (repair != full)",
+           dynamic_compare(
+               {k: c for k, c in dynamic_doc().items()
+                if c["mode"] != "full"}, dynamic_doc()), True)
+
     if failed:
         for line in failed:
             print(f"self-test FAILED: {line}")
         return 1
-    print("self-test OK: 16 gate expectations hold")
+    print("self-test OK: 20 gate expectations hold")
     return 0
 
 

@@ -4,7 +4,7 @@
 Usage:
     validate_result_json.py FILE.json [MORE.json ...] [--expect-identical]
 
-Each file must carry one of the two schemas emitted by the driver:
+Each file must carry one of the three schemas emitted by the driver:
 
   * ``domset-run/1`` -- one run record (``domset run --json``,
     src/api/result_json.cpp).
@@ -12,13 +12,20 @@ Each file must carry one of the two schemas emitted by the driver:
     src/api/bench_runner.cpp): per-cell key, repeat timings, median, and
     an embedded domset-run/1 record, which is validated with the same
     rules as a standalone record.
+  * ``domset-dynamic/1`` -- one replay document (``domset replay
+    --json``, src/dyn/replay.cpp): one record per epoch (numbered
+    contiguously from 1, each carrying a 16-hex solution digest and
+    valid == true; full_resolve_ms / full_size present exactly when
+    the epoch is marked sampled) plus a latency summary.
 
 With --expect-identical, additionally asserts that all domset-run/1
 records (standalone files only) carry the same solution digest -- the CI
 hook that proves push/pull/auto delivery (and any thread count) produce
 bit-identical solutions without shipping the solutions themselves.  The
 real-graph CI job reuses it to prove the text, binary, and compressed
-loaders feed the solver the same graph.
+loaders feed the solver the same graph.  domset-dynamic/1 records join
+the comparison through their summary.final_digest, proving replay runs
+are bit-identical across delivery modes and thread counts.
 
 Records whose graph came from a file (family "file") must carry a
 graph.source block (path, format in text|binary|compressed, load_ms);
@@ -33,6 +40,7 @@ import sys
 
 RUN_SCHEMA = "domset-run/1"
 BENCH_SCHEMA = "domset-bench/1"
+DYNAMIC_SCHEMA = "domset-dynamic/1"
 DELIVERY_MODES = ("push", "pull", "auto")
 
 # (path, type) pairs; bool is checked before int because bool is an int
@@ -110,6 +118,58 @@ COVERAGE_REQUIRED = [
     (("max_hole_radius",), int),
     (("fully_covered",), bool),
     (("attribution",), list),
+]
+
+# One epoch record of a domset-dynamic/1 document (src/dyn/replay.cpp).
+# full_resolve_ms / full_size / sampled are conditional: present exactly
+# when the epoch sampled a from-scratch re-solve.
+DYNAMIC_EPOCH_REQUIRED = [
+    (("epoch",), int),
+    (("mutations",), int),
+    (("touched",), int),
+    (("ball_nodes",), int),
+    (("interior_nodes",), int),
+    (("full_resolve",), bool),
+    (("holes_patched",), int),
+    (("changed",), int),
+    (("size",), int),
+    (("nodes",), int),
+    (("edges",), int),
+    (("digest",), str),
+    (("apply_ms",), (int, float)),
+    (("repair_ms",), (int, float)),
+    (("verify_ms",), (int, float)),
+    (("valid",), bool),
+]
+
+DYNAMIC_REQUIRED = [
+    (("schema",), str),
+    (("alg",), str),
+    (("graph", "family"), str),
+    (("graph", "nodes"), int),
+    (("graph", "edges"), int),
+    (("graph", "max_degree"), int),
+    (("exec", "seed"), int),
+    (("exec", "threads"), int),
+    (("exec", "delivery"), str),
+    (("params",), dict),
+    (("replay", "mutations"), str),
+    (("replay", "batch"), int),
+    (("replay", "radius"), int),
+    (("replay", "full_fraction"), (int, float)),
+    (("replay", "sample_full"), int),
+    (("replay", "epochs"), int),
+    (("epochs",), list),
+    (("summary", "epochs"), int),
+    (("summary", "full_resolves"), int),
+    (("summary", "initial_size"), int),
+    (("summary", "final_size"), int),
+    (("summary", "final_digest"), str),
+    (("summary", "initial_solve_ms"), (int, float)),
+    (("summary", "median_repair_ms"), (int, float)),
+    (("summary", "p99_repair_ms"), (int, float)),
+    (("summary", "median_full_resolve_ms"), (int, float)),
+    (("summary", "speedup"), (int, float)),
 ]
 
 # Cell keys of a domset-bench/1 document, next to the embedded record.
@@ -353,6 +413,83 @@ def validate_bench_document(doc, label):
     return problems
 
 
+def validate_dynamic_document(doc, label):
+    """Problems with one domset-dynamic/1 replay document."""
+    problems = check_required(doc, DYNAMIC_REQUIRED, label)
+    if doc.get("exec", {}).get("delivery") not in DELIVERY_MODES:
+        problems.append(
+            f"{label}: exec.delivery is {doc.get('exec', {}).get('delivery')!r}"
+        )
+    for key, value in doc.get("params", {}).items():
+        if not isinstance(value, str):
+            problems.append(f"{label}: param '{key}' must be a string echo")
+    epochs = doc.get("epochs")
+    if not isinstance(epochs, list):
+        return problems
+    for index, ep in enumerate(epochs):
+        ep_label = f"{label}: epochs[{index}]"
+        if not isinstance(ep, dict):
+            problems.append(f"{ep_label}: not an object")
+            continue
+        problems.extend(check_required(ep, DYNAMIC_EPOCH_REQUIRED, ep_label))
+        # Epoch 0 is the initial solve; replay records start at 1 and
+        # advance by exactly one per batch.
+        if ep.get("epoch") != index + 1:
+            problems.append(
+                f"{ep_label}: epoch is {ep.get('epoch')!r}, want {index + 1} "
+                "(contiguous from 1)"
+            )
+        if not is_digest(ep.get("digest", "")):
+            problems.append(
+                f"{ep_label}: digest must be 16 lowercase hex chars"
+            )
+        if ep.get("valid") is not True:
+            problems.append(
+                f"{ep_label}: valid must be true (the runner throws on a "
+                "failed verification; a false here is a corrupt document)"
+            )
+        sampled = ep.get("sampled", False)
+        has_full = "full_resolve_ms" in ep or "full_size" in ep
+        if sampled:
+            if not isinstance(ep.get("full_resolve_ms"), (int, float)) \
+                    or isinstance(ep.get("full_resolve_ms"), bool):
+                problems.append(
+                    f"{ep_label}: sampled epoch must carry numeric "
+                    "full_resolve_ms"
+                )
+            if not isinstance(ep.get("full_size"), int) \
+                    or isinstance(ep.get("full_size"), bool):
+                problems.append(
+                    f"{ep_label}: sampled epoch must carry integer full_size"
+                )
+        elif has_full:
+            problems.append(
+                f"{ep_label}: full_resolve_ms/full_size on an unsampled epoch"
+            )
+    summary = doc.get("summary", {})
+    if isinstance(summary, dict):
+        if isinstance(summary.get("epochs"), int) \
+                and summary.get("epochs") != len(epochs):
+            problems.append(
+                f"{label}: summary.epochs is {summary.get('epochs')!r}, "
+                f"want {len(epochs)}"
+            )
+        if not is_digest(summary.get("final_digest", "")):
+            problems.append(
+                f"{label}: summary.final_digest must be 16 lowercase hex "
+                "chars"
+            )
+        elif epochs and isinstance(epochs[-1], dict) \
+                and is_digest(epochs[-1].get("digest", "")) \
+                and summary.get("final_digest") != epochs[-1].get("digest"):
+            problems.append(
+                f"{label}: summary.final_digest "
+                f"{summary.get('final_digest')} != last epoch digest "
+                f"{epochs[-1].get('digest')}"
+            )
+    return problems
+
+
 def validate(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -363,6 +500,8 @@ def validate(path):
     schema = record.get("schema") if isinstance(record, dict) else None
     if schema == BENCH_SCHEMA:
         return record, validate_bench_document(record, path)
+    if schema == DYNAMIC_SCHEMA:
+        return record, validate_dynamic_document(record, path)
     return record, validate_run_record(record, path)
 
 
@@ -378,7 +517,11 @@ def main(argv):
     for path in files:
         record, problems = validate(path)
         all_problems.extend(problems)
-        if record is not None and record.get("schema") != BENCH_SCHEMA:
+        if record is None:
+            continue
+        if record.get("schema") == DYNAMIC_SCHEMA:
+            digests[path] = record.get("summary", {}).get("final_digest")
+        elif record.get("schema") != BENCH_SCHEMA:
             digests[path] = record.get("result", {}).get("digest")
 
     if expect_identical and len(set(digests.values())) > 1:

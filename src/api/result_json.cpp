@@ -18,12 +18,17 @@ void fold_bytes(std::uint64_t& h, const void* data, std::size_t size) {
   }
 }
 
-/// Minimal JSON string escaping (the record only carries identifier-ish
-/// strings, but a param value could contain anything).
-std::string escape(std::string_view s) {
+// escape/fmt_double: terse local names for the public json_escape /
+// json_number helpers defined below.
+std::string escape(std::string_view s) { return json_escape(s); }
+std::string fmt_double(double v) { return json_number(v); }
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
   std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -43,17 +48,15 @@ std::string escape(std::string_view s) {
   return out;
 }
 
-std::string fmt_double(double v) {
+std::string json_number(double value) {
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
+  std::snprintf(buf, sizeof buf, "%.17g", value);
   // JSON has no inf/nan; the record never should either, but emit null
   // rather than invalid output if an algorithm ever produces one.
   if (std::strstr(buf, "inf") != nullptr || std::strstr(buf, "nan") != nullptr)
     return "null";
   return buf;
 }
-
-}  // namespace
 
 std::uint64_t solution_digest(const solve_result& result) {
   std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis

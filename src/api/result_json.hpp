@@ -58,6 +58,14 @@ struct run_record {
   double elapsed_ms = 0.0;
 };
 
+/// Minimal JSON string escaping, shared by every JSON surface of the
+/// repo (run records, bench documents, the dyn replay emitter).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Doubles formatted for JSON: %.17g (value-preserving), with the
+/// inf/nan escape hatch rendered as null.
+[[nodiscard]] std::string json_number(double value);
+
 /// 64-bit FNV-1a over the solution bits (in_set bytes, then the IEEE-754
 /// bit patterns of x).  Bit-identical runs <=> equal digests.
 [[nodiscard]] std::uint64_t solution_digest(const solve_result& result);

@@ -27,34 +27,134 @@ repair_mode parse_repair_mode(std::string_view text) {
                               "': expected off, radius or greedy");
 }
 
-namespace {
+adjacency_view as_view(const graph::graph& g) {
+  adjacency_view view;
+  view.node_count = g.node_count();
+  view.for_each_neighbor =
+      [&g](graph::node_id v, const std::function<void(graph::node_id)>& f) {
+        for (const graph::node_id u : g.neighbors(v)) f(u);
+      };
+  return view;
+}
 
-/// Indicator of the r-hop ball around `seeds` (multi-source BFS).
-std::vector<std::uint8_t> dirty_region(const graph::graph& g,
-                                       std::span<const graph::node_id> seeds,
-                                       std::uint32_t radius) {
-  const std::size_t n = g.node_count();
-  std::vector<std::uint8_t> in_region(n, 0);
-  std::vector<std::uint32_t> depth(n, 0);
+dirty_ball dirty_region(const adjacency_view& view,
+                        std::span<const graph::node_id> seeds,
+                        std::uint32_t radius) {
+  dirty_ball ball;
+  ball.in_ball.assign(view.node_count, 0);
+  ball.depth.assign(view.node_count, dirty_ball::unreached);
   std::deque<graph::node_id> queue;
   for (const graph::node_id v : seeds) {
-    if (in_region[v]) continue;
-    in_region[v] = 1;
+    if (v >= view.node_count)
+      throw std::invalid_argument("dirty_region: seed " + std::to_string(v) +
+                                  " out of range");
+    if (ball.in_ball[v]) continue;
+    ball.in_ball[v] = 1;
+    ball.depth[v] = 0;
+    ++ball.size;
     queue.push_back(v);
   }
   while (!queue.empty()) {
     const graph::node_id v = queue.front();
     queue.pop_front();
-    if (depth[v] == radius) continue;
-    for (const graph::node_id u : g.neighbors(v)) {
-      if (in_region[u]) continue;
-      in_region[u] = 1;
-      depth[u] = depth[v] + 1;
+    if (ball.depth[v] == radius) continue;
+    view.for_each_neighbor(v, [&](graph::node_id u) {
+      if (ball.in_ball[u]) return;
+      ball.in_ball[u] = 1;
+      ball.depth[u] = ball.depth[v] + 1;
+      ++ball.size;
       queue.push_back(u);
-    }
+    });
   }
-  return in_region;
+  return ball;
 }
+
+view_subgraph extract_subgraph(const adjacency_view& view,
+                               std::span<const std::uint8_t> keep) {
+  if (keep.size() != view.node_count)
+    throw std::invalid_argument("extract_subgraph: |keep| != node count");
+  view_subgraph sub;
+  std::vector<graph::node_id> new_id(view.node_count, graph::invalid_node);
+  for (graph::node_id v = 0; v < view.node_count; ++v) {
+    if (!keep[v]) continue;
+    new_id[v] = static_cast<graph::node_id>(sub.original_id.size());
+    sub.original_id.push_back(v);
+  }
+  graph::graph_builder builder(sub.original_id.size());
+  for (const graph::node_id v : sub.original_id) {
+    view.for_each_neighbor(v, [&](graph::node_id u) {
+      if (u > v || new_id[u] == graph::invalid_node) return;
+      builder.add_edge(new_id[u], new_id[v]);
+    });
+  }
+  sub.g = std::move(builder).build();
+  return sub;
+}
+
+patch_result greedy_patch(const adjacency_view& view,
+                          std::span<const graph::node_id> holes,
+                          std::vector<std::uint8_t>& in_set) {
+  if (in_set.size() != view.node_count)
+    throw std::invalid_argument("greedy_patch: |in_set| != node count");
+  patch_result result;
+
+  // Candidates: the holes and their direct neighbors -- any node able to
+  // cover at least one hole.  That set is also the touched region.
+  std::vector<std::uint8_t> uncovered(view.node_count, 0);
+  for (const graph::node_id v : holes) uncovered[v] = 1;
+  std::vector<graph::node_id> candidates;
+  std::vector<std::uint8_t> seen(view.node_count, 0);
+  for (const graph::node_id v : holes) {
+    if (!seen[v]) {
+      seen[v] = 1;
+      candidates.push_back(v);
+    }
+    view.for_each_neighbor(v, [&](graph::node_id u) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        candidates.push_back(u);
+      }
+    });
+  }
+  std::sort(candidates.begin(), candidates.end());
+  result.touched_nodes = candidates.size();
+
+  std::size_t remaining = 0;
+  for (const graph::node_id v : holes) remaining += uncovered[v] != 0;
+  while (remaining > 0) {
+    // Most holes newly covered wins; candidates are scanned in ascending
+    // id, so ties resolve to the smallest id -- fully deterministic.
+    graph::node_id best = graph::invalid_node;
+    std::size_t best_gain = 0;
+    for (const graph::node_id c : candidates) {
+      if (in_set[c]) continue;
+      std::size_t gain = uncovered[c] != 0 ? 1 : 0;
+      view.for_each_neighbor(c,
+                             [&](graph::node_id u) { gain += uncovered[u] != 0; });
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    // Every hole covers itself, so a positive-gain candidate always
+    // exists while holes remain.
+    in_set[best] = 1;
+    ++result.added;
+    if (uncovered[best]) {
+      uncovered[best] = 0;
+      --remaining;
+    }
+    view.for_each_neighbor(best, [&](graph::node_id u) {
+      if (uncovered[u]) {
+        uncovered[u] = 0;
+        --remaining;
+      }
+    });
+  }
+  return result;
+}
+
+namespace {
 
 repair_result repair_radius(const graph::graph& g,
                             std::span<const std::uint8_t> in_set,
@@ -67,12 +167,11 @@ repair_result repair_radius(const graph::graph& g,
   result.in_set.assign(in_set.begin(), in_set.end());
   result.holes_before = holes.size();
 
-  const std::vector<std::uint8_t> region =
-      dirty_region(g, holes, params.radius);
-  result.touched_nodes = static_cast<std::size_t>(
-      std::count(region.begin(), region.end(), std::uint8_t{1}));
+  const dirty_ball region = dirty_region(as_view(g), holes, params.radius);
+  result.touched_nodes = region.size;
 
-  graph::induced_subgraph_result sub = graph::induced_subgraph(g, region);
+  graph::induced_subgraph_result sub =
+      graph::induced_subgraph(g, region.in_ball);
   const std::vector<std::uint8_t> sub_set =
       params.subsolver(sub.g, sub.original_id);
   if (sub_set.size() != sub.g.node_count())
@@ -103,57 +202,9 @@ repair_result repair_greedy(const graph::graph& g,
   result.in_set.assign(in_set.begin(), in_set.end());
   result.holes_before = holes.size();
 
-  // Candidates: the holes and their direct neighbors -- any node able to
-  // cover at least one hole.  That set is also the touched region.
-  std::vector<std::uint8_t> uncovered(g.node_count(), 0);
-  for (const graph::node_id v : holes) uncovered[v] = 1;
-  std::vector<graph::node_id> candidates;
-  std::vector<std::uint8_t> seen(g.node_count(), 0);
-  for (const graph::node_id v : holes) {
-    if (!seen[v]) {
-      seen[v] = 1;
-      candidates.push_back(v);
-    }
-    for (const graph::node_id u : g.neighbors(v)) {
-      if (!seen[u]) {
-        seen[u] = 1;
-        candidates.push_back(u);
-      }
-    }
-  }
-  std::sort(candidates.begin(), candidates.end());
-  result.touched_nodes = candidates.size();
-
-  std::size_t remaining = holes.size();
-  while (remaining > 0) {
-    // Most holes newly covered wins; candidates are scanned in ascending
-    // id, so ties resolve to the smallest id -- fully deterministic.
-    graph::node_id best = graph::invalid_node;
-    std::size_t best_gain = 0;
-    for (const graph::node_id c : candidates) {
-      if (result.in_set[c]) continue;
-      std::size_t gain = uncovered[c] != 0 ? 1 : 0;
-      for (const graph::node_id u : g.neighbors(c)) gain += uncovered[u] != 0;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best = c;
-      }
-    }
-    // Every hole covers itself, so a positive-gain candidate always
-    // exists while holes remain.
-    result.in_set[best] = 1;
-    ++result.added;
-    if (uncovered[best]) {
-      uncovered[best] = 0;
-      --remaining;
-    }
-    for (const graph::node_id u : g.neighbors(best)) {
-      if (uncovered[u]) {
-        uncovered[u] = 0;
-        --remaining;
-      }
-    }
-  }
+  const patch_result patch = greedy_patch(as_view(g), holes, result.in_set);
+  result.added = patch.added;
+  result.touched_nodes = patch.touched_nodes;
   return result;
 }
 

@@ -24,10 +24,16 @@
 // Both report `touched_nodes`, the size of the dirty region examined, so
 // callers (and the acceptance tests) can assert repair work stayed
 // proportional to the damage, not to the graph.
+//
+// The building blocks (dirty-ball BFS, induced-subgraph extraction, the
+// greedy patch) are exposed over an `adjacency_view` so dynamic overlay
+// graphs (src/dyn) reuse them without materializing a CSR first; the
+// `repair()` entry point below stays CSR-based for the fault path.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -37,6 +43,62 @@
 namespace domset::core {
 
 enum class repair_mode : std::uint8_t { off, radius, greedy };
+
+/// Read-only adjacency abstraction the repair machinery runs on.  A
+/// static CSR wraps into one via `as_view`; overlay structures such as
+/// `dyn::dynamic_graph` provide their merged base+delta adjacency
+/// directly, so the dirty-ball BFS and the greedy patch never force a
+/// full CSR materialization.
+struct adjacency_view {
+  std::size_t node_count = 0;
+  /// Invokes the callback once per neighbor of `v`, in ascending id
+  /// order (the repair passes rely on that order for determinism).
+  std::function<void(graph::node_id,
+                     const std::function<void(graph::node_id)>&)>
+      for_each_neighbor;
+};
+
+/// Wraps a static CSR as an adjacency view.  The view borrows `g`'s
+/// storage; the graph must outlive it.
+[[nodiscard]] adjacency_view as_view(const graph::graph& g);
+
+/// The r-hop ball around a seed set (multi-source BFS).
+struct dirty_ball {
+  std::vector<std::uint8_t> in_ball;  ///< indicator, indexed by node id
+  /// BFS depth from the nearest seed; `unreached` outside the ball.
+  std::vector<std::uint32_t> depth;
+  std::size_t size = 0;  ///< number of nodes in the ball
+  static constexpr std::uint32_t unreached =
+      std::numeric_limits<std::uint32_t>::max();
+};
+
+/// Multi-source BFS of `radius` hops around `seeds` over any adjacency
+/// view.  Duplicate seeds are fine; out-of-range seeds throw.
+[[nodiscard]] dirty_ball dirty_region(const adjacency_view& view,
+                                      std::span<const graph::node_id> seeds,
+                                      std::uint32_t radius);
+
+/// Induced subgraph of the nodes flagged in `keep`, extracted from a
+/// view (new ids are ascending original ids, matching
+/// `graph::induced_subgraph`).
+struct view_subgraph {
+  graph::graph g;
+  std::vector<graph::node_id> original_id;  ///< new id -> original id
+};
+[[nodiscard]] view_subgraph extract_subgraph(const adjacency_view& view,
+                                             std::span<const std::uint8_t> keep);
+
+/// Deterministic greedy set-cover patch over `holes` (most new holes
+/// covered first, smallest id on ties), mutating `in_set` in place.
+/// Touches only the holes and their direct neighbors.  Returns
+/// {members added, candidate nodes examined}.
+struct patch_result {
+  std::size_t added = 0;
+  std::size_t touched_nodes = 0;
+};
+patch_result greedy_patch(const adjacency_view& view,
+                          std::span<const graph::node_id> holes,
+                          std::vector<std::uint8_t>& in_set);
 
 [[nodiscard]] std::string_view to_string(repair_mode mode);
 /// Parses "off" | "radius" | "greedy" (throws std::invalid_argument).

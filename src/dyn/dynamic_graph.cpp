@@ -1,0 +1,292 @@
+#include "dyn/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+namespace domset::dyn {
+
+namespace {
+
+bool contains(const std::vector<graph::node_id>& sorted, graph::node_id x) {
+  return std::binary_search(sorted.begin(), sorted.end(), x);
+}
+
+void insert_sorted(std::vector<graph::node_id>& sorted, graph::node_id x) {
+  sorted.insert(std::lower_bound(sorted.begin(), sorted.end(), x), x);
+}
+
+void erase_sorted(std::vector<graph::node_id>& sorted, graph::node_id x) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), x);
+  sorted.erase(it);
+}
+
+[[noreturn]] void bad_apply(const mutation& m, const std::string& why) {
+  throw std::invalid_argument("apply " + to_string(m) + ": " + why);
+}
+
+}  // namespace
+
+dynamic_graph::dynamic_graph(graph::graph base) : base_(std::move(base)) {
+  committed_n_ = live_n_ = base_.node_count();
+  committed_m_ = live_m_ = base_.edge_count();
+  added_.resize(committed_n_);
+  removed_.resize(committed_n_);
+  p_added_.resize(committed_n_);
+  p_removed_.resize(committed_n_);
+}
+
+bool dynamic_graph::base_has_edge(graph::node_id u, graph::node_id v) const {
+  if (u >= base_.node_count() || v >= base_.node_count()) return false;
+  const auto row = base_.neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+bool dynamic_graph::committed_has_edge(graph::node_id u,
+                                       graph::node_id v) const {
+  if (u >= committed_n_ || v >= committed_n_) return false;
+  if (contains(added_[u], v)) return true;
+  if (contains(removed_[u], v)) return false;
+  return base_has_edge(u, v);
+}
+
+bool dynamic_graph::has_edge(graph::node_id u, graph::node_id v) const {
+  return committed_has_edge(u, v);
+}
+
+std::size_t dynamic_graph::degree(graph::node_id v) const {
+  if (v >= committed_n_)
+    throw std::invalid_argument("degree: node " + std::to_string(v) +
+                                " out of range");
+  const std::size_t base_deg =
+      v < base_.node_count() ? base_.neighbors(v).size() : 0;
+  return base_deg - removed_[v].size() + added_[v].size();
+}
+
+std::vector<graph::node_id> dynamic_graph::neighbors(graph::node_id v) const {
+  if (v >= committed_n_)
+    throw std::invalid_argument("neighbors: node " + std::to_string(v) +
+                                " out of range");
+  // Merge the base row (minus removals) with the additions; all three
+  // sequences are sorted, so the output is too.
+  const std::span<const graph::node_id> row =
+      v < base_.node_count() ? base_.neighbors(v)
+                             : std::span<const graph::node_id>{};
+  const std::vector<graph::node_id>& add = added_[v];
+  const std::vector<graph::node_id>& rem = removed_[v];
+  std::vector<graph::node_id> out;
+  out.reserve(row.size() - rem.size() + add.size());
+  std::size_t i = 0, j = 0, k = 0;
+  while (i < row.size() || j < add.size()) {
+    if (i < row.size()) {
+      // Skip base entries struck by the removal list.
+      while (k < rem.size() && rem[k] < row[i]) ++k;
+      if (k < rem.size() && rem[k] == row[i]) {
+        ++i;
+        continue;
+      }
+    }
+    if (i >= row.size())
+      out.push_back(add[j++]);
+    else if (j >= add.size() || row[i] < add[j])  // rows and adds are disjoint
+      out.push_back(row[i++]);
+    else
+      out.push_back(add[j++]);
+  }
+  return out;
+}
+
+core::adjacency_view dynamic_graph::view() const {
+  core::adjacency_view view;
+  view.node_count = committed_n_;
+  view.for_each_neighbor =
+      [this](graph::node_id v,
+             const std::function<void(graph::node_id)>& f) {
+        for (const graph::node_id u : neighbors(v)) f(u);
+      };
+  return view;
+}
+
+graph::graph dynamic_graph::snapshot() {
+  rebase();
+  return base_;
+}
+
+void dynamic_graph::rebase() {
+  if (delta_entries_ == 0 && committed_n_ == base_.node_count()) return;
+  graph::graph_builder builder(committed_n_);
+  for (graph::node_id v = 0; v < committed_n_; ++v) {
+    for (const graph::node_id u : neighbors(v)) {
+      if (v < u) builder.add_edge(v, u);
+    }
+  }
+  base_ = std::move(builder).build();
+  added_.assign(committed_n_, {});
+  removed_.assign(committed_n_, {});
+  delta_entries_ = 0;
+}
+
+std::vector<graph::node_id> dynamic_graph::live_neighbors(
+    graph::node_id v) const {
+  std::vector<graph::node_id> committed;
+  if (v < committed_n_) {
+    for (const graph::node_id u : neighbors(v)) {
+      if (!contains(p_removed_[v], u)) committed.push_back(u);
+    }
+  }
+  const std::vector<graph::node_id>& add = p_added_[v];
+  if (add.empty()) return committed;
+  std::vector<graph::node_id> merged;
+  merged.reserve(committed.size() + add.size());
+  std::merge(committed.begin(), committed.end(), add.begin(), add.end(),
+             std::back_inserter(merged));
+  return merged;
+}
+
+bool dynamic_graph::live_has_edge(graph::node_id u, graph::node_id v) const {
+  if (u >= live_n_ || v >= live_n_) return false;
+  if (contains(p_added_[u], v)) return true;
+  if (contains(p_removed_[u], v)) return false;
+  return committed_has_edge(u, v);
+}
+
+std::size_t dynamic_graph::live_degree(graph::node_id v) const {
+  if (v >= live_n_)
+    throw std::invalid_argument("live_degree: node " + std::to_string(v) +
+                                " out of range");
+  std::size_t deg = 0;
+  if (v < committed_n_) deg = degree(v);
+  return deg - p_removed_[v].size() + p_added_[v].size();
+}
+
+void dynamic_graph::pending_add(graph::node_id u, graph::node_id v) {
+  const auto one = [this](graph::node_id a, graph::node_id b) {
+    if (contains(p_removed_[a], b))
+      erase_sorted(p_removed_[a], b);
+    else
+      insert_sorted(p_added_[a], b);
+  };
+  one(u, v);
+  one(v, u);
+}
+
+void dynamic_graph::pending_del(graph::node_id u, graph::node_id v) {
+  const auto one = [this](graph::node_id a, graph::node_id b) {
+    if (contains(p_added_[a], b))
+      erase_sorted(p_added_[a], b);
+    else
+      insert_sorted(p_removed_[a], b);
+  };
+  one(u, v);
+  one(v, u);
+}
+
+void dynamic_graph::apply(const mutation& m) {
+  const auto check_node = [&](graph::node_id v) {
+    if (v >= live_n_)
+      bad_apply(m, "node " + std::to_string(v) + " out of range (" +
+                       std::to_string(live_n_) + " nodes)");
+  };
+  const auto touch = [this](graph::node_id v) {
+    pending_touched_.push_back(v);
+  };
+
+  switch (m.kind) {
+    case mutation_kind::add_edge: {
+      if (m.u == m.v) bad_apply(m, "edge endpoints must differ");
+      check_node(m.u);
+      check_node(m.v);
+      if (live_has_edge(m.u, m.v)) bad_apply(m, "edge already exists");
+      pending_add(m.u, m.v);
+      ++live_m_;
+      touch(m.u);
+      touch(m.v);
+      break;
+    }
+    case mutation_kind::del_edge: {
+      check_node(m.u);
+      check_node(m.v);
+      if (!live_has_edge(m.u, m.v)) bad_apply(m, "no such edge");
+      pending_del(m.u, m.v);
+      --live_m_;
+      touch(m.u);
+      touch(m.v);
+      break;
+    }
+    case mutation_kind::add_node: {
+      if (m.u != live_n_)
+        bad_apply(m, "expected next node id " + std::to_string(live_n_));
+      ++live_n_;
+      p_added_.emplace_back();
+      p_removed_.emplace_back();
+      touch(m.u);
+      break;
+    }
+    case mutation_kind::del_node: {
+      check_node(m.u);
+      // Detach: drop every incident edge; the id stays valid (isolated).
+      for (const graph::node_id u : live_neighbors(m.u)) {
+        pending_del(m.u, u);
+        --live_m_;
+        touch(u);
+      }
+      touch(m.u);
+      break;
+    }
+  }
+  pending_log_.push_back(m);
+}
+
+commit_result dynamic_graph::commit() {
+  if (added_.size() < live_n_) {
+    added_.resize(live_n_);
+    removed_.resize(live_n_);
+  }
+  std::sort(pending_touched_.begin(), pending_touched_.end());
+  pending_touched_.erase(
+      std::unique(pending_touched_.begin(), pending_touched_.end()),
+      pending_touched_.end());
+
+  // Fold the pending delta into the committed one.  A pending addition
+  // of a previously removed edge cancels the removal (and vice versa),
+  // which keeps the invariants: added_ is disjoint from the base rows,
+  // removed_ is a subset of them.
+  for (const graph::node_id v : pending_touched_) {
+    delta_entries_ -= added_[v].size() + removed_[v].size();
+    for (const graph::node_id u : p_added_[v]) {
+      if (contains(removed_[v], u))
+        erase_sorted(removed_[v], u);
+      else
+        insert_sorted(added_[v], u);
+    }
+    for (const graph::node_id u : p_removed_[v]) {
+      if (contains(added_[v], u))
+        erase_sorted(added_[v], u);
+      else
+        insert_sorted(removed_[v], u);
+    }
+    delta_entries_ += added_[v].size() + removed_[v].size();
+    p_added_[v].clear();
+    p_removed_[v].clear();
+  }
+  committed_n_ = live_n_;
+  committed_m_ = live_m_;
+  ++epoch_;
+
+  commit_result result;
+  result.epoch = epoch_;
+  result.mutations = std::move(pending_log_);
+  pending_log_.clear();
+  result.touched = std::move(pending_touched_);
+  pending_touched_.clear();
+
+  // Long mutation streams would otherwise degrade overlay queries; fold
+  // the delta into a fresh CSR once it rivals the base in size.
+  if (delta_entries_ > std::max<std::size_t>(4096, base_.edge_count()))
+    rebase();
+  return result;
+}
+
+}  // namespace domset::dyn

@@ -1,0 +1,120 @@
+/// \file dynamic_graph.hpp
+/// \brief Mutable overlay over the immutable CSR, with epoch snapshots.
+//
+// `dynamic_graph` holds a resident instance as base CSR + per-node delta
+// adjacency.  Mutations accumulate in a *pending* batch that is invisible
+// to every query until `commit()` seals it as the next epoch -- snapshot
+// isolation: a reader iterating the committed adjacency mid-batch sees a
+// consistent graph no matter how many mutations have been applied on top.
+//
+// Three levels of state:
+//   * base CSR       -- the last materialized snapshot (rebase point),
+//   * committed delta -- per-node sorted added/removed lists vs the base,
+//                        folded in by previous commits,
+//   * pending delta  -- the open batch, relative to the committed view.
+//
+// `view()` exposes the committed adjacency as a `core::adjacency_view`
+// without materializing anything, so the repair machinery's dirty-ball
+// BFS and subgraph extraction run straight off the overlay.  `snapshot()`
+// materializes the committed state into a real CSR (O(n+m)), *rebases*
+// the overlay onto it (deltas fold into the new base), and returns it;
+// returned graphs share storage, so old epoch snapshots stay valid and
+// cheap to hold.  Commits also rebase automatically once the delta grows
+// past a fraction of the base, keeping overlay queries near CSR speed on
+// long mutation streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/repair.hpp"
+#include "dyn/mutation.hpp"
+#include "graph/graph.hpp"
+
+namespace domset::dyn {
+
+/// What `commit()` sealed: the new epoch number, the batch itself, and
+/// the sorted-unique ids whose closed neighborhood the batch altered
+/// (edge endpoints; a deleted node plus its ex-neighbors; a new node).
+struct commit_result {
+  std::uint64_t epoch = 0;
+  std::vector<mutation> mutations;
+  std::vector<graph::node_id> touched;
+};
+
+class dynamic_graph {
+ public:
+  explicit dynamic_graph(graph::graph base);
+
+  // ---- committed state: the query surface --------------------------
+  /// Number of committed epochs (0 right after construction).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t node_count() const { return committed_n_; }
+  [[nodiscard]] std::size_t edge_count() const { return committed_m_; }
+  [[nodiscard]] std::size_t degree(graph::node_id v) const;
+  [[nodiscard]] bool has_edge(graph::node_id u, graph::node_id v) const;
+  /// Committed neighbors of `v` in ascending order.
+  [[nodiscard]] std::vector<graph::node_id> neighbors(graph::node_id v) const;
+  /// The committed adjacency as a repair-compatible view -- no CSR
+  /// materialization.  Live: reflects the committed state at use time,
+  /// so don't hold one across a commit.
+  [[nodiscard]] core::adjacency_view view() const;
+  /// Materializes (and rebases onto) the committed snapshot.  O(n+m)
+  /// when deltas are pending, O(1) afterwards; the returned graph shares
+  /// storage and survives later commits.
+  [[nodiscard]] graph::graph snapshot();
+  /// The CSR the overlay currently sits on (advances on rebase/snapshot;
+  /// never newer than the committed state).  The workload generator
+  /// samples deletion slots and hub bias from it.
+  [[nodiscard]] const graph::graph& rebase_point() const { return base_; }
+
+  // ---- the open batch ----------------------------------------------
+  /// Applies one mutation to the pending batch.  Throws
+  /// std::invalid_argument when the mutation is inconsistent with the
+  /// pending state (duplicate edge, missing edge, out-of-range node,
+  /// addnode id gap).
+  void apply(const mutation& m);
+  [[nodiscard]] std::size_t pending_mutations() const {
+    return pending_log_.size();
+  }
+  /// Node count as the pending batch sees it (committed + addnodes).
+  [[nodiscard]] std::size_t live_node_count() const { return live_n_; }
+  [[nodiscard]] std::size_t live_edge_count() const { return live_m_; }
+  [[nodiscard]] bool live_has_edge(graph::node_id u, graph::node_id v) const;
+  [[nodiscard]] std::size_t live_degree(graph::node_id v) const;
+  /// Seals the pending batch as the next epoch (legal with an empty
+  /// batch: an epoch that changes nothing).
+  commit_result commit();
+
+ private:
+  [[nodiscard]] bool base_has_edge(graph::node_id u, graph::node_id v) const;
+  [[nodiscard]] bool committed_has_edge(graph::node_id u,
+                                        graph::node_id v) const;
+  /// Committed neighbors with the pending delta applied (sorted).
+  [[nodiscard]] std::vector<graph::node_id> live_neighbors(
+      graph::node_id v) const;
+  /// Records the pending deletion/insertion of {u, v} (both directions).
+  void pending_add(graph::node_id u, graph::node_id v);
+  void pending_del(graph::node_id u, graph::node_id v);
+  /// Folds committed deltas into a fresh base CSR when they exist.
+  void rebase();
+
+  graph::graph base_;
+  std::uint64_t epoch_ = 0;
+
+  // committed deltas vs base_ (indexed by node, sorted, symmetric)
+  std::vector<std::vector<graph::node_id>> added_, removed_;
+  std::size_t committed_n_ = 0;
+  std::size_t committed_m_ = 0;
+  std::size_t delta_entries_ = 0;  ///< directed entries in added_+removed_
+
+  // pending deltas vs the committed view (same representation)
+  std::vector<std::vector<graph::node_id>> p_added_, p_removed_;
+  std::vector<mutation> pending_log_;
+  std::vector<graph::node_id> pending_touched_;
+  std::size_t live_n_ = 0;
+  std::size_t live_m_ = 0;
+};
+
+}  // namespace domset::dyn

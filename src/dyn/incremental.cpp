@@ -1,0 +1,129 @@
+#include "dyn/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "api/result_json.hpp"
+#include "common/rng.hpp"
+
+namespace domset::dyn {
+
+incremental_engine::incremental_engine(graph::graph base,
+                                       incremental_params params)
+    : dg_(std::move(base)), params_(std::move(params)) {
+  solver_ = &api::solver_registry::instance().find(params_.solver);
+  if (!solver_->integral_output())
+    throw std::invalid_argument("incremental: solver '" + params_.solver +
+                                "' is fractional-only (no set to repair)");
+  if (params_.radius == 0)
+    throw std::invalid_argument("incremental: radius must be >= 1");
+  if (params_.full_fraction < 0.0)
+    throw std::invalid_argument("incremental: full_fraction must be >= 0");
+
+  api::solve_result initial = run_solver(dg_.snapshot(), 0);
+  in_set_ = std::move(initial.in_set);
+}
+
+api::solve_result incremental_engine::run_solver(
+    const graph::graph& g, std::uint64_t epoch_no) const {
+  // One derived seed per epoch: the same epoch re-solves identically no
+  // matter how it is reached, and distinct epochs decorrelate.
+  const exec::context exec = params_.exec.with_seed(
+      common::derive_seed(params_.exec.seed, epoch_no));
+  return solver_->solve(g, exec, params_.solver_params);
+}
+
+std::size_t incremental_engine::size() const {
+  return static_cast<std::size_t>(
+      std::count(in_set_.begin(), in_set_.end(), std::uint8_t{1}));
+}
+
+std::uint64_t incremental_engine::digest() const {
+  api::solve_result tmp;
+  tmp.in_set = in_set_;
+  return api::solution_digest(tmp);
+}
+
+api::solve_result incremental_engine::full_resolve() {
+  return run_solver(dg_.snapshot(), dg_.epoch());
+}
+
+epoch_report incremental_engine::step(std::span<const mutation> batch) {
+  for (const mutation& m : batch) dg_.apply(m);
+  return commit_and_repair();
+}
+
+epoch_report incremental_engine::commit_and_repair() {
+  const commit_result commit = dg_.commit();
+
+  epoch_report report;
+  report.epoch = commit.epoch;
+  report.mutations = commit.mutations.size();
+  report.touched = commit.touched.size();
+  report.nodes = dg_.node_count();
+  report.edges = dg_.edge_count();
+
+  const std::vector<std::uint8_t> previous = in_set_;
+  in_set_.resize(dg_.node_count(), 0);  // addnode arrivals start out of set
+
+  if (!commit.touched.empty()) {
+    const core::adjacency_view view = dg_.view();
+    const core::dirty_ball ball =
+        core::dirty_region(view, commit.touched, params_.radius);
+    report.ball_nodes = ball.size;
+
+    const double limit =
+        params_.full_fraction * static_cast<double>(dg_.node_count());
+    if (static_cast<double>(ball.size) > limit) {
+      // Escape hatch: the ball rivals the graph, a global run is cheaper
+      // and strictly better-informed.
+      report.full_resolve = true;
+      api::solve_result fresh = run_solver(dg_.snapshot(), commit.epoch);
+      in_set_ = std::move(fresh.in_set);
+    } else {
+      core::view_subgraph sub = core::extract_subgraph(view, ball.in_ball);
+      const api::solve_result local = run_solver(sub.g, commit.epoch);
+      if (local.in_set.size() != sub.g.node_count())
+        throw std::runtime_error(
+            "incremental: subsolver returned a wrong-sized solution");
+
+      // Splice interior decisions only; the boundary shell (depth ==
+      // radius) keeps its current status, so nothing outside the ball
+      // changes and holes can only appear inside it.
+      for (graph::node_id s = 0; s < sub.g.node_count(); ++s) {
+        const graph::node_id v = sub.original_id[s];
+        if (ball.depth[v] < params_.radius) {
+          in_set_[v] = local.in_set[s];
+          ++report.interior_nodes;
+        }
+      }
+
+      // Ball-restricted coverage check (the verify step of the splice).
+      std::vector<graph::node_id> holes;
+      for (const graph::node_id v : sub.original_id) {
+        if (in_set_[v]) continue;
+        bool covered = false;
+        for (const graph::node_id u : dg_.neighbors(v)) {
+          if (in_set_[u]) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) holes.push_back(v);
+      }
+      report.holes_patched = holes.size();
+      if (!holes.empty()) core::greedy_patch(view, holes, in_set_);
+    }
+  }
+
+  for (std::size_t v = 0; v < in_set_.size(); ++v) {
+    const std::uint8_t before = v < previous.size() ? previous[v] : 0;
+    report.changed += before != in_set_[v];
+  }
+  report.size = size();
+  report.digest = digest();
+  return report;
+}
+
+}  // namespace domset::dyn

@@ -1,0 +1,147 @@
+#include "dyn/mutation.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace domset::dyn {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, std::string_view why) {
+  throw std::invalid_argument("mutation '" + std::string(spec) +
+                              "': " + std::string(why));
+}
+
+graph::node_id parse_node(std::string_view spec, std::string_view& rest,
+                          std::string_view what) {
+  graph::node_id value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), value);
+  if (ec != std::errc{} || ptr == rest.data())
+    bad_spec(spec, "expected " + std::string(what));
+  rest.remove_prefix(static_cast<std::size_t>(ptr - rest.data()));
+  return value;
+}
+
+bool consume(std::string_view& rest, std::string_view prefix) {
+  if (!rest.starts_with(prefix)) return false;
+  rest.remove_prefix(prefix.size());
+  return true;
+}
+
+/// One atom from the head of `rest`; `spec` is the full text for errors.
+mutation parse_atom(std::string_view spec, std::string_view& rest) {
+  mutation m;
+  if (consume(rest, "add=")) {
+    m.kind = mutation_kind::add_edge;
+  } else if (consume(rest, "del=")) {
+    m.kind = mutation_kind::del_edge;
+  } else if (consume(rest, "addnode=")) {
+    m.kind = mutation_kind::add_node;
+  } else if (consume(rest, "delnode=")) {
+    m.kind = mutation_kind::del_node;
+  } else {
+    bad_spec(spec, "expected add=, del=, addnode= or delnode=");
+  }
+
+  if (m.kind == mutation_kind::add_node || m.kind == mutation_kind::del_node) {
+    m.u = parse_node(spec, rest, "a node id");
+    m.v = m.u;
+    return m;
+  }
+  m.u = parse_node(spec, rest, "the edge's first node id");
+  if (!consume(rest, "-")) bad_spec(spec, "expected '-' between edge ends");
+  m.v = parse_node(spec, rest, "the edge's second node id");
+  if (m.u == m.v) bad_spec(spec, "edge endpoints must differ");
+  if (m.u > m.v) std::swap(m.u, m.v);  // canonical small-large order
+  return m;
+}
+
+}  // namespace
+
+std::string to_string(const mutation& m) {
+  switch (m.kind) {
+    case mutation_kind::add_edge:
+      return "add=" + std::to_string(m.u) + "-" + std::to_string(m.v);
+    case mutation_kind::del_edge:
+      return "del=" + std::to_string(m.u) + "-" + std::to_string(m.v);
+    case mutation_kind::add_node: return "addnode=" + std::to_string(m.u);
+    case mutation_kind::del_node: return "delnode=" + std::to_string(m.u);
+  }
+  return "";
+}
+
+std::string to_string(std::span<const mutation> batch) {
+  std::string out;
+  for (const mutation& m : batch) {
+    if (!out.empty()) out += '+';
+    out += to_string(m);
+  }
+  return out;
+}
+
+mutation parse_mutation(std::string_view spec) {
+  std::string_view rest = spec;
+  const mutation m = parse_atom(spec, rest);
+  if (!rest.empty())
+    bad_spec(spec, "trailing characters '" + std::string(rest) + "'");
+  return m;
+}
+
+std::vector<mutation> parse_mutation_list(std::string_view spec) {
+  std::vector<mutation> batch;
+  if (spec.empty()) return batch;
+  std::string_view rest = spec;
+  while (true) {
+    batch.push_back(parse_atom(spec, rest));
+    if (rest.empty()) break;
+    if (!consume(rest, "+")) bad_spec(spec, "expected '+' between mutations");
+    if (rest.empty()) bad_spec(spec, "trailing '+'");
+  }
+  return batch;
+}
+
+std::vector<mutation> parse_mutation_log(std::string_view text) {
+  std::vector<mutation> log;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    ++line_no;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+      line.remove_prefix(1);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r'))
+      line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    try {
+      log.push_back(parse_mutation(line));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("mutation log line " +
+                                  std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return log;
+}
+
+std::vector<mutation> load_mutation_log(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("cannot open mutation log '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_mutation_log(buffer.str());
+}
+
+}  // namespace domset::dyn

@@ -1,0 +1,58 @@
+/// \file mutation.hpp
+/// \brief The textual mutation grammar of the dynamic-graph subsystem.
+//
+// A mutation is one structural change to the resident graph:
+//
+//   add=<u>-<v>    insert the undirected edge {u, v}
+//   del=<u>-<v>    remove the undirected edge {u, v}
+//   addnode=<v>    append node v (v must be the next unused id)
+//   delnode=<v>    detach node v (drops all incident edges; the id stays
+//                  valid and the node lives on isolated)
+//
+// Atoms join into batches with '+' ("add=0-1+del=2-3"), mirroring the
+// fault grammar in sim/fault.hpp, and `parse`/`to_string` round-trip
+// through a canonical form (edge endpoints ordered small-large).  Log
+// files carry one atom per line with '#' comments and 1-based line
+// numbers in every error, like the edge-list parser in graph/io.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace domset::dyn {
+
+enum class mutation_kind : std::uint8_t { add_edge, del_edge, add_node, del_node };
+
+struct mutation {
+  mutation_kind kind = mutation_kind::add_edge;
+  /// Edge endpoints for add/del (canonically u < v); node operations
+  /// store the node in both fields.
+  graph::node_id u = 0;
+  graph::node_id v = 0;
+
+  friend bool operator==(const mutation&, const mutation&) = default;
+};
+
+/// Renders the canonical atom ("add=2-5", "delnode=7").
+[[nodiscard]] std::string to_string(const mutation& m);
+/// Renders a '+'-joined batch ("" for an empty batch).
+[[nodiscard]] std::string to_string(std::span<const mutation> batch);
+
+/// Parses a single atom (throws std::invalid_argument on anything else,
+/// including trailing characters).
+[[nodiscard]] mutation parse_mutation(std::string_view spec);
+/// Parses a '+'-joined batch; the empty string is the empty batch.
+[[nodiscard]] std::vector<mutation> parse_mutation_list(std::string_view spec);
+
+/// Parses a mutation log: one atom per line, blank lines and '#'
+/// comments ignored; errors name the 1-based line.
+[[nodiscard]] std::vector<mutation> parse_mutation_log(std::string_view text);
+/// Reads and parses a log file (throws std::runtime_error if unreadable).
+[[nodiscard]] std::vector<mutation> load_mutation_log(const std::string& path);
+
+}  // namespace domset::dyn

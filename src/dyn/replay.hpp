@@ -1,0 +1,103 @@
+/// \file replay.hpp
+/// \brief The `domset replay` workload runner and its `domset-dynamic/1`
+/// JSON document.
+//
+// Drives an incremental_engine through a mutation stream -- a parsed log
+// file or the seeded dyn::workload generator -- in batches of `batch`
+// mutations per epoch, verifying the spliced solution against the
+// materialized snapshot after every epoch (a failed verification throws:
+// validity is a contract, not a statistic).  Every `sample_full`-th
+// epoch additionally times a from-scratch re-solve of the same snapshot
+// for the repair-vs-full comparison; the sample is measurement only, the
+// incumbent is never replaced by it.
+//
+// The emitted document (schema "domset-dynamic/1") carries one record
+// per epoch -- mutations applied, touched nodes, dirty-ball size,
+// repair_ms, solution size, per-epoch digest, and full_resolve_ms/
+// full_size only on sampled epochs -- plus a summary with p50/p99 repair
+// latency and the sampled-epoch speedup.  Validated by
+// scripts/validate_result_json.py.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "dyn/incremental.hpp"
+#include "dyn/mutation.hpp"
+#include "dyn/workload.hpp"
+#include "exec/context.hpp"
+#include "graph/graph.hpp"
+
+namespace domset::dyn {
+
+struct replay_spec {
+  incremental_params inc;
+  /// Mutations per epoch (> 0).
+  std::size_t batch = 32;
+  /// Epoch count for generated streams; file streams run
+  /// ceil(|log| / batch) epochs and ignore this.
+  std::size_t epochs = 64;
+  /// Every k-th epoch also times a full re-solve (0 = never).
+  std::size_t sample_full = 8;
+  /// File-driven stream when non-empty; otherwise `gen` drives.
+  std::vector<mutation> log;
+  workload_params gen;
+  /// Provenance echo for the JSON record ("file:<path>" | "gen:<bias>").
+  std::string mutations_label;
+};
+
+struct replay_epoch {
+  epoch_report report;
+  double apply_ms = 0.0;   ///< mutation application
+  double repair_ms = 0.0;  ///< commit + incremental repair (or fallback)
+  double verify_ms = 0.0;  ///< snapshot + dominating-set verification
+  bool valid = false;      ///< always true on return (failure throws)
+  bool sampled = false;    ///< full re-solve measured this epoch
+  double full_resolve_ms = 0.0;  ///< sampled epochs only
+  std::size_t full_size = 0;     ///< sampled epochs only
+};
+
+struct replay_summary {
+  std::size_t epochs = 0;
+  std::size_t full_resolves = 0;  ///< epochs that took the escape hatch
+  std::size_t initial_size = 0;
+  std::size_t final_size = 0;
+  std::string final_digest;  ///< 16 hex chars
+  double initial_solve_ms = 0.0;
+  double median_repair_ms = 0.0;
+  double p99_repair_ms = 0.0;
+  double median_full_resolve_ms = 0.0;  ///< 0 when nothing was sampled
+  double speedup = 0.0;  ///< median_full / median_repair (0 when unsampled)
+};
+
+struct replay_result {
+  std::string alg;
+  api::param_map params;
+  exec::context exec;
+  std::string graph_family;
+  std::size_t nodes = 0;  ///< initial shape
+  std::size_t edges = 0;
+  std::uint32_t max_degree = 0;
+  std::string mutations_label;
+  std::size_t batch = 0;
+  std::uint32_t radius = 0;
+  double full_fraction = 0.0;
+  std::size_t sample_full = 0;
+  std::vector<replay_epoch> epochs;
+  replay_summary summary;
+};
+
+/// Runs the replay (throws std::runtime_error when an epoch's spliced
+/// solution fails verification, std::invalid_argument on a mutation the
+/// graph rejects -- both name the epoch).
+[[nodiscard]] replay_result run_replay(const graph::graph& g,
+                                       std::string_view graph_family,
+                                       const replay_spec& spec);
+
+/// Serializes the result as one pretty-printed `domset-dynamic/1` object.
+[[nodiscard]] std::string to_json(const replay_result& result);
+
+}  // namespace domset::dyn

@@ -1,0 +1,110 @@
+#include "dyn/workload.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace domset::dyn {
+
+std::string_view to_string(workload_bias bias) {
+  switch (bias) {
+    case workload_bias::uniform: return "uniform";
+    case workload_bias::hub: return "hub";
+  }
+  return "uniform";
+}
+
+workload_bias parse_workload_bias(std::string_view text) {
+  if (text == "uniform") return workload_bias::uniform;
+  if (text == "hub") return workload_bias::hub;
+  throw std::invalid_argument("workload bias '" + std::string(text) +
+                              "': expected uniform or hub");
+}
+
+workload::workload(const workload_params& params)
+    : params_(params), rng_(params.seed) {
+  if (params.p_add < 0 || params.p_del < 0 || params.p_addnode < 0 ||
+      params.p_delnode < 0)
+    throw std::invalid_argument("workload: negative operation weight");
+  sum_ = params.p_add + params.p_del + params.p_addnode + params.p_delnode;
+  if (sum_ <= 0.0)
+    throw std::invalid_argument("workload: operation weights sum to zero");
+}
+
+graph::node_id workload::sample_endpoint(const dynamic_graph& g,
+                                         const graph::graph& base) {
+  const std::size_t slots = 2 * base.edge_count();
+  if (params_.bias == workload_bias::hub && slots > 0) {
+    // A node owns deg(v) adjacency slots of the committed snapshot, so a
+    // uniform slot lands on v with probability deg(v)/2m: hub-biased.
+    const std::size_t s = rng_.next_below(slots);
+    graph::node_id lo = 0;
+    graph::node_id hi = static_cast<graph::node_id>(base.node_count());
+    while (hi - lo > 1) {  // find v with edge_begin(v) <= s < edge_end(v)
+      const graph::node_id mid = lo + (hi - lo) / 2;
+      if (base.edge_begin(mid) <= s)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+  return static_cast<graph::node_id>(rng_.next_below(g.live_node_count()));
+}
+
+mutation workload::next(const dynamic_graph& g, const graph::graph& base) {
+  constexpr int max_tries = 256;
+  for (int t = 0; t < max_tries; ++t) {
+    const double r = rng_.next_double() * sum_;
+    mutation m;
+    if (r < params_.p_add) {
+      if (g.live_node_count() < 2) continue;
+      const graph::node_id u = sample_endpoint(g, base);
+      const graph::node_id v = sample_endpoint(g, base);
+      if (u == v || g.live_has_edge(u, v)) continue;
+      m.kind = mutation_kind::add_edge;
+      m.u = std::min(u, v);
+      m.v = std::max(u, v);
+      return m;
+    }
+    if (r < params_.p_add + params_.p_del) {
+      // Deletions sample a committed adjacency slot (uniform over edges)
+      // and re-check against the live view.
+      const std::size_t slots = 2 * base.edge_count();
+      if (slots == 0) continue;
+      const std::size_t s = rng_.next_below(slots);
+      graph::node_id lo = 0;
+      graph::node_id hi = static_cast<graph::node_id>(base.node_count());
+      while (hi - lo > 1) {
+        const graph::node_id mid = lo + (hi - lo) / 2;
+        if (base.edge_begin(mid) <= s)
+          lo = mid;
+        else
+          hi = mid;
+      }
+      const graph::node_id u = lo;
+      const graph::node_id v = base.neighbors(u)[s - base.edge_begin(u)];
+      if (!g.live_has_edge(u, v)) continue;
+      m.kind = mutation_kind::del_edge;
+      m.u = std::min(u, v);
+      m.v = std::max(u, v);
+      return m;
+    }
+    if (r < params_.p_add + params_.p_del + params_.p_addnode) {
+      m.kind = mutation_kind::add_node;
+      m.u = m.v = static_cast<graph::node_id>(g.live_node_count());
+      return m;
+    }
+    {
+      const graph::node_id v = sample_endpoint(g, base);
+      if (v >= g.live_node_count() || g.live_degree(v) == 0) continue;
+      m.kind = mutation_kind::del_node;
+      m.u = m.v = v;
+      return m;
+    }
+  }
+  throw std::runtime_error(
+      "workload: no valid mutation found after 256 samples (graph "
+      "saturated or edgeless)");
+}
+
+}  // namespace domset::dyn

@@ -1,0 +1,197 @@
+// The dynamic overlay graph: pending-vs-committed isolation, commit
+// folding with cancellation, rebase correctness against a freshly built
+// CSR, snapshot persistence, and every documented apply() rejection.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "dyn/dynamic_graph.hpp"
+#include "dyn/mutation.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace domset {
+namespace {
+
+using dyn::dynamic_graph;
+using dyn::mutation;
+
+void apply_spec(dynamic_graph& g, const char* spec) {
+  for (const mutation& m : dyn::parse_mutation_list(spec)) g.apply(m);
+}
+
+/// The committed adjacency read three ways -- overlay neighbors(), the
+/// repair view, and a materialized snapshot -- must agree exactly.
+void expect_surfaces_agree(dynamic_graph& g) {
+  const core::adjacency_view view = g.view();
+  ASSERT_EQ(view.node_count, g.node_count());
+  std::vector<std::vector<graph::node_id>> via_view(g.node_count());
+  for (graph::node_id v = 0; v < g.node_count(); ++v)
+    view.for_each_neighbor(
+        v, [&](graph::node_id u) { via_view[v].push_back(u); });
+
+  // neighbors() and view() read the overlay *before* snapshot() rebases.
+  std::vector<std::vector<graph::node_id>> via_neighbors(g.node_count());
+  for (graph::node_id v = 0; v < g.node_count(); ++v)
+    via_neighbors[v] = g.neighbors(v);
+
+  const graph::graph snap = g.snapshot();
+  ASSERT_EQ(snap.node_count(), g.node_count());
+  for (graph::node_id v = 0; v < g.node_count(); ++v) {
+    std::vector<graph::node_id> via_snap;
+    for (const graph::node_id u : snap.neighbors(v)) via_snap.push_back(u);
+    EXPECT_EQ(via_neighbors[v], via_snap) << "node " << v;
+    EXPECT_EQ(via_view[v], via_snap) << "node " << v;
+  }
+}
+
+TEST(DynGraph, PendingBatchIsInvisibleUntilCommit) {
+  dynamic_graph g(graph::path_graph(4));  // 0-1-2-3
+  apply_spec(g, "add=0-3+del=1-2");
+
+  // Committed surface: still the path.
+  EXPECT_EQ(g.epoch(), 0U);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.edge_count(), 3U);
+  // Live surface: the batch applied.
+  EXPECT_FALSE(g.live_has_edge(1, 2));
+  EXPECT_TRUE(g.live_has_edge(0, 3));
+  EXPECT_EQ(g.live_edge_count(), 3U);
+  EXPECT_EQ(g.pending_mutations(), 2U);
+
+  const dyn::commit_result commit = g.commit();
+  EXPECT_EQ(commit.epoch, 1U);
+  EXPECT_EQ(commit.mutations.size(), 2U);
+  EXPECT_EQ(commit.touched,
+            (std::vector<graph::node_id>{0, 1, 2, 3}));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_EQ(g.pending_mutations(), 0U);
+}
+
+TEST(DynGraph, CommitFoldsWithCancellation) {
+  dynamic_graph g(graph::path_graph(3));  // 0-1-2
+  apply_spec(g, "del=0-1");
+  g.commit();
+  apply_spec(g, "add=0-1");  // re-add of a committed removal must cancel
+  g.commit();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 2U);
+  expect_surfaces_agree(g);
+}
+
+TEST(DynGraph, NodeLifecycleAndTouchedSets) {
+  dynamic_graph g(graph::path_graph(3));  // 0-1-2
+  apply_spec(g, "delnode=1");
+  const dyn::commit_result commit = g.commit();
+  // A deleted hub touches itself and every ex-neighbor.
+  EXPECT_EQ(commit.touched, (std::vector<graph::node_id>{0, 1, 2}));
+  EXPECT_EQ(g.node_count(), 3U);  // the id stays valid, isolated
+  EXPECT_EQ(g.degree(1), 0U);
+  EXPECT_EQ(g.edge_count(), 0U);
+
+  apply_spec(g, "addnode=3+add=3-0");
+  g.commit();
+  EXPECT_EQ(g.node_count(), 4U);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  expect_surfaces_agree(g);
+}
+
+TEST(DynGraph, ApplyRejectsInconsistentMutations) {
+  dynamic_graph g(graph::path_graph(3));
+  EXPECT_THROW(apply_spec(g, "add=0-1"), std::invalid_argument);  // exists
+  EXPECT_THROW(apply_spec(g, "del=0-2"), std::invalid_argument);  // missing
+  EXPECT_THROW(apply_spec(g, "add=0-9"), std::invalid_argument);  // range
+  EXPECT_THROW(apply_spec(g, "addnode=7"), std::invalid_argument);  // id gap
+  // Rejections leave the pending batch untouched.
+  EXPECT_EQ(g.pending_mutations(), 0U);
+  // Within one batch the rules apply to the *live* state.
+  apply_spec(g, "add=0-2");
+  EXPECT_THROW(apply_spec(g, "add=0-2"), std::invalid_argument);
+  apply_spec(g, "del=0-2");  // legal again: deleting the pending add
+}
+
+TEST(DynGraph, SnapshotsPersistAcrossLaterCommitsAndRebases) {
+  dynamic_graph g(graph::path_graph(4));
+  const graph::graph before = g.snapshot();
+
+  // Churn enough to force rebases (snapshot() rebases unconditionally).
+  for (int round = 0; round < 4; ++round) {
+    apply_spec(g, "del=1-2");
+    g.commit();
+    (void)g.snapshot();
+    apply_spec(g, "add=1-2");
+    g.commit();
+    (void)g.snapshot();
+  }
+
+  // The first snapshot still reads as the original path.
+  ASSERT_EQ(before.node_count(), 4U);
+  EXPECT_EQ(before.edge_count(), 3U);
+  for (graph::node_id v = 0; v + 1 < 4; ++v) {
+    bool found = false;
+    for (const graph::node_id u : before.neighbors(v)) found |= u == v + 1;
+    EXPECT_TRUE(found) << "edge " << v << "-" << v + 1;
+  }
+}
+
+TEST(DynGraph, LongMutationStreamMatchesFreshlyBuiltGraph) {
+  // Drive a deterministic add/del stream, then compare every surface
+  // against a graph built directly from the surviving edge set.
+  const std::size_t n = 30;
+  dynamic_graph g(graph::path_graph(n));
+  std::vector<std::vector<bool>> edge(n, std::vector<bool>(n, false));
+  for (std::size_t v = 0; v + 1 < n; ++v)
+    edge[v][v + 1] = edge[v + 1][v] = true;
+
+  std::uint64_t state = 12345;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int batch = 0; batch < 20; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      const graph::node_id u = next() % n;
+      const graph::node_id v = next() % n;
+      if (u == v) continue;
+      const mutation m{edge[u][v] ? dyn::mutation_kind::del_edge
+                                  : dyn::mutation_kind::add_edge,
+                       std::min(u, v), std::max(u, v)};
+      g.apply(m);
+      edge[u][v] = edge[v][u] = !edge[u][v];
+    }
+    g.commit();
+  }
+
+  graph::graph_builder b(n);
+  std::size_t edges = 0;
+  for (graph::node_id u = 0; u < n; ++u)
+    for (graph::node_id v = u + 1; v < n; ++v)
+      if (edge[u][v]) {
+        b.add_edge(u, v);
+        ++edges;
+      }
+  const graph::graph expected = std::move(b).build();
+
+  EXPECT_EQ(g.edge_count(), edges);
+  for (graph::node_id v = 0; v < n; ++v) {
+    std::vector<graph::node_id> want;
+    for (const graph::node_id u : expected.neighbors(v)) want.push_back(u);
+    EXPECT_EQ(g.neighbors(v), want) << "node " << v;
+  }
+  expect_surfaces_agree(g);
+}
+
+TEST(DynGraph, EmptyCommitIsALegalEpoch) {
+  dynamic_graph g(graph::path_graph(2));
+  const dyn::commit_result commit = g.commit();
+  EXPECT_EQ(commit.epoch, 1U);
+  EXPECT_TRUE(commit.mutations.empty());
+  EXPECT_TRUE(commit.touched.empty());
+  EXPECT_EQ(g.edge_count(), 1U);
+}
+
+}  // namespace
+}  // namespace domset

@@ -1,0 +1,107 @@
+// The mutation grammar: canonical round-trips, '+'-joined batches, log
+// parsing with 1-based line numbers, and every documented rejection.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dyn/mutation.hpp"
+
+namespace domset {
+namespace {
+
+using dyn::mutation;
+using dyn::mutation_kind;
+
+std::string thrown_message(const std::string& spec) {
+  try {
+    (void)dyn::parse_mutation(spec);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(DynMutation, RoundTripsAllFourKinds) {
+  for (const char* spec : {"add=2-5", "del=0-9", "addnode=7", "delnode=0"}) {
+    EXPECT_EQ(dyn::to_string(dyn::parse_mutation(spec)), spec);
+  }
+}
+
+TEST(DynMutation, EdgeEndpointsCanonicalizeSmallLarge) {
+  const mutation m = dyn::parse_mutation("add=5-2");
+  EXPECT_EQ(m.kind, mutation_kind::add_edge);
+  EXPECT_EQ(m.u, 2U);
+  EXPECT_EQ(m.v, 5U);
+  EXPECT_EQ(dyn::to_string(m), "add=2-5");
+  EXPECT_EQ(dyn::parse_mutation("del=9-3"), dyn::parse_mutation("del=3-9"));
+}
+
+TEST(DynMutation, NodeOperationsStoreTheNodeInBothFields) {
+  const mutation m = dyn::parse_mutation("delnode=4");
+  EXPECT_EQ(m.kind, mutation_kind::del_node);
+  EXPECT_EQ(m.u, 4U);
+  EXPECT_EQ(m.v, 4U);
+}
+
+TEST(DynMutation, ListRoundTripsAndEmptyIsEmpty) {
+  const std::vector<mutation> batch =
+      dyn::parse_mutation_list("add=0-1+delnode=2+addnode=3");
+  ASSERT_EQ(batch.size(), 3U);
+  EXPECT_EQ(dyn::to_string(batch), "add=0-1+delnode=2+addnode=3");
+  EXPECT_TRUE(dyn::parse_mutation_list("").empty());
+  EXPECT_EQ(dyn::to_string(std::vector<mutation>{}), "");
+}
+
+TEST(DynMutation, RejectionsNameTheSpecAndTheReason) {
+  EXPECT_NE(thrown_message("grow=1-2").find(
+                "expected add=, del=, addnode= or delnode="),
+            std::string::npos);
+  EXPECT_NE(thrown_message("add=3-3").find("edge endpoints must differ"),
+            std::string::npos);
+  EXPECT_NE(thrown_message("add=1").find("'-' between edge ends"),
+            std::string::npos);
+  EXPECT_NE(thrown_message("addnode=").find("expected a node id"),
+            std::string::npos);
+  EXPECT_NE(thrown_message("add=1-2junk").find("trailing characters"),
+            std::string::npos);
+  EXPECT_NE(thrown_message("add=1-2junk").find("add=1-2junk"),
+            std::string::npos)
+      << "errors must quote the offending spec";
+  EXPECT_THROW((void)dyn::parse_mutation_list("add=0-1+"),
+               std::invalid_argument);
+  EXPECT_THROW((void)dyn::parse_mutation_list("add=0-1 del=1-2"),
+               std::invalid_argument);
+}
+
+TEST(DynMutation, LogParsesCommentsBlanksAndCrLf) {
+  const std::vector<mutation> log = dyn::parse_mutation_log(
+      "# header comment\n"
+      "add=0-1\r\n"
+      "\n"
+      "  del=0-1   # inline comment\n"
+      "addnode=5");
+  ASSERT_EQ(log.size(), 3U);
+  EXPECT_EQ(dyn::to_string(log[0]), "add=0-1");
+  EXPECT_EQ(dyn::to_string(log[1]), "del=0-1");
+  EXPECT_EQ(dyn::to_string(log[2]), "addnode=5");
+}
+
+TEST(DynMutation, LogErrorsCarryOneBasedLineNumbers) {
+  try {
+    (void)dyn::parse_mutation_log("add=0-1\n# fine\nbogus=3\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DynMutation, MissingLogFileThrows) {
+  EXPECT_THROW((void)dyn::load_mutation_log("/nonexistent/mutations.log"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace domset

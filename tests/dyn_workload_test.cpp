@@ -1,0 +1,137 @@
+// The seeded mutation generator: same-seed determinism, every drawn
+// mutation applies cleanly, hub bias concentrates churn on hubs, and the
+// documented error paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dyn/dynamic_graph.hpp"
+#include "dyn/mutation.hpp"
+#include "dyn/workload.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace domset {
+namespace {
+
+using dyn::dynamic_graph;
+using dyn::mutation;
+using dyn::workload;
+using dyn::workload_bias;
+using dyn::workload_params;
+
+/// Runs `count` draws against a fresh overlay of `base`, applying each
+/// (the generator's contract) and committing every 8 draws.
+std::vector<mutation> drive(const graph::graph& base,
+                            const workload_params& params, int count) {
+  dynamic_graph g(base);
+  workload gen(params);
+  std::vector<mutation> stream;
+  for (int i = 0; i < count; ++i) {
+    const mutation m = gen.next(g, g.rebase_point());
+    g.apply(m);  // an invalid draw would throw std::invalid_argument here
+    stream.push_back(m);
+    if (i % 8 == 7) g.commit();
+  }
+  return stream;
+}
+
+TEST(DynWorkload, BiasParseRoundTrips) {
+  for (const workload_bias bias : {workload_bias::uniform, workload_bias::hub})
+    EXPECT_EQ(dyn::parse_workload_bias(dyn::to_string(bias)), bias);
+  EXPECT_THROW((void)dyn::parse_workload_bias("zipf"), std::invalid_argument);
+}
+
+graph::graph gnp(std::size_t n, double p, std::uint64_t seed) {
+  common::rng gen(seed);
+  return graph::gnp_random(n, p, gen);
+}
+
+TEST(DynWorkload, SameSeedSameStream) {
+  const graph::graph base = gnp(120, 0.05, 7);
+  workload_params params;
+  params.seed = 42;
+  const std::vector<mutation> a = drive(base, params, 200);
+  const std::vector<mutation> b = drive(base, params, 200);
+  EXPECT_EQ(a, b);
+  params.seed = 43;
+  EXPECT_NE(drive(base, params, 200), a);
+}
+
+TEST(DynWorkload, EveryDrawAppliesCleanlyAcrossBiases) {
+  // drive() applies each mutation as drawn; surviving 300 draws with
+  // commits interleaved means the generator never emits a stale edge.
+  const graph::graph base = gnp(150, 0.04, 11);
+  for (const workload_bias bias :
+       {workload_bias::uniform, workload_bias::hub}) {
+    workload_params params;
+    params.bias = bias;
+    params.seed = 5;
+    const std::vector<mutation> stream = drive(base, params, 300);
+    EXPECT_EQ(stream.size(), 300U);
+  }
+}
+
+TEST(DynWorkload, HubBiasConcentratesChurnOnHighDegreeNodes) {
+  // On a power-law graph, hub-biased endpoint sampling (uniform over
+  // adjacency slots, i.e. degree-proportional) must land adds on the
+  // high-degree decile far more often than uniform sampling does.  Both
+  // streams are deterministic, so the comparison is a fixed inequality.
+  common::rng gen_graph(19);
+  const graph::graph base = graph::barabasi_albert(200, 2, gen_graph);
+  std::vector<graph::node_id> by_degree(base.node_count());
+  for (graph::node_id v = 0; v < base.node_count(); ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](graph::node_id a, graph::node_id b) {
+              return base.neighbors(a).size() > base.neighbors(b).size();
+            });
+  std::vector<std::uint8_t> is_hub(base.node_count(), 0);
+  for (std::size_t i = 0; i < base.node_count() / 10; ++i)
+    is_hub[by_degree[i]] = 1;
+
+  const auto hub_touches = [&](workload_bias bias) {
+    workload_params params;
+    params.bias = bias;
+    params.seed = 3;
+    params.p_add = 1.0;
+    params.p_del = params.p_addnode = params.p_delnode = 0.0;
+    dynamic_graph g(base);
+    workload gen(params);
+    int touches = 0;
+    for (int i = 0; i < 200; ++i) {
+      const mutation m = gen.next(g, g.rebase_point());
+      g.apply(m);
+      touches += is_hub[m.u] + is_hub[m.v];
+    }
+    return touches;
+  };
+  const int hub = hub_touches(workload_bias::hub);
+  const int uniform = hub_touches(workload_bias::uniform);
+  EXPECT_GT(hub, 2 * uniform)
+      << "hub=" << hub << " uniform=" << uniform;
+}
+
+TEST(DynWorkload, ParameterAndSaturationErrors) {
+  workload_params params;
+  params.p_add = -1.0;
+  EXPECT_THROW(workload{params}, std::invalid_argument);
+  params.p_add = params.p_del = params.p_addnode = params.p_delnode = 0.0;
+  EXPECT_THROW(workload{params}, std::invalid_argument);
+
+  // Deleting from an edgeless graph can never produce a valid mutation.
+  workload_params del_only;
+  del_only.p_add = del_only.p_addnode = del_only.p_delnode = 0.0;
+  del_only.p_del = 1.0;
+  workload gen(del_only);
+  dynamic_graph empty(graph::empty_graph(4));
+  EXPECT_THROW((void)gen.next(empty, empty.rebase_point()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace domset

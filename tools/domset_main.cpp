@@ -14,6 +14,11 @@
 ///       declarative sweep over the comma-listed axes through the bench
 ///       runner (api/bench_runner.hpp): every cell on one shared worker
 ///       pool, repeat-interleaved timings, one domset-bench/1 document
+///   domset replay --graph ba --n 100000 --mutations gen --batch 32 --json
+///       solve once, keep the instance resident, and stream mutation
+///       epochs through the frontier-restricted incremental engine
+///       (src/dyn): dirty-ball re-solve + splice per epoch, sampled
+///       full-re-solve comparisons, one domset-dynamic/1 document
 ///   domset gen --graph ba --n 100000 --seed 1 --out graph.txt
 ///       write a generated family as a text edge list (CI fixtures,
 ///       reproducible by seed)
@@ -43,6 +48,9 @@
 #include "api/solver.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "dyn/mutation.hpp"
+#include "dyn/replay.hpp"
+#include "dyn/workload.hpp"
 #include "exec/context.hpp"
 #include "graph/csr_file.hpp"
 #include "graph/io.hpp"
@@ -411,6 +419,121 @@ int cmd_bench(int argc, const char* const* argv) {
   return 0;
 }
 
+/// `domset replay`: hold a solved instance resident and drive a mutation
+/// stream through the frontier-restricted incremental engine (src/dyn),
+/// one epoch per --batch mutations, emitting the domset-dynamic/1
+/// document with per-epoch digests and repair-vs-full timings.
+int cmd_replay(int argc, const char* const* argv) {
+  common::cli_parser cli(
+      "Replay a mutation stream against a resident solved instance with "
+      "frontier-restricted incremental re-solve");
+  cli.add_flag("alg", "pipeline",
+               "incumbent solver (must produce an integral set)");
+  cli.add_flag("graph", "gnp", "graph family (see `domset list`)");
+  cli.add_flag("n", "1000", "approximate node count");
+  cli.require_nonnegative_int("n");
+  cli.add_exec_flags();
+  add_param_flags(cli, solver_param_flags);
+  add_param_flags(cli, graph_param_flags);
+  cli.add_flag("mutations", "gen",
+               "mutation source: gen (seeded dyn::workload stream) or a "
+               "mutation-log file path (one atom per line, '#' comments)");
+  cli.add_flag("bias", "uniform",
+               "generator endpoint bias: uniform | hub (degree-biased)");
+  cli.add_flag("batch", "32", "mutations per epoch");
+  cli.require_nonnegative_int("batch");
+  cli.add_flag("epochs", "64",
+               "epoch count for generated streams (file streams run "
+               "ceil(lines / batch))");
+  cli.require_nonnegative_int("epochs");
+  cli.add_flag("ball-radius", "2",
+               "dirty-ball radius in hops around the touched nodes (>= 1)");
+  cli.require_nonnegative_int("ball-radius");
+  cli.add_flag("full-fraction", "0.25",
+               "fall back to a full re-solve when the dirty ball exceeds "
+               "this fraction of the graph (0 = always full)");
+  cli.add_flag("sample-full", "8",
+               "every k-th epoch also times a from-scratch re-solve for "
+               "the comparison columns (0 = never)");
+  cli.require_nonnegative_int("sample-full");
+  cli.add_switch("json", "emit the domset-dynamic/1 JSON document");
+  cli.add_flag("out", "", "write the document to this file instead of stdout");
+  if (!cli.parse(argc, argv)) return 2;
+
+  dyn::replay_spec spec;
+  spec.inc.solver = cli.get_string("alg");
+  spec.inc.exec = cli.exec();
+  forward_set_flags(cli, solver_param_flags, spec.inc.solver_params);
+  if (spec.inc.solver_params.contains("repair") ||
+      spec.inc.solver_params.contains("repair-radius")) {
+    std::fprintf(stderr,
+                 "domset replay: --repair/--repair-radius do not compose "
+                 "here -- the replay engine is the repair pass\n");
+    return 2;
+  }
+  spec.inc.radius = static_cast<std::uint32_t>(cli.get_int("ball-radius"));
+  spec.inc.full_fraction = cli.get_double("full-fraction");
+  spec.batch = static_cast<std::size_t>(cli.get_int("batch"));
+  spec.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  spec.sample_full = static_cast<std::size_t>(cli.get_int("sample-full"));
+
+  const std::string mutations = cli.get_string("mutations");
+  if (mutations == "gen") {
+    spec.gen.bias = dyn::parse_workload_bias(cli.get_string("bias"));
+    spec.gen.seed = spec.inc.exec.seed;
+    spec.mutations_label = "gen:" + cli.get_string("bias");
+  } else {
+    spec.log = dyn::load_mutation_log(mutations);
+    spec.mutations_label = "file:" + mutations;
+  }
+
+  api::param_map graph_params;
+  forward_set_flags(cli, graph_param_flags, graph_params);
+  const std::string family = cli.get_string("graph");
+  const graph::graph g =
+      api::make_graph(family, static_cast<std::size_t>(cli.get_int("n")),
+                      spec.inc.exec.seed, graph_params);
+
+  const dyn::replay_result result = dyn::run_replay(g, family, spec);
+
+  if (cli.get_bool("json") || cli.is_set("out")) {
+    const int status =
+        write_output(dyn::to_json(result), cli.get_string("out"));
+    if (status != 0) return status;
+    if (!cli.get_string("out").empty())
+      std::fprintf(stderr, "domset replay: %zu epochs -> %s\n",
+                   result.summary.epochs, cli.get_string("out").c_str());
+    return 0;
+  }
+
+  common::text_table table({"epoch", "muts", "touched", "ball", "mode",
+                            "holes", "size", "repair ms", "full ms"});
+  for (const dyn::replay_epoch& ep : result.epochs) {
+    table.add_row(
+        {common::fmt_int(static_cast<long long>(ep.report.epoch)),
+         common::fmt_int(static_cast<long long>(ep.report.mutations)),
+         common::fmt_int(static_cast<long long>(ep.report.touched)),
+         common::fmt_int(static_cast<long long>(ep.report.ball_nodes)),
+         ep.report.full_resolve ? "full" : "inc",
+         common::fmt_int(static_cast<long long>(ep.report.holes_patched)),
+         common::fmt_int(static_cast<long long>(ep.report.size)),
+         common::fmt_double(ep.repair_ms, 2),
+         ep.sampled ? common::fmt_double(ep.full_resolve_ms, 2) : "-"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n%zu epochs (%zu full re-solves), size %zu -> %zu, digest %s\n",
+      result.summary.epochs, result.summary.full_resolves,
+      result.summary.initial_size, result.summary.final_size,
+      result.summary.final_digest.c_str());
+  std::printf(
+      "repair p50 %.2f ms, p99 %.2f ms; sampled full re-solve p50 %.2f ms "
+      "(speedup %.1fx); every epoch verified dominating\n",
+      result.summary.median_repair_ms, result.summary.p99_repair_ms,
+      result.summary.median_full_resolve_ms, result.summary.speedup);
+  return 0;
+}
+
 /// `domset gen`: write a generated graph family as a text edge list --
 /// the reproducible-fixture producer the real-graph CI job feeds into
 /// `domset convert`.
@@ -557,6 +680,8 @@ void print_usage() {
       "x faults:\n"
       "         domset bench --alg pipeline,greedy --graph gnp,star "
       "--n 5000 --repeats 3 --out bench.json\n"
+      "  replay stream mutations through the incremental engine: domset "
+      "replay --graph ba --n 100000 --mutations gen --batch 32 --json\n"
       "  gen    write a generated family as a text edge list: domset gen "
       "--graph ba --n 100000 --out g.txt\n"
       "  convert  text edge list <-> binary .dcsr: domset convert --in "
@@ -579,6 +704,8 @@ int main(int argc, char** argv) {
       return cmd_run(argc - 1, argv + 1);
     if (std::strcmp(command, "bench") == 0)
       return cmd_bench(argc - 1, argv + 1);
+    if (std::strcmp(command, "replay") == 0)
+      return cmd_replay(argc - 1, argv + 1);
     if (std::strcmp(command, "gen") == 0) return cmd_gen(argc - 1, argv + 1);
     if (std::strcmp(command, "convert") == 0)
       return cmd_convert(argc - 1, argv + 1);
