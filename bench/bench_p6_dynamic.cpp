@@ -14,11 +14,13 @@
 /// scripts/check_bench_trend.py against
 /// bench/baselines/dynamic_baseline.json (digest equality always;
 /// medians within tolerance).  Cells are keyed graph/n/batch/mode with
-/// mode "repair" (incremental median) and "full" (sampled re-solve
-/// median).
+/// mode "repair" (incremental median), "full" (sampled re-solve
+/// median), and "capped" (incremental with --frontier-cap, the
+/// degree-capped dirty-ball path `domset serve` runs on hub-heavy
+/// graphs; carries its own p50/p99 latency percentiles and digest).
 ///
 ///   bench_p6_dynamic --n 20000 --epochs 16 --batches 8,64
-///       --out bench_p6_ci.json [--min-speedup 5]
+///       --frontier-cap 32 --out bench_p6_ci.json [--min-speedup 5]
 ///
 /// --min-speedup N exits nonzero unless every cell pair's
 /// full-median / repair-median is at least N (the subsystem's reason to
@@ -44,10 +46,10 @@ struct cell {
   std::string graph;
   std::size_t n = 0;
   std::size_t batch = 0;
-  std::string mode;  // "repair" | "full"
+  std::string mode;  // "repair" | "full" | "capped"
   double median_ms = 0.0;
-  double p99_ms = 0.0;    // repair rows only
-  double speedup = 0.0;   // repair rows only
+  double p99_ms = 0.0;    // repair/capped rows only
+  double speedup = 0.0;   // repair/capped rows only
   std::size_t size = 0;   // final solution size
   std::string digest;     // per-run final digest (determinism gate)
 };
@@ -77,6 +79,9 @@ int main(int argc, char** argv) {
   cli.add_flag("sample-full", "4", "full re-solve every k-th epoch");
   cli.require_nonnegative_int("sample-full");
   cli.add_flag("alg", "pipeline", "incumbent registry solver");
+  cli.add_flag("frontier-cap", "32",
+               "degree cap for the extra \"capped\" cells (0 = skip them)");
+  cli.require_nonnegative_int("frontier-cap");
   cli.add_flag("out", "", "write the domset-dynamic-bench/1 document here");
   cli.add_flag("min-speedup", "0",
                "fail unless full/repair median ratio is at least this in "
@@ -91,6 +96,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("sample-full"));
   const auto min_speedup =
       static_cast<double>(cli.get_int("min-speedup"));
+  const auto frontier_cap =
+      static_cast<std::uint32_t>(cli.get_int("frontier-cap"));
   const std::vector<std::size_t> batches =
       parse_batches(cli.get_string("batches"));
   exec::context exec = cli.exec();
@@ -121,6 +128,20 @@ int main(int argc, char** argv) {
                        r.summary.final_size, r.summary.final_digest});
       if (min_speedup > 0.0 && r.summary.speedup < min_speedup)
         speedup_ok = false;
+
+      if (frontier_cap > 0) {
+        // The serve-path variant: same stream, hubs pinned to the
+        // boundary shell.  Digests differ from the uncapped run (a
+        // different re-decide set) but are equally deterministic, so
+        // the cell gets its own digest gate.
+        dyn::replay_spec capped = spec;
+        capped.inc.frontier_cap = frontier_cap;
+        const dyn::replay_result rc = dyn::run_replay(g, family, capped);
+        cells.push_back({family, n, batch, "capped",
+                         rc.summary.median_repair_ms,
+                         rc.summary.p99_repair_ms, rc.summary.speedup,
+                         rc.summary.final_size, rc.summary.final_digest});
+      }
     }
   }
 
@@ -129,8 +150,8 @@ int main(int argc, char** argv) {
   for (const cell& c : cells) {
     table.add_row({c.graph, common::fmt_int(static_cast<long long>(c.batch)),
                    c.mode, common::fmt_double(c.median_ms, 2),
-                   c.mode == "repair" ? common::fmt_double(c.p99_ms, 2) : "-",
-                   c.mode == "repair" ? common::fmt_double(c.speedup, 1) : "-",
+                   c.mode != "full" ? common::fmt_double(c.p99_ms, 2) : "-",
+                   c.mode != "full" ? common::fmt_double(c.speedup, 1) : "-",
                    common::fmt_int(static_cast<long long>(c.size)),
                    c.digest});
   }

@@ -56,8 +56,19 @@ The dynamic-replay bench (bench_p6_dynamic --out, schema
 domset-dynamic-bench/1, baseline domset-dynamic-bench-baseline/1
 committed as bench/baselines/dynamic_baseline.json) joins the same
 gate: cells are keyed graph / n / batch / mode ("repair" = incremental
-median, "full" = sampled re-solve median) and the per-run final digest
-must reproduce exactly -- the replay is a pure function of its seed.
+median, "full" = sampled re-solve median, "capped" = incremental with
+the degree-capped frontier `domset serve` uses) and the per-run final
+digest must reproduce exactly -- the replay is a pure function of its
+seed.
+
+So does the serve load report (`domset load --json`, schema
+domset-serve/1, baseline domset-serve-baseline/1): the document has no
+"cells" array, so the gate synthesizes one cell per latency block
+(op in {query, query_during_repair, commit}), keyed
+graph / n / clients / batch / op, with median_ms = that block's p50 and
+every cell carrying final.digest -- a digest mismatch means the served
+mutation stream stopped reproducing the offline replay.  Latency cells
+are timing-noisy by nature; gate them with a generous --tolerance.
 
 Stdlib only.  Exits 0 when the gate passes, 1 on regressions or invalid
 input.
@@ -73,15 +84,20 @@ INGEST_SCHEMA = "domset-ingest/1"
 INGEST_BASELINE_SCHEMA = "domset-ingest-baseline/1"
 DYNAMIC_SCHEMA = "domset-dynamic-bench/1"
 DYNAMIC_BASELINE_SCHEMA = "domset-dynamic-bench-baseline/1"
+SERVE_SCHEMA = "domset-serve/1"
+SERVE_BASELINE_SCHEMA = "domset-serve-baseline/1"
 
 # Cell-identity fields per schema family.  The first entry is the solver
 # sweep; "ingest" keys the ingestion bench's cells; "dynamic" keys the
-# replay bench's repair-vs-full cells (bench_p6_dynamic).
+# replay bench's repair-vs-full cells (bench_p6_dynamic); "serve" keys
+# the cells synthesized from a `domset load --json` report's latency
+# blocks (see serve_cells).
 KEY_FIELDS_BY_FAMILY = {
     "bench": ("alg", "graph", "n", "seed", "delivery", "threads",
               "drop", "faults"),
     "ingest": ("op", "format", "edges", "threads"),
     "dynamic": ("graph", "n", "batch", "mode"),
+    "serve": ("graph", "n", "clients", "batch", "op"),
 }
 FAMILY_BY_SCHEMA = {
     BENCH_SCHEMA: "bench",
@@ -90,12 +106,16 @@ FAMILY_BY_SCHEMA = {
     INGEST_BASELINE_SCHEMA: "ingest",
     DYNAMIC_SCHEMA: "dynamic",
     DYNAMIC_BASELINE_SCHEMA: "dynamic",
+    SERVE_SCHEMA: "serve",
+    SERVE_BASELINE_SCHEMA: "serve",
 }
 BASELINE_SCHEMA_BY_FAMILY = {
     "bench": BASELINE_SCHEMA,
     "ingest": INGEST_BASELINE_SCHEMA,
     "dynamic": DYNAMIC_BASELINE_SCHEMA,
+    "serve": SERVE_BASELINE_SCHEMA,
 }
+SERVE_LATENCY_OPS = ("query", "query_during_repair", "commit")
 # Back-compat alias: the bench family's fields under the historical name.
 KEY_FIELDS = KEY_FIELDS_BY_FAMILY["bench"]
 
@@ -128,6 +148,26 @@ def key_label(key, key_fields=KEY_FIELDS):
     return label
 
 
+def serve_cells(doc):
+    """Synthesizes gate cells from a domset-serve/1 load report: one per
+    latency block, median_ms = that block's p50, all carrying the final
+    digest (the determinism join with the offline replay)."""
+    graph = doc.get("graph", {})
+    params = doc.get("serve", {})
+    latency = doc.get("latency", {})
+    digest = doc.get("final", {}).get("digest")
+    cells = []
+    for op in SERVE_LATENCY_OPS:
+        block = latency.get(op, {})
+        cells.append({
+            "graph": graph.get("family"), "n": graph.get("nodes"),
+            "clients": params.get("clients"), "batch": params.get("batch"),
+            "op": op, "median_ms": block.get("p50_ms"),
+            "count": block.get("count"), "digest": digest,
+        })
+    return cells
+
+
 def load_cells(path, expect_family=None):
     """Returns ({key: cell}, family) for a bench or ingest document."""
     try:
@@ -143,7 +183,7 @@ def load_cells(path, expect_family=None):
             + (f"a {expect_family} document"
                if expect_family else f"one of {sorted(FAMILY_BY_SCHEMA)}")
         )
-    cells = doc.get("cells")
+    cells = serve_cells(doc) if schema == SERVE_SCHEMA else doc.get("cells")
     if not isinstance(cells, list) or not cells:
         raise SystemExit(f"check_bench_trend: {path}: no cells")
     key_fields = KEY_FIELDS_BY_FAMILY[family]
@@ -363,12 +403,55 @@ def self_test():
            dynamic_compare(
                {k: c for k, c in dynamic_doc().items()
                 if c["mode"] != "full"}, dynamic_doc()), True)
+    expect("dynamic capped mode is keyed separately from repair",
+           dynamic_compare(
+               {cell_key(dict(c, mode="capped"), dynamic_fields):
+                dict(c, mode="capped")
+                for c in dynamic_doc().values()}, dynamic_doc()), True)
+
+    # Serve load reports: cells are synthesized from the latency blocks
+    # (no "cells" array in the document), keyed graph/n/clients/batch/op,
+    # and every cell carries the final digest.
+    serve_fields = KEY_FIELDS_BY_FAMILY["serve"]
+
+    def serve_doc(query_scale=1.0, commit_scale=1.0,
+                  digest="00000000000000aa"):
+        doc = {
+            "schema": SERVE_SCHEMA,
+            "graph": {"family": "ba", "nodes": 2000},
+            "serve": {"clients": 8, "batch": 32},
+            "latency": {
+                "query": {"count": 800, "p50_ms": 0.02 * query_scale,
+                          "p99_ms": 2.4},
+                "query_during_repair": {"count": 568,
+                                        "p50_ms": 0.01 * query_scale,
+                                        "p99_ms": 2.7},
+                "commit": {"count": 8, "p50_ms": 5.0 * commit_scale,
+                           "p99_ms": 11.4},
+            },
+            "final": {"digest": digest},
+        }
+        return {cell_key(c, serve_fields): c for c in serve_cells(doc)}
+
+    def serve_compare(cur, base):
+        return compare(cur, base, 0.40, 2.0, False,
+                       key_fields=serve_fields)[0]
+
+    expect("identical serve reports pass",
+           serve_compare(serve_doc(), serve_doc()), False)
+    expect("serve commit slowdown fails",
+           serve_compare(serve_doc(commit_scale=3.0), serve_doc()), True)
+    expect("sub-ms serve query jitter passes the --min-ms floor",
+           serve_compare(serve_doc(query_scale=10.0), serve_doc()), False)
+    expect("serve final-digest mismatch fails every synthesized cell",
+           serve_compare(serve_doc(digest="00000000000000bb"),
+                         serve_doc()), True)
 
     if failed:
         for line in failed:
             print(f"self-test FAILED: {line}")
         return 1
-    print("self-test OK: 20 gate expectations hold")
+    print("self-test OK: 25 gate expectations hold")
     return 0
 
 

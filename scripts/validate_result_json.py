@@ -17,6 +17,11 @@ Each file must carry one of the three schemas emitted by the driver:
     contiguously from 1, each carrying a 16-hex solution digest and
     valid == true; full_resolve_ms / full_size present exactly when
     the epoch is marked sampled) plus a latency summary.
+  * ``domset-serve/1`` -- one load-generator document (``domset load
+    --json``, src/serve/load.cpp): op counts, query latency summaries
+    (overall / during commit windows / commit round-trips), the served
+    final epoch+size+digest, and epoch_digest_conflicts == 0 (an epoch
+    is immutable once published).
 
 With --expect-identical, additionally asserts that all domset-run/1
 records (standalone files only) carry the same solution digest -- the CI
@@ -25,7 +30,9 @@ bit-identical solutions without shipping the solutions themselves.  The
 real-graph CI job reuses it to prove the text, binary, and compressed
 loaders feed the solver the same graph.  domset-dynamic/1 records join
 the comparison through their summary.final_digest, proving replay runs
-are bit-identical across delivery modes and thread counts.
+are bit-identical across delivery modes and thread counts; domset-serve/1
+records join through final.digest, proving the served state agrees with
+an offline replay of the admitted mutation stream.
 
 Records whose graph came from a file (family "file") must carry a
 graph.source block (path, format in text|binary|compressed, load_ms);
@@ -41,6 +48,7 @@ import sys
 RUN_SCHEMA = "domset-run/1"
 BENCH_SCHEMA = "domset-bench/1"
 DYNAMIC_SCHEMA = "domset-dynamic/1"
+SERVE_SCHEMA = "domset-serve/1"
 DELIVERY_MODES = ("push", "pull", "auto")
 
 # (path, type) pairs; bool is checked before int because bool is an int
@@ -128,6 +136,7 @@ DYNAMIC_EPOCH_REQUIRED = [
     (("mutations",), int),
     (("touched",), int),
     (("ball_nodes",), int),
+    (("capped_nodes",), int),
     (("interior_nodes",), int),
     (("full_resolve",), bool),
     (("holes_patched",), int),
@@ -157,6 +166,7 @@ DYNAMIC_REQUIRED = [
     (("replay", "batch"), int),
     (("replay", "radius"), int),
     (("replay", "full_fraction"), (int, float)),
+    (("replay", "frontier_cap"), int),
     (("replay", "sample_full"), int),
     (("replay", "epochs"), int),
     (("epochs",), list),
@@ -170,6 +180,45 @@ DYNAMIC_REQUIRED = [
     (("summary", "p99_repair_ms"), (int, float)),
     (("summary", "median_full_resolve_ms"), (int, float)),
     (("summary", "speedup"), (int, float)),
+]
+
+# A latency summary of a domset-serve/1 document ({count, p50_ms, p99_ms}).
+SERVE_LATENCY_REQUIRED = [
+    (("count",), int),
+    (("p50_ms",), (int, float)),
+    (("p99_ms",), (int, float)),
+]
+
+SERVE_REQUIRED = [
+    (("schema",), str),
+    (("alg",), str),
+    (("graph", "family"), str),
+    (("graph", "nodes"), int),
+    (("graph", "edges"), int),
+    (("graph", "max_degree"), int),
+    (("exec", "seed"), int),
+    (("exec", "threads"), int),
+    (("exec", "delivery"), str),
+    (("params",), dict),
+    (("serve", "socket"), str),
+    (("serve", "bias"), str),
+    (("serve", "clients"), int),
+    (("serve", "queries_per_client"), int),
+    (("serve", "mutations"), int),
+    (("serve", "batch"), int),
+    (("ops", "mutate"), int),
+    (("ops", "commit"), int),
+    (("ops", "member"), int),
+    (("ops", "stats"), int),
+    (("ops", "digest"), int),
+    (("ops", "set"), int),
+    (("latency", "query"), dict),
+    (("latency", "query_during_repair"), dict),
+    (("latency", "commit"), dict),
+    (("final", "epoch"), int),
+    (("final", "size"), int),
+    (("final", "digest"), str),
+    (("epoch_digest_conflicts",), int),
 ]
 
 # Cell keys of a domset-bench/1 document, next to the embedded record.
@@ -490,6 +539,49 @@ def validate_dynamic_document(doc, label):
     return problems
 
 
+def validate_serve_document(doc, label):
+    """Problems with one domset-serve/1 load-generator document."""
+    problems = check_required(doc, SERVE_REQUIRED, label)
+    if doc.get("exec", {}).get("delivery") not in DELIVERY_MODES:
+        problems.append(
+            f"{label}: exec.delivery is {doc.get('exec', {}).get('delivery')!r}"
+        )
+    for key, value in doc.get("params", {}).items():
+        if not isinstance(value, str):
+            problems.append(f"{label}: param '{key}' must be a string echo")
+    for which in ("query", "query_during_repair", "commit"):
+        block = doc.get("latency", {}).get(which)
+        if isinstance(block, dict):
+            problems.extend(
+                check_required(block, SERVE_LATENCY_REQUIRED,
+                               f"{label}.latency.{which}")
+            )
+    if not is_digest(doc.get("final", {}).get("digest", "")):
+        problems.append(
+            f"{label}: final.digest must be 16 lowercase hex chars"
+        )
+    if doc.get("epoch_digest_conflicts") != 0:
+        problems.append(
+            f"{label}: epoch_digest_conflicts is "
+            f"{doc.get('epoch_digest_conflicts')!r} -- an epoch is "
+            "immutable once published, any conflict is a consistency bug"
+        )
+    ops = doc.get("ops", {})
+    query_count = doc.get("latency", {}).get("query", {}).get("count")
+    op_total = sum(
+        v for k, v in ops.items()
+        if k in ("member", "stats", "digest", "set")
+        and isinstance(v, int) and not isinstance(v, bool)
+    )
+    if isinstance(query_count, int) and not isinstance(query_count, bool) \
+            and query_count != op_total:
+        problems.append(
+            f"{label}: latency.query.count is {query_count}, but the "
+            f"query op counts sum to {op_total}"
+        )
+    return problems
+
+
 def validate(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -502,6 +594,8 @@ def validate(path):
         return record, validate_bench_document(record, path)
     if schema == DYNAMIC_SCHEMA:
         return record, validate_dynamic_document(record, path)
+    if schema == SERVE_SCHEMA:
+        return record, validate_serve_document(record, path)
     return record, validate_run_record(record, path)
 
 
@@ -521,6 +615,8 @@ def main(argv):
             continue
         if record.get("schema") == DYNAMIC_SCHEMA:
             digests[path] = record.get("summary", {}).get("final_digest")
+        elif record.get("schema") == SERVE_SCHEMA:
+            digests[path] = record.get("final", {}).get("digest")
         elif record.get("schema") != BENCH_SCHEMA:
             digests[path] = record.get("result", {}).get("digest")
 

@@ -34,15 +34,41 @@ adjacency_view as_view(const graph::graph& g) {
       [&g](graph::node_id v, const std::function<void(graph::node_id)>& f) {
         for (const graph::node_id u : g.neighbors(v)) f(u);
       };
+  view.degree = [&g](graph::node_id v) { return g.degree(v); };
   return view;
 }
 
+namespace {
+
+std::uint32_t view_degree(const adjacency_view& view, graph::node_id v) {
+  if (view.degree) return view.degree(v);
+  std::uint32_t count = 0;
+  view.for_each_neighbor(v, [&count](graph::node_id) { ++count; });
+  return count;
+}
+
+}  // namespace
+
 dirty_ball dirty_region(const adjacency_view& view,
                         std::span<const graph::node_id> seeds,
-                        std::uint32_t radius) {
+                        std::uint32_t radius, std::uint32_t degree_cap) {
   dirty_ball ball;
   ball.in_ball.assign(view.node_count, 0);
   ball.depth.assign(view.node_count, dirty_ball::unreached);
+  // A capped node joins the ball pinned to the boundary shell (depth ==
+  // radius): membership visible to the coverage check, never expanded,
+  // never re-decided.  Applied to seeds too -- a touched hub seeds no
+  // fan-out, its neighbors enter (if at all) through other seeds.
+  const auto admit = [&](graph::node_id v, std::uint32_t depth,
+                         std::deque<graph::node_id>& queue) {
+    if (degree_cap != 0 && view_degree(view, v) > degree_cap) {
+      ball.depth[v] = radius;
+      ++ball.capped;
+      return;
+    }
+    ball.depth[v] = depth;
+    if (depth < radius) queue.push_back(v);
+  };
   std::deque<graph::node_id> queue;
   for (const graph::node_id v : seeds) {
     if (v >= view.node_count)
@@ -50,20 +76,17 @@ dirty_ball dirty_region(const adjacency_view& view,
                                   " out of range");
     if (ball.in_ball[v]) continue;
     ball.in_ball[v] = 1;
-    ball.depth[v] = 0;
     ++ball.size;
-    queue.push_back(v);
+    admit(v, 0, queue);
   }
   while (!queue.empty()) {
     const graph::node_id v = queue.front();
     queue.pop_front();
-    if (ball.depth[v] == radius) continue;
     view.for_each_neighbor(v, [&](graph::node_id u) {
       if (ball.in_ball[u]) return;
       ball.in_ball[u] = 1;
-      ball.depth[u] = ball.depth[v] + 1;
       ++ball.size;
-      queue.push_back(u);
+      admit(u, ball.depth[v] + 1, queue);
     });
   }
   return ball;

@@ -56,6 +56,11 @@ struct adjacency_view {
   std::function<void(graph::node_id,
                      const std::function<void(graph::node_id)>&)>
       for_each_neighbor;
+  /// Optional O(1) degree oracle.  When absent, passes that need a
+  /// degree (the capped dirty-ball BFS) count neighbors instead --
+  /// correct but O(d) per query, so providers with a cheap degree
+  /// (CSR offsets, overlay counters) should fill it in.
+  std::function<std::uint32_t(graph::node_id)> degree;
 };
 
 /// Wraps a static CSR as an adjacency view.  The view borrows `g`'s
@@ -67,16 +72,30 @@ struct dirty_ball {
   std::vector<std::uint8_t> in_ball;  ///< indicator, indexed by node id
   /// BFS depth from the nearest seed; `unreached` outside the ball.
   std::vector<std::uint32_t> depth;
-  std::size_t size = 0;  ///< number of nodes in the ball
+  std::size_t size = 0;    ///< number of nodes in the ball
+  std::size_t capped = 0;  ///< nodes pinned to the shell by the degree cap
   static constexpr std::uint32_t unreached =
       std::numeric_limits<std::uint32_t>::max();
 };
 
 /// Multi-source BFS of `radius` hops around `seeds` over any adjacency
 /// view.  Duplicate seeds are fine; out-of-range seeds throw.
+///
+/// `degree_cap` (0 = off) bounds the frontier around hubs: a node whose
+/// degree exceeds the cap still *enters* the ball, but pinned to the
+/// boundary shell -- recorded at depth == radius and never expanded.
+/// That keeps two invariants the interior splice relies on: every
+/// neighbor of a non-capped interior node is in the ball (interior
+/// nodes expand normally), and a capped node's membership is never
+/// re-decided (shell nodes are pinned), so coverage outside the ball
+/// cannot regress.  The cost is quality, not validity -- the
+/// ball-restricted coverage check still sees every capped node, so
+/// holes at or around hubs are patched, and the escape hatch still
+/// guards the aggregate ball size.  See docs/dynamic.md.
 [[nodiscard]] dirty_ball dirty_region(const adjacency_view& view,
                                       std::span<const graph::node_id> seeds,
-                                      std::uint32_t radius);
+                                      std::uint32_t radius,
+                                      std::uint32_t degree_cap = 0);
 
 /// Induced subgraph of the nodes flagged in `keep`, extracted from a
 /// view (new ids are ascending original ids, matching

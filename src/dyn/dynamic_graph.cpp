@@ -106,6 +106,7 @@ core::adjacency_view dynamic_graph::view() const {
              const std::function<void(graph::node_id)>& f) {
         for (const graph::node_id u : neighbors(v)) f(u);
       };
+  view.degree = [this](graph::node_id v) { return degree(v); };
   return view;
 }
 

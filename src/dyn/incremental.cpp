@@ -69,9 +69,10 @@ epoch_report incremental_engine::commit_and_repair() {
 
   if (!commit.touched.empty()) {
     const core::adjacency_view view = dg_.view();
-    const core::dirty_ball ball =
-        core::dirty_region(view, commit.touched, params_.radius);
+    const core::dirty_ball ball = core::dirty_region(
+        view, commit.touched, params_.radius, params_.frontier_cap);
     report.ball_nodes = ball.size;
+    report.capped_nodes = ball.capped;
 
     const double limit =
         params_.full_fraction * static_cast<double>(dg_.node_count());

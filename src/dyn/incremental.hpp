@@ -56,6 +56,12 @@ struct incremental_params {
   /// Full re-solve when ball size > full_fraction * nodes (0 forces a
   /// full re-solve every epoch; must be >= 0).
   double full_fraction = 0.25;
+  /// Degree cap on the dirty-ball frontier (0 = off).  Nodes whose
+  /// committed degree exceeds the cap enter the ball pinned to the
+  /// boundary shell instead of fanning out -- hub-heavy graphs keep
+  /// radius 2 at large batches instead of tripping the escape hatch.
+  /// See core::dirty_region and docs/dynamic.md.
+  std::uint32_t frontier_cap = 0;
 };
 
 /// What one epoch did (timings belong to the caller).
@@ -64,6 +70,7 @@ struct epoch_report {
   std::size_t mutations = 0;      ///< batch size committed
   std::size_t touched = 0;        ///< distinct nodes the batch touched
   std::size_t ball_nodes = 0;     ///< dirty-ball size (0 on empty batch)
+  std::size_t capped_nodes = 0;   ///< frontier-cap pins (0 when cap off)
   std::size_t interior_nodes = 0; ///< re-decided nodes (depth < radius)
   bool full_resolve = false;      ///< escape hatch taken
   std::size_t holes_patched = 0;  ///< post-splice coverage holes fixed

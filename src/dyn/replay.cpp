@@ -52,6 +52,7 @@ replay_result run_replay(const graph::graph& g, std::string_view graph_family,
   out.batch = spec.batch;
   out.radius = spec.inc.radius;
   out.full_fraction = spec.inc.full_fraction;
+  out.frontier_cap = spec.inc.frontier_cap;
   out.sample_full = spec.sample_full;
 
   incremental_params ip = spec.inc;
@@ -166,6 +167,8 @@ std::string to_json(const replay_result& result) {
   out += "    \"batch\": " + std::to_string(result.batch) + ",\n";
   out += "    \"radius\": " + std::to_string(result.radius) + ",\n";
   out += "    \"full_fraction\": " + json_number(result.full_fraction) + ",\n";
+  out += "    \"frontier_cap\": " + std::to_string(result.frontier_cap) +
+         ",\n";
   out += "    \"sample_full\": " + std::to_string(result.sample_full) + ",\n";
   out += "    \"epochs\": " + std::to_string(result.summary.epochs) + "\n";
   out += "  },\n";
@@ -180,6 +183,7 @@ std::string to_json(const replay_result& result) {
     out += "      \"mutations\": " + std::to_string(r.mutations) + ",\n";
     out += "      \"touched\": " + std::to_string(r.touched) + ",\n";
     out += "      \"ball_nodes\": " + std::to_string(r.ball_nodes) + ",\n";
+    out += "      \"capped_nodes\": " + std::to_string(r.capped_nodes) + ",\n";
     out += "      \"interior_nodes\": " + std::to_string(r.interior_nodes) +
            ",\n";
     out += std::string("      \"full_resolve\": ") +

@@ -85,6 +85,7 @@ struct replay_result {
   std::size_t batch = 0;
   std::uint32_t radius = 0;
   double full_fraction = 0.0;
+  std::uint32_t frontier_cap = 0;
   std::size_t sample_full = 0;
   std::vector<replay_epoch> epochs;
   replay_summary summary;

@@ -1,0 +1,120 @@
+/// \file load.hpp
+/// \brief The `domset load` closed-loop load generator and its
+/// `domset-serve/1` JSON document.
+//
+// Drives a running `domset serve` instance with a seeded client mix:
+//
+//   * one *mutator* client mirrors the server's graph in a local
+//     dyn::dynamic_graph, draws mutations from the seeded dyn::workload
+//     generator (each validated against the mirror before sending),
+//     streams them as `mutate` requests, and seals an epoch with an
+//     explicit `commit` every `batch` mutations -- so epoch boundaries
+//     land exactly where an offline `domset replay --mutations <log>
+//     --batch <batch>` of the admitted stream puts them, which is what
+//     makes the served final digest reproducible offline;
+//
+//   * `clients` concurrent *query* clients each run a seeded stream of
+//     member/stats/digest/set queries, timing every round-trip.
+//
+// Afterwards every query is classified by whether its round-trip window
+// overlapped a commit window (the interval the admission mutex is held
+// for commit -> repair -> publish) -- those are the latency-under-repair
+// numbers.  Consistency evidence: every response names its epoch, and
+// any two responses naming the same epoch must agree on the digest
+// (`epoch_digest_conflicts` stays 0; the server additionally verifies
+// each epoch dominating before publish).
+//
+// `run_load` is a library function so the deterministic smoke test can
+// drive an in-process server over a temp socket; `domset load` wraps it
+// and emits the domset-serve/1 record (validated by
+// scripts/validate_result_json.py, joined into --expect-identical via
+// final.digest).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "dyn/workload.hpp"
+#include "exec/context.hpp"
+#include "graph/graph.hpp"
+
+namespace domset::serve {
+
+struct load_params {
+  std::string socket_path;
+  /// Concurrent query clients (the mutator is one more connection).
+  std::size_t clients = 8;
+  std::size_t queries_per_client = 200;
+  /// Total mutations the mutator streams.
+  std::size_t mutations = 256;
+  /// Explicit `commit` every this many mutations (> 0).
+  std::size_t batch = 32;
+  dyn::workload_params gen;
+  /// Base seed for the per-client query streams (client t draws from
+  /// derive_seed(query_seed, t)).
+  std::uint64_t query_seed = 1;
+  /// Send `shutdown` after the run (the CI teardown path).
+  bool shutdown_server = false;
+};
+
+struct latency_summary {
+  std::size_t count = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct load_report {
+  std::size_t clients = 0;
+  std::size_t mutations_sent = 0;
+  std::size_t commits = 0;
+  /// Query op counts across all clients.
+  std::size_t member_ops = 0;
+  std::size_t stats_ops = 0;
+  std::size_t digest_ops = 0;
+  std::size_t set_ops = 0;
+  latency_summary query;                ///< all query round-trips
+  latency_summary query_during_repair;  ///< overlapping a commit window
+  latency_summary commit;               ///< commit round-trips
+  std::uint64_t final_epoch = 0;
+  std::size_t final_size = 0;
+  std::string final_digest;  ///< 16 hex chars
+  /// Epochs observed with two different digests (must be 0: an epoch is
+  /// immutable once published).
+  std::size_t epoch_digest_conflicts = 0;
+  /// The admitted mutation stream, in order (for --log-out / offline
+  /// replay agreement).
+  std::vector<std::string> admitted;
+};
+
+/// Runs the load against `socket_path`.  `mirror_base` must be the same
+/// graph the server was started on (same family/n/seed flags) -- the
+/// mutator's mirror validates draws against it.  Throws
+/// std::runtime_error on connection failure or a rejected request.
+[[nodiscard]] load_report run_load(const graph::graph& mirror_base,
+                                   const load_params& params);
+
+/// Everything the domset-serve/1 record carries: the config echo plus
+/// the measured report.
+struct load_document {
+  std::string alg;
+  api::param_map params;
+  exec::context exec;
+  std::string graph_family;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::uint32_t max_degree = 0;
+  std::string socket;
+  std::string bias;
+  std::size_t clients = 0;
+  std::size_t queries_per_client = 0;
+  std::size_t mutations = 0;
+  std::size_t batch = 0;
+  load_report report;
+};
+
+/// Serializes one pretty-printed `domset-serve/1` object.
+[[nodiscard]] std::string to_json(const load_document& doc);
+
+}  // namespace domset::serve

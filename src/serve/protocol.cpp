@@ -1,0 +1,191 @@
+#include "serve/protocol.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace domset::serve {
+
+namespace {
+
+std::string_view strip(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t'))
+    text.remove_prefix(1);
+  while (!text.empty() &&
+         (text.back() == ' ' || text.back() == '\t' || text.back() == '\r' ||
+          text.back() == '\n'))
+    text.remove_suffix(1);
+  return text;
+}
+
+/// Splits off the first whitespace-delimited word.
+std::string_view take_word(std::string_view& rest) {
+  rest = strip(rest);
+  std::size_t end = 0;
+  while (end < rest.size() && rest[end] != ' ' && rest[end] != '\t') ++end;
+  const std::string_view word = rest.substr(0, end);
+  rest.remove_prefix(end);
+  rest = strip(rest);
+  return word;
+}
+
+graph::node_id parse_node(std::string_view text) {
+  graph::node_id value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || text.empty())
+    throw std::invalid_argument("'" + std::string(text) +
+                                "' is not a node id");
+  return value;
+}
+
+}  // namespace
+
+std::string to_string(const request& req) {
+  switch (req.kind) {
+    case request_kind::mutate:
+      return "mutate " + dyn::to_string(std::span<const dyn::mutation>(
+                             req.batch.data(), req.batch.size()));
+    case request_kind::commit: return "commit";
+    case request_kind::query_member:
+      return "query member " + std::to_string(req.node);
+    case request_kind::query_set: return "query set";
+    case request_kind::query_stats: return "query stats";
+    case request_kind::query_digest: return "query digest";
+    case request_kind::ping: return "ping";
+    case request_kind::shutdown: return "shutdown";
+  }
+  return "ping";
+}
+
+request parse_request(std::string_view line) {
+  std::string_view rest = strip(line);
+  if (rest.empty()) throw std::invalid_argument("empty request");
+  const std::string_view command = take_word(rest);
+
+  request req;
+  if (command == "mutate") {
+    req.kind = request_kind::mutate;
+    if (rest.empty())
+      throw std::invalid_argument("mutate needs a mutation batch");
+    req.batch = dyn::parse_mutation_list(rest);
+    return req;
+  }
+  if (command == "query") {
+    const std::string_view what = take_word(rest);
+    if (what == "member") {
+      req.kind = request_kind::query_member;
+      if (rest.empty())
+        throw std::invalid_argument("query member needs a node id");
+      req.node = parse_node(rest);
+      return req;
+    }
+    if (!rest.empty())
+      throw std::invalid_argument("trailing text after 'query " +
+                                  std::string(what) + "'");
+    if (what == "set") {
+      req.kind = request_kind::query_set;
+      return req;
+    }
+    if (what == "stats") {
+      req.kind = request_kind::query_stats;
+      return req;
+    }
+    if (what == "digest") {
+      req.kind = request_kind::query_digest;
+      return req;
+    }
+    throw std::invalid_argument(
+        "unknown query '" + std::string(what) +
+        "': expected member, set, stats or digest");
+  }
+  if (!rest.empty())
+    throw std::invalid_argument("trailing text after '" +
+                                std::string(command) + "'");
+  if (command == "commit") {
+    req.kind = request_kind::commit;
+    return req;
+  }
+  if (command == "ping") {
+    req.kind = request_kind::ping;
+    return req;
+  }
+  if (command == "shutdown") {
+    req.kind = request_kind::shutdown;
+    return req;
+  }
+  throw std::invalid_argument(
+      "unknown command '" + std::string(command) +
+      "': expected mutate, commit, query, ping or shutdown");
+}
+
+request parse_request_line(std::string_view line, std::size_t line_no) {
+  try {
+    return parse_request(line);
+  } catch (const std::invalid_argument& err) {
+    throw std::invalid_argument("request line " + std::to_string(line_no) +
+                                ": " + err.what());
+  }
+}
+
+std::string response::get(std::string_view key) const {
+  for (const auto& field : fields)
+    if (field.first == key) return field.second;
+  return {};
+}
+
+bool response::has(std::string_view key) const {
+  for (const auto& field : fields)
+    if (field.first == key) return true;
+  return false;
+}
+
+std::string format_ok(
+    std::vector<std::pair<std::string, std::string>> fields) {
+  std::string out = "ok";
+  for (const auto& [key, value] : fields) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+std::string format_error(std::size_t line_no, std::string_view message) {
+  // The parse_request_line wrapper already prefixed parser errors; only
+  // add the prefix when the message lacks it (server-side errors).
+  const std::string prefix = "request line " + std::to_string(line_no) + ": ";
+  std::string out = "err ";
+  if (std::string_view(message).substr(0, prefix.size()) == prefix)
+    out += message;
+  else
+    out += prefix + std::string(message);
+  return out;
+}
+
+response parse_response(std::string_view line) {
+  std::string_view rest = strip(line);
+  const std::string_view head = take_word(rest);
+  response resp;
+  if (head == "err") {
+    resp.ok = false;
+    resp.error = std::string(rest);
+    return resp;
+  }
+  if (head != "ok")
+    throw std::invalid_argument("response must start with 'ok' or 'err', got '" +
+                                std::string(head) + "'");
+  resp.ok = true;
+  while (!rest.empty()) {
+    const std::string_view token = take_word(rest);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos)
+      throw std::invalid_argument("response field '" + std::string(token) +
+                                  "' lacks '='");
+    resp.fields.emplace_back(std::string(token.substr(0, eq)),
+                             std::string(token.substr(eq + 1)));
+  }
+  return resp;
+}
+
+}  // namespace domset::serve

@@ -1,0 +1,96 @@
+/// \file protocol.hpp
+/// \brief The line-delimited request/response grammar of `domset serve`.
+//
+// One request per line, one response line per request, over a local
+// stream socket.  Requests:
+//
+//   mutate <batch>     apply a '+'-joined mutation batch (dyn grammar,
+//                      e.g. "mutate add=0-1+del=2-3") to the pending set
+//   commit             seal the pending batch as the next epoch and wait
+//                      for the repair to publish
+//   query member <v>   membership of node v in the current epoch's set
+//   query set          the full dominating set of the current epoch
+//   query stats        shape + size + digest of the current epoch
+//   query digest       size + digest of the current epoch
+//   ping               liveness + current epoch
+//   shutdown           drain, final-commit, stop the server
+//
+// Responses are `ok key=value ...` on success or
+// `err request line <n>: <message>` on failure, where <n> is the 1-based
+// request counter of the connection -- the same line-numbered error
+// convention as the mutation-log and edge-list parsers.  Values never
+// contain spaces (the set is comma-joined), so responses tokenize on
+// whitespace.
+//
+// Parsing and formatting are pure functions, round-trippable and
+// testable without a socket (tests/serve_protocol_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dyn/mutation.hpp"
+#include "graph/graph.hpp"
+
+namespace domset::serve {
+
+enum class request_kind : std::uint8_t {
+  mutate,
+  commit,
+  query_member,
+  query_set,
+  query_stats,
+  query_digest,
+  ping,
+  shutdown,
+};
+
+struct request {
+  request_kind kind = request_kind::ping;
+  std::vector<dyn::mutation> batch;  ///< mutate only
+  graph::node_id node = 0;           ///< query member only
+
+  friend bool operator==(const request&, const request&) = default;
+};
+
+/// Renders the canonical request line ("mutate add=0-1", "query member 7").
+[[nodiscard]] std::string to_string(const request& req);
+
+/// Parses one request line (throws std::invalid_argument naming the
+/// problem; no line number -- see parse_request_line).
+[[nodiscard]] request parse_request(std::string_view line);
+
+/// Parses one request line, prefixing any error with
+/// "request line <line_no>: " -- the per-connection counter the server
+/// reports back in `err` responses.
+[[nodiscard]] request parse_request_line(std::string_view line,
+                                         std::size_t line_no);
+
+/// One parsed response line.
+struct response {
+  bool ok = false;
+  /// Ordered key=value fields of an `ok` response.
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::string error;  ///< the message of an `err` response
+
+  /// Value of `key`, or the empty string when absent.
+  [[nodiscard]] std::string get(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const;
+};
+
+/// Renders `ok key=value ...` (fields may be empty: plain "ok").
+[[nodiscard]] std::string format_ok(
+    std::vector<std::pair<std::string, std::string>> fields);
+
+/// Renders `err request line <line_no>: <message>`.
+[[nodiscard]] std::string format_error(std::size_t line_no,
+                                       std::string_view message);
+
+/// Parses a response line (throws std::invalid_argument on lines that
+/// are neither `ok ...` nor `err ...`).
+[[nodiscard]] response parse_response(std::string_view line);
+
+}  // namespace domset::serve

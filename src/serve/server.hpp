@@ -1,0 +1,144 @@
+/// \file server.hpp
+/// \brief The `domset serve` resident server: a dyn::incremental_engine
+/// plus lock-free query answering over reader epoch pinning.
+//
+// Threading model (the reader/writer contract, see docs/serve.md):
+//
+//   * Queries never take a lock.  Every query pins the current epoch in
+//     the serve::epoch_store (an immutable {snapshot, solution, digest}
+//     published per commit) and answers from it -- so query latency is
+//     independent of whatever the writer is doing, including a
+//     full-re-solve fallback.
+//
+//   * Mutations are *admitted* under the admission mutex into the
+//     engine's pending batch (snapshot isolation hides them from the
+//     committed surface), and a single writer thread seals batches:
+//     commit -> incremental repair -> snapshot -> verify dominating ->
+//     publish.  The whole commit window holds the admission mutex
+//     (mutators queue behind it; that is the admission-batching policy),
+//     because dyn::dynamic_graph::snapshot() rebases the overlay --
+//     a concurrent apply() would race the rebase.
+//
+//   * Commit triggers: an explicit `commit` request (the deterministic
+//     path -- epoch boundaries land exactly where the client puts them,
+//     which is what makes the served digest reproducible by an offline
+//     `domset replay` of the same stream), a pending count reaching
+//     `batch_max` (0 = off), or the `interval_ms` timer (0 = off).
+//
+//   * Every published epoch is verified dominating against its own
+//     snapshot before readers can see it -- validity is a contract, as
+//     in `domset replay`.
+//
+// The wire protocol is serve/protocol.hpp over an AF_UNIX stream
+// socket, one thread per connection.  `handle_line()` is public so
+// tests (and in-process embedding) can drive the full request surface
+// without a socket.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "dyn/incremental.hpp"
+#include "graph/graph.hpp"
+#include "serve/epoch_store.hpp"
+
+namespace domset::serve {
+
+struct server_params {
+  /// AF_UNIX socket path (`run()` binds it; unused by in-process use).
+  std::string socket_path;
+  dyn::incremental_params inc;
+  /// Auto-commit once this many mutations are pending (0 = only explicit
+  /// `commit` requests seal epochs -- the reproducible configuration).
+  std::size_t batch_max = 0;
+  /// Auto-commit a non-empty pending batch after this long (0 = off).
+  double interval_ms = 0.0;
+  /// Epoch-store wheel size (resident epochs: current + pinned-retired).
+  std::size_t epoch_slots = 64;
+};
+
+struct server_stats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t mutations_admitted = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t epochs_published = 0;
+  std::uint64_t epochs_reclaimed = 0;
+};
+
+class server {
+ public:
+  /// Solves `base` from scratch (epoch 0), publishes it, and starts the
+  /// writer thread.  Throws what dyn::incremental_engine throws.
+  server(graph::graph base, server_params params);
+  ~server();
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Binds the socket, accepts connections, and blocks until a
+  /// `shutdown` request (or `request_stop()`).  Performs the final
+  /// drain-commit before returning.  Throws std::runtime_error on
+  /// socket errors.
+  void run();
+
+  /// Stops `run()` from another thread: wakes the writer for the final
+  /// drain-commit and unblocks every connection.
+  void request_stop();
+
+  /// Processes one request line and returns the response line (no
+  /// trailing newline).  `line_no` is the connection's 1-based request
+  /// counter, echoed in errors.  Sets `*want_shutdown` (if non-null)
+  /// when the request asks for server shutdown -- the caller replies
+  /// first, then calls request_stop().  Thread-safe.
+  [[nodiscard]] std::string handle_line(std::string_view line,
+                                        std::size_t line_no,
+                                        bool* want_shutdown = nullptr);
+
+  /// Pins the current epoch (lock-free; the in-process query surface).
+  [[nodiscard]] pinned_epoch pin() { return store_.pin(); }
+
+  [[nodiscard]] server_stats stats() const;
+
+  /// Direct store access for tests (pin/commit stress, reclamation).
+  [[nodiscard]] epoch_store& store() { return store_; }
+
+ private:
+  void writer_loop();
+  /// Seals the pending batch and publishes the new epoch.  Requires the
+  /// admission mutex held.
+  void commit_locked();
+  /// Snapshot + verify + publish the engine's current state.  Requires
+  /// the admission mutex held (snapshot() rebases the overlay).
+  void publish_locked();
+  void connection_loop(int fd);
+
+  server_params params_;
+  dyn::incremental_engine engine_;
+  epoch_store store_;
+
+  std::mutex mu_;  ///< admission: pending surface + the commit window
+  std::condition_variable writer_cv_;
+  std::condition_variable commit_cv_;
+  std::size_t pending_ = 0;
+  bool commit_requested_ = false;
+  bool stop_ = false;
+  std::thread writer_;
+
+  int listen_fd_ = -1;
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;  ///< -1 once a connection has closed
+  std::vector<std::thread> conn_threads_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> mutations_admitted_{0};
+  std::atomic<std::uint64_t> commits_{0};
+};
+
+}  // namespace domset::serve

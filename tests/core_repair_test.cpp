@@ -147,6 +147,43 @@ TEST(RepairView, DirtyRegionReportsDepthsAndSize) {
                std::invalid_argument);
 }
 
+TEST(RepairView, DegreeCapPinsHubsToTheBoundaryShell) {
+  // A star: the hub dominates every BFS, so any ball touching a leaf
+  // swallows the whole graph.  With the cap below the hub degree the hub
+  // enters pinned at depth == radius -- in the ball (the coverage check
+  // must see it) but never expanded (no fan-out to the other leaves).
+  const graph::graph g = graph::star_graph(101);  // hub 0, leaves 1..100
+  const std::vector<graph::node_id> seeds = {1};
+
+  const core::dirty_ball uncapped =
+      core::dirty_region(core::as_view(g), seeds, 2);
+  EXPECT_EQ(uncapped.size, 101U);  // leaf -> hub -> every other leaf
+  EXPECT_EQ(uncapped.capped, 0U);
+
+  const core::dirty_ball capped =
+      core::dirty_region(core::as_view(g), seeds, 2, /*degree_cap=*/16);
+  EXPECT_EQ(capped.size, 2U);  // just the seed leaf and the pinned hub
+  EXPECT_EQ(capped.capped, 1U);
+  EXPECT_EQ(capped.depth[1], 0U);
+  EXPECT_EQ(capped.depth[0], 2U);  // pinned to the boundary shell
+  EXPECT_EQ(capped.depth[2], core::dirty_ball::unreached);
+
+  // A capped *seed* is still admitted (pinned), so mutations touching a
+  // hub always leave it visible to the coverage check.
+  const std::vector<graph::node_id> hub_seed = {0};
+  const core::dirty_ball hub_ball =
+      core::dirty_region(core::as_view(g), hub_seed, 2, 16);
+  EXPECT_EQ(hub_ball.size, 1U);
+  EXPECT_EQ(hub_ball.capped, 1U);
+  EXPECT_EQ(hub_ball.depth[0], 2U);
+
+  // A cap at or above the max degree changes nothing.
+  const core::dirty_ball loose =
+      core::dirty_region(core::as_view(g), seeds, 2, 100);
+  EXPECT_EQ(loose.size, 101U);
+  EXPECT_EQ(loose.capped, 0U);
+}
+
 TEST(RepairView, ExtractSubgraphMatchesInducedSubgraph) {
   // Keeping {1, 2, 3, 5} of a 6-cycle keeps edges 1-2 and 2-3 (5's cycle
   // neighbors 4 and 0 are dropped), with ascending original ids.

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -92,6 +93,76 @@ TEST(DynIncremental, ReplayDigestsAreBitIdenticalAcrossExecKnobs) {
       dyn::workload gen(wp);
       std::vector<std::uint64_t> digests{engine.digest()};
       for (int epoch = 0; epoch < 5; ++epoch) {
+        for (int i = 0; i < 8; ++i)
+          engine.network().apply(
+              gen.next(engine.network(), engine.network().rebase_point()));
+        digests.push_back(engine.commit_and_repair().digest);
+      }
+      histories.push_back(std::move(digests));
+    }
+  }
+  for (std::size_t i = 1; i < histories.size(); ++i)
+    EXPECT_EQ(histories[i], histories[0]) << "configuration " << i;
+}
+
+TEST(DynIncremental, FrontierCapKeepsHubBallsSmallAndValid) {
+  // Hub-biased mutations on a BA graph: uncapped radius-2 balls swallow
+  // a hub's whole neighborhood; with the cap the same epochs stay
+  // incremental with strictly smaller balls, pin counts reported, and
+  // every epoch still verified dominating.
+  const graph::graph base = test_graph(400, 13);
+  const auto run = [&](std::uint32_t cap) {
+    incremental_params params = base_params();
+    params.exec.seed = 13;
+    params.frontier_cap = cap;
+    incremental_engine engine(base, params);
+    dyn::workload_params wp;
+    wp.seed = 13;
+    wp.bias = dyn::workload_bias::hub;
+    dyn::workload gen(wp);
+    std::size_t ball_total = 0, capped_total = 0;
+    for (int epoch = 0; epoch < 6; ++epoch) {
+      for (int i = 0; i < 10; ++i)
+        engine.network().apply(
+            gen.next(engine.network(), engine.network().rebase_point()));
+      const dyn::epoch_report rep = engine.commit_and_repair();
+      ball_total += rep.ball_nodes;
+      capped_total += rep.capped_nodes;
+      EXPECT_TRUE(
+          verify::is_dominating_set(engine.snapshot(), engine.solution()))
+          << "cap " << cap << " epoch " << epoch;
+    }
+    return std::pair{ball_total, capped_total};
+  };
+
+  const auto [uncapped_ball, uncapped_pins] = run(0);
+  const auto [capped_ball, capped_pins] = run(8);
+  EXPECT_EQ(uncapped_pins, 0U);
+  EXPECT_GT(capped_pins, 0U);
+  EXPECT_LT(capped_ball, uncapped_ball);
+}
+
+TEST(DynIncremental, FrontierCapDigestsStayDeterministicAcrossExecKnobs) {
+  // The cap changes which nodes re-decide, so digests differ from the
+  // uncapped run -- but they must still be a pure function of (graph,
+  // params, seed), identical across delivery modes and thread counts.
+  const graph::graph base = test_graph(300, 9);
+  std::vector<std::vector<std::uint64_t>> histories;
+  for (const sim::delivery_mode delivery :
+       {sim::delivery_mode::push, sim::delivery_mode::pull}) {
+    for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+      incremental_params params = base_params();
+      params.exec.seed = 7;
+      params.exec.threads = threads;
+      params.exec.delivery = delivery;
+      params.frontier_cap = 12;
+      incremental_engine engine(base, params);
+      dyn::workload_params wp;
+      wp.seed = 7;
+      wp.bias = dyn::workload_bias::hub;
+      dyn::workload gen(wp);
+      std::vector<std::uint64_t> digests{engine.digest()};
+      for (int epoch = 0; epoch < 4; ++epoch) {
         for (int i = 0; i < 8; ++i)
           engine.network().apply(
               gen.next(engine.network(), engine.network().rebase_point()));

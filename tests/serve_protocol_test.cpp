@@ -1,0 +1,115 @@
+// The wire grammar of `domset serve`: requests and responses round-trip
+// through their canonical text, and every parse error carries the
+// 1-based per-connection request line, matching the mutation-log and
+// edge-list parser style.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dyn/mutation.hpp"
+#include "serve/protocol.hpp"
+
+namespace domset {
+namespace {
+
+using serve::format_error;
+using serve::format_ok;
+using serve::parse_request;
+using serve::parse_request_line;
+using serve::parse_response;
+using serve::request;
+using serve::request_kind;
+using serve::response;
+
+TEST(ServeProtocol, RequestsRoundTripThroughCanonicalText) {
+  std::vector<request> cases;
+  request mutate;
+  mutate.kind = request_kind::mutate;
+  mutate.batch = dyn::parse_mutation_list("add=0-1+del=2-3+addnode=7");
+  cases.push_back(mutate);
+  cases.push_back({request_kind::commit, {}, 0});
+  cases.push_back({request_kind::query_member, {}, 42});
+  cases.push_back({request_kind::query_set, {}, 0});
+  cases.push_back({request_kind::query_stats, {}, 0});
+  cases.push_back({request_kind::query_digest, {}, 0});
+  cases.push_back({request_kind::ping, {}, 0});
+  cases.push_back({request_kind::shutdown, {}, 0});
+
+  for (const request& req : cases) {
+    const std::string text = serve::to_string(req);
+    EXPECT_EQ(parse_request(text), req) << text;
+    // Wire tolerance: surrounding whitespace and the trailing CR a
+    // netcat-style client leaves behind.
+    EXPECT_EQ(parse_request("  " + text + " \r"), req) << text;
+  }
+}
+
+TEST(ServeProtocol, ParseRejectsMalformedRequests) {
+  EXPECT_THROW(parse_request(""), std::invalid_argument);
+  EXPECT_THROW(parse_request("   "), std::invalid_argument);
+  EXPECT_THROW(parse_request("frobnicate"), std::invalid_argument);
+  EXPECT_THROW(parse_request("mutate"), std::invalid_argument);
+  EXPECT_THROW(parse_request("mutate bogus=1-2"), std::invalid_argument);
+  EXPECT_THROW(parse_request("query"), std::invalid_argument);
+  EXPECT_THROW(parse_request("query member"), std::invalid_argument);
+  EXPECT_THROW(parse_request("query member x"), std::invalid_argument);
+  EXPECT_THROW(parse_request("query member 1 2"), std::invalid_argument);
+  EXPECT_THROW(parse_request("query everything"), std::invalid_argument);
+  EXPECT_THROW(parse_request("commit now"), std::invalid_argument);
+  EXPECT_THROW(parse_request("ping pong"), std::invalid_argument);
+}
+
+TEST(ServeProtocol, ErrorsNameTheRequestLine) {
+  try {
+    (void)parse_request_line("query member x", 7);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_EQ(std::string(err.what()).rfind("request line 7: ", 0), 0u)
+        << err.what();
+  }
+  // Valid lines pass through untouched.
+  EXPECT_EQ(parse_request_line("ping", 3).kind, request_kind::ping);
+}
+
+TEST(ServeProtocol, FormatErrorPrefixesOnceAndOnlyOnce) {
+  const std::string plain = format_error(4, "node 9 out of range");
+  EXPECT_EQ(plain, "err request line 4: node 9 out of range");
+  // A message already carrying its line prefix (the parse_request_line
+  // path) must not be double-prefixed.
+  const std::string prefixed =
+      format_error(4, "request line 4: 'x' is not a node id");
+  EXPECT_EQ(prefixed, "err request line 4: 'x' is not a node id");
+}
+
+TEST(ServeProtocol, ResponsesRoundTripWithOrderedFields) {
+  const std::string ok =
+      format_ok({{"epoch", "3"}, {"size", "17"}, {"digest", "00ff00ff00ff00ff"}});
+  EXPECT_EQ(ok, "ok epoch=3 size=17 digest=00ff00ff00ff00ff");
+  const response parsed = parse_response(ok);
+  EXPECT_TRUE(parsed.ok);
+  ASSERT_EQ(parsed.fields.size(), 3u);
+  EXPECT_EQ(parsed.get("epoch"), "3");
+  EXPECT_EQ(parsed.get("digest"), "00ff00ff00ff00ff");
+  EXPECT_TRUE(parsed.has("size"));
+  EXPECT_FALSE(parsed.has("nodes"));
+  EXPECT_EQ(parsed.get("nodes"), "");
+
+  const response err = parse_response("err request line 2: bad things");
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.error, "request line 2: bad things");
+
+  EXPECT_THROW(parse_response("maybe"), std::invalid_argument);
+  EXPECT_THROW(parse_response("ok naked-field"), std::invalid_argument);
+}
+
+TEST(ServeProtocol, EmptyOkHasNoFields) {
+  EXPECT_EQ(format_ok({}), "ok");
+  const response parsed = parse_response("ok");
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_TRUE(parsed.fields.empty());
+}
+
+}  // namespace
+}  // namespace domset

@@ -19,6 +19,15 @@
 ///       epochs through the frontier-restricted incremental engine
 ///       (src/dyn): dirty-ball re-solve + splice per epoch, sampled
 ///       full-re-solve comparisons, one domset-dynamic/1 document
+///   domset serve --socket /tmp/domset.sock --graph ba --n 100000
+///       keep the solved instance resident behind an AF_UNIX line
+///       protocol: mutations admitted into the incremental engine,
+///       lock-free epoch-pinned queries (src/serve, docs/serve.md)
+///   domset load --socket /tmp/domset.sock --graph ba --n 100000
+///               --clients 8 --json
+///       closed-loop load generator against a running server: seeded
+///       mutator + concurrent query clients, p50/p99 latency under
+///       repair, one domset-serve/1 document
 ///   domset gen --graph ba --n 100000 --seed 1 --out graph.txt
 ///       write a generated family as a text edge list (CI fixtures,
 ///       reproducible by seed)
@@ -54,6 +63,8 @@
 #include "exec/context.hpp"
 #include "graph/csr_file.hpp"
 #include "graph/io.hpp"
+#include "serve/load.hpp"
+#include "serve/server.hpp"
 #include "sim/delivery.hpp"
 #include "verify/verify.hpp"
 
@@ -452,6 +463,11 @@ int cmd_replay(int argc, const char* const* argv) {
   cli.add_flag("full-fraction", "0.25",
                "fall back to a full re-solve when the dirty ball exceeds "
                "this fraction of the graph (0 = always full)");
+  cli.add_flag("frontier-cap", "0",
+               "pin nodes with degree above this cap to the dirty-ball "
+               "boundary instead of expanding them (0 = off; keeps "
+               "radius 2 usable on hub-heavy graphs)");
+  cli.require_nonnegative_int("frontier-cap");
   cli.add_flag("sample-full", "8",
                "every k-th epoch also times a from-scratch re-solve for "
                "the comparison columns (0 = never)");
@@ -473,6 +489,8 @@ int cmd_replay(int argc, const char* const* argv) {
   }
   spec.inc.radius = static_cast<std::uint32_t>(cli.get_int("ball-radius"));
   spec.inc.full_fraction = cli.get_double("full-fraction");
+  spec.inc.frontier_cap =
+      static_cast<std::uint32_t>(cli.get_int("frontier-cap"));
   spec.batch = static_cast<std::size_t>(cli.get_int("batch"));
   spec.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   spec.sample_full = static_cast<std::size_t>(cli.get_int("sample-full"));
@@ -532,6 +550,231 @@ int cmd_replay(int argc, const char* const* argv) {
       result.summary.median_repair_ms, result.summary.p99_repair_ms,
       result.summary.median_full_resolve_ms, result.summary.speedup);
   return 0;
+}
+
+/// `domset serve`: keep a solved instance resident behind an AF_UNIX
+/// line-protocol socket -- mutations are admitted into the incremental
+/// engine's pending batch, commits seal epochs (explicit `commit`
+/// requests, --batch, or --interval-ms), and queries answer lock-free
+/// from pinned epochs.  See docs/serve.md for the protocol and the
+/// reader/writer contract.
+int cmd_serve(int argc, const char* const* argv) {
+  common::cli_parser cli(
+      "Serve a resident solved instance over an AF_UNIX line protocol "
+      "(lock-free epoch-pinned queries, single-writer commits)");
+  cli.add_flag("socket", "", "AF_UNIX socket path to bind (required)");
+  cli.add_flag("alg", "pipeline",
+               "incumbent solver (must produce an integral set)");
+  cli.add_flag("graph", "gnp", "graph family (see `domset list`)");
+  cli.add_flag("n", "1000", "approximate node count");
+  cli.require_nonnegative_int("n");
+  cli.add_exec_flags();
+  add_param_flags(cli, solver_param_flags);
+  add_param_flags(cli, graph_param_flags);
+  cli.add_flag("ball-radius", "2",
+               "dirty-ball radius in hops around the touched nodes (>= 1)");
+  cli.require_nonnegative_int("ball-radius");
+  cli.add_flag("full-fraction", "0.25",
+               "fall back to a full re-solve when the dirty ball exceeds "
+               "this fraction of the graph (0 = always full)");
+  cli.add_flag("frontier-cap", "0",
+               "pin nodes with degree above this cap to the dirty-ball "
+               "boundary instead of expanding them (0 = off)");
+  cli.require_nonnegative_int("frontier-cap");
+  cli.add_flag("batch", "0",
+               "auto-commit once this many mutations are pending (0 = only "
+               "explicit `commit` requests seal epochs -- the reproducible "
+               "configuration)");
+  cli.require_nonnegative_int("batch");
+  cli.add_flag("interval-ms", "0",
+               "auto-commit a non-empty pending batch after this many "
+               "milliseconds (0 = off)");
+  cli.add_flag("epoch-slots", "64",
+               "epoch-store wheel size (resident epochs: current + "
+               "pinned-retired)");
+  cli.require_nonnegative_int("epoch-slots");
+  if (!cli.parse(argc, argv)) return 2;
+  if (cli.get_string("socket").empty()) {
+    std::fprintf(stderr, "domset serve: --socket is required\n");
+    return 2;
+  }
+
+  serve::server_params params;
+  params.socket_path = cli.get_string("socket");
+  params.inc.solver = cli.get_string("alg");
+  params.inc.exec = cli.exec();
+  forward_set_flags(cli, solver_param_flags, params.inc.solver_params);
+  if (params.inc.solver_params.contains("repair") ||
+      params.inc.solver_params.contains("repair-radius")) {
+    std::fprintf(stderr,
+                 "domset serve: --repair/--repair-radius do not compose "
+                 "here -- the serve engine is the repair pass\n");
+    return 2;
+  }
+  params.inc.radius = static_cast<std::uint32_t>(cli.get_int("ball-radius"));
+  params.inc.full_fraction = cli.get_double("full-fraction");
+  params.inc.frontier_cap =
+      static_cast<std::uint32_t>(cli.get_int("frontier-cap"));
+  params.batch_max = static_cast<std::size_t>(cli.get_int("batch"));
+  params.interval_ms = cli.get_double("interval-ms");
+  params.epoch_slots = static_cast<std::size_t>(cli.get_int("epoch-slots"));
+
+  api::param_map graph_params;
+  forward_set_flags(cli, graph_param_flags, graph_params);
+  graph::graph g =
+      api::make_graph(cli.get_string("graph"),
+                      static_cast<std::size_t>(cli.get_int("n")),
+                      params.inc.exec.seed, graph_params);
+
+  serve::server srv(std::move(g), params);
+  srv.run();
+  const serve::server_stats stats = srv.stats();
+  std::fprintf(stderr,
+               "domset serve: %llu connections, %llu requests, %llu "
+               "mutations, %llu commits, %llu epochs published (%llu "
+               "reclaimed)\n",
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.mutations_admitted),
+               static_cast<unsigned long long>(stats.commits),
+               static_cast<unsigned long long>(stats.epochs_published),
+               static_cast<unsigned long long>(stats.epochs_reclaimed));
+  return 0;
+}
+
+/// `domset load`: closed-loop load generator against a running `domset
+/// serve` -- one mutator client (seeded workload mirror, explicit commit
+/// every --batch) plus --clients concurrent query clients, reporting
+/// query p50/p99 overall and during commit windows as one domset-serve/1
+/// document.  The graph flags must repeat the server's so the mutator's
+/// mirror matches.
+int cmd_load(int argc, const char* const* argv) {
+  common::cli_parser cli(
+      "Drive a running `domset serve` with a seeded concurrent client mix "
+      "and measure query latency under repair (domset-serve/1 output)");
+  cli.add_flag("socket", "",
+               "AF_UNIX socket path of the running server (required)");
+  cli.add_flag("alg", "pipeline",
+               "the server's incumbent solver, echoed into the record");
+  cli.add_flag("graph", "gnp",
+               "graph family -- must match the server's flags");
+  cli.add_flag("n", "1000", "approximate node count (must match the server)");
+  cli.require_nonnegative_int("n");
+  cli.add_flag("seed", "1",
+               "graph + workload seed (graph part must match the server)");
+  cli.require_nonnegative_int("seed");
+  add_param_flags(cli, graph_param_flags);
+  cli.add_flag("clients", "8", "concurrent query clients");
+  cli.require_nonnegative_int("clients");
+  cli.add_flag("queries", "200", "queries per client");
+  cli.require_nonnegative_int("queries");
+  cli.add_flag("mutations", "256", "total mutations the mutator streams");
+  cli.require_nonnegative_int("mutations");
+  cli.add_flag("batch", "32", "explicit `commit` every this many mutations");
+  cli.require_nonnegative_int("batch");
+  cli.add_flag("bias", "uniform",
+               "generator endpoint bias: uniform | hub (degree-biased)");
+  cli.add_flag("log-out", "",
+               "write the admitted mutation stream to this file (replayable "
+               "offline: domset replay --mutations <file> --batch <batch>)");
+  cli.add_switch("shutdown", "send `shutdown` after the run (CI teardown)");
+  cli.add_switch("json", "emit the domset-serve/1 JSON document");
+  cli.add_flag("out", "", "write the document to this file instead of stdout");
+  if (!cli.parse(argc, argv)) return 2;
+  if (cli.get_string("socket").empty()) {
+    std::fprintf(stderr, "domset load: --socket is required\n");
+    return 2;
+  }
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  serve::load_params params;
+  params.socket_path = cli.get_string("socket");
+  params.clients = static_cast<std::size_t>(cli.get_int("clients"));
+  params.queries_per_client =
+      static_cast<std::size_t>(cli.get_int("queries"));
+  params.mutations = static_cast<std::size_t>(cli.get_int("mutations"));
+  params.batch = static_cast<std::size_t>(cli.get_int("batch"));
+  params.gen.bias = dyn::parse_workload_bias(cli.get_string("bias"));
+  params.gen.seed = seed;
+  params.query_seed = seed;
+  params.shutdown_server = cli.get_bool("shutdown");
+
+  api::param_map graph_params;
+  forward_set_flags(cli, graph_param_flags, graph_params);
+  const std::string family = cli.get_string("graph");
+  const graph::graph mirror_base =
+      api::make_graph(family, static_cast<std::size_t>(cli.get_int("n")),
+                      seed, graph_params);
+
+  const serve::load_report report = serve::run_load(mirror_base, params);
+
+  const std::string log_path = cli.get_string("log-out");
+  if (!log_path.empty()) {
+    std::ofstream log(log_path, std::ios::trunc);
+    if (!log) {
+      std::fprintf(stderr, "domset load: cannot write '%s'\n",
+                   log_path.c_str());
+      return 2;
+    }
+    log << "# admitted mutation stream (domset load --seed " << seed
+        << " --bias " << cli.get_string("bias") << " --batch "
+        << params.batch << ")\n";
+    for (const std::string& atom : report.admitted) log << atom << '\n';
+    log.flush();
+    if (!log) {
+      std::fprintf(stderr, "domset load: write to '%s' failed\n",
+                   log_path.c_str());
+      return 2;
+    }
+  }
+
+  if (cli.get_bool("json") || cli.is_set("out")) {
+    serve::load_document doc;
+    doc.alg = cli.get_string("alg");
+    doc.params = graph_params;
+    doc.exec.seed = seed;
+    doc.graph_family = family;
+    doc.nodes = mirror_base.node_count();
+    doc.edges = mirror_base.edge_count();
+    doc.max_degree = mirror_base.max_degree();
+    doc.socket = params.socket_path;
+    doc.bias = cli.get_string("bias");
+    doc.clients = params.clients;
+    doc.queries_per_client = params.queries_per_client;
+    doc.mutations = params.mutations;
+    doc.batch = params.batch;
+    doc.report = report;
+    const int status =
+        write_output(serve::to_json(doc), cli.get_string("out"));
+    if (status != 0) return status;
+    if (!cli.get_string("out").empty())
+      std::fprintf(stderr, "domset load: %zu queries over %zu clients -> %s\n",
+                   report.query.count, report.clients,
+                   cli.get_string("out").c_str());
+  } else {
+    std::printf("clients : %zu (+1 mutator), %zu queries total\n",
+                report.clients, report.query.count);
+    std::printf("ops     : mutate %zu, commit %zu, member %zu, stats %zu, "
+                "digest %zu, set %zu\n",
+                report.mutations_sent, report.commits, report.member_ops,
+                report.stats_ops, report.digest_ops, report.set_ops);
+    std::printf("query   : p50 %.3f ms, p99 %.3f ms\n", report.query.p50_ms,
+                report.query.p99_ms);
+    std::printf("under repair: %zu queries, p50 %.3f ms, p99 %.3f ms\n",
+                report.query_during_repair.count,
+                report.query_during_repair.p50_ms,
+                report.query_during_repair.p99_ms);
+    std::printf("commit  : p50 %.3f ms, p99 %.3f ms\n", report.commit.p50_ms,
+                report.commit.p99_ms);
+    std::printf("final   : epoch %llu, size %zu, digest %s\n",
+                static_cast<unsigned long long>(report.final_epoch),
+                report.final_size, report.final_digest.c_str());
+    std::printf("epoch digest conflicts: %zu\n",
+                report.epoch_digest_conflicts);
+  }
+  // An epoch observed with two digests breaks the immutable-epoch
+  // contract -- fail the run so CI catches it.
+  return report.epoch_digest_conflicts == 0 ? 0 : 1;
 }
 
 /// `domset gen`: write a generated graph family as a text edge list --
@@ -682,6 +925,11 @@ void print_usage() {
       "--n 5000 --repeats 3 --out bench.json\n"
       "  replay stream mutations through the incremental engine: domset "
       "replay --graph ba --n 100000 --mutations gen --batch 32 --json\n"
+      "  serve  keep a solved instance resident behind an AF_UNIX socket: "
+      "domset serve --socket /tmp/domset.sock --graph ba --n 100000\n"
+      "  load   drive a running server with a seeded client mix: domset "
+      "load --socket /tmp/domset.sock --graph ba --n 100000 --clients 8 "
+      "--json\n"
       "  gen    write a generated family as a text edge list: domset gen "
       "--graph ba --n 100000 --out g.txt\n"
       "  convert  text edge list <-> binary .dcsr: domset convert --in "
@@ -706,6 +954,10 @@ int main(int argc, char** argv) {
       return cmd_bench(argc - 1, argv + 1);
     if (std::strcmp(command, "replay") == 0)
       return cmd_replay(argc - 1, argv + 1);
+    if (std::strcmp(command, "serve") == 0)
+      return cmd_serve(argc - 1, argv + 1);
+    if (std::strcmp(command, "load") == 0)
+      return cmd_load(argc - 1, argv + 1);
     if (std::strcmp(command, "gen") == 0) return cmd_gen(argc - 1, argv + 1);
     if (std::strcmp(command, "convert") == 0)
       return cmd_convert(argc - 1, argv + 1);
